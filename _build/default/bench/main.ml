@@ -1,0 +1,429 @@
+(* Benchmark harness: one Bechamel group per experiment in DESIGN.md's
+   per-experiment index (E1, E6, E9-E13 are the performance-shaped ones;
+   the decision matrices live in bin/experiments.exe).
+
+   Prints ns/op estimated by OLS over the monotonic clock.
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Netcore
+module C = Identxx_core.Controller
+module Deploy = Identxx_core.Deploy
+module PS = Identxx_core.Policy_store
+module D = Identxx_core.Decision
+
+let response flow pairs =
+  Identxx.Response.make ~flow
+    [ List.map (fun (k, v) -> Identxx.Key_value.pair k v) pairs ]
+
+let flow ?(sp = 40000) ?(dp = 80) src dst =
+  Five_tuple.tcp ~src:(Ipv4.of_string src) ~dst:(Ipv4.of_string dst)
+    ~src_port:sp ~dst_port:dp
+
+(* --- E1: full simulated flow setup (Figure 1) ------------------------ *)
+
+let bench_fig1 =
+  (* Entries expire almost immediately so the flow table stays small and
+     every iteration measures a fresh table-miss setup. *)
+  let config =
+    { C.default_config with C.entry_idle_timeout = Some (Sim.Time.us 1) }
+  in
+  let s = Deploy.simple_network ~config () in
+  PS.add_exn (C.policy s.Deploy.controller) ~name:"00"
+    "block all\npass all with eq(@src[name], firefox)";
+  let proc =
+    Identxx.Host.run s.Deploy.client ~user:"alice" ~exe:"/usr/bin/firefox" ()
+  in
+  let counter = ref 0 in
+  Test.make ~name:"fig1/flow-setup-full-exchange"
+    (Staged.stage (fun () ->
+         incr counter;
+         let fl =
+           Identxx.Host.connect s.Deploy.client ~proc
+             ~dst:(Identxx.Host.ip s.Deploy.server)
+             ~src_port:(10000 + (!counter mod 50000))
+             ~dst_port:80 ()
+         in
+         Openflow.Network.send_from_host s.Deploy.network ~name:"client"
+           (Identxx.Host.first_packet s.Deploy.client ~flow:fl);
+         Sim.Engine.run s.Deploy.engine;
+         Identxx.Process_table.disconnect
+           (Identxx.Host.processes s.Deploy.client)
+           ~flow:fl))
+
+(* --- E9: decision latency vs ruleset size ---------------------------- *)
+
+let ruleset n tail =
+  String.concat "\n"
+    (List.init n (fun i ->
+         Printf.sprintf "%s from 172.16.%d.0/24 to any port %d"
+           (if i mod 2 = 0 then "block" else "pass")
+           (i mod 250) (1000 + i))
+    @ [ tail ])
+
+let decision_for text =
+  let policy = PS.create () in
+  PS.add_exn policy ~name:"00" text;
+  D.create ~policy ()
+
+let bench_decision_vs_rules =
+  let fl = flow "10.0.0.1" "10.1.0.1" in
+  let src = Some (response fl [ ("name", "firefox"); ("userID", "u1") ]) in
+  Test.make_indexed ~name:"setup/decision-vs-rules" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let d =
+        decision_for (ruleset n "pass all with eq(@src[name], firefox)")
+      in
+      let input = { D.flow = fl; src_response = src; dst_response = None } in
+      Staged.stage (fun () -> ignore (D.allows d input)))
+
+(* --- E10: switch datapath (cached forwarding) ------------------------ *)
+
+let bench_flow_table =
+  Test.make_indexed ~name:"datapath/flow-table-lookup" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let population = Workload.Population.create ~clients:250 ~servers:200 () in
+      let tuples = Workload.Flowgen.distinct_tuples ~population ~count:n in
+      let table = Openflow.Flow_table.create () in
+      List.iter
+        (fun ft ->
+          Openflow.Flow_table.add table
+            (Openflow.Flow_entry.make
+               ~fields:(Openflow.Match_fields.of_five_tuple ft)
+               [ Openflow.Action.Output 1 ]))
+        tuples;
+      (* Probe the median entry: cost of a wildcard-table scan. *)
+      let probe = Packet.of_five_tuple (List.nth tuples (n / 2)) in
+      Staged.stage (fun () ->
+          ignore (Openflow.Flow_table.lookup table ~in_port:1 probe)))
+
+let bench_switch_process_hit =
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let ft = flow "10.0.0.1" "10.0.0.2" in
+  Openflow.Flow_table.add (Openflow.Switch.table sw)
+    (Openflow.Flow_entry.make
+       ~fields:(Openflow.Match_fields.of_five_tuple ft)
+       [ Openflow.Action.Output 2 ]);
+  let pkt = Packet.of_five_tuple ft in
+  Test.make ~name:"datapath/switch-process-cached"
+    (Staged.stage (fun () ->
+         ignore (Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:1 pkt)))
+
+let bench_switch_process_with_timeouts =
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let ft = flow "10.0.0.1" "10.0.0.2" in
+  Openflow.Flow_table.add (Openflow.Switch.table sw)
+    (Openflow.Flow_entry.make ~idle_timeout:(Sim.Time.s 3600)
+       ~fields:(Openflow.Match_fields.of_five_tuple ft)
+       [ Openflow.Action.Output 2 ]);
+  let pkt = Packet.of_five_tuple ft in
+  Test.make ~name:"datapath/switch-process-idle-timeout"
+    (Staged.stage (fun () ->
+         ignore (Openflow.Switch.process sw ~now:(Sim.Time.ms 1) ~in_port:1 pkt)))
+
+(* --- E11: PF+=2 evaluation throughput, quick ablation ----------------- *)
+
+let bench_pf_eval =
+  let fl = flow "10.0.0.1" "10.1.0.1" in
+  let src = response fl [ ("name", "firefox"); ("userID", "u1") ] in
+  let ctx = Pf.Eval.ctx ~src () in
+  Test.make_indexed ~name:"pf/eval-last-match" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let env =
+        match
+          Pf.Env.of_string (ruleset n "pass all with eq(@src[name], firefox)")
+        with
+        | Ok e -> e
+        | Error e -> failwith e
+      in
+      Staged.stage (fun () -> ignore (Pf.Eval.eval env ctx fl)))
+
+let bench_pf_eval_quick =
+  let fl = flow "10.0.0.1" "10.1.0.1" in
+  let src = response fl [ ("name", "firefox"); ("userID", "u1") ] in
+  let ctx = Pf.Eval.ctx ~src () in
+  Test.make_indexed ~name:"pf/eval-quick-first" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let env =
+        match
+          Pf.Env.of_string
+            ("pass quick all with eq(@src[name], firefox)\n" ^ ruleset n "block all")
+        with
+        | Ok e -> e
+        | Error e -> failwith e
+      in
+      Staged.stage (fun () -> ignore (Pf.Eval.eval env ctx fl)))
+
+let bench_pf_allowed =
+  let fl = flow "10.0.0.1" "10.1.0.1" in
+  let requirements =
+    "block all pass from any to any port 80 with eq(@src[name], firefox)"
+  in
+  let src =
+    response fl [ ("name", "firefox"); ("requirements", requirements) ]
+  in
+  let ctx = Pf.Eval.ctx ~src () in
+  let env =
+    match
+      Pf.Env.of_string "block all\npass all with allowed(@src[requirements])"
+    with
+    | Ok e -> e
+    | Error e -> failwith e
+  in
+  Test.make ~name:"pf/eval-allowed-cached"
+    (Staged.stage (fun () -> ignore (Pf.Eval.eval env ctx fl)))
+
+let bench_pf_parse =
+  let text = ruleset 100 "pass all with eq(@src[name], firefox)" in
+  Test.make ~name:"pf/parse-100-rules"
+    (Staged.stage (fun () -> ignore (Pf.Parser.parse text)))
+
+(* --- E12: protocol and crypto costs ----------------------------------- *)
+
+let bench_proto =
+  let fl = flow "10.0.0.1" "10.1.0.1" in
+  let r =
+    Identxx.Response.make ~flow:fl
+      (List.init 4 (fun s ->
+           List.init 6 (fun i ->
+               Identxx.Key_value.pair
+                 (Printf.sprintf "key-%d-%d" s i)
+                 (Printf.sprintf "value-%d-%d" s i))))
+  in
+  let encoded = Identxx.Response.encode r in
+  let q = Identxx.Query.make ~flow:fl ~keys:[ "userID"; "name"; "exe-hash" ] in
+  let qe = Identxx.Query.encode q in
+  [
+    Test.make ~name:"proto/query-encode"
+      (Staged.stage (fun () -> ignore (Identxx.Query.encode q)));
+    Test.make ~name:"proto/query-decode"
+      (Staged.stage (fun () -> ignore (Identxx.Query.decode qe)));
+    Test.make ~name:"proto/response-encode"
+      (Staged.stage (fun () -> ignore (Identxx.Response.encode r)));
+    Test.make ~name:"proto/response-decode"
+      (Staged.stage (fun () -> ignore (Identxx.Response.decode encoded)));
+  ]
+
+let bench_crypto =
+  let kp = Idcrypto.Sign.generate "bench" in
+  let ks = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register ks kp;
+  let data = [ "hash"; "app"; "requirements text of moderate length" ] in
+  let signature = Idcrypto.Sign.sign ~secret:kp.Idcrypto.Sign.secret data in
+  let one_kb = String.make 1024 'x' in
+  [
+    Test.make ~name:"crypto/sha256-1KiB"
+      (Staged.stage (fun () -> ignore (Idcrypto.Sha256.digest one_kb)));
+    Test.make ~name:"crypto/sign"
+      (Staged.stage (fun () ->
+           ignore (Idcrypto.Sign.sign ~secret:kp.Idcrypto.Sign.secret data)));
+    Test.make ~name:"crypto/verify"
+      (Staged.stage (fun () ->
+           ignore
+             (Idcrypto.Sign.verify ks ~public:kp.Idcrypto.Sign.public ~signature
+                data)));
+  ]
+
+(* --- wire packet encode/decode ----------------------------------------- *)
+
+let bench_packet =
+  let pkt =
+    Packet.udp_datagram
+      ~src:(Ipv4.of_string "10.0.0.1")
+      ~dst:(Ipv4.of_string "10.0.0.2")
+      ~src_port:4000 ~dst_port:5000 ~payload:(String.make 512 'p') ()
+  in
+  let wire = Packet.encode pkt in
+  [
+    Test.make ~name:"packet/encode-udp-512B"
+      (Staged.stage (fun () -> ignore (Packet.encode pkt)));
+    Test.make ~name:"packet/decode-udp-512B"
+      (Staged.stage (fun () -> ignore (Packet.decode wire)));
+  ]
+
+(* --- E13: enforcement scoring over the mixed workload ------------------ *)
+
+let bench_granularity =
+  let population = Workload.Population.create ~clients:40 ~servers:8 () in
+  let prng = Sim.Prng.create 7 in
+  let flows =
+    Workload.Flowgen.mixed
+      ~intent:(Workload.Flowgen.intent_of_population population)
+      ~prng ~population ~count:500 ()
+  in
+  let identxx =
+    Baselines.Systems.identxx_exn
+      ~policy:
+        "table <lan> { 10.0.0.0/8 }\n\
+         table <important> { 10.1.0.1 }\n\
+         allowed = \"{ firefox ssh thunderbird skype }\"\n\
+         block all\n\
+         pass from <lan> to any with member(@src[name], $allowed)\n\
+         block from any to <important> with eq(@src[name], skype)"
+      ()
+  in
+  let vanilla =
+    Baselines.Systems.vanilla_exn
+      ~policy:
+        "table <lan> { 10.0.0.0/8 }\n\
+         block all\n\
+         pass from <lan> to any port 80\n\
+         pass from <lan> to any port 22\n\
+         pass from <lan> to any port 25"
+  in
+  [
+    Test.make ~name:"ablation/score-identxx-500flows"
+      (Staged.stage (fun () ->
+           ignore (Baselines.Enforcement.score identxx flows)));
+    Test.make ~name:"ablation/score-vanilla-500flows"
+      (Staged.stage (fun () ->
+           ignore (Baselines.Enforcement.score vanilla flows)));
+  ]
+
+(* --- E6: collaboration round over the two-domain fabric ---------------- *)
+
+let bench_collab =
+  Test.make ~name:"collab/two-domain-exchange"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let topology = Openflow.Topology.create () in
+         Openflow.Topology.add_switch topology 1;
+         Openflow.Topology.add_switch topology 2;
+         List.iter (Openflow.Topology.add_host topology) [ "a1"; "b1" ];
+         Openflow.Topology.link topology
+           (Openflow.Topology.Host "a1", 0)
+           (Openflow.Topology.Sw 1, 1);
+         Openflow.Topology.link topology
+           (Openflow.Topology.Host "b1", 0)
+           (Openflow.Topology.Sw 2, 1);
+         Openflow.Topology.link topology
+           (Openflow.Topology.Sw 1, 9)
+           (Openflow.Topology.Sw 2, 9);
+         let network = Openflow.Network.create ~engine ~topology () in
+         let ca = C.create ~network ~id:0 () in
+         let cb = C.create ~network ~id:1 () in
+         Openflow.Network.assign_switch network 1 0;
+         Openflow.Network.assign_switch network 2 1;
+         PS.add_exn (C.policy ca) ~name:"00"
+           "block all\npass all with member(@src[name], @dst[accepts])";
+         PS.add_exn (C.policy cb) ~name:"00" "pass all";
+         C.set_response_augment cb (fun _ ->
+             [ Identxx.Key_value.pair "accepts" "{ firefox }" ]);
+         let a1 =
+           Identxx.Host.create ~name:"a1" ~mac:(Mac.of_int 0xa1)
+             ~ip:(Ipv4.of_string "10.10.0.1") ()
+         in
+         let b1 =
+           Identxx.Host.create ~name:"b1" ~mac:(Mac.of_int 0xb1)
+             ~ip:(Ipv4.of_string "10.20.0.1") ()
+         in
+         List.iter (Deploy.attach_host network) [ a1; b1 ];
+         let proc = Identxx.Host.run a1 ~user:"u" ~exe:"/usr/bin/firefox" () in
+         let fl =
+           Identxx.Host.connect a1 ~proc ~dst:(Identxx.Host.ip b1) ~dst_port:80 ()
+         in
+         Openflow.Network.send_from_host network ~name:"a1"
+           (Identxx.Host.first_packet a1 ~flow:fl);
+         Sim.Engine.run engine))
+
+(* --- routing and state substrates --------------------------------------- *)
+
+let bench_dijkstra =
+  Test.make_indexed ~name:"topology/next-hop-linear" ~args:[ 8; 32; 64 ]
+    (fun n ->
+      let topology = Openflow.Topology.create () in
+      for s = 1 to n do
+        Openflow.Topology.add_switch topology s
+      done;
+      for s = 1 to n - 1 do
+        Openflow.Topology.link topology
+          (Openflow.Topology.Sw s, 1)
+          (Openflow.Topology.Sw (s + 1), 0)
+      done;
+      Openflow.Topology.add_host topology "far";
+      Openflow.Topology.link topology
+        (Openflow.Topology.Host "far", 0)
+        (Openflow.Topology.Sw n, 5);
+      Staged.stage (fun () ->
+          ignore (Openflow.Topology.next_hop topology ~from:1 ~dst_host:"far")))
+
+let bench_conn_state =
+  let cs = Identxx_core.Conn_state.create () in
+  let population = Workload.Population.create ~clients:250 ~servers:40 () in
+  let tuples = Workload.Flowgen.distinct_tuples ~population ~count:10_000 in
+  List.iter (fun ft -> Identxx_core.Conn_state.note cs ~now:Sim.Time.zero ft) tuples;
+  let probe = List.nth tuples 5_000 in
+  Test.make ~name:"state/conn-state-permits-10k"
+    (Staged.stage (fun () ->
+         ignore
+           (Identxx_core.Conn_state.permits cs ~now:Sim.Time.zero
+              (Five_tuple.reverse probe))))
+
+(* --- daemon answer path ------------------------------------------------ *)
+
+let bench_daemon =
+  let host =
+    Identxx.Host.create ~name:"h" ~mac:(Mac.of_int 1)
+      ~ip:(Ipv4.of_string "10.0.0.1") ()
+  in
+  Identxx.Host.install_exe host ~path:"/usr/bin/firefox" ~content:"ff-image";
+  let proc = Identxx.Host.run host ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let fl =
+    Identxx.Host.connect host ~proc
+      ~dst:(Ipv4.of_string "10.0.0.2")
+      ~dst_port:80 ()
+  in
+  Test.make ~name:"proto/daemon-answer"
+    (Staged.stage (fun () ->
+         ignore
+           (Identxx.Daemon.answer (Identxx.Host.daemon host)
+              ~peer:fl.Five_tuple.dst ~proto:fl.Five_tuple.proto
+              ~src_port:fl.Five_tuple.src_port ~dst_port:fl.Five_tuple.dst_port
+              ~keys:[])))
+
+(* --- harness ----------------------------------------------------------- *)
+
+let tests =
+  Test.make_grouped ~name:"identxx"
+    ([
+       bench_fig1;
+       bench_decision_vs_rules;
+       bench_flow_table;
+       bench_switch_process_hit;
+       bench_switch_process_with_timeouts;
+       bench_pf_eval;
+       bench_pf_eval_quick;
+       bench_pf_parse;
+       bench_pf_allowed;
+       bench_daemon;
+       bench_collab;
+       bench_dijkstra;
+       bench_conn_state;
+     ]
+    @ bench_proto @ bench_crypto @ bench_packet @ bench_granularity)
+
+let () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.2) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "%-55s %14s\n" "benchmark" "ns/op";
+  Printf.printf "%s\n" (String.make 71 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-55s %14.1f\n" name ns) rows;
+  Printf.printf "\n%d benchmarks completed.\n" (List.length rows)

@@ -1,0 +1,1 @@
+bin/experiments.ml: Array Baselines Five_tuple Idcrypto Identxx Identxx_core Ipv4 List Mac Netcore Openflow Option Packet Pf Printf Proto Sim String Sys Workload

@@ -1,0 +1,1 @@
+bin/identxx_ctl.ml: Arg Cmd Cmdliner Filename Format Fun Idcrypto Identxx Identxx_core List Netcore Option Pf Printf String Term

@@ -1,0 +1,1 @@
+bin/identxx_ctl.mli:

@@ -1,0 +1,1 @@
+bin/identxxd.ml: Arg Buffer Cmd Cmdliner Filename Hashtbl Identxx List Netcore Printf String Term

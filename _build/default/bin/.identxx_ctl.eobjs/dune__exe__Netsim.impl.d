@@ -1,0 +1,1 @@
+bin/netsim.ml: Arg Array Buffer Cmd Cmdliner Format Identxx Identxx_core Ipv4 List Logs Mac Netcore Openflow Sim Term

@@ -1,0 +1,470 @@
+(* identxx_ctl: command-line front end to the PF+=2 policy engine.
+
+   Subcommands:
+     check  validate .control files (parse + table resolution)
+     fmt    parse and pretty-print a policy
+     eval   decide a flow against a policy, with optional ident++
+            key-value pairs for the source and destination ends
+
+   Examples:
+     identxx_ctl check policies/*.control
+     identxx_ctl eval -p site.control \
+        --flow "tcp 192.168.0.10:40000 -> 192.168.1.1:80" \
+        --src name=skype --src version=210 --dst name=Server *)
+
+open Cmdliner
+module PS = Identxx_core.Policy_store
+module D = Identxx_core.Decision
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* "tcp 1.2.3.4:500 -> 5.6.7.8:80" *)
+let parse_flow s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "cannot parse flow %S (expected \"tcp A.B.C.D:SP -> E.F.G.H:DP\")" s)
+  in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ proto; src; "->"; dst ] -> (
+      let split_hp hp =
+        match String.rindex_opt hp ':' with
+        | None -> None
+        | Some i ->
+            let host = String.sub hp 0 i in
+            let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+            Option.bind (Netcore.Ipv4.of_string_opt host) (fun ip ->
+                Option.map (fun p -> (ip, p)) (int_of_string_opt port))
+      in
+      match
+        (Netcore.Proto.of_string_opt proto, split_hp src, split_hp dst)
+      with
+      | Some proto, Some (sip, sp), Some (dip, dp) ->
+          Ok
+            (Netcore.Five_tuple.make ~src:sip ~dst:dip ~proto ~src_port:sp
+               ~dst_port:dp)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let parse_pairs kvs =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None -> failwith (Printf.sprintf "bad key=value pair %S" kv)
+      | Some i ->
+          Identxx.Key_value.pair (String.sub kv 0 i)
+            (String.sub kv (i + 1) (String.length kv - i - 1)))
+    kvs
+
+let load_policy files =
+  let store = PS.create () in
+  List.iter
+    (fun path ->
+      match PS.add store ~name:(Filename.basename path) (read_file path) with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    files;
+  store
+
+(* --- check --- *)
+
+let check_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let run files =
+    try
+      let store = load_policy files in
+      match PS.env store with
+      | Ok env ->
+          Printf.printf "OK: %d files, %d rules, tables: %s\n"
+            (List.length (PS.files store))
+            (List.length (Pf.Env.rules env))
+            (String.concat ", " (Pf.Env.table_names env));
+          0
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+    with Failure e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate .control policy files")
+    Term.(const run $ files)
+
+(* --- fmt --- *)
+
+let fmt_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    match Pf.Parser.parse (read_file file) with
+    | Ok decls ->
+        print_string (Pf.Pretty.ruleset decls);
+        0
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Parse and pretty-print a PF+=2 policy")
+    Term.(const run $ file)
+
+(* --- eval --- *)
+
+let eval_cmd =
+  let policies =
+    Arg.(
+      non_empty
+      & opt_all file []
+      & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy file (repeatable).")
+  in
+  let flow =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "flow" ] ~docv:"FLOW"
+          ~doc:"The flow, e.g. \"tcp 10.0.0.1:4000 -> 10.0.0.2:80\".")
+  in
+  let src_pairs =
+    Arg.(
+      value & opt_all string []
+      & info [ "src" ] ~docv:"KEY=VALUE"
+          ~doc:"ident++ pair reported by the flow's source (repeatable).")
+  in
+  let dst_pairs =
+    Arg.(
+      value & opt_all string []
+      & info [ "dst" ] ~docv:"KEY=VALUE"
+          ~doc:"ident++ pair reported by the flow's destination (repeatable).")
+  in
+  let default_block =
+    Arg.(
+      value & flag
+      & info [ "default-block" ]
+          ~doc:"Use a default-deny instead of PF's implicit pass.")
+  in
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Show how every rule fared against the flow.")
+  in
+  let run policies flow src_pairs dst_pairs default_block trace_flag =
+    try
+      match parse_flow flow with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+      | Ok flow ->
+          let store = load_policy policies in
+          let decision =
+            D.create
+              ~default:(if default_block then Pf.Ast.Block else Pf.Ast.Pass)
+              ~policy:store ()
+          in
+          let response pairs =
+            match parse_pairs pairs with
+            | [] -> None
+            | section -> Some (Identxx.Response.make ~flow [ section ])
+          in
+          let input =
+            {
+              D.flow;
+              src_response = response src_pairs;
+              dst_response = response dst_pairs;
+            }
+          in
+          if trace_flag then begin
+            let env = PS.env_exn store in
+            let ctx =
+              Pf.Eval.ctx ?src:input.D.src_response ?dst:input.D.dst_response
+                ~keystore:(D.keystore decision)
+                ~functions:(D.functions decision) ()
+            in
+            match
+              Pf.Eval.trace
+                ~default:(if default_block then Pf.Ast.Block else Pf.Ast.Pass)
+                env ctx input.D.flow
+            with
+            | Error e ->
+                Printf.eprintf "error: %s\n" e;
+                exit 1
+            | Ok (steps, _) ->
+                List.iter
+                  (fun (s : Pf.Eval.trace_step) ->
+                    Printf.printf "%s line %-3d %s\n"
+                      (if s.Pf.Eval.decided then "=>"
+                       else if s.Pf.Eval.matched then "* "
+                       else "  ")
+                      s.Pf.Eval.rule.Pf.Ast.line
+                      (Pf.Pretty.rule s.Pf.Eval.rule))
+                  steps
+          end;
+          print_endline (D.explain decision input);
+          if D.allows decision input then 0 else 2
+    with Failure e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Decide a flow against a policy (exit 0 = pass, 2 = block, 1 = error)")
+    Term.(
+      const run $ policies $ flow $ src_pairs $ dst_pairs $ default_block
+      $ trace_flag)
+
+(* --- daemon-check: lint ident++ daemon configuration files --- *)
+
+let daemon_check_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let run files =
+    let check_file path =
+      match Identxx.Config.parse (read_file path) with
+      | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          false
+      | Ok cfg ->
+          let bad_reqs =
+            List.filter_map
+              (fun (block : Identxx.Config.app_block) ->
+                match Identxx.Key_value.find block.pairs "requirements" with
+                | None -> None
+                | Some reqs -> (
+                    match Pf.Parser.parse_rules reqs with
+                    | Ok _ -> None
+                    | Error e -> Some (block.path, e)))
+              cfg.Identxx.Config.apps
+          in
+          List.iter
+            (fun (app, e) ->
+              Printf.eprintf "%s: @app %s: requirements do not parse: %s\n"
+                path app e)
+            bad_reqs;
+          let unsigned =
+            List.filter
+              (fun (block : Identxx.Config.app_block) ->
+                Identxx.Key_value.find block.pairs "requirements" <> None
+                && Identxx.Key_value.find block.pairs "req-sig" = None)
+              cfg.Identxx.Config.apps
+          in
+          List.iter
+            (fun (block : Identxx.Config.app_block) ->
+              Printf.printf
+                "%s: warning: @app %s has requirements but no req-sig\n" path
+                block.Identxx.Config.path)
+            unsigned;
+          if bad_reqs = [] then begin
+            Printf.printf "%s: OK (%d global pairs, %d @app blocks)\n" path
+              (List.length cfg.Identxx.Config.globals)
+              (List.length cfg.Identxx.Config.apps);
+            true
+          end
+          else false
+    in
+    let results = List.map check_file files in
+    if List.for_all Fun.id results then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "daemon-check"
+       ~doc:"Validate ident++ daemon configuration files (@app blocks)")
+    Term.(const run $ files)
+
+(* --- matrix: batch decisions from a scenario file --- *)
+
+let matrix_cmd =
+  let policies =
+    Arg.(
+      non_empty & opt_all file []
+      & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy file (repeatable).")
+  in
+  let scenario =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCENARIOS")
+  in
+  let run policies scenario =
+    try
+      let store = load_policy policies in
+      let decision = D.create ~policy:store () in
+      let lines =
+        String.split_on_char '\n' (read_file scenario)
+        |> List.mapi (fun i l -> (i + 1, String.trim l))
+        |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun (lineno, line) ->
+          match String.split_on_char '|' line |> List.map String.trim with
+          | [ flow_s; src_s; dst_s; expect_s ] -> (
+              match parse_flow flow_s with
+              | Error e -> failwith (Printf.sprintf "line %d: %s" lineno e)
+              | Ok flow ->
+                  let pairs s =
+                    match
+                      String.split_on_char ' ' s |> List.filter (( <> ) "")
+                    with
+                    | [] -> None
+                    | kvs -> Some (Identxx.Response.make ~flow [ parse_pairs kvs ])
+                  in
+                  let input =
+                    {
+                      D.flow;
+                      src_response = pairs src_s;
+                      dst_response = pairs dst_s;
+                    }
+                  in
+                  let got = if D.allows decision input then "pass" else "block" in
+                  let ok = got = expect_s in
+                  if not ok then incr failures;
+                  Printf.printf "%-50s %-6s %-6s %s\n" flow_s expect_s got
+                    (if ok then "ok" else "MISMATCH"))
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "line %d: expected 'flow | src pairs | dst pairs | pass/block'"
+                   lineno))
+        lines;
+      if !failures = 0 then begin
+        Printf.printf "all %d scenarios match\n" (List.length lines);
+        0
+      end
+      else begin
+        Printf.printf "%d mismatch(es)\n" !failures;
+        2
+      end
+    with Failure e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Decide a file of scenarios (flow | src pairs | dst pairs | \
+          expectation) against a policy")
+    Term.(const run $ policies $ scenario)
+
+(* --- analyze: lint policies --- *)
+
+let analyze_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let run files =
+    let findings =
+      List.concat_map
+        (fun path ->
+          match Pf.Parser.parse (read_file path) with
+          | Error e ->
+              Printf.eprintf "%s: %s\n" path e;
+              exit 1
+          | Ok decls ->
+              List.map (fun f -> (path, f)) (Pf.Lint.check decls))
+        files
+    in
+    List.iter
+      (fun (path, f) ->
+        Printf.printf "%s: %s\n" path
+          (Format.asprintf "%a" Pf.Lint.pp_finding f))
+      findings;
+    if findings = [] then begin
+      Printf.printf "no findings in %d file(s)\n" (List.length files);
+      0
+    end
+    else 2
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Lint policies: dead rules, duplicates, unknown functions")
+    Term.(const run $ files)
+
+(* --- signing workflow: keygen / sign / verify ---
+   The delegation figures need requirements signed by a principal whose
+   public handle appears in a controller dict. These commands drive the
+   simulated-PKI scheme (see DESIGN.md section 2) from the shell. *)
+
+let keygen_cmd =
+  let owner = Arg.(required & pos 0 (some string) None & info [] ~docv:"OWNER") in
+  let seed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Derivation seed (deterministic).")
+  in
+  let run owner seed =
+    let kp = Idcrypto.Sign.generate ?seed owner in
+    Printf.printf "owner:  %s\npublic: %s\nsecret: %s\n" kp.Idcrypto.Sign.owner
+      kp.Idcrypto.Sign.public kp.Idcrypto.Sign.secret;
+    0
+  in
+  Cmd.v
+    (Cmd.info "keygen" ~doc:"Derive a deterministic keypair for a principal")
+    Term.(const run $ owner $ seed)
+
+let sign_cmd =
+  let secret =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "secret" ] ~docv:"SECRET" ~doc:"The signer's secret.")
+  in
+  let data = Arg.(non_empty & pos_all string [] & info [] ~docv:"DATA") in
+  let run secret data =
+    print_endline (Idcrypto.Sign.sign ~secret data);
+    0
+  in
+  Cmd.v
+    (Cmd.info "sign"
+       ~doc:"Sign a data list (e.g. exe-hash app-name requirements) -> req-sig")
+    Term.(const run $ secret $ data)
+
+let verify_cmd =
+  let public =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "public" ] ~docv:"PUBLIC" ~doc:"The signer's public handle.")
+  in
+  let secret =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "secret" ] ~docv:"SECRET"
+          ~doc:
+            "Verification material for the handle (the simulated PKI's \
+             keystore entry).")
+  in
+  let signature =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "signature" ] ~docv:"SIG" ~doc:"The tag to check.")
+  in
+  let data = Arg.(non_empty & pos_all string [] & info [] ~docv:"DATA") in
+  let run public secret signature data =
+    let ks = Idcrypto.Sign.keystore () in
+    Idcrypto.Sign.register_public ks ~public ~secret;
+    if Idcrypto.Sign.verify ks ~public ~signature data then begin
+      print_endline "valid";
+      0
+    end
+    else begin
+      print_endline "INVALID";
+      2
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a signature (exit 0 = valid, 2 = invalid)")
+    Term.(const run $ public $ secret $ signature $ data)
+
+let () =
+  let info =
+    Cmd.info "identxx_ctl" ~version:"1.0.0"
+      ~doc:"ident++ / PF+=2 policy toolkit"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd; fmt_cmd; eval_cmd; daemon_check_cmd; analyze_cmd;
+            matrix_cmd; keygen_cmd; sign_cmd; verify_cmd;
+          ]))

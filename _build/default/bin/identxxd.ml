@@ -1,0 +1,154 @@
+(* identxxd: the ident++ end-host daemon as a standalone filter.
+
+   Reads daemon configuration files (Figure 3/4/6 syntax) and a process
+   table fixture, then answers ident++ query payloads (§3.2) read from
+   stdin, one response per query, separated by a blank line — the exact
+   bytes a TCP server on port 783 would write.
+
+   The process table fixture is one line per socket:
+     conn   <pid> <user> <groups,comma> <exe> <proto> <src:port> <dst:port>
+     listen <pid> <user> <groups,comma> <exe> <proto> <port>
+
+   Example:
+     identxxd --ip 10.0.0.1 --config skype.identxx.conf --table procs.txt \
+        < queries.txt *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> failwith ("bad endpoint " ^ s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Netcore.Ipv4.of_string_opt host, int_of_string_opt port) with
+      | Some ip, Some p -> (ip, p)
+      | _ -> failwith ("bad endpoint " ^ s))
+
+let load_table processes content =
+  let pids = Hashtbl.create 16 in
+  let ensure_proc ~pid ~user ~groups ~exe =
+    if not (Hashtbl.mem pids pid) then begin
+      ignore
+        (Identxx.Process_table.spawn processes ~pid ~user
+           ~groups:(String.split_on_char ',' groups)
+           ~exe ());
+      Hashtbl.add pids pid ()
+    end
+  in
+  String.split_on_char '\n' content
+  |> List.iteri (fun lineno line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+           | [ "conn"; pid; user; groups; exe; proto; src; dst ] ->
+               let pid = int_of_string pid in
+               ensure_proc ~pid ~user ~groups ~exe;
+               let src_ip, src_port = parse_endpoint src in
+               let dst_ip, dst_port = parse_endpoint dst in
+               Identxx.Process_table.connect processes ~pid
+                 ~flow:
+                   (Netcore.Five_tuple.make ~src:src_ip ~dst:dst_ip
+                      ~proto:(Netcore.Proto.of_string proto)
+                      ~src_port ~dst_port)
+           | [ "listen"; pid; user; groups; exe; proto; port ] ->
+               let pid = int_of_string pid in
+               ensure_proc ~pid ~user ~groups ~exe;
+               Identxx.Process_table.listen processes ~pid
+                 ~proto:(Netcore.Proto.of_string proto)
+                 ~port:(int_of_string port)
+           | _ -> failwith (Printf.sprintf "table line %d: unparsable" (lineno + 1)))
+
+let run ip configs table_path peer =
+  let host_ip = Netcore.Ipv4.of_string ip in
+  let peer_ip = Netcore.Ipv4.of_string peer in
+  let processes = Identxx.Process_table.create () in
+  (match table_path with
+  | Some path -> load_table processes (read_file path)
+  | None -> ());
+  let hashes = Hashtbl.create 4 in
+  let daemon =
+    Identxx.Daemon.create ~ip:host_ip ~processes
+      ~exe_hash:(fun p -> Hashtbl.find_opt hashes p)
+      ()
+  in
+  List.iter
+    (fun path ->
+      match
+        Identxx.Daemon.load_config daemon ~name:(Filename.basename path)
+          (read_file path)
+      with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    configs;
+  (* Read query payloads: header line + key lines, terminated by a blank
+     line or EOF. *)
+  let buf = Buffer.create 128 in
+  let answer () =
+    let payload = Buffer.contents buf in
+    Buffer.clear buf;
+    if String.trim payload <> "" then
+      match Identxx.Query.decode payload with
+      | Error e -> Printf.printf "error: %s\n\n%!" e
+      | Ok q -> (
+          match
+            Identxx.Daemon.answer daemon ~peer:peer_ip ~proto:q.Identxx.Query.proto
+              ~src_port:q.Identxx.Query.src_port
+              ~dst_port:q.Identxx.Query.dst_port ~keys:q.Identxx.Query.keys
+          with
+          | Some (response, _role) ->
+              print_string (Identxx.Response.encode response);
+              print_newline ();
+              flush stdout
+          | None -> print_string "\n")
+  in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line = "" then answer ()
+       else begin
+         Buffer.add_string buf line;
+         Buffer.add_char buf '\n'
+       end
+     done
+   with End_of_file -> answer ());
+  0
+
+let () =
+  let ip =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ip" ] ~docv:"ADDR" ~doc:"This host's address.")
+  in
+  let configs =
+    Arg.(
+      value & opt_all file []
+      & info [ "config" ] ~docv:"FILE" ~doc:"Daemon configuration (repeatable).")
+  in
+  let table =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "table" ] ~docv:"FILE" ~doc:"Process table fixture.")
+  in
+  let peer =
+    Arg.(
+      value & opt string "0.0.0.0"
+      & info [ "peer" ] ~docv:"ADDR"
+          ~doc:"The flow's far end (the querying side's address).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "identxxd" ~version:"1.0.0"
+         ~doc:"ident++ daemon: answer queries from stdin")
+      Term.(const run $ ip $ configs $ table $ peer)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,179 @@
+(* netsim: run a named simulation scenario end-to-end and print the
+   event trace.
+
+     netsim fig1          the paper's Figure-1 flow-setup sequence
+     netsim linear        a 4-switch chain, one flow across it
+     netsim branches      two ident++ domains collaborating (§4)
+
+   Run with: dune exec bin/netsim.exe -- fig1 *)
+
+open Cmdliner
+open Netcore
+module Net = Openflow.Network
+module Topo = Openflow.Topology
+module C = Identxx_core.Controller
+module Deploy = Identxx_core.Deploy
+module PS = Identxx_core.Policy_store
+
+let print_summary ?(controllers = []) network =
+  Format.printf "@.=== trace ===@.%a" Sim.Trace.pp (Net.trace network);
+  Format.printf "@.=== summary ===@.";
+  Format.printf "packets delivered to hosts: %d@." (Net.delivered network);
+  Format.printf "packets dropped:            %d@." (Net.dropped network);
+  Format.printf "packet-ins:                 %d@." (Net.packet_ins network);
+  List.iter
+    (fun (name, c) ->
+      let st = C.stats c in
+      Format.printf
+        "%s: flows=%d allowed=%d blocked=%d queries=%d responses=%d@." name
+        st.C.flows_seen st.C.allowed st.C.blocked st.C.queries_sent
+        st.C.responses_received)
+    controllers
+
+let fig1 ~arm () =
+  let s = Deploy.simple_network () in
+  arm s.Deploy.network;
+  PS.add_exn (C.policy s.controller) ~name:"00"
+    "block all\npass all with eq(@src[name], firefox) keep state";
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:80 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Format.printf "Figure 1: client -> switch -> controller -> ident++ -> install -> deliver@.";
+  print_summary ~controllers:[ ("controller", s.controller) ] s.network;
+  0
+
+let linear ~arm () =
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~switches:4 ~hosts_per_switch:1 ()
+  in
+  arm network;
+  PS.add_exn (C.policy controller) ~name:"00" "pass all";
+  let h1 = hosts.(0) and h4 = hosts.(3) in
+  let proc = Identxx.Host.run h1 ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h4) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:(Identxx.Host.name h1)
+    (Identxx.Host.first_packet h1 ~flow);
+  Sim.Engine.run engine;
+  Format.printf "linear: one flow across a 4-switch chain@.";
+  print_summary ~controllers:[ ("controller", controller) ] network;
+  0
+
+let tree ~arm () =
+  let engine, network, controller, hosts =
+    Deploy.tree_network ~depth:3 ~fanout:2 ~hosts_per_edge:1 ()
+  in
+  arm network;
+  PS.add_exn (C.policy controller) ~name:"00" "pass all";
+  let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
+  let proc = Identxx.Host.run src ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect src ~proc ~dst:(Identxx.Host.ip dst) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:(Identxx.Host.name src)
+    (Identxx.Host.first_packet src ~flow);
+  Sim.Engine.run engine;
+  Format.printf "tree: cross-pod flow over a depth-3 binary tree (7 switches)@.";
+  print_summary ~controllers:[ ("controller", controller) ] network;
+  0
+
+let branches ~arm () =
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  Topo.add_switch topology 1;
+  Topo.add_switch topology 2;
+  List.iter (Topo.add_host topology) [ "a1"; "b1" ];
+  Topo.link topology (Topo.Host "a1", 0) (Topo.Sw 1, 1);
+  Topo.link topology (Topo.Host "b1", 0) (Topo.Sw 2, 1);
+  Topo.link topology ~latency:(Sim.Time.ms 2) (Topo.Sw 1, 9) (Topo.Sw 2, 9);
+  let network = Net.create ~engine ~topology () in
+  arm network;
+  let ca = C.create ~network ~id:0 () in
+  let cb = C.create ~network ~id:1 () in
+  Net.assign_switch network 1 0;
+  Net.assign_switch network 2 1;
+  PS.add_exn (C.policy ca) ~name:"00"
+    "block all\npass all with member(@src[name], @dst[branch-b-accepts])";
+  PS.add_exn (C.policy cb) ~name:"00" "pass all";
+  C.set_response_augment cb (fun _ ->
+      [ Identxx.Key_value.pair "branch-b-accepts" "{ firefox ssh }" ]);
+  let a1 =
+    Identxx.Host.create ~name:"a1" ~mac:(Mac.of_int 0xa1)
+      ~ip:(Ipv4.of_string "10.10.0.1") ()
+  in
+  let b1 =
+    Identxx.Host.create ~name:"b1" ~mac:(Mac.of_int 0xb1)
+      ~ip:(Ipv4.of_string "10.20.0.1") ()
+  in
+  List.iter (Deploy.attach_host network) [ a1; b1 ];
+  let proc = Identxx.Host.run a1 ~user:"u" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect a1 ~proc ~dst:(Identxx.Host.ip b1) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:"a1" (Identxx.Host.first_packet a1 ~flow);
+  Sim.Engine.run engine;
+  Format.printf "branches: two collaborating ident++ domains@.";
+  print_summary
+    ~controllers:[ ("branch-a", ca); ("branch-b", cb) ]
+    network;
+  0
+
+(* Optionally capture every frame the scenario emits to a pcap file. *)
+let with_capture pcap_path f =
+  match pcap_path with
+  | None -> f (fun _net -> ())
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      let writer = Netcore.Pcap.create_writer buf in
+      let code = f (fun net -> Net.set_capture net (Some writer)) in
+      let oc = open_out_bin path in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Format.printf "wrote %d frames to %s@." (Netcore.Pcap.packet_count writer) path;
+      code
+
+let () =
+  let scenario =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("fig1", `Fig1); ("linear", `Linear); ("branches", `Branches);
+                  ("tree", `Tree) ]))
+          None
+      & info [] ~docv:"SCENARIO" ~doc:"fig1, linear, branches or tree")
+  in
+  let pcap =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pcap" ] ~docv:"FILE" ~doc:"Write all emitted frames to a pcap file.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+  in
+  let run scenario pcap verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    with_capture pcap (fun arm ->
+        match scenario with
+        | `Fig1 -> fig1 ~arm ()
+        | `Linear -> linear ~arm ()
+        | `Branches -> branches ~arm ()
+        | `Tree -> tree ~arm ())
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "netsim" ~doc:"Run a named ident++ simulation scenario")
+      Term.(const run $ scenario $ pcap $ verbose)
+  in
+  exit (Cmd.eval' cmd)

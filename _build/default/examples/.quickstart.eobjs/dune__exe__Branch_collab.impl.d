@@ -1,0 +1,1 @@
+examples/branch_collab.ml: Identxx Identxx_core Ipv4 List Mac Netcore Openflow Printf Sim

@@ -1,0 +1,1 @@
+examples/branch_collab.mli:

@@ -1,0 +1,1 @@
+examples/conficker.ml: Array Baselines Identxx Identxx_core List Netcore Printf Workload

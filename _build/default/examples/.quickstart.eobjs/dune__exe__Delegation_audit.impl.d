@@ -1,0 +1,1 @@
+examples/delegation_audit.ml: Format Idcrypto Identxx Identxx_core List Openflow Printf Sim

@@ -1,0 +1,1 @@
+examples/enterprise.ml: Array Format Identxx Identxx_core Ipv4 List Netcore Openflow Printf Sim String

@@ -1,0 +1,1 @@
+examples/nat_ident.ml: Five_tuple Identxx Identxx_core Ipv4 Mac Netcore Openflow Option Printf Sim

@@ -1,0 +1,1 @@
+examples/nat_ident.mli:

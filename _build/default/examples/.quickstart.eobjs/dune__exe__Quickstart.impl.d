@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Identxx Identxx_core Openflow Printf Sim

@@ -1,0 +1,1 @@
+examples/research_delegation.ml: Five_tuple Hashtbl Idcrypto Identxx Identxx_core Ipv4 List Mac Netcore Option Printf String

@@ -1,0 +1,1 @@
+examples/research_delegation.mli:

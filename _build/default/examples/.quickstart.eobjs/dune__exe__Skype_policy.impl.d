@@ -1,0 +1,1 @@
+examples/skype_policy.ml: Five_tuple Fun Hashtbl Idcrypto Identxx Identxx_core Ipv4 List Mac Netcore Option Printf

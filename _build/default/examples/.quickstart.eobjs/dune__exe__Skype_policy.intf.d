@@ -1,0 +1,1 @@
+examples/skype_policy.mli:

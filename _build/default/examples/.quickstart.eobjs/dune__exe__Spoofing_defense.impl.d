@@ -1,0 +1,1 @@
+examples/spoofing_defense.ml: Idcrypto Identxx Identxx_core Openflow Printf Sim

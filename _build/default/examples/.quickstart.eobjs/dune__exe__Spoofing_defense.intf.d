@@ -1,0 +1,1 @@
+examples/spoofing_defense.mli:

@@ -1,0 +1,1 @@
+examples/trust_delegation.ml: Five_tuple Hashtbl Idcrypto Identxx Identxx_core Ipv4 Mac Netcore Option Printf

@@ -1,0 +1,175 @@
+(* Figures 4 and 5: delegation to users.
+
+   Researchers run their own applications without asking the network
+   administrator: each researcher signs the application's network
+   requirements (Figure 4's daemon config); the controller's
+   30-research.control rule (Figure 5) admits a flow only when
+   - both ends are in the research group,
+   - the destination is not a production machine,
+   - the flow is allowed by the receiver's own signed requirements, and
+   - the signature verifies against the research group's public key.
+   Run with: dune exec examples/research_delegation.exe *)
+
+open Netcore
+module PS = Identxx_core.Policy_store
+module D = Identxx_core.Decision
+
+let requirements =
+  (* Figure 4: research-apps only talk to each other. *)
+  "block all pass all with eq(@src[name], research-app) with eq(@dst[name], \
+   research-app)"
+
+let research_daemon_config ~req_sig =
+  Printf.sprintf
+    "@app /usr/bin/research-app {\n\
+     name : research-app\n\
+     # research-apps only talk to each other\n\
+     requirements : \\\n\
+     block all \\\n\
+     pass all \\\n\
+     with eq(@src[name], research-app) \\\n\
+     with eq(@dst[name], research-app)\n\
+     req-sig : %s\n\
+     }"
+    req_sig
+
+(* Figure 5's rule, with the real public key substituted into the dict. *)
+let research_control ~research_pk =
+  Printf.sprintf
+    "table <research-machines> { 192.168.10.0/24 }\n\
+     table <production-machines> { 192.168.1.0/24 }\n\
+     dict <pubkeys> { research : %s }\n\
+     block all\n\
+     # Allow only researchers to run applications\n\
+     # and only access their own machines.\n\
+     pass from <research-machines> \\\n\
+     with member(@src[groupID], research) \\\n\
+     to !<production-machines> \\\n\
+     with member(@dst[groupID], research) \\\n\
+     with allowed(@dst[requirements]) \\\n\
+     with verify(@dst[req-sig], \\\n\
+     @pubkeys[research], \\\n\
+     @dst[exe-hash], \\\n\
+     @dst[app-name], \\\n\
+     @dst[requirements])"
+    research_pk
+
+let mk_host name ip =
+  Identxx.Host.create ~name ~mac:(Mac.of_int (Hashtbl.hash name land 0xffffff))
+    ~ip:(Ipv4.of_string ip) ()
+
+let daemon_response host ~flow ~as_source =
+  let peer = if as_source then flow.Five_tuple.dst else flow.Five_tuple.src in
+  Option.map fst
+    (Identxx.Daemon.answer (Identxx.Host.daemon host) ~peer
+       ~proto:flow.Five_tuple.proto ~src_port:flow.Five_tuple.src_port
+       ~dst_port:flow.Five_tuple.dst_port ~keys:[])
+
+let () =
+  (* The research group's keypair; the controller trusts its public
+     handle via the dict in 30-research.control. *)
+  let research_key = Idcrypto.Sign.generate "research-group" in
+  let keystore = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register keystore research_key;
+
+  let rika = mk_host "rika" "192.168.10.5" in
+  let ryo = mk_host "ryo" "192.168.10.6" in
+  let prod = mk_host "prod" "192.168.1.1" in
+  ignore prod;
+
+  (* Install the research app and sign its requirements per host. *)
+  List.iter
+    (fun h ->
+      Identxx.Host.install_exe h ~path:"/usr/bin/research-app"
+        ~content:"research-app-image-v1";
+      let exe_hash =
+        Option.get (Identxx.Host.exe_hash h ~path:"/usr/bin/research-app")
+      in
+      let req_sig =
+        Idcrypto.Sign.sign ~secret:research_key.Idcrypto.Sign.secret
+          [ exe_hash; "research-app"; requirements ]
+      in
+      match
+        Identxx.Daemon.load_config (Identxx.Host.daemon h) ~name:"10-research"
+          (research_daemon_config ~req_sig)
+      with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    [ rika; ryo ];
+
+  let policy = PS.create () in
+  PS.add_exn policy ~name:"30-research.control"
+    (research_control ~research_pk:research_key.Idcrypto.Sign.public);
+  let decision = D.create ~keystore ~policy () in
+
+  let run name ~src ~src_exe ~src_groups ~dst ~dst_exe ~dst_port ~expect =
+    let sproc =
+      Identxx.Host.run src ~user:"researcher1" ~groups:src_groups ~exe:src_exe ()
+    in
+    let dproc =
+      Identxx.Host.run dst ~user:"researcher2" ~groups:[ "research" ]
+        ~exe:dst_exe ()
+    in
+    Identxx.Host.listen dst ~proc:dproc ~port:dst_port ();
+    let flow =
+      Identxx.Host.connect src ~proc:sproc ~dst:(Identxx.Host.ip dst) ~dst_port ()
+    in
+    let input =
+      {
+        D.flow;
+        src_response = daemon_response src ~flow ~as_source:true;
+        dst_response = daemon_response dst ~flow ~as_source:false;
+      }
+    in
+    let allowed = D.allows decision input in
+    Printf.printf "%-46s %-6s %s\n" name
+      (if allowed then "PASS" else "BLOCK")
+      (if allowed = expect then "(intended)" else "** UNEXPECTED **");
+    allowed = expect
+  in
+
+  print_endline "=== Figure 4/5: research delegation ===";
+  let ok1 =
+    run "research-app rika -> research-app ryo" ~src:rika
+      ~src_exe:"/usr/bin/research-app" ~src_groups:[ "research" ] ~dst:ryo
+      ~dst_exe:"/usr/bin/research-app" ~dst_port:7777 ~expect:true
+  in
+  let ok2 =
+    run "research-app rika -> OTHER app on ryo" ~src:rika
+      ~src_exe:"/usr/bin/research-app" ~src_groups:[ "research" ] ~dst:ryo
+      ~dst_exe:"/usr/bin/nc" ~dst_port:7778 ~expect:false
+  in
+  let ok3 =
+    run "non-research user rika -> research-app ryo" ~src:rika
+      ~src_exe:"/usr/bin/research-app" ~src_groups:[ "staff" ] ~dst:ryo
+      ~dst_exe:"/usr/bin/research-app" ~dst_port:7777 ~expect:false
+  in
+
+  (* Tampered requirements: ryo's "researcher" edits the requirements to
+     accept anything, but cannot re-sign them. *)
+  let mallory = mk_host "mallory" "192.168.10.7" in
+  Identxx.Host.install_exe mallory ~path:"/usr/bin/research-app"
+    ~content:"research-app-image-v1";
+  let bogus_sig = String.make 64 'a' in
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon mallory)
+       ~name:"10-research"
+       (Printf.sprintf
+          "@app /usr/bin/research-app {\nname : research-app\nrequirements : \
+           pass all\nreq-sig : %s\n}"
+          bogus_sig)
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let ok4 =
+    run "tampered requirements on destination" ~src:rika
+      ~src_exe:"/usr/bin/research-app" ~src_groups:[ "research" ] ~dst:mallory
+      ~dst_exe:"/usr/bin/research-app" ~dst_port:7777 ~expect:false
+  in
+
+  if ok1 && ok2 && ok3 && ok4 then
+    print_endline "\nresearch_delegation OK: signed delegation works end to end"
+  else begin
+    print_endline "\nresearch_delegation FAILED";
+    exit 1
+  end

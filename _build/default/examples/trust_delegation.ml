@@ -1,0 +1,157 @@
+(* Figures 6 and 7: trust delegation to a third party.
+
+   "Secur", a security company, publishes firewall rules for
+   applications. The thunderbird daemon config (Figure 6) carries
+   Secur's requirements and signature; the controller's
+   30-secur.control rule (Figure 7) admits any application whose rules
+   were approved and signed by Secur and whose flow conforms to them.
+   Run with: dune exec examples/trust_delegation.exe *)
+
+open Netcore
+module PS = Identxx_core.Policy_store
+module D = Identxx_core.Decision
+
+(* Figure 6's requirements: thunderbird may only talk to email servers. *)
+let tb_requirements =
+  "block all pass from any with eq(@src[name], thunderbird) to any with \
+   eq(@dst[type], email-server)"
+
+let thunderbird_config ~req_sig =
+  Printf.sprintf
+    "@app /usr/bin/thunderbird {\n\
+     name : thunderbird\n\
+     type : email-client\n\
+     rule-maker : Secur\n\
+     requirements : \\\n\
+     block all \\\n\
+     pass from any \\\n\
+     with eq(@src[name], thunderbird) \\\n\
+     to any \\\n\
+     with eq(@dst[type], email-server)\n\
+     req-sig : %s\n\
+     }"
+    req_sig
+
+(* Figure 7, with Secur's real public handle in the dict. *)
+let secur_control ~secur_pk =
+  Printf.sprintf
+    "dict <pubkeys> { Secur : %s }\n\
+     block all\n\
+     # Allow users to run any applications approved\n\
+     # by Secur and following rules Secur provides\n\
+     pass from any \\\n\
+     with eq(@src[rule-maker], Secur) \\\n\
+     with allowed(@src[requirements]) \\\n\
+     with verify(@src[req-sig], \\\n\
+     @pubkeys[Secur], \\\n\
+     @src[exe-hash], \\\n\
+     @src[app-name], \\\n\
+     @src[requirements]) \\\n\
+     to any"
+    secur_pk
+
+let mk_host name ip =
+  Identxx.Host.create ~name ~mac:(Mac.of_int (Hashtbl.hash name land 0xffffff))
+    ~ip:(Ipv4.of_string ip) ()
+
+let daemon_response host ~flow ~as_source =
+  let peer = if as_source then flow.Five_tuple.dst else flow.Five_tuple.src in
+  Option.map fst
+    (Identxx.Daemon.answer (Identxx.Host.daemon host) ~peer
+       ~proto:flow.Five_tuple.proto ~src_port:flow.Five_tuple.src_port
+       ~dst_port:flow.Five_tuple.dst_port ~keys:[])
+
+let () =
+  let secur = Idcrypto.Sign.generate "Secur" in
+  let keystore = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register keystore secur;
+
+  let laptop = mk_host "laptop" "192.168.0.20" in
+  let mail = mk_host "mail" "192.168.5.1" in
+  let web = mk_host "web" "192.168.5.2" in
+
+  Identxx.Host.install_exe laptop ~path:"/usr/bin/thunderbird"
+    ~content:"thunderbird-image-v91";
+  let exe_hash =
+    Option.get (Identxx.Host.exe_hash laptop ~path:"/usr/bin/thunderbird")
+  in
+  let req_sig =
+    Idcrypto.Sign.sign ~secret:secur.Idcrypto.Sign.secret
+      [ exe_hash; "thunderbird"; tb_requirements ]
+  in
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon laptop) ~name:"40-secur"
+       (thunderbird_config ~req_sig)
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+
+  (* Servers advertise their type via the host-wide admin config. *)
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon mail) ~name:"00-admin"
+       "type : email-server"
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon web) ~name:"00-admin"
+       "type : web-server"
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+
+  let policy = PS.create () in
+  PS.add_exn policy ~name:"30-secur.control"
+    (secur_control ~secur_pk:secur.Idcrypto.Sign.public);
+  let decision = D.create ~keystore ~policy () in
+
+  let run name ~src_exe ~dst ~dst_port ~expect =
+    let proc = Identxx.Host.run laptop ~user:"dana" ~exe:src_exe () in
+    let dproc = Identxx.Host.run dst ~user:"system" ~exe:"/usr/sbin/daemon" () in
+    Identxx.Host.listen dst ~proc:dproc ~port:dst_port ();
+    let flow =
+      Identxx.Host.connect laptop ~proc ~dst:(Identxx.Host.ip dst) ~dst_port ()
+    in
+    let input =
+      {
+        D.flow;
+        src_response = daemon_response laptop ~flow ~as_source:true;
+        dst_response = daemon_response dst ~flow ~as_source:false;
+      }
+    in
+    let allowed = D.allows decision input in
+    Printf.printf "%-46s %-6s %s\n" name
+      (if allowed then "PASS" else "BLOCK")
+      (if allowed = expect then "(intended)" else "** UNEXPECTED **");
+    allowed = expect
+  in
+
+  print_endline "=== Figure 6/7: trust delegation to Secur ===";
+  let ok1 =
+    run "thunderbird -> mail server :25" ~src_exe:"/usr/bin/thunderbird"
+      ~dst:mail ~dst_port:25 ~expect:true
+  in
+  let ok2 =
+    run "thunderbird -> web server :25 (wrong type)"
+      ~src_exe:"/usr/bin/thunderbird" ~dst:web ~dst_port:25 ~expect:false
+  in
+  let ok3 =
+    run "unvetted app -> mail server" ~src_exe:"/usr/bin/unvetted" ~dst:mail
+      ~dst_port:25 ~expect:false
+  in
+
+  (* A recompiled (trojaned) thunderbird: the hash no longer matches
+     what Secur signed, so the delegation rule rejects it. *)
+  Identxx.Host.install_exe laptop ~path:"/usr/bin/thunderbird"
+    ~content:"thunderbird-image-TROJANED";
+  let ok4 =
+    run "trojaned thunderbird -> mail server" ~src_exe:"/usr/bin/thunderbird"
+      ~dst:mail ~dst_port:25 ~expect:false
+  in
+
+  if ok1 && ok2 && ok3 && ok4 then
+    print_endline "\ntrust_delegation OK: Secur-signed rules enforced"
+  else begin
+    print_endline "\ntrust_delegation FAILED";
+    exit 1
+  end

@@ -1,0 +1,1 @@
+lib/baselines/enforcement.ml: Flow_info Format List

@@ -1,0 +1,1 @@
+lib/baselines/enforcement.mli: Flow_info Format

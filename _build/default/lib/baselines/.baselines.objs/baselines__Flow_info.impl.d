@@ -1,0 +1,1 @@
+lib/baselines/flow_info.ml: Five_tuple Identxx Netcore String

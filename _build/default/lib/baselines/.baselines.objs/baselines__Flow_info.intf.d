@@ -1,0 +1,1 @@
+lib/baselines/flow_info.mli: Five_tuple Identxx Netcore

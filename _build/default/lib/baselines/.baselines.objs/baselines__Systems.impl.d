@@ -1,0 +1,1 @@
+lib/baselines/systems.ml: Enforcement Flow_info Identxx List Pf Result String

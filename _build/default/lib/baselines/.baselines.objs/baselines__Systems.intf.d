@@ -1,0 +1,1 @@
+lib/baselines/systems.mli: Enforcement Idcrypto Identxx

@@ -1,0 +1,51 @@
+open Netcore
+
+type endpoint_truth = {
+  user : string option;
+  groups : string list;
+  app : string option;
+  version : string option;
+  compromised : bool;
+}
+
+let nobody =
+  { user = None; groups = []; app = None; version = None; compromised = false }
+
+type t = {
+  flow : Five_tuple.t;
+  src : endpoint_truth;
+  dst : endpoint_truth;
+  legitimate : bool;
+}
+
+let make ?(src = nobody) ?(dst = nobody) ?(legitimate = true) flow =
+  { flow; src; dst; legitimate }
+
+let endpoint ?user ?(groups = []) ?app ?version ?(compromised = false) () =
+  { user; groups; app; version; compromised }
+
+let truth_section (e : endpoint_truth) =
+  let opt key = function
+    | Some v -> [ Identxx.Key_value.pair key v ]
+    | None -> []
+  in
+  opt Identxx.Key_value.user_id e.user
+  @ (match e.groups with
+    | [] -> []
+    | gs -> [ Identxx.Key_value.pair Identxx.Key_value.group_id (String.concat "," gs) ])
+  @ opt Identxx.Key_value.app_name e.app
+  @ opt "app-name" e.app
+  @ opt Identxx.Key_value.version e.version
+
+let end_of t = function `Src -> t.src | `Dst -> t.dst
+
+let honest_response t side =
+  let e = end_of t side in
+  match truth_section e with
+  | [] -> None
+  | section -> Some (Identxx.Response.make ~flow:t.flow [ section ])
+
+let reported_response t side ~claim =
+  let e = end_of t side in
+  if e.compromised then Some (Identxx.Response.make ~flow:t.flow [ claim ])
+  else honest_response t side

@@ -1,0 +1,47 @@
+(** Ground truth about a flow, for comparing enforcement systems.
+
+    Different systems can observe different slices of this record: a
+    vanilla firewall sees only the 5-tuple; an Ethane-like controller
+    additionally knows the authenticated user behind each address; an
+    ident++ controller learns whatever the daemons report (which, for a
+    compromised host, may diverge from the truth). *)
+
+open Netcore
+
+type endpoint_truth = {
+  user : string option;
+  groups : string list;
+  app : string option;  (** Application name, e.g. ["skype"]. *)
+  version : string option;
+  compromised : bool;
+      (** The host lies to ident++ and ignores local enforcement. *)
+}
+
+val nobody : endpoint_truth
+
+type t = {
+  flow : Five_tuple.t;
+  src : endpoint_truth;
+  dst : endpoint_truth;
+  legitimate : bool;
+      (** The organisational intent: should this flow be admitted?
+          Used to score false allows/denies (experiment E13). *)
+}
+
+val make :
+  ?src:endpoint_truth -> ?dst:endpoint_truth -> ?legitimate:bool ->
+  Five_tuple.t -> t
+
+val endpoint :
+  ?user:string -> ?groups:string list -> ?app:string -> ?version:string ->
+  ?compromised:bool -> unit -> endpoint_truth
+
+val honest_response : t -> [ `Src | `Dst ] -> Identxx.Response.t option
+(** The ident++ response an honest daemon would give for this end
+    ([None] when nothing is known about it — e.g. an external host). *)
+
+val reported_response :
+  t -> [ `Src | `Dst ] -> claim:Identxx.Key_value.section ->
+  Identxx.Response.t option
+(** What the controller actually receives: the honest response, unless
+    the end is compromised, in which case [claim] replaces the truth. *)

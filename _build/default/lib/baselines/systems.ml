@@ -1,0 +1,120 @@
+let ( let* ) = Result.bind
+
+let compile policy = Pf.Env.of_string policy
+
+let no_with_clauses env =
+  if List.exists (fun (r : Pf.Ast.rule) -> r.conds <> []) (Pf.Env.rules env)
+  then Error "vanilla firewall policies cannot use 'with' clauses"
+  else Ok ()
+
+let only_identity_keys env =
+  let ok_key k = k = Identxx.Key_value.user_id || k = Identxx.Key_value.group_id in
+  let arg_ok = function
+    | Pf.Ast.Dict_access { dict = "src" | "dst"; key; _ } -> ok_key key
+    | Pf.Ast.Dict_access _ | Pf.Ast.Macro_ref _ | Pf.Ast.Lit _ -> true
+  in
+  let rule_ok (r : Pf.Ast.rule) =
+    List.for_all (fun (fc : Pf.Ast.funcall) -> List.for_all arg_ok fc.args) r.conds
+  in
+  if List.for_all rule_ok (Pf.Env.rules env) then Ok ()
+  else Error "an Ethane-like policy can only reference userID/groupID"
+
+let eval_bool env ctx flow =
+  match Pf.Eval.eval env ctx flow with
+  | Ok v -> v.Pf.Eval.decision = Pf.Ast.Pass
+  | Error _ -> false
+
+let vanilla ~policy =
+  let* env = compile policy in
+  let* () = no_with_clauses env in
+  Ok
+    {
+      Enforcement.name = "vanilla";
+      admits = (fun fi -> eval_bool env (Pf.Eval.ctx ()) fi.Flow_info.flow);
+    }
+
+(* What the network itself knows under Ethane: the authenticated user
+   behind each address. Compromise does not forge another user's
+   binding (§5.4). *)
+let binding_response flow (e : Flow_info.endpoint_truth) =
+  let pairs =
+    (match e.user with
+    | Some u -> [ Identxx.Key_value.pair Identxx.Key_value.user_id u ]
+    | None -> [])
+    @
+    match e.groups with
+    | [] -> []
+    | gs ->
+        [ Identxx.Key_value.pair Identxx.Key_value.group_id (String.concat "," gs) ]
+  in
+  match pairs with
+  | [] -> None
+  | section -> Some (Identxx.Response.make ~flow [ section ])
+
+let ethane ~policy =
+  let* env = compile policy in
+  let* () = only_identity_keys env in
+  Ok
+    {
+      Enforcement.name = "ethane";
+      admits =
+        (fun fi ->
+          let ctx =
+            Pf.Eval.ctx
+              ?src:(binding_response fi.Flow_info.flow fi.Flow_info.src)
+              ?dst:(binding_response fi.Flow_info.flow fi.Flow_info.dst)
+              ()
+          in
+          eval_bool env ctx fi.Flow_info.flow);
+    }
+
+let distributed ~policy =
+  let* env = compile policy in
+  Ok
+    {
+      Enforcement.name = "distributed";
+      admits =
+        (fun fi ->
+          (* Enforcement lives on the receiving host: if it is
+             compromised, nothing is enforced (§6). *)
+          if fi.Flow_info.dst.compromised then true
+          else
+            let ctx =
+              Pf.Eval.ctx ?dst:(Flow_info.honest_response fi `Dst) ()
+            in
+            eval_bool env ctx fi.Flow_info.flow);
+    }
+
+let default_claim =
+  [
+    Identxx.Key_value.pair Identxx.Key_value.user_id "system";
+    Identxx.Key_value.pair Identxx.Key_value.group_id "users";
+    Identxx.Key_value.pair Identxx.Key_value.app_name "http";
+    Identxx.Key_value.pair "app-name" "http";
+    Identxx.Key_value.pair Identxx.Key_value.version "999";
+  ]
+
+let identxx ?(attacker_claim = default_claim) ?keystore ~policy () =
+  let* env = compile policy in
+  Ok
+    {
+      Enforcement.name = "identxx";
+      admits =
+        (fun fi ->
+          let ctx =
+            Pf.Eval.ctx
+              ?src:(Flow_info.reported_response fi `Src ~claim:attacker_claim)
+              ?dst:(Flow_info.reported_response fi `Dst ~claim:attacker_claim)
+              ?keystore ()
+          in
+          eval_bool env ctx fi.Flow_info.flow);
+    }
+
+let get = function Ok v -> v | Error e -> invalid_arg e
+
+let vanilla_exn ~policy = get (vanilla ~policy)
+let ethane_exn ~policy = get (ethane ~policy)
+let distributed_exn ~policy = get (distributed ~policy)
+
+let identxx_exn ?attacker_claim ?keystore ~policy () =
+  get (identxx ?attacker_claim ?keystore ~policy ())

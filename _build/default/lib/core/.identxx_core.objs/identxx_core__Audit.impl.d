@@ -1,0 +1,1 @@
+lib/core/audit.ml: Five_tuple Format Identxx List Netcore Option Pf Printf Sim

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Five_tuple Format Identxx Netcore Pf Sim

@@ -1,0 +1,1 @@
+lib/core/conn_state.ml: Five_tuple Hashtbl List Netcore Sim

@@ -1,0 +1,1 @@
+lib/core/conn_state.mli: Five_tuple Netcore Sim

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Audit Conn_state Decision Five_tuple Hashtbl Identxx Ipv4 List Logs Netcore Openflow Packet Pf Policy_store Precompile Printf Proto Sim

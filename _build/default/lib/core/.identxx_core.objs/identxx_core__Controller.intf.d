@@ -1,0 +1,1 @@
+lib/core/controller.mli: Audit Decision Idcrypto Identxx Ipv4 Netcore Openflow Pf Policy_store Sim

@@ -1,0 +1,1 @@
+lib/core/decision.ml: Five_tuple Idcrypto Identxx Netcore Option Pf Policy_store Printf

@@ -1,0 +1,1 @@
+lib/core/decision.mli: Five_tuple Idcrypto Identxx Netcore Pf Policy_store

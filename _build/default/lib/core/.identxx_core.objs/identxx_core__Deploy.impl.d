@@ -1,0 +1,1 @@
+lib/core/deploy.ml: Array Controller Identxx Ipv4 List Mac Netcore Openflow Printf Sim

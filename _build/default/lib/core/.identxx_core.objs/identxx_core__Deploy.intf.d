@@ -1,0 +1,1 @@
+lib/core/deploy.mli: Controller Identxx Ipv4 Netcore Openflow Packet Sim

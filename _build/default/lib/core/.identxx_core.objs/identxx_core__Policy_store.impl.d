@@ -1,0 +1,1 @@
+lib/core/policy_store.ml: List Pf String

@@ -1,0 +1,1 @@
+lib/core/precompile.ml: Ethertype List Netcore Openflow Option Pf

@@ -1,0 +1,1 @@
+lib/core/precompile.mli: Openflow Pf

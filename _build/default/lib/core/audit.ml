@@ -1,0 +1,96 @@
+open Netcore
+
+type entry = {
+  at : Sim.Time.t;
+  flow : Five_tuple.t;
+  decision : Pf.Ast.action;
+  rule : string option;
+  rule_line : int option;
+  flagged : bool;
+  src_info : (string * string) list;
+  dst_info : (string * string) list;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable count : int;
+  mutable blocked : int;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
+  { capacity; entries = []; count = 0; blocked = 0 }
+
+let interesting_keys =
+  [
+    Identxx.Key_value.user_id;
+    Identxx.Key_value.group_id;
+    Identxx.Key_value.app_name;
+    Identxx.Key_value.version;
+    Identxx.Key_value.rule_maker;
+  ]
+
+let summarize = function
+  | None -> []
+  | Some response ->
+      List.filter_map
+        (fun key ->
+          Option.map (fun v -> (key, v)) (Identxx.Response.latest response key))
+        interesting_keys
+
+let record t ~at ~flow ~(verdict : Pf.Eval.verdict) ~src ~dst =
+  let entry =
+    {
+      at;
+      flow;
+      decision = verdict.Pf.Eval.decision;
+      rule = Option.map Pf.Pretty.rule verdict.Pf.Eval.matched;
+      rule_line =
+        Option.map (fun (r : Pf.Ast.rule) -> r.Pf.Ast.line) verdict.Pf.Eval.matched;
+      flagged = verdict.Pf.Eval.log;
+      src_info = summarize src;
+      dst_info = summarize dst;
+    }
+  in
+  t.count <- t.count + 1;
+  if verdict.Pf.Eval.decision = Pf.Ast.Block then t.blocked <- t.blocked + 1;
+  t.entries <- entry :: t.entries;
+  (* Trim lazily: only when we exceed capacity by a margin, to keep
+     recording O(1) amortized. *)
+  if List.length t.entries > t.capacity + (t.capacity / 4) then begin
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.entries <- take t.capacity t.entries
+  end
+
+let entries t = t.entries
+let flagged t = List.filter (fun e -> e.flagged) t.entries
+let count t = t.count
+let blocked_count t = t.blocked
+let clear t =
+  t.entries <- [];
+  t.count <- 0;
+  t.blocked <- 0
+
+let pp_info ppf info =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    (fun ppf (k, v) -> Format.fprintf ppf "%s=%s" k v)
+    ppf info
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%a %s %a%s src{%a} dst{%a}%s" Sim.Time.pp e.at
+    (match e.decision with Pf.Ast.Pass -> "PASS " | Pf.Ast.Block -> "BLOCK")
+    Five_tuple.pp e.flow
+    (match e.rule_line with
+    | Some l -> Printf.sprintf " rule@%d" l
+    | None -> " default")
+    pp_info e.src_info pp_info e.dst_info
+    (if e.flagged then " [LOG]" else "")
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (List.rev t.entries)

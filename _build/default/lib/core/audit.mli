@@ -1,0 +1,51 @@
+(** The controller's audit log.
+
+    Delegation only works because the administrator can "log and audit
+    the delegates' actions, and revoke the delegation if needed" (§1).
+    Every flow decision is recorded here together with the rule that
+    decided it and a summary of the end-host information it was based
+    on; rules carrying PF's [log] modifier flag their entries for
+    attention. *)
+
+open Netcore
+
+type entry = {
+  at : Sim.Time.t;
+  flow : Five_tuple.t;
+  decision : Pf.Ast.action;
+  rule : string option;  (** Pretty-printed matching rule. *)
+  rule_line : int option;  (** Its line in the concatenated policy. *)
+  flagged : bool;  (** The rule carried the [log] modifier. *)
+  src_info : (string * string) list;  (** Interesting response pairs. *)
+  dst_info : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keeps the most recent [capacity] entries (default 10000). *)
+
+val record :
+  t ->
+  at:Sim.Time.t ->
+  flow:Five_tuple.t ->
+  verdict:Pf.Eval.verdict ->
+  src:Identxx.Response.t option ->
+  dst:Identxx.Response.t option ->
+  unit
+
+val entries : t -> entry list
+(** Newest first. *)
+
+val flagged : t -> entry list
+(** Only entries whose rule carried [log]. *)
+
+val count : t -> int
+val blocked_count : t -> int
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+val interesting_keys : string list
+(** The response keys summarized into entries: userID, groupID, name,
+    version, rule-maker. *)

@@ -1,0 +1,41 @@
+open Netcore
+
+module Flow_tbl = Hashtbl.Make (struct
+  type t = Five_tuple.t
+
+  let equal = Five_tuple.equal
+  let hash = Five_tuple.hash
+end)
+
+type t = { idle_timeout : Sim.Time.t; entries : Sim.Time.t ref Flow_tbl.t }
+
+let create ?(idle_timeout = Sim.Time.s 60) () =
+  { idle_timeout; entries = Flow_tbl.create 64 }
+
+let note t ~now flow = Flow_tbl.replace t.entries flow (ref now)
+
+let fresh t ~now last =
+  Sim.Time.compare now (Sim.Time.add !last t.idle_timeout) <= 0
+
+let permits t ~now flow =
+  let check f =
+    match Flow_tbl.find_opt t.entries f with
+    | Some last when fresh t ~now last ->
+        last := now;
+        true
+    | Some _ | None -> false
+  in
+  check flow || check (Five_tuple.reverse flow)
+
+let size t = Flow_tbl.length t.entries
+
+let expire t ~now =
+  let stale =
+    Flow_tbl.fold
+      (fun flow last acc -> if fresh t ~now last then acc else flow :: acc)
+      t.entries []
+  in
+  List.iter (Flow_tbl.remove t.entries) stale;
+  List.length stale
+
+let clear t = Flow_tbl.reset t.entries

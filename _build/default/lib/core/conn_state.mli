@@ -1,0 +1,21 @@
+(** Connection state for [keep state] rules: remembering approved flows
+    so reply traffic passes without re-consulting policy, with idle
+    expiry. *)
+
+open Netcore
+
+type t
+
+val create : ?idle_timeout:Sim.Time.t -> unit -> t
+(** Default idle timeout: 60 simulated seconds. *)
+
+val note : t -> now:Sim.Time.t -> Five_tuple.t -> unit
+(** Record an approved stateful flow. *)
+
+val permits : t -> now:Sim.Time.t -> Five_tuple.t -> bool
+(** True for a recorded flow or the exact reverse of one (the state
+    entry admits replies). Refreshes the entry's idle timer on hit. *)
+
+val size : t -> int
+val expire : t -> now:Sim.Time.t -> int
+val clear : t -> unit

@@ -1,0 +1,641 @@
+open Netcore
+module Net = Openflow.Network
+
+let src = Logs.Src.create "identxx.controller" ~doc:"ident++ controller"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Topo = Openflow.Topology
+module Msg = Openflow.Message
+
+type query_targets = Both | Src_only | Dst_only | Neither
+
+type config = {
+  query_keys : string list;
+  query_timeout : Sim.Time.t;
+  entry_idle_timeout : Sim.Time.t option;
+  entry_hard_timeout : Sim.Time.t option;
+  install_along_path : bool;
+  cache_denials : bool;
+  precompile_quick_blocks : bool;
+  require_signed_responses : bool;
+  query_retries : int;
+  query_targets : query_targets;
+  default : Pf.Ast.action;
+}
+
+let default_config =
+  {
+    query_keys =
+      [
+        Identxx.Key_value.user_id;
+        Identxx.Key_value.group_id;
+        Identxx.Key_value.app_name;
+        Identxx.Key_value.exe_hash;
+        Identxx.Key_value.version;
+        Identxx.Key_value.requirements;
+        Identxx.Key_value.req_sig;
+      ];
+    query_timeout = Sim.Time.ms 5;
+    entry_idle_timeout = Some (Sim.Time.s 30);
+    entry_hard_timeout = None;
+    install_along_path = true;
+    cache_denials = true;
+    precompile_quick_blocks = true;
+    require_signed_responses = false;
+    query_retries = 0;
+    query_targets = Both;
+    default = Pf.Ast.Pass;
+  }
+
+type pending = {
+  p_flow : Five_tuple.t;
+  mutable p_packets : (Msg.switch_id * int * Packet.t) list;
+      (* Buffered data packets awaiting the verdict, oldest first. *)
+  mutable src_resp : Identxx.Response.t option;
+  mutable dst_resp : Identxx.Response.t option;
+  mutable await_src : bool;
+  mutable await_dst : bool;
+  mutable retries_left : int;
+  mutable p_timeout : Sim.Engine.cancel;
+}
+
+type stats = {
+  flows_seen : int;
+  allowed : int;
+  blocked : int;
+  queries_sent : int;
+  responses_received : int;
+  query_timeouts : int;
+  query_retries_sent : int;
+  responses_rejected : int;
+  responses_augmented : int;
+  queries_answered_locally : int;
+  eval_errors : int;
+}
+
+module Flow_tbl = Hashtbl.Make (struct
+  type t = Five_tuple.t
+
+  let equal = Five_tuple.equal
+  let hash = Five_tuple.hash
+end)
+
+type t = {
+  network : Net.t;
+  id : Net.controller_id;
+  cfg : config;
+  policy : Policy_store.t;
+  decision : Decision.t;
+  pending : pending Flow_tbl.t;
+  conn_state : Conn_state.t;
+  audit : Audit.t;
+  mutable augment : Identxx.Response.t -> Identxx.Key_value.section;
+  mutable local_answers : Ipv4.t -> Identxx.Key_value.section option;
+  mutable s_flows_seen : int;
+  mutable s_allowed : int;
+  mutable s_blocked : int;
+  mutable s_queries_sent : int;
+  mutable s_responses : int;
+  mutable s_timeouts : int;
+  mutable s_retries : int;
+  mutable s_rejected : int;
+  mutable s_augmented : int;
+  mutable s_local_answers : int;
+  mutable s_eval_errors : int;
+  mutable last_stats : (Msg.switch_id * Msg.stats_reply) list;
+  mutable precompiled : Openflow.Match_fields.t list;
+      (* Drop matches currently pushed to the dataplane. *)
+}
+
+let policy t = t.policy
+let decision t = t.decision
+let audit t = t.audit
+let keystore t = Decision.keystore t.decision
+let config t = t.cfg
+
+let set_response_augment t f = t.augment <- f
+let set_local_answers t f = t.local_answers <- f
+
+let stats t =
+  {
+    flows_seen = t.s_flows_seen;
+    allowed = t.s_allowed;
+    blocked = t.s_blocked;
+    queries_sent = t.s_queries_sent;
+    responses_received = t.s_responses;
+    query_timeouts = t.s_timeouts;
+    query_retries_sent = t.s_retries;
+    responses_rejected = t.s_rejected;
+    responses_augmented = t.s_augmented;
+    queries_answered_locally = t.s_local_answers;
+    eval_errors = t.s_eval_errors;
+  }
+
+let pending_count t = Flow_tbl.length t.pending
+
+(* --- policy-driven interception (S3.4's undisclosed PF+=2 extensions,
+   made concrete: `intercept query ... answer { ... }` and
+   `intercept response ... augment { ... }`) --- *)
+
+let section_of_pairs pairs =
+  List.filter_map
+    (fun (k, v) ->
+      if Identxx.Key_value.valid_key k && Identxx.Key_value.valid_value v then
+        Some (Identxx.Key_value.pair k v)
+      else None)
+    pairs
+
+(* Answer queries addressed to [ip] on the host's behalf: policy
+   intercepts take precedence over the programmatic hook. *)
+let resolve_local_answer t ip =
+  let from_policy =
+    match Policy_store.env t.policy with
+    | Error _ -> None
+    | Ok env ->
+        List.fold_left
+          (fun acc (i : Pf.Ast.intercept) ->
+            if acc <> None then acc
+            else if
+              i.Pf.Ast.ikind = Pf.Ast.Answer_query
+              && Pf.Env.addr_spec_matches env i.Pf.Ast.target ip
+            then Some (section_of_pairs i.Pf.Ast.pairs)
+            else acc)
+          None (Pf.Env.intercepts env)
+  in
+  match from_policy with Some s -> Some s | None -> t.local_answers ip
+
+(* The section(s) to append to a response heading toward [dst_ip]. *)
+let resolve_augment t ~dst_ip response =
+  let from_policy =
+    match Policy_store.env t.policy with
+    | Error _ -> []
+    | Ok env ->
+        List.concat_map
+          (fun (i : Pf.Ast.intercept) ->
+            if
+              i.Pf.Ast.ikind = Pf.Ast.Augment_response
+              && Pf.Env.addr_spec_matches env i.Pf.Ast.target dst_ip
+            then section_of_pairs i.Pf.Ast.pairs
+            else [])
+          (Pf.Env.intercepts env)
+  in
+  from_policy @ t.augment response
+
+(* --- forwarding of intercepted ident++ packets, one hop at a time --- *)
+
+let forward_toward t ~dpid ~dst_ip pkt =
+  match Net.host_by_ip t.network dst_ip with
+  | None -> () (* destination outside every known domain: drop *)
+  | Some host -> (
+      match Topo.next_hop (Net.topology t.network) ~from:dpid ~dst_host:host with
+      | None -> ()
+      | Some port ->
+          Net.send_to_switch t.network dpid
+            (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Port port }))
+
+(* --- installing the verdict (Figure 1, step 4) --- *)
+
+let install_path t flow =
+  let net = t.network in
+  match
+    ( Net.host_by_ip net flow.Five_tuple.src,
+      Net.host_by_ip net flow.Five_tuple.dst )
+  with
+  | Some src_host, Some dst_host -> (
+      match
+        Topo.switch_path (Net.topology net) ~src:src_host ~dst:dst_host
+      with
+      | None | Some [] -> false
+      | Some hops ->
+          let hops = if t.cfg.install_along_path then hops else [ List.hd hops ] in
+          List.iter
+            (fun (dpid, _in_port, out_port) ->
+              Net.send_to_switch net dpid
+                (Msg.add_flow ?idle_timeout:t.cfg.entry_idle_timeout
+                   ?hard_timeout:t.cfg.entry_hard_timeout
+                   ~fields:(Openflow.Match_fields.of_five_tuple flow)
+                   [ Openflow.Action.Output out_port ]))
+            hops;
+          true)
+  | _ -> false
+
+let install_drop t ~dpid flow =
+  Net.send_to_switch t.network dpid
+    (Msg.add_flow ?idle_timeout:t.cfg.entry_idle_timeout
+       ?hard_timeout:t.cfg.entry_hard_timeout
+       ~fields:(Openflow.Match_fields.of_five_tuple flow)
+       Openflow.Action.drop)
+
+let release_packets t p =
+  (* Send each buffered packet back through its switch's (now updated)
+     table. Flow-mods were enqueued first, and the control channel is
+     FIFO, so the entries are in place when the packets run. *)
+  List.iter
+    (fun (dpid, _in_port, pkt) ->
+      Net.send_to_switch t.network dpid
+        (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table }))
+    (List.rev p.p_packets)
+
+let finalize t p =
+  Sim.Engine.cancel p.p_timeout;
+  Flow_tbl.remove t.pending p.p_flow;
+  let input =
+    {
+      Decision.flow = p.p_flow;
+      src_response = p.src_resp;
+      dst_response = p.dst_resp;
+    }
+  in
+  let verdict =
+    match Decision.decide t.decision input with
+    | Ok v -> v
+    | Error _ ->
+        t.s_eval_errors <- t.s_eval_errors + 1;
+        (* Fail closed on configuration errors. *)
+        { Pf.Eval.decision = Pf.Ast.Block; matched = None; keep_state = false; log = false }
+  in
+  Audit.record t.audit
+    ~at:(Sim.Engine.now (Net.engine t.network))
+    ~flow:p.p_flow ~verdict ~src:p.src_resp ~dst:p.dst_resp;
+  Log.debug (fun m ->
+      m "decision %s: %s%s" (Five_tuple.to_string p.p_flow)
+        (match verdict.Pf.Eval.decision with
+        | Pf.Ast.Pass -> "pass"
+        | Pf.Ast.Block -> "block")
+        (match verdict.Pf.Eval.matched with
+        | Some r -> Printf.sprintf " (rule@%d)" r.Pf.Ast.line
+        | None -> " (default)"));
+  match verdict.Pf.Eval.decision with
+  | Pf.Ast.Pass ->
+      t.s_allowed <- t.s_allowed + 1;
+      let installed = install_path t p.p_flow in
+      if verdict.Pf.Eval.keep_state then begin
+        Conn_state.note t.conn_state
+          ~now:(Sim.Engine.now (Net.engine t.network))
+          p.p_flow;
+        ignore (install_path t (Five_tuple.reverse p.p_flow))
+      end;
+      if installed then release_packets t p
+  | Pf.Ast.Block -> (
+      t.s_blocked <- t.s_blocked + 1;
+      if t.cfg.cache_denials then
+        match p.p_packets with
+        | (dpid, _, _) :: _ -> install_drop t ~dpid p.p_flow
+        | [] -> ())
+
+let maybe_finalize t p =
+  if (not p.await_src) && not p.await_dst then finalize t p
+
+(* --- querying daemons (Figure 1, step 3) --- *)
+
+(* Send an ident++ query to [target_ip] about [flow]. [reply_to] is the
+   flow's other end: per §3.2 the controller uses it as the query's
+   source address, so the response naturally routes back through the
+   network (and its interception points). Returns false when no query
+   could be issued (unknown host). *)
+let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
+  match resolve_local_answer t target_ip with
+  | Some section ->
+      (* Answer on the host's behalf without touching the network. *)
+      t.s_local_answers <- t.s_local_answers + 1;
+      let response = Identxx.Response.make ~flow [ section ] in
+      `Local response
+  | None -> (
+      match Net.host_by_ip t.network target_ip with
+      | None -> `Unreachable
+      | Some host -> (
+          match Topo.host_attachment (Net.topology t.network) host with
+          | None -> `Unreachable
+          | Some attachment ->
+              (* Hint the keys the current policy actually reads, falling
+                 back to the configured defaults (S3.2: the list is only
+                 a hint; daemons may answer with more). *)
+              let keys =
+                match Policy_store.env t.policy with
+                | Ok env -> (
+                    match Pf.Env.referenced_keys env with
+                    | [] -> t.cfg.query_keys
+                    | keys -> keys)
+                | Error _ -> t.cfg.query_keys
+              in
+              let query = Identxx.Query.make ~flow ~keys in
+              let pkt =
+                Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to
+                  query
+              in
+              t.s_queries_sent <- t.s_queries_sent + 1;
+              (match attachment.Topo.node with
+              | Topo.Sw dpid ->
+                  Net.send_to_switch t.network dpid
+                    (Msg.Packet_out
+                       { Msg.out_packet = pkt; out_port = `Port attachment.Topo.port })
+              | Topo.Host _ -> ());
+              `Sent))
+
+let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
+  t.s_flows_seen <- t.s_flows_seen + 1;
+  Log.debug (fun m -> m "new flow %s at s%d" (Five_tuple.to_string flow) dpid);
+  (* PF semantics: state matching precedes the ruleset. A flow covered
+     by live keep-state (e.g. a reply whose cached entry idled out) is
+     re-admitted without a fresh ident++ exchange. *)
+  if Conn_state.permits t.conn_state ~now:(Sim.Engine.now (Net.engine t.network)) flow
+  then begin
+    t.s_allowed <- t.s_allowed + 1;
+    if install_path t flow then
+      Net.send_to_switch t.network dpid
+        (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table })
+  end
+  else begin
+    let timeout_handle = ref None in
+    let p =
+      {
+        p_flow = flow;
+        p_packets = [ (dpid, in_port, pkt) ];
+        src_resp = None;
+        dst_resp = None;
+        await_src = false;
+        await_dst = false;
+        retries_left = t.cfg.query_retries;
+        p_timeout =
+          Sim.Engine.schedule_cancellable (Net.engine t.network)
+            ~delay:t.cfg.query_timeout (fun () ->
+              match !timeout_handle with Some f -> f () | None -> ());
+      }
+    in
+    let issue_queries () =
+      if p.await_src then begin
+        match
+          send_query t ~flow ~target_ip:flow.Five_tuple.src
+            ~reply_to:flow.Five_tuple.dst
+        with
+        | `Local r ->
+            p.src_resp <- Some r;
+            p.await_src <- false
+        | `Sent -> ()
+        | `Unreachable -> p.await_src <- false
+      end;
+      if p.await_dst then begin
+        match
+          send_query t ~flow ~target_ip:flow.Five_tuple.dst
+            ~reply_to:flow.Five_tuple.src
+        with
+        | `Local r ->
+            p.dst_resp <- Some r;
+            p.await_dst <- false
+        | `Sent -> ()
+        | `Unreachable -> p.await_dst <- false
+      end
+    in
+    timeout_handle :=
+      Some
+        (fun () ->
+          match Flow_tbl.find_opt t.pending flow with
+          | Some p' when p' == p ->
+              if (p.await_src || p.await_dst) && p.retries_left > 0 then begin
+                (* Re-issue the unanswered queries and re-arm the timer. *)
+                p.retries_left <- p.retries_left - 1;
+                t.s_retries <- t.s_retries + 1;
+                issue_queries ();
+                p.p_timeout <-
+                  Sim.Engine.schedule_cancellable (Net.engine t.network)
+                    ~delay:t.cfg.query_timeout (fun () ->
+                      match !timeout_handle with Some f -> f () | None -> ())
+              end
+              else begin
+                if p.await_src || p.await_dst then
+                  t.s_timeouts <- t.s_timeouts + 1;
+                p.await_src <- false;
+                p.await_dst <- false;
+                finalize t p
+              end
+          | Some _ | None -> ());
+    Flow_tbl.replace t.pending flow p;
+    p.await_src <-
+      (match t.cfg.query_targets with
+      | Both | Src_only -> true
+      | Dst_only | Neither -> false);
+    p.await_dst <-
+      (match t.cfg.query_targets with
+      | Both | Dst_only -> true
+      | Src_only | Neither -> false);
+    issue_queries ();
+    maybe_finalize t p
+  end
+
+(* --- intercepted / owned ident++ traffic --- *)
+
+let find_pending_for_response t ~from_ip (r : Identxx.Response.t) =
+  Flow_tbl.fold
+    (fun flow p acc ->
+      if acc <> None then acc
+      else if
+        Proto.equal flow.Five_tuple.proto r.Identxx.Response.proto
+        && flow.Five_tuple.src_port = r.Identxx.Response.src_port
+        && flow.Five_tuple.dst_port = r.Identxx.Response.dst_port
+        && (Ipv4.equal from_ip flow.Five_tuple.src
+           || Ipv4.equal from_ip flow.Five_tuple.dst)
+      then Some (flow, p)
+      else acc)
+    t.pending None
+
+let handle_response t ~dpid ~from_ip ~to_ip response pkt =
+  match find_pending_for_response t ~from_ip response with
+  | Some (flow, p)
+    when t.cfg.require_signed_responses
+         && Identxx.Signed.verify (Decision.keystore t.decision) response
+            <> Identxx.Signed.Valid
+                 (List.length response.Identxx.Response.sections - 1) -> (
+      (* A response we cannot authenticate is ignored: the flow decides
+         at the timeout with whatever arrived (fail closed for
+         information-dependent policy). *)
+      ignore flow;
+      ignore p;
+      t.s_rejected <- t.s_rejected + 1;
+      Log.debug (fun m ->
+          m "rejecting unauthenticated response from %s" (Ipv4.to_string from_ip)))
+  | Some (flow, p) ->
+      t.s_responses <- t.s_responses + 1;
+      if Ipv4.equal from_ip flow.Five_tuple.src then begin
+        p.src_resp <- Some response;
+        p.await_src <- false
+      end
+      else begin
+        p.dst_resp <- Some response;
+        p.await_dst <- false
+      end;
+      maybe_finalize t p
+  | None ->
+      (* Transit: another controller's exchange crossing our domain.
+         Augment (§3.4) and forward toward its destination. *)
+      let section = resolve_augment t ~dst_ip:to_ip response in
+      let pkt =
+        if section = [] then pkt
+        else begin
+          t.s_augmented <- t.s_augmented + 1;
+          let augmented = Identxx.Response.append_section response section in
+          let dst_port =
+            match pkt.Packet.eth_payload with
+            | Packet.Ip { payload = Packet.Tcp tcp; _ } -> tcp.Packet.tcp_dst
+            | _ -> Identxx.Wire.port
+          in
+          Identxx.Wire.response_packet ~to_ip ~from_ip ~dst_port augmented
+        end
+      in
+      forward_toward t ~dpid ~dst_ip:to_ip pkt
+
+let handle_foreign_query t ~dpid ~from_ip ~to_ip (q : Identxx.Query.t) pkt =
+  (* "Intercepted queries are not allowed to cause new queries." *)
+  match resolve_local_answer t to_ip with
+  | Some section ->
+      t.s_local_answers <- t.s_local_answers + 1;
+      let flow =
+        (* Spoof the queried host: respond as if we were it. *)
+        Identxx.Query.flow_of q ~src:to_ip ~dst:from_ip
+      in
+      let response = Identxx.Response.make ~flow [ section ] in
+      let reply =
+        Identxx.Wire.response_packet ~to_ip:from_ip ~from_ip:to_ip
+          ~dst_port:
+            (match pkt.Packet.eth_payload with
+            | Packet.Ip { payload = Packet.Tcp tcp; _ } -> tcp.Packet.tcp_src
+            | _ -> Identxx.Wire.port)
+          response
+      in
+      forward_toward t ~dpid ~dst_ip:from_ip reply
+  | None -> forward_toward t ~dpid ~dst_ip:to_ip pkt
+
+let handle_packet_in t (pi : Msg.packet_in) =
+  let pkt = pi.Msg.packet in
+  match Identxx.Wire.classify pkt with
+  | Identxx.Wire.Response { from_ip; to_ip; response } ->
+      handle_response t ~dpid:pi.Msg.dpid ~from_ip ~to_ip response pkt
+  | Identxx.Wire.Query { from_ip; to_ip; query } ->
+      handle_foreign_query t ~dpid:pi.Msg.dpid ~from_ip ~to_ip query pkt
+  | Identxx.Wire.Not_identxx -> (
+      match Packet.five_tuple pkt with
+      | None -> () (* non-IP traffic is dropped by this firewall *)
+      | Some flow -> (
+          match Flow_tbl.find_opt t.pending flow with
+          | Some p -> p.p_packets <- (pi.Msg.dpid, pi.Msg.in_port, pkt) :: p.p_packets
+          | None -> start_flow t ~dpid:pi.Msg.dpid ~in_port:pi.Msg.in_port pkt flow))
+
+let handle_message t = function
+  | Msg.Packet_in pi -> handle_packet_in t pi
+  | Msg.Stats_reply reply ->
+      t.last_stats <- (reply.Msg.st_dpid, reply) :: List.remove_assq reply.Msg.st_dpid t.last_stats
+
+let request_stats =
+  let next_xid = ref 0 in
+  fun t dpid ->
+    incr next_xid;
+    Net.send_to_switch t.network dpid (Msg.Stats_request { xid = !next_xid })
+
+let switch_stats t dpid = List.assoc_opt dpid t.last_stats
+
+(* --- proactive dataplane rules ("enforcement at line rate", S6) --- *)
+
+(* Precompiled entries sit above every reactive entry so they keep
+   deciding even as per-flow caches churn. *)
+let precompiled_priority = 0xffff
+
+let sync_precompiled t =
+  if t.cfg.precompile_quick_blocks then begin
+    let matches =
+      match Policy_store.env t.policy with
+      | Ok env -> Precompile.drop_matches env
+      | Error _ -> []
+    in
+    let switches = Net.switches_in_domain t.network t.id in
+    (* Remove entries no longer derived from policy, add new ones. *)
+    List.iter
+      (fun fields ->
+        if not (List.mem fields matches) then
+          List.iter
+            (fun dpid ->
+              Net.send_to_switch t.network dpid
+                (Msg.Flow_mod
+                   {
+                     Msg.command = Msg.Delete_strict;
+                     fields;
+                     priority = precompiled_priority;
+                     actions = [];
+                     idle_timeout = None;
+                     hard_timeout = None;
+                     cookie = 0;
+                   }))
+            switches)
+      t.precompiled;
+    List.iter
+      (fun fields ->
+        List.iter
+          (fun dpid ->
+            Net.send_to_switch t.network dpid
+              (Msg.add_flow ~priority:precompiled_priority ~fields
+                 Openflow.Action.drop))
+          switches)
+      matches;
+    t.precompiled <- matches
+  end
+
+(* --- cache management: override and revoke (S1, S7) --- *)
+
+let flush_cache t =
+  (* Remove every cached decision in this controller's domain so the
+     next packet of every flow is re-evaluated against current policy. *)
+  List.iter
+    (fun dpid ->
+      Net.send_to_switch t.network dpid
+        (Msg.delete_flow ~fields:Openflow.Match_fields.any))
+    (Net.switches_in_domain t.network t.id);
+  Conn_state.clear t.conn_state;
+  (* The wildcard delete also removed the precompiled entries. *)
+  t.precompiled <- [];
+  sync_precompiled t
+
+let update_file t ~name content =
+  match Policy_store.add t.policy ~name content with
+  | Error _ as e -> e
+  | Ok () ->
+      flush_cache t;
+      Ok ()
+
+let revoke_file t ~name =
+  Log.info (fun m -> m "revoking policy file %s" name);
+  Policy_store.remove t.policy ~name;
+  flush_cache t
+
+let create ?(config = default_config) ?keystore ?functions ~network ~id () =
+  let policy = Policy_store.create () in
+  let decision =
+    Decision.create ~default:config.default ?keystore ?functions ~policy ()
+  in
+  let t =
+    {
+      network;
+      id;
+      cfg = config;
+      policy;
+      decision;
+      pending = Flow_tbl.create 64;
+      conn_state = Conn_state.create ();
+      audit = Audit.create ();
+      augment = (fun _ -> []);
+      local_answers = (fun _ -> None);
+      s_flows_seen = 0;
+      s_allowed = 0;
+      s_blocked = 0;
+      s_queries_sent = 0;
+      s_responses = 0;
+      s_timeouts = 0;
+      s_retries = 0;
+      s_rejected = 0;
+      s_augmented = 0;
+      s_local_answers = 0;
+      s_eval_errors = 0;
+      last_stats = [];
+      precompiled = [];
+    }
+  in
+  Net.register_controller network ~id (handle_message t);
+  Policy_store.on_change policy (fun () -> sync_precompiled t);
+  t

@@ -1,0 +1,151 @@
+(** The ident++ OpenFlow controller (§3.4, Figure 1).
+
+    On a packet-in for an unknown flow, the controller queries the
+    flow's source and destination ident++ daemons, waits for the
+    responses (with a timeout — a silent daemon yields an absent
+    response, which information-dependent policy treats as failure to
+    prove), evaluates PF+=2 policy, and either installs flow entries
+    along the whole path (allow) or a drop entry at the ingress switch
+    (deny). The decision is cached by the switches' flow tables; later
+    packets of the flow never reach the controller.
+
+    ident++ traffic itself (TCP port 783) is never the subject of
+    queries. A controller that sees ident++ queries or responses it did
+    not originate is an {e intercepting} controller (§3.4): it may
+    answer queries on behalf of end-hosts (spoofing their address,
+    without forwarding the query), may augment responses with an extra
+    section, and otherwise forwards them hop-by-hop — "intercepted
+    queries are not allowed to cause new queries". *)
+
+open Netcore
+
+type query_targets = Both | Src_only | Dst_only | Neither
+(** Which ends to query — §4's incremental-deployment modes. *)
+
+type config = {
+  query_keys : string list;  (** Hint list placed in queries. *)
+  query_timeout : Sim.Time.t;  (** Wait this long for daemon responses. *)
+  entry_idle_timeout : Sim.Time.t option;  (** For installed entries. *)
+  entry_hard_timeout : Sim.Time.t option;
+  install_along_path : bool;
+      (** Install entries at every switch on the path (Figure 1 step 4)
+          vs. only at the packet-in switch (ablation). *)
+  cache_denials : bool;  (** Install drop entries for blocked flows. *)
+  precompile_quick_blocks : bool;
+      (** Push leading network-only [block quick] rules into the
+          switches as maximum-priority drop entries (see
+          {!Precompile}), so that traffic dies at line rate without
+          packet-ins. *)
+  require_signed_responses : bool;
+      (** Ignore responses that do not carry a valid {!Identxx.Signed}
+          section from a keystore-known signer — spoofed responses then
+          cannot influence decisions (a §5.3-style hardening). *)
+  query_retries : int;
+      (** Re-send unanswered queries this many times, each after
+          [query_timeout], before deciding with what arrived (0 = a
+          single attempt). *)
+  query_targets : query_targets;
+  default : Pf.Ast.action;  (** When no policy rule matches. *)
+}
+
+val default_config : config
+(** Both ends queried, 5 ms query timeout, 30 s idle timeout on entries,
+    path installation, denial caching and quick-block precompilation on,
+    default pass (vanilla PF). *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?keystore:Idcrypto.Sign.keystore ->
+  ?functions:Pf.Fnreg.t ->
+  network:Openflow.Network.t ->
+  id:Openflow.Network.controller_id ->
+  unit ->
+  t
+(** Creates the controller and registers it with the network under [id].
+    Switches must separately be assigned to its domain
+    ({!Openflow.Network.assign_switch}; domain 0 is the default). *)
+
+val policy : t -> Policy_store.t
+val decision : t -> Decision.t
+val keystore : t -> Idcrypto.Sign.keystore
+val config : t -> config
+
+val audit : t -> Audit.t
+(** Every decision this controller made, with the rule that made it —
+    the administrator's record for auditing delegated policy (S1). *)
+
+(** {2 Override and revoke (S1, S7)}
+
+    Cached flow entries outlive policy changes, so changing or revoking
+    delegated policy must also flush the caches in this controller's
+    domain; these helpers do both atomically (in simulation order). *)
+
+val flush_cache : t -> unit
+(** Delete every flow entry in the domain's switches and forget
+    connection state; all flows are re-decided on their next packet.
+    Precompiled quick-block entries are reinstalled afterwards. *)
+
+val sync_precompiled : t -> unit
+(** Resynchronize the proactive drop entries with current policy (runs
+    automatically on every policy change). *)
+
+val update_file : t -> name:string -> string -> (unit, string) result
+(** Replace a [.control] file and flush. *)
+
+val revoke_file : t -> name:string -> unit
+(** Remove a [.control] file (e.g. a delegation granted to a user or a
+    third party) and flush, so revocation takes effect immediately. *)
+
+(** {2 Interception hooks (§3.4)} *)
+
+val set_response_augment :
+  t -> (Identxx.Response.t -> Identxx.Key_value.section) -> unit
+(** When a response transits this controller's domain, append the given
+    section (empty section = leave unchanged). Models §4's network
+    collaboration: a branch controller adding its own (signed) rules or
+    drop requests to responses leaving its network. *)
+
+val set_local_answers :
+  t -> (Ipv4.t -> Identxx.Key_value.section option) -> unit
+(** Answer queries on behalf of end-hosts: when a query targets an
+    address this function covers, the controller spoofs a response
+    itself and does not forward the query. Also used for the
+    "controllers implement ident++ but end-hosts don't" deployment
+    (§4, Incremental Benefit). *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  flows_seen : int;  (** Distinct flows that reached the controller. *)
+  allowed : int;
+  blocked : int;
+  queries_sent : int;
+  responses_received : int;
+  query_timeouts : int;
+  query_retries_sent : int;  (** Retry rounds issued. *)
+  responses_rejected : int;  (** Failed signature checks. *)
+  responses_augmented : int;
+  queries_answered_locally : int;
+  eval_errors : int;
+}
+
+val stats : t -> stats
+
+(** {2 Flow monitoring} *)
+
+val request_stats : t -> Openflow.Message.switch_id -> unit
+(** Ask a switch for a snapshot of its flow table (OpenFlow flow-stats).
+    The reply arrives asynchronously; read it with {!switch_stats}. *)
+
+val switch_stats :
+  t -> Openflow.Message.switch_id -> Openflow.Message.stats_reply option
+(** The most recent stats reply received from the switch. *)
+
+(** {2 Lower-level access, used by tests} *)
+
+val handle_message : t -> Openflow.Message.to_controller -> unit
+(** The callback registered with the network. *)
+
+val pending_count : t -> int

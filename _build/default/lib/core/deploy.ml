@@ -1,0 +1,123 @@
+open Netcore
+module Net = Openflow.Network
+module Topo = Openflow.Topology
+
+let attach_host_with network host ~rx =
+  let name = Identxx.Host.name host in
+  Net.attach_host network ~name ~mac:(Identxx.Host.mac host)
+    ~ip:(Identxx.Host.ip host) ~rx:(fun pkt ->
+      (match Identxx.Host.handle_packet host pkt with
+      | Some response -> Net.send_from_host network ~name response
+      | None -> ());
+      rx pkt)
+
+let attach_host network host = attach_host_with network host ~rx:(fun _ -> ())
+
+type simple = {
+  engine : Sim.Engine.t;
+  topology : Openflow.Topology.t;
+  network : Net.t;
+  controller : Controller.t;
+  client : Identxx.Host.t;
+  server : Identxx.Host.t;
+}
+
+let simple_network ?config ?(client_ip = Ipv4.of_string "10.0.0.1")
+    ?(server_ip = Ipv4.of_string "10.0.0.2") () =
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  Topo.add_switch topology 1;
+  Topo.add_host topology "client";
+  Topo.add_host topology "server";
+  Topo.link topology (Topo.Host "client", 0) (Topo.Sw 1, 1);
+  Topo.link topology (Topo.Host "server", 0) (Topo.Sw 1, 2);
+  let network = Net.create ~engine ~topology () in
+  let controller = Controller.create ?config ~network ~id:0 () in
+  let client =
+    Identxx.Host.create ~name:"client" ~mac:(Mac.of_int 0x0a0001) ~ip:client_ip ()
+  in
+  let server =
+    Identxx.Host.create ~name:"server" ~mac:(Mac.of_int 0x0a0002) ~ip:server_ip ()
+  in
+  attach_host network client;
+  attach_host network server;
+  { engine; topology; network; controller; client; server }
+
+let tree_network ?config ~depth ~fanout ~hosts_per_edge () =
+  if depth < 1 || depth > 6 then invalid_arg "Deploy.tree_network: bad depth";
+  if fanout < 1 || fanout > 16 then invalid_arg "Deploy.tree_network: bad fanout";
+  if hosts_per_edge < 1 || hosts_per_edge > 100 then
+    invalid_arg "Deploy.tree_network: bad hosts_per_edge";
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  (* Build switches level by level; dpids assigned in BFS order from 1.
+     Port 0 faces the parent; ports 1..fanout face children; host ports
+     start at 100. *)
+  let next_dpid = ref 0 in
+  let fresh () =
+    incr next_dpid;
+    Topo.add_switch topology !next_dpid;
+    !next_dpid
+  in
+  let leaves = ref [] in
+  let rec build level =
+    let sw = fresh () in
+    if level = depth then leaves := sw :: !leaves
+    else
+      for child = 1 to fanout do
+        let c = build (level + 1) in
+        Topo.link topology (Topo.Sw sw, child) (Topo.Sw c, 0)
+      done;
+    sw
+  in
+  ignore (build 1);
+  let leaves = List.rev !leaves in
+  let hosts = ref [] in
+  List.iteri
+    (fun li leaf ->
+      for h = 1 to hosts_per_edge do
+        let name = Printf.sprintf "t%d-%d" leaf h in
+        Topo.add_host topology name;
+        Topo.link topology (Topo.Host name, 0) (Topo.Sw leaf, 99 + h);
+        let ip = Ipv4.of_octets 10 (li / 250) (li mod 250) h in
+        let mac = Mac.of_int ((leaf lsl 8) lor h) in
+        hosts := Identxx.Host.create ~name ~mac ~ip () :: !hosts
+      done)
+    leaves;
+  let network = Net.create ~engine ~topology () in
+  let controller = Controller.create ?config ~network ~id:0 () in
+  let hosts = Array.of_list (List.rev !hosts) in
+  Array.iter (fun h -> attach_host network h) hosts;
+  (engine, network, controller, hosts)
+
+let linear_network ?config ~switches ~hosts_per_switch () =
+  if switches < 1 || switches > 250 then
+    invalid_arg "Deploy.linear_network: switches out of range";
+  if hosts_per_switch < 0 || hosts_per_switch > 250 then
+    invalid_arg "Deploy.linear_network: hosts_per_switch out of range";
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  for s = 1 to switches do
+    Topo.add_switch topology s
+  done;
+  (* Port 0 links to the previous switch, port 1 to the next; hosts hang
+     off ports 10, 11, … *)
+  for s = 1 to switches - 1 do
+    Topo.link topology (Topo.Sw s, 1) (Topo.Sw (s + 1), 0)
+  done;
+  let hosts = ref [] in
+  for s = 1 to switches do
+    for h = 1 to hosts_per_switch do
+      let name = Printf.sprintf "h%d-%d" s h in
+      Topo.add_host topology name;
+      Topo.link topology (Topo.Host name, 0) (Topo.Sw s, 9 + h);
+      let ip = Ipv4.of_octets 10 0 s h in
+      let mac = Mac.of_int ((s lsl 8) lor h) in
+      hosts := Identxx.Host.create ~name ~mac ~ip () :: !hosts
+    done
+  done;
+  let network = Net.create ~engine ~topology () in
+  let controller = Controller.create ?config ~network ~id:0 () in
+  let hosts = Array.of_list (List.rev !hosts) in
+  Array.iter (fun h -> attach_host network h) hosts;
+  (engine, network, controller, hosts)

@@ -1,0 +1,63 @@
+(** Glue for standing up ident++-protected simulated networks: attaches
+    {!Identxx.Host} end-hosts to an {!Openflow.Network} so their daemons
+    answer queries arriving over the fabric, plus a canned Figure-1
+    topology used by the quickstart, tests and benchmarks. *)
+
+open Netcore
+
+val attach_host : Openflow.Network.t -> Identxx.Host.t -> unit
+(** Wire the host's NIC receive path: ident++ queries delivered to the
+    host produce daemon responses sent back into the network; other
+    traffic is accepted silently (the simulator measures delivery at the
+    network layer). *)
+
+val attach_host_with :
+  Openflow.Network.t -> Identxx.Host.t -> rx:(Packet.t -> unit) -> unit
+(** Like {!attach_host} but also invokes [rx] on every delivered packet
+    (after ident++ processing), for application-level assertions. *)
+
+type simple = {
+  engine : Sim.Engine.t;
+  topology : Openflow.Topology.t;
+  network : Openflow.Network.t;
+  controller : Controller.t;
+  client : Identxx.Host.t;
+  server : Identxx.Host.t;
+}
+
+val simple_network :
+  ?config:Controller.config ->
+  ?client_ip:Ipv4.t ->
+  ?server_ip:Ipv4.t ->
+  unit ->
+  simple
+(** The Figure-1 setup: one client, one switch, one server, one
+    controller. Client defaults to 10.0.0.1, server to 10.0.0.2. *)
+
+val tree_network :
+  ?config:Controller.config ->
+  depth:int ->
+  fanout:int ->
+  hosts_per_edge:int ->
+  unit ->
+  Sim.Engine.t
+  * Openflow.Network.t
+  * Controller.t
+  * Identxx.Host.t array
+(** A [fanout]-ary tree of switches of the given [depth] (depth 1 = a
+    single switch), with [hosts_per_edge] hosts under every leaf switch
+    — the classic aggregation topology. Host IPs are 10.(leaf/250).
+    (leaf mod 250).h. *)
+
+val linear_network :
+  ?config:Controller.config ->
+  switches:int ->
+  hosts_per_switch:int ->
+  unit ->
+  Sim.Engine.t
+  * Openflow.Network.t
+  * Controller.t
+  * Identxx.Host.t array
+(** A chain of [switches] switches, each with [hosts_per_switch] hosts
+    (IPs 10.0.s.h), all in controller domain 0 — the workhorse topology
+    for benchmarks. *)

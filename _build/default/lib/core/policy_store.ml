@@ -1,0 +1,65 @@
+type t = {
+  mutable files : (string * string) list; (* sorted by name *)
+  mutable compiled : (Pf.Env.t, string) result option;
+  mutable listeners : (unit -> unit) list;
+}
+
+let create () = { files = []; compiled = None; listeners = [] }
+
+let notify t = List.iter (fun f -> f ()) (List.rev t.listeners)
+
+let strip_suffix name =
+  let suffix = ".control" in
+  if String.length name > String.length suffix
+     && String.sub name (String.length name - String.length suffix)
+          (String.length suffix)
+        = suffix
+  then String.sub name 0 (String.length name - String.length suffix)
+  else name
+
+let sort_files files =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) files
+
+let concatenated t =
+  String.concat "\n" (List.map snd t.files)
+
+let recompile t =
+  let result = Pf.Env.of_string (concatenated t) in
+  t.compiled <- Some result;
+  result
+
+let add t ~name content =
+  let name = strip_suffix name in
+  (* Validate the file alone parses before accepting it. *)
+  match Pf.Parser.parse content with
+  | Error e -> Error (name ^ ": " ^ e)
+  | Ok _ -> (
+      let previous = t.files in
+      t.files <- sort_files ((name, content) :: List.remove_assoc name t.files);
+      match recompile t with
+      | Ok _ ->
+          notify t;
+          Ok ()
+      | Error e ->
+          (* Roll back: the file broke the concatenated config. *)
+          t.files <- previous;
+          ignore (recompile t);
+          Error (name ^ ": " ^ e))
+
+let add_exn t ~name content =
+  match add t ~name content with Ok () -> () | Error e -> invalid_arg e
+
+let remove t ~name =
+  t.files <- List.remove_assoc (strip_suffix name) t.files;
+  ignore (recompile t);
+  notify t
+
+let files t = t.files
+
+let env t =
+  match t.compiled with Some r -> r | None -> recompile t
+
+let on_change t f = t.listeners <- f :: t.listeners
+
+let env_exn t =
+  match env t with Ok e -> e | Error e -> invalid_arg ("Policy_store: " ^ e)

@@ -1,0 +1,35 @@
+(** The controller's configuration files (§3.4): [.control] files that
+    "reside in a well known location", are "read in alphabetical order
+    and their contents concatenated". Some are written by the
+    administrator, others supplied by application developers or
+    third-party security companies (Figure 2's 00-local-header /
+    50-skype / 99-local-footer split). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> name:string -> string -> (unit, string) result
+(** Add or replace a file. The content must parse as PF+=2; on success
+    the compiled environment is refreshed. The [".control"] suffix is
+    optional in [name] and ignored for ordering. *)
+
+val add_exn : t -> name:string -> string -> unit
+val remove : t -> name:string -> unit
+val files : t -> (string * string) list
+(** In alphabetical (= evaluation) order. *)
+
+val concatenated : t -> string
+(** The logical single file the controller evaluates. *)
+
+val env : t -> (Pf.Env.t, string) result
+(** The compiled environment (cached; recompiled after changes). Fails
+    when the concatenation is inconsistent, e.g. a rule referencing a
+    table no file defines. *)
+
+val env_exn : t -> Pf.Env.t
+
+val on_change : t -> (unit -> unit) -> unit
+(** Register a callback fired after every successful {!add} or
+    {!remove} (the controller uses this to resynchronize precompiled
+    dataplane rules). *)

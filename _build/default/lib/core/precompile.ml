@@ -1,0 +1,86 @@
+open Netcore
+module MF = Openflow.Match_fields
+
+let max_range_expansion = 16
+
+(* The prefixes an address spec covers, or None when not compilable
+   (negation, unknown table). [None] addr means unconstrained. *)
+let prefixes_of env (spec : Pf.Ast.addr_spec option) =
+  match spec with
+  | None -> Some [ None ]
+  | Some { Pf.Ast.negated = true; _ } -> None
+  | Some { Pf.Ast.negated = false; addr } -> (
+      match addr with
+      | Pf.Ast.Addr_any -> Some [ None ]
+      | Pf.Ast.Addr_prefix p -> Some [ Some p ]
+      | Pf.Ast.Addr_table name -> (
+          match Pf.Env.table env name with
+          | Some ps -> Some (List.map (fun p -> Some p) ps)
+          | None -> None)
+      | Pf.Ast.Addr_list ps -> Some (List.map (fun p -> Some p) ps))
+
+let ports_of (pm : Pf.Ast.port_match option) =
+  match pm with
+  | None -> Some [ None ]
+  | Some (Pf.Ast.Port_eq p) -> Some [ Some p ]
+  | Some (Pf.Ast.Port_range (lo, hi)) ->
+      if hi - lo + 1 > max_range_expansion then None
+      else Some (List.init (hi - lo + 1) (fun i -> Some (lo + i)))
+
+let compilable_rule env (rule : Pf.Ast.rule) =
+  rule.Pf.Ast.action = Pf.Ast.Block
+  && rule.Pf.Ast.quick
+  && (not rule.Pf.Ast.log)
+  && rule.Pf.Ast.conds = []
+  && prefixes_of env rule.Pf.Ast.from_.addr <> None
+  && prefixes_of env rule.Pf.Ast.to_.addr <> None
+  && ports_of rule.Pf.Ast.from_.port <> None
+  && ports_of rule.Pf.Ast.to_.port <> None
+
+let matches_of_rule env (rule : Pf.Ast.rule) =
+  let get = Option.get in
+  let srcs = get (prefixes_of env rule.Pf.Ast.from_.addr) in
+  let dsts = get (prefixes_of env rule.Pf.Ast.to_.addr) in
+  let sports = get (ports_of rule.Pf.Ast.from_.port) in
+  let dports = get (ports_of rule.Pf.Ast.to_.port) in
+  List.concat_map
+    (fun nw_src ->
+      List.concat_map
+        (fun nw_dst ->
+          List.concat_map
+            (fun tp_src ->
+              List.map
+                (fun tp_dst ->
+                  {
+                    MF.any with
+                    MF.dl_type =
+                      (* Network-layer constraints imply an IPv4 match. *)
+                      (if nw_src <> None || nw_dst <> None
+                          || rule.Pf.Ast.proto <> None || tp_src <> None
+                          || tp_dst <> None
+                       then Some Ethertype.Ipv4
+                       else None);
+                    MF.nw_src;
+                    nw_dst;
+                    nw_proto = rule.Pf.Ast.proto;
+                    tp_src;
+                    tp_dst;
+                  })
+                dports)
+            sports)
+        dsts)
+    srcs
+
+let drop_matches env =
+  let rec leading = function
+    | [] -> []
+    | (rule : Pf.Ast.rule) :: rest ->
+        if not rule.Pf.Ast.quick then leading rest
+        else if compilable_rule env rule then
+          matches_of_rule env rule @ leading rest
+        else
+          (* First non-compilable quick rule: later quick blocks may be
+             shadowed by it, so compilation must stop here. *)
+          []
+  in
+  leading (Pf.Env.rules env)

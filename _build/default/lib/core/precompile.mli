@@ -1,0 +1,34 @@
+(** Proactive compilation of PF+=2 rules into dataplane entries.
+
+    "ident++ ... keeps enforcement in the network where it can be done
+    at line-rate" (§6). Most PF+=2 rules need end-host information and
+    must be decided reactively, but a prefix of the ruleset can be
+    pushed straight into the switches: the {e leading} [block quick]
+    rules whose match uses only network primitives. Because [quick]
+    short-circuits evaluation at the first matching quick rule, a
+    network-only [block quick] that precedes every other quick rule
+    decides its flows identically whether evaluated in the controller
+    or as a drop entry in the dataplane — so such traffic (port scans,
+    known-bad prefixes) never causes a packet-in at all.
+
+    A rule is compilable when it:
+    - is [block quick] and appears before any other [quick] rule,
+    - has no [with] clauses and no [log] modifier,
+    - uses non-negated addresses (any / table / prefix), and
+    - constrains ports by equality or by a range of at most
+      {!max_range_expansion} ports (OpenFlow 1.0 matches cannot express
+      ranges, so small ranges are expanded).
+
+    Compilation stops at the first quick rule that fails these tests —
+    later quick blocks may be shadowed by it, so they stay reactive. *)
+
+val max_range_expansion : int
+(** 16. *)
+
+val drop_matches : Pf.Env.t -> Openflow.Match_fields.t list
+(** The match fields to install as maximum-priority drop entries. Table
+    references expand to the cross product of their prefixes. *)
+
+val compilable_rule : Pf.Env.t -> Pf.Ast.rule -> bool
+(** Whether a single rule satisfies the per-rule conditions above
+    (ignoring its position among quick rules). *)

@@ -1,0 +1,1 @@
+lib/idcrypto/hex.ml: Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/idcrypto/hex.mli:

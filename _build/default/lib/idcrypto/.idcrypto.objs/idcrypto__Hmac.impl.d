@@ -1,0 +1,1 @@
+lib/idcrypto/hmac.ml: Bytes Char Hex Sha256 String

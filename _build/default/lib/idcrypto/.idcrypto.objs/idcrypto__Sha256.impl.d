@@ -1,0 +1,1 @@
+lib/idcrypto/sha256.ml: Array Bytes Char Hex String

@@ -1,0 +1,1 @@
+lib/idcrypto/sha256.mli: Bytes

@@ -1,0 +1,1 @@
+lib/idcrypto/sign.ml: Buffer Hashtbl Hex Hmac List Printf Sha256 String

@@ -1,0 +1,37 @@
+let digits = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) digits.[c lsr 4];
+    Bytes.set b ((2 * i) + 1) digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string b
+
+let value c =
+  match c with
+  | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+  | _ -> Error (Printf.sprintf "Hex.decode: bad digit %C" c)
+
+let decode s =
+  let n = String.length s in
+  if n land 1 = 1 then Error "Hex.decode: odd length"
+  else
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.unsafe_to_string b)
+      else
+        match (value s.[i], value s.[i + 1]) with
+        | Ok hi, Ok lo ->
+            Bytes.set b (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error e -> invalid_arg e

@@ -1,0 +1,10 @@
+(** Lower-case hexadecimal encoding. *)
+
+val encode : string -> string
+(** Each input byte becomes two hex digits. *)
+
+val decode : string -> (string, string) result
+(** Inverse of {!encode}; accepts upper- or lower-case digits. *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on malformed input. *)

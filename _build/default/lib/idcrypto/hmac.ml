@@ -1,0 +1,34 @@
+let normalize_key key =
+  let key =
+    if String.length key > Sha256.block_size then Sha256.digest key else key
+  in
+  let b = Bytes.make Sha256.block_size '\000' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.unsafe_to_string b
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_with key 0x36);
+  Sha256.feed inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_with key 0x5c);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let hexmac ~key msg = Hex.encode (mac ~key msg)
+
+let verify ~key ~tag msg =
+  let expected = mac ~key msg in
+  if String.length tag <> String.length expected then false
+  else begin
+    let diff = ref 0 in
+    String.iteri
+      (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+      tag;
+    !diff = 0
+  end

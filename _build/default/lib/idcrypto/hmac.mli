@@ -1,0 +1,11 @@
+(** HMAC-SHA-256 (RFC 2104). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte tag. Keys longer than the SHA-256 block
+    size are hashed first, per the RFC. *)
+
+val hexmac : key:string -> string -> string
+(** Hex-encoded tag. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Constant-time comparison of [tag] against [mac ~key msg]. *)

@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch on 32-bit words packed
+    into OCaml [int]s. The sealed build environment has no crypto
+    packages; this module is the hashing substrate for ident++
+    signatures (see DESIGN.md §2). *)
+
+type ctx
+(** A streaming hash context. *)
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes. May be called repeatedly. *)
+
+val feed_bytes : ctx -> Bytes.t -> int -> int -> unit
+(** [feed_bytes ctx b off len] absorbs a slice. *)
+
+val finalize : ctx -> string
+(** The 32-byte digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash: 32 raw bytes. *)
+
+val hexdigest : string -> string
+(** One-shot hash, hex-encoded (64 characters). *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64. *)

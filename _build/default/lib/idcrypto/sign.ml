@@ -1,0 +1,33 @@
+type keypair = { owner : string; public : string; secret : string }
+
+let generate ?(seed = "identxx-default-seed") owner =
+  let secret = Sha256.hexdigest (Printf.sprintf "sk|%s|%s" seed owner) in
+  let public = "pk" ^ String.sub (Sha256.hexdigest ("pk|" ^ secret)) 0 40 in
+  { owner; public; secret }
+
+let canonical data =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (string_of_int (String.length d));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf d)
+    data;
+  Buffer.contents buf
+
+let sign ~secret data = Hmac.hexmac ~key:secret (canonical data)
+
+type keystore = (string, string) Hashtbl.t
+
+let keystore () = Hashtbl.create 16
+let register ks kp = Hashtbl.replace ks kp.public kp.secret
+let register_public ks ~public ~secret = Hashtbl.replace ks public secret
+let known ks public = Hashtbl.mem ks public
+
+let verify ks ~public ~signature data =
+  match Hashtbl.find_opt ks public with
+  | None -> false
+  | Some secret -> (
+      match Hex.decode signature with
+      | Error _ -> false
+      | Ok tag -> Hmac.verify ~key:secret ~tag (canonical data))

@@ -1,0 +1,46 @@
+(** Signatures over canonicalized data lists, as used by ident++'s
+    [verify] policy function and [req-sig] daemon keys.
+
+    The build environment has no public-key package, so this is a
+    {e simulated PKI} (see DESIGN.md §2): a keypair is a secret plus a
+    public handle derived from it, and a {!keystore} — standing in for
+    the public-key trapdoor — lets a verifier check tags it could not
+    itself have produced for other principals. Signing is HMAC-SHA-256
+    over an unambiguous length-prefixed encoding of the data list, so the
+    code paths the paper relies on (canonicalization, tag transport in
+    config files, verification failure on any tampering) are all real. *)
+
+type keypair = {
+  owner : string;  (** Human-readable principal name, e.g. ["Secur"]. *)
+  public : string;  (** Public handle, hex, safe to embed in policies. *)
+  secret : string;  (** Signing secret; never placed in responses. *)
+}
+
+val generate : ?seed:string -> string -> keypair
+(** [generate ?seed owner] derives a deterministic keypair from
+    [owner] and the optional seed (deterministic keys keep simulations
+    reproducible). *)
+
+val canonical : string list -> string
+(** The unambiguous byte encoding that tags are computed over:
+    each element is length-prefixed, so [["ab";"c"]] and [["a";"bc"]]
+    encode differently. *)
+
+val sign : secret:string -> string list -> string
+(** Hex tag over [canonical data]. *)
+
+type keystore
+(** Maps public handles to verification material. *)
+
+val keystore : unit -> keystore
+val register : keystore -> keypair -> unit
+
+val register_public : keystore -> public:string -> secret:string -> unit
+(** Trust a principal by its raw material (used when loading fixtures). *)
+
+val known : keystore -> string -> bool
+
+val verify :
+  keystore -> public:string -> signature:string -> string list -> bool
+(** [verify ks ~public ~signature data] checks the tag. False when the
+    handle is unknown, the tag malformed, or the data differs. *)

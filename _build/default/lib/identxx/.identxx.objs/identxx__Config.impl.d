@@ -1,0 +1,1 @@
+lib/identxx/config.ml: Buffer Format Key_value List Printf String

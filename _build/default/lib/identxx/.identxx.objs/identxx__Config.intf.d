@@ -1,0 +1,1 @@
+lib/identxx/config.mli: Format Key_value

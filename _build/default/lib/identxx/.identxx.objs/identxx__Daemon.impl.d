@@ -1,0 +1,1 @@
+lib/identxx/daemon.ml: Config Five_tuple Idcrypto Ipv4 Key_value List Logs Netcore Option Process_table Proto Response Signed String

@@ -1,0 +1,1 @@
+lib/identxx/daemon.mli: Five_tuple Idcrypto Ipv4 Key_value Netcore Process_table Proto Response

@@ -1,0 +1,1 @@
+lib/identxx/host.ml: Daemon Five_tuple Hashtbl Idcrypto Ipv4 Mac Netcore Option Packet Process_table Proto Query Wire

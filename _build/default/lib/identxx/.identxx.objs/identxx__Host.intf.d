@@ -1,0 +1,1 @@
+lib/identxx/host.mli: Daemon Five_tuple Idcrypto Ipv4 Mac Netcore Packet Process_table Proto

@@ -1,0 +1,1 @@
+lib/identxx/key_value.ml: Format List String

@@ -1,0 +1,1 @@
+lib/identxx/key_value.mli: Format

@@ -1,0 +1,1 @@
+lib/identxx/process_table.ml: Five_tuple Hashtbl List Netcore Option Printf Proto

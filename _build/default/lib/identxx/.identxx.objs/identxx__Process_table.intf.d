@@ -1,0 +1,1 @@
+lib/identxx/process_table.mli: Five_tuple Netcore Proto

@@ -1,0 +1,1 @@
+lib/identxx/query.ml: Buffer Five_tuple Format Key_value List Netcore Printf Proto String

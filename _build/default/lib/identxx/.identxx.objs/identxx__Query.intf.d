@@ -1,0 +1,1 @@
+lib/identxx/query.mli: Five_tuple Format Ipv4 Netcore Proto

@@ -1,0 +1,1 @@
+lib/identxx/response.ml: Buffer Five_tuple Format Hashtbl Key_value List Netcore Printf Proto Query String

@@ -1,0 +1,1 @@
+lib/identxx/response.mli: Five_tuple Format Key_value Netcore Proto

@@ -1,0 +1,1 @@
+lib/identxx/rfc1413.ml: Five_tuple Netcore Printf Process_table Proto String

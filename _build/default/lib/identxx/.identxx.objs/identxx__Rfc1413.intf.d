@@ -1,0 +1,1 @@
+lib/identxx/rfc1413.mli: Ipv4 Netcore Process_table

@@ -1,0 +1,1 @@
+lib/identxx/signed.ml: Idcrypto Key_value List Netcore Printf Response

@@ -1,0 +1,1 @@
+lib/identxx/signed.mli: Idcrypto Response

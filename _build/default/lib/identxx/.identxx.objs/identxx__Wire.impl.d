@@ -1,0 +1,1 @@
+lib/identxx/wire.ml: Five_tuple Ipv4 Mac Netcore Packet Proto Query Response Vlan

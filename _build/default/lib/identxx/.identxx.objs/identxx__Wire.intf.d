@@ -1,0 +1,1 @@
+lib/identxx/wire.mli: Five_tuple Ipv4 Netcore Packet Query Response

@@ -1,0 +1,140 @@
+open Netcore
+
+let src = Logs.Src.create "identxx.daemon" ~doc:"ident++ end-host daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type behaviour = Honest | Silent | Lying of Key_value.section
+
+type t = {
+  ip : Ipv4.t;
+  processes : Process_table.t;
+  exe_hash : string -> string option;
+  mutable behaviour : behaviour;
+  mutable signing_key : Idcrypto.Sign.keypair option;
+  mutable config_files : (string * Config.t) list; (* sorted by name *)
+  runtime : (Five_tuple.t * Key_value.section) list ref;
+  mutable answered : int;
+}
+
+let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
+  {
+    ip;
+    processes;
+    exe_hash;
+    behaviour;
+    signing_key = None;
+    config_files = [];
+    runtime = ref [];
+    answered = 0;
+  }
+
+let set_behaviour t b = t.behaviour <- b
+let set_signing_key t k = t.signing_key <- k
+
+let load_config t ~name content =
+  match Config.parse content with
+  | Error _ as e -> e
+  | Ok cfg ->
+      t.config_files <-
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          ((name, cfg) :: List.remove_assoc name t.config_files);
+      Ok ()
+
+let merged_config t =
+  List.fold_left
+    (fun acc (_, cfg) -> Config.merge acc cfg)
+    Config.empty t.config_files
+
+let register_runtime t ~flow section =
+  t.runtime := (flow, section) :: !(t.runtime)
+
+let clear_runtime t ~flow =
+  t.runtime :=
+    List.filter (fun (f, _) -> not (Five_tuple.equal f flow)) !(t.runtime)
+
+type role = As_source | As_destination
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let builtin_section t (proc : Process_table.process) =
+  let pairs =
+    [
+      Key_value.pair Key_value.user_id proc.user;
+      Key_value.pair Key_value.group_id (String.concat "," proc.groups);
+      Key_value.pair "pid" (string_of_int proc.pid);
+      Key_value.pair Key_value.app_path proc.exe_path;
+      Key_value.pair Key_value.app_name (basename proc.exe_path);
+      (* The paper's examples use both [name] (Figs 2-3) and [app-name]
+         (Fig 5's verify call); emit the alias so either works. *)
+      Key_value.pair "app-name" (basename proc.exe_path);
+    ]
+  in
+  match t.exe_hash proc.exe_path with
+  | Some h -> pairs @ [ Key_value.pair Key_value.exe_hash h ]
+  | None -> pairs
+
+let runtime_section t flow =
+  List.concat_map
+    (fun (f, s) -> if Five_tuple.equal f flow then s else [])
+    (List.rev !(t.runtime))
+
+let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
+  match t.behaviour with
+  | Silent -> None
+  | Lying fabricated ->
+      t.answered <- t.answered + 1;
+      let flow =
+        Five_tuple.make ~src:t.ip ~dst:peer ~proto ~src_port ~dst_port
+      in
+      Some (Response.make ~flow [ fabricated ], As_source)
+  | Honest ->
+      t.answered <- t.answered + 1;
+      Log.debug (fun m ->
+          m "answering query about %s %d->%d (peer %s)" (Proto.to_string proto)
+            src_port dst_port (Ipv4.to_string peer));
+      let as_src =
+        Five_tuple.make ~src:t.ip ~dst:peer ~proto ~src_port ~dst_port
+      in
+      let as_dst =
+        Five_tuple.make ~src:peer ~dst:t.ip ~proto ~src_port ~dst_port
+      in
+      let role, flow, proc =
+        match Process_table.owner_of_flow t.processes ~flow:as_src with
+        | Some p -> (As_source, as_src, Some p)
+        | None -> (
+            match
+              Process_table.lookup t.processes ~flow:as_dst ~as_source:false
+            with
+            | Some p -> (As_destination, as_dst, Some p)
+            | None -> (As_source, as_src, None))
+      in
+      let cfg = merged_config t in
+      let sections =
+        match proc with
+        | None -> [ cfg.Config.globals ]
+        | Some proc ->
+            let app_pairs =
+              Option.value ~default:[]
+                (Config.app cfg ~path:proc.Process_table.exe_path)
+            in
+            [
+              builtin_section t proc;
+              app_pairs;
+              runtime_section t flow;
+              cfg.Config.globals;
+            ]
+      in
+      let response = Response.make ~flow sections in
+      let response =
+        match t.signing_key with
+        | Some keypair -> Signed.sign ~keypair response
+        | None -> response
+      in
+      Some (response, role)
+
+let queries_answered t = t.answered

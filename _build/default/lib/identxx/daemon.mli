@@ -1,0 +1,70 @@
+(** The ident++ end-host daemon (§3.5).
+
+    The daemon answers controller queries about flows with key-value
+    sections assembled from three sources: what the kernel knows (the
+    process/user owning the flow, via {!Process_table}), static
+    configuration files ([@app] blocks and host-wide pairs), and pairs
+    the application registered at run time (the paper's Unix-domain
+    socket, here a direct call).
+
+    Section order in a response (later = more trusted by {!Response.latest}):
+    + daemon built-ins (userID, groupID, exe-path, exe-hash, name, pid);
+    + the executable's [@app] configuration pairs;
+    + run-time application pairs for this flow;
+    + host-wide administrator pairs (the [/etc/identxx] analogue).
+
+    A daemon can be put in a dishonest {!behaviour} to model the
+    compromised end-hosts of §5.3. *)
+
+open Netcore
+
+type behaviour =
+  | Honest
+  | Silent  (** Answers nothing — a crashed or firewalled daemon. *)
+  | Lying of Key_value.section
+      (** Replaces the truthful sections with fabricated pairs — a
+          compromised host's daemon (§5.3). *)
+
+type t
+
+val create :
+  ?behaviour:behaviour ->
+  ip:Ipv4.t ->
+  processes:Process_table.t ->
+  exe_hash:(string -> string option) ->
+  unit ->
+  t
+(** [exe_hash path] returns the hash of the executable image at [path],
+    or [None] when unknown. *)
+
+val set_behaviour : t -> behaviour -> unit
+
+val set_signing_key : t -> Idcrypto.Sign.keypair option -> unit
+(** When set, every response is authenticated with a final
+    {!Signed.sign} section. *)
+
+val load_config : t -> name:string -> string -> (unit, string) result
+(** Parse and add a configuration file. Files are kept sorted by [name]
+    and applied in that order, like the controller's [.control] files. *)
+
+val register_runtime : t -> flow:Five_tuple.t -> Key_value.section -> unit
+(** The application-to-daemon channel: pairs the app supplies for one of
+    its flows (e.g. a browser distinguishing user-clicked requests). *)
+
+val clear_runtime : t -> flow:Five_tuple.t -> unit
+
+type role = As_source | As_destination
+
+val answer :
+  t -> peer:Ipv4.t -> proto:Proto.t -> src_port:int -> dst_port:int ->
+  keys:string list -> (Response.t * role) option
+(** Answer a query about the flow whose far end is [peer]. The daemon
+    first tries to interpret itself as the flow's source (an owned
+    connection), then as its destination (an accepted connection or a
+    listener). [None] when the daemon is {!Silent}.
+
+    Even when no owning process exists, an honest daemon still responds
+    with its host-wide pairs — the controller decides what an absent
+    [userID] means. *)
+
+val queries_answered : t -> int

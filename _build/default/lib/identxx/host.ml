@@ -1,0 +1,87 @@
+open Netcore
+
+type t = {
+  name : string;
+  mac : Mac.t;
+  ip : Ipv4.t;
+  processes : Process_table.t;
+  daemon : Daemon.t;
+  exes : (string, string) Hashtbl.t; (* path -> image bytes *)
+  hashes : (string, string) Hashtbl.t; (* path -> hex sha256 *)
+  mutable next_ephemeral : int;
+}
+
+let create ?(behaviour = Daemon.Honest) ~name ~mac ~ip () =
+  let processes = Process_table.create () in
+  let hashes = Hashtbl.create 8 in
+  let daemon =
+    Daemon.create ~behaviour ~ip ~processes
+      ~exe_hash:(fun path -> Hashtbl.find_opt hashes path)
+      ()
+  in
+  {
+    name;
+    mac;
+    ip;
+    processes;
+    daemon;
+    exes = Hashtbl.create 8;
+    hashes;
+    next_ephemeral = 50000;
+  }
+
+let name t = t.name
+let mac t = t.mac
+let ip t = t.ip
+let daemon t = t.daemon
+let set_signing_key t k = Daemon.set_signing_key t.daemon k
+let processes t = t.processes
+
+let install_exe t ~path ~content =
+  Hashtbl.replace t.exes path content;
+  Hashtbl.replace t.hashes path (Idcrypto.Sha256.hexdigest content)
+
+let exe_hash t ~path = Hashtbl.find_opt t.hashes path
+
+let run t ?pid ?isolated ~user ?groups ~exe () =
+  let groups = Option.value ~default:[ user ] groups in
+  Process_table.spawn t.processes ?pid ?isolated ~user ~groups ~exe ()
+
+let connect t ~(proc : Process_table.process) ~dst ?src_port ~dst_port
+    ?(proto = Proto.Tcp) () =
+  let src_port =
+    match src_port with
+    | Some p -> p
+    | None ->
+        let p = t.next_ephemeral in
+        t.next_ephemeral <- (if p >= 65535 then 50000 else p + 1);
+        p
+  in
+  let flow = Five_tuple.make ~src:t.ip ~dst ~proto ~src_port ~dst_port in
+  Process_table.connect t.processes ~pid:proc.pid ~flow;
+  flow
+
+let listen t ~(proc : Process_table.process) ~port ?(proto = Proto.Tcp) () =
+  Process_table.listen t.processes ~pid:proc.pid ~proto ~port
+
+let handle_packet t pkt =
+  match Wire.classify pkt with
+  | Wire.Query { from_ip; to_ip; query } when Ipv4.equal to_ip t.ip -> (
+      match
+        Daemon.answer t.daemon ~peer:from_ip ~proto:query.Query.proto
+          ~src_port:query.Query.src_port ~dst_port:query.Query.dst_port
+          ~keys:query.Query.keys
+      with
+      | None -> None
+      | Some (response, _role) ->
+          let dst_port =
+            match pkt.Packet.eth_payload with
+            | Packet.Ip { payload = Packet.Tcp tcp; _ } -> tcp.Packet.tcp_src
+            | _ -> Wire.port
+          in
+          Some (Wire.response_packet ~to_ip:from_ip ~from_ip:t.ip ~dst_port response))
+  | Wire.Query _ | Wire.Response _ | Wire.Not_identxx -> None
+
+let first_packet t ~flow =
+  let pkt = Packet.of_five_tuple flow in
+  { pkt with Packet.eth_src = t.mac }

@@ -1,0 +1,35 @@
+type pair = { key : string; value : string }
+
+let valid_key k =
+  k <> ""
+  && not (String.exists (fun c -> c = ':' || c = '\n' || c = '\r') k)
+
+let valid_value v = not (String.exists (fun c -> c = '\n' || c = '\r') v)
+
+let pair key value =
+  if not (valid_key key) then invalid_arg ("Key_value.pair: bad key " ^ key);
+  if not (valid_value value) then
+    invalid_arg ("Key_value.pair: bad value for " ^ key);
+  { key; value }
+
+type section = pair list
+
+let find section key =
+  List.fold_left
+    (fun acc p -> if p.key = key then Some p.value else acc)
+    None section
+
+let user_id = "userID"
+let group_id = "groupID"
+let app_name = "name"
+let exe_hash = "exe-hash"
+let app_path = "exe-path"
+let version = "version"
+let requirements = "requirements"
+let req_sig = "req-sig"
+let rule_maker = "rule-maker"
+
+let pp_pair ppf p = Format.fprintf ppf "%s: %s" p.key p.value
+
+let pp_section ppf s =
+  List.iter (fun p -> Format.fprintf ppf "%a@." pp_pair p) s

@@ -1,0 +1,55 @@
+(** The key-value pairs carried in ident++ responses (§2, §3.2).
+
+    Keys and values are "mostly free-form" (§2): ident++ predefines a few
+    keys (user, application name, executable hash, rules) and lets
+    administrators, users and application developers define their own.
+    Structurally, a key must not contain [':'] or newlines, and a value
+    must not contain newlines — both constraints come from the line-based
+    wire format. *)
+
+type pair = { key : string; value : string }
+
+val pair : string -> string -> pair
+(** @raise Invalid_argument when the key or value is malformed. *)
+
+val valid_key : string -> bool
+val valid_value : string -> bool
+
+type section = pair list
+(** One source's contribution: "new sections correspond to key-value
+    pairs from different sources" (§3.2). *)
+
+val find : section -> string -> string option
+(** Last binding of the key within the section. *)
+
+(** {2 Predefined keys} (§2, §3.5, Figures 3–8) *)
+
+val user_id : string
+(** ["userID"] *)
+
+val group_id : string
+(** ["groupID"] *)
+
+val app_name : string
+(** ["name"] *)
+
+val exe_hash : string
+(** ["exe-hash"] *)
+
+val app_path : string
+(** ["exe-path"] *)
+
+val version : string
+(** ["version"] *)
+
+val requirements : string
+(** ["requirements"] — user-supplied rules *)
+
+val req_sig : string
+(** ["req-sig"] *)
+
+val rule_maker : string
+(** ["rule-maker"] *)
+
+val pp_pair : Format.formatter -> pair -> unit
+val pp_section : Format.formatter -> section -> unit

@@ -1,0 +1,60 @@
+open Netcore
+
+type t = { proto : Proto.t; src_port : int; dst_port : int; keys : string list }
+
+let make ~(flow : Five_tuple.t) ~keys =
+  List.iter
+    (fun k ->
+      if not (Key_value.valid_key k) then
+        invalid_arg ("Query.make: bad key " ^ k))
+    keys;
+  { proto = flow.proto; src_port = flow.src_port; dst_port = flow.dst_port; keys }
+
+let flow_of t ~src ~dst =
+  Five_tuple.make ~src ~dst ~proto:t.proto ~src_port:t.src_port
+    ~dst_port:t.dst_port
+
+let encode t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n"
+       (String.uppercase_ascii (Proto.to_string t.proto))
+       t.src_port t.dst_port);
+  List.iter
+    (fun k ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\n')
+    t.keys;
+  Buffer.contents buf
+
+let parse_header line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ proto; sp; dp ] -> (
+      match
+        (Proto.of_string_opt proto, int_of_string_opt sp, int_of_string_opt dp)
+      with
+      | Some proto, Some src_port, Some dst_port
+        when src_port >= 0 && src_port <= 0xffff && dst_port >= 0
+             && dst_port <= 0xffff ->
+          Ok (proto, src_port, dst_port)
+      | _ -> Error "query: malformed header fields")
+  | _ -> Error "query: malformed header line"
+
+let decode s =
+  match String.split_on_char '\n' s with
+  | [] -> Error "query: empty"
+  | header :: rest -> (
+      match parse_header header with
+      | Error _ as e -> e
+      | Ok (proto, src_port, dst_port) ->
+          let keys = List.filter (fun l -> String.trim l <> "") rest in
+          if List.for_all Key_value.valid_key keys then
+            Ok { proto; src_port; dst_port; keys }
+          else Error "query: malformed key")
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "query %s %d->%d keys=[%s]" (Proto.to_string t.proto)
+    t.src_port t.dst_port
+    (String.concat ";" t.keys)

@@ -1,0 +1,36 @@
+(** ident++ query packets (§3.2).
+
+    A query carries the flow's protocol and ports in its payload; the
+    flow's IP addresses ride in the query packet's own IP header ("the
+    controller making the query uses the flow's destination IP address
+    as the query's source IP address"). The key list is only a hint:
+    responders may return additional unsolicited pairs. *)
+
+open Netcore
+
+type t = { proto : Proto.t; src_port : int; dst_port : int; keys : string list }
+
+val make : flow:Five_tuple.t -> keys:string list -> t
+(** @raise Invalid_argument when a key is malformed. *)
+
+val flow_of : t -> src:Ipv4.t -> dst:Ipv4.t -> Five_tuple.t
+(** Reassemble the queried flow from the payload fields plus the
+    addresses recovered from the query packet's IP header. *)
+
+val encode : t -> string
+(** The on-the-wire payload:
+    {v
+<PROTO> <SRC PORT> <DST PORT>
+<key 0>
+<key 1>
+...
+    v} *)
+
+val decode : string -> (t, string) result
+
+val parse_header : string -> (Proto.t * int * int, string) result
+(** Parse the shared ["<PROTO> <SRC PORT> <DST PORT>"] first line (also
+    used by {!Response.decode}). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+open Netcore
+
+type t = {
+  proto : Proto.t;
+  src_port : int;
+  dst_port : int;
+  sections : Key_value.section list;
+}
+
+let make ~(flow : Five_tuple.t) sections =
+  {
+    proto = flow.proto;
+    src_port = flow.src_port;
+    dst_port = flow.dst_port;
+    sections = List.filter (fun s -> s <> []) sections;
+  }
+
+let append_section t section =
+  if section = [] then t else { t with sections = t.sections @ [ section ] }
+
+let latest t key =
+  List.fold_left
+    (fun acc section ->
+      match Key_value.find section key with Some v -> Some v | None -> acc)
+    None t.sections
+
+let all_values t key =
+  List.concat_map
+    (fun section ->
+      List.filter_map
+        (fun (p : Key_value.pair) -> if p.key = key then Some p.value else None)
+        section)
+    t.sections
+
+let concat_values t key = String.concat "," (all_values t key)
+
+let keys t =
+  let seen = Hashtbl.create 16 in
+  List.concat_map (fun s -> s) t.sections
+  |> List.filter_map (fun (p : Key_value.pair) ->
+         if Hashtbl.mem seen p.key then None
+         else begin
+           Hashtbl.add seen p.key ();
+           Some p.key
+         end)
+
+let encode t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n"
+       (String.uppercase_ascii (Proto.to_string t.proto))
+       t.src_port t.dst_port);
+  List.iteri
+    (fun i section ->
+      if i > 0 then Buffer.add_char buf '\n';
+      List.iter
+        (fun (p : Key_value.pair) ->
+          Buffer.add_string buf p.key;
+          Buffer.add_string buf ": ";
+          Buffer.add_string buf p.value;
+          Buffer.add_char buf '\n')
+        section)
+    t.sections;
+  Buffer.contents buf
+
+let parse_pair line =
+  match String.index_opt line ':' with
+  | None -> Error ("response: missing ':' in " ^ line)
+  | Some i ->
+      let key = String.sub line 0 i in
+      let value =
+        let v = String.sub line (i + 1) (String.length line - i - 1) in
+        if String.length v > 0 && v.[0] = ' ' then
+          String.sub v 1 (String.length v - 1)
+        else v
+      in
+      if Key_value.valid_key key && Key_value.valid_value value then
+        Ok { Key_value.key; value }
+      else Error ("response: malformed pair " ^ line)
+
+let decode s =
+  match String.split_on_char '\n' s with
+  | [] -> Error "response: empty"
+  | header :: rest -> (
+      match Query.parse_header header with
+      | Error e -> Error e
+      | Ok (proto, src_port, dst_port) ->
+          let rec sections current acc = function
+            | [] ->
+                let acc = if current = [] then acc else List.rev current :: acc in
+                Ok (List.rev acc)
+            | "" :: rest ->
+                if current = [] then sections [] acc rest
+                else sections [] (List.rev current :: acc) rest
+            | line :: rest -> (
+                match parse_pair line with
+                | Error _ as e -> e
+                | Ok pair -> sections (pair :: current) acc rest)
+          in
+          (* A trailing newline yields a final "" element; harmless. *)
+          (match sections [] [] rest with
+          | Error _ as e -> e
+          | Ok sections -> Ok { proto; src_port; dst_port; sections }))
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "response %s %d->%d (%d sections)@."
+    (Proto.to_string t.proto) t.src_port t.dst_port
+    (List.length t.sections);
+  List.iteri
+    (fun i s ->
+      Format.fprintf ppf "-- section %d --@.%a" i Key_value.pp_section s)
+    t.sections

@@ -1,0 +1,56 @@
+(** ident++ response packets (§3.2).
+
+    A response repeats the flow's protocol and ports, then carries
+    key-value pairs in sections separated by empty lines. Each section
+    is one source's contribution (the user, the application, the local
+    administrator, or a controller on the path that augmented the
+    response). Later sections were added later — by parties closer to
+    the decision-maker — and are therefore "the most trusted (though not
+    necessarily the most trustworthy)" (§3.3). *)
+
+open Netcore
+
+type t = {
+  proto : Proto.t;
+  src_port : int;
+  dst_port : int;
+  sections : Key_value.section list;
+}
+
+val make : flow:Five_tuple.t -> Key_value.section list -> t
+(** Empty sections are dropped (they would corrupt the framing). *)
+
+val append_section : t -> Key_value.section -> t
+(** What an intercepting controller does to augment a response: "the
+    controller inserts an empty line followed by the key-value pairs it
+    wishes to add" (§3.4). Appending an empty section is a no-op. *)
+
+val latest : t -> string -> string option
+(** The most recently added binding of the key: sections are searched
+    last-to-first. "Indexing the dictionaries will give the latest value
+    added to the response" (§3.3). *)
+
+val all_values : t -> string -> string list
+(** Every binding of the key in section order (for the [*@src[key]]
+    concatenation access of §3.3). *)
+
+val concat_values : t -> string -> string
+(** [all_values] joined with [","] — the [*@] form. *)
+
+val keys : t -> string list
+(** All distinct keys present, in first-appearance order. *)
+
+val encode : t -> string
+(** Wire payload:
+    {v
+<PROTO> <SRC PORT> <DST PORT>
+<key 0>: <value 0>
+...
+
+<key n>: <value n>
+...
+    v} *)
+
+val decode : string -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+let signer_key = "response-signer"
+let sig_key = "response-sig"
+
+(* The byte string a signature covers: header fields plus the encoded
+   prefix sections, length-prefixed by Sign.canonical downstream. *)
+let covered (r : Response.t) prefix_sections =
+  let header =
+    Printf.sprintf "%s %d %d"
+      (Netcore.Proto.to_string r.Response.proto)
+      r.Response.src_port r.Response.dst_port
+  in
+  header
+  :: List.concat_map
+       (fun section ->
+         List.concat_map
+           (fun (p : Key_value.pair) -> [ p.key; p.value ])
+           section)
+       prefix_sections
+
+let sign ~(keypair : Idcrypto.Sign.keypair) (r : Response.t) =
+  let tag =
+    Idcrypto.Sign.sign ~secret:keypair.Idcrypto.Sign.secret
+      (covered r r.Response.sections)
+  in
+  Response.append_section r
+    [
+      Key_value.pair signer_key keypair.Idcrypto.Sign.public;
+      Key_value.pair sig_key tag;
+    ]
+
+type verdict = Valid of int | Unsigned | Invalid
+
+let verify keystore (r : Response.t) =
+  (* Find the first section carrying a signature. *)
+  let rec split prefix = function
+    | [] -> None
+    | section :: rest -> (
+        match (Key_value.find section signer_key, Key_value.find section sig_key) with
+        | Some signer, Some tag -> Some (List.rev prefix, signer, tag, rest)
+        | _ -> split (section :: prefix) rest)
+  in
+  match split [] r.Response.sections with
+  | None -> Unsigned
+  | Some (prefix, signer, tag, _rest) ->
+      if
+        Idcrypto.Sign.verify keystore ~public:signer ~signature:tag
+          (covered r prefix)
+      then Valid (List.length prefix)
+      else Invalid

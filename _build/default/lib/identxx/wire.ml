@@ -1,0 +1,62 @@
+open Netcore
+
+let port = 783
+
+(* The querier's ephemeral source port. A constant keeps the exchange
+   deterministic; responses are matched to queries by flow, not by port. *)
+let querier_port = 49152
+
+let tcp_payload_packet ~src ~dst ~src_port ~dst_port payload =
+  {
+    Packet.eth_src = Mac.zero;
+    eth_dst = Mac.zero;
+    vlan = Vlan.untagged;
+    eth_payload =
+      Packet.Ip
+        {
+          Packet.ip_src = src;
+          ip_dst = dst;
+          ttl = 64;
+          payload =
+            Packet.Tcp
+              {
+                Packet.tcp_src = src_port;
+                tcp_dst = dst_port;
+                seq = 0l;
+                ack_no = 0l;
+                flags = Packet.flags_psh_ack;
+                window = 65535;
+                tcp_payload = payload;
+              };
+        };
+  }
+
+let query_packet ~to_ip ~from_ip query =
+  tcp_payload_packet ~src:from_ip ~dst:to_ip ~src_port:querier_port
+    ~dst_port:port (Query.encode query)
+
+let response_packet ~to_ip ~from_ip ~dst_port response =
+  tcp_payload_packet ~src:from_ip ~dst:to_ip ~src_port:port ~dst_port
+    (Response.encode response)
+
+type classified =
+  | Query of { from_ip : Ipv4.t; to_ip : Ipv4.t; query : Query.t }
+  | Response of { from_ip : Ipv4.t; to_ip : Ipv4.t; response : Response.t }
+  | Not_identxx
+
+let classify (pkt : Packet.t) =
+  match pkt.eth_payload with
+  | Packet.Ip { ip_src; ip_dst; payload = Packet.Tcp tcp; _ } ->
+      if tcp.tcp_dst = port then
+        match Query.decode tcp.tcp_payload with
+        | Ok query -> Query { from_ip = ip_src; to_ip = ip_dst; query }
+        | Error _ -> Not_identxx
+      else if tcp.tcp_src = port then
+        match Response.decode tcp.tcp_payload with
+        | Ok response -> Response { from_ip = ip_src; to_ip = ip_dst; response }
+        | Error _ -> Not_identxx
+      else Not_identxx
+  | Packet.Ip _ | Packet.Raw_eth _ -> Not_identxx
+
+let is_identxx (ft : Five_tuple.t) =
+  Proto.equal ft.proto Proto.Tcp && (ft.src_port = port || ft.dst_port = port)

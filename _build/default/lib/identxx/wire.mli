@@ -1,0 +1,36 @@
+(** Packet-level framing for the ident++ exchange.
+
+    The daemon listens on TCP port 783 (§2). A query packet addressed to
+    an end-host carries the flow's addresses in its IP header — the
+    querying controller uses the flow's destination address as the
+    query's source (§3.2) — and the {!Query} payload in its TCP segment.
+    The response travels back to the query's source address from port
+    783. *)
+
+open Netcore
+
+val port : int
+(** 783. *)
+
+val query_packet : to_ip:Ipv4.t -> from_ip:Ipv4.t -> Query.t -> Packet.t
+(** Build the TCP query packet: [to_ip] is the queried host, [from_ip]
+    the address the response should return to (per the paper, the flow's
+    other end). *)
+
+val response_packet :
+  to_ip:Ipv4.t -> from_ip:Ipv4.t -> dst_port:int -> Response.t -> Packet.t
+(** The daemon's reply, sent from TCP port 783. *)
+
+type classified =
+  | Query of { from_ip : Ipv4.t; to_ip : Ipv4.t; query : Query.t }
+  | Response of { from_ip : Ipv4.t; to_ip : Ipv4.t; response : Response.t }
+  | Not_identxx
+
+val classify : Packet.t -> classified
+(** Recognize ident++ traffic: TCP destination port 783 with a parsable
+    query payload, or TCP source port 783 with a parsable response
+    payload. Malformed ident++-port traffic classifies as
+    [Not_identxx] (and would fall through to ordinary policy). *)
+
+val is_identxx : Five_tuple.t -> bool
+(** True when either transport port is 783. *)

@@ -1,0 +1,1 @@
+lib/netcore/checksum.ml: Char String

@@ -1,0 +1,1 @@
+lib/netcore/ethertype.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/netcore/five_tuple.ml: Format Hashtbl Int Ipv4 Printf Proto

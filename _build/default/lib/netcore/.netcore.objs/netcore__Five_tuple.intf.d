@@ -1,0 +1,1 @@
+lib/netcore/five_tuple.mli: Format Ipv4 Proto

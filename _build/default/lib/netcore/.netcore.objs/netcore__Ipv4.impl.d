@@ -1,0 +1,1 @@
+lib/netcore/ipv4.ml: Bytes Char Format Hashtbl Int Int32 Printf String

@@ -1,0 +1,1 @@
+lib/netcore/mac.ml: Bytes Char Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/netcore/mac.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Bytes Char Checksum Ethertype Five_tuple Format Int32 Ipv4 Mac Proto Result String Vlan

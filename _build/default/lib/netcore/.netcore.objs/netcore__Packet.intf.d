@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Ethertype Five_tuple Format Ipv4 Mac Proto Vlan

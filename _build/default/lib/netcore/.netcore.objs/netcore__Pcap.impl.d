@@ -1,0 +1,1 @@
+lib/netcore/pcap.ml: Buffer Char List Packet String

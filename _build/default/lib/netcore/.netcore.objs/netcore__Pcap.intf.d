@@ -1,0 +1,1 @@
+lib/netcore/pcap.mli: Buffer Packet

@@ -1,0 +1,1 @@
+lib/netcore/proto.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/netcore/proto.mli: Format

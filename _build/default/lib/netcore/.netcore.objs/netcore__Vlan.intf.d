@@ -1,0 +1,1 @@
+lib/netcore/vlan.mli: Format

@@ -1,0 +1,18 @@
+let sum s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Checksum.sum: out of bounds";
+  let acc = ref 0 in
+  let i = ref off in
+  let stop = off + len - 1 in
+  while !i < stop do
+    acc := !acc + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then acc := !acc + (Char.code s.[off + len - 1] lsl 8);
+  !acc
+
+let rec fold x = if x > 0xffff then fold ((x land 0xffff) + (x lsr 16)) else x
+let add a b = fold (a + b)
+let finish x = lnot (fold x) land 0xffff
+let of_string s = finish (sum s 0 (String.length s))
+let valid s = fold (sum s 0 (String.length s)) = 0xffff

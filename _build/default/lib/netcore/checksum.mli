@@ -1,0 +1,20 @@
+(** The Internet checksum (RFC 1071): one's-complement sum of 16-bit
+    big-endian words. *)
+
+val sum : string -> int -> int -> int
+(** [sum s off len] folds the 16-bit words of [s.[off .. off+len-1]] into a
+    running one's-complement sum (not yet complemented). A trailing odd
+    byte is padded with zero on the right, as the RFC specifies. *)
+
+val add : int -> int -> int
+(** One's-complement addition of two partial sums. *)
+
+val finish : int -> int
+(** Fold carries and complement, yielding the 16-bit checksum field. *)
+
+val of_string : string -> int
+(** [finish (sum s 0 (String.length s))]. *)
+
+val valid : string -> bool
+(** True when a buffer that embeds its own checksum sums to [0xffff]
+    before complementing (i.e. checksum verifies). *)

@@ -1,0 +1,50 @@
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  proto : Proto.t;
+  src_port : int;
+  dst_port : int;
+}
+
+let check_port p =
+  if p < 0 || p > 0xffff then invalid_arg "Five_tuple: port out of range"
+
+let make ~src ~dst ~proto ~src_port ~dst_port =
+  check_port src_port;
+  check_port dst_port;
+  { src; dst; proto; src_port; dst_port }
+
+let tcp ~src ~dst ~src_port ~dst_port =
+  make ~src ~dst ~proto:Proto.Tcp ~src_port ~dst_port
+
+let udp ~src ~dst ~src_port ~dst_port =
+  make ~src ~dst ~proto:Proto.Udp ~src_port ~dst_port
+
+let reverse t =
+  { t with src = t.dst; dst = t.src; src_port = t.dst_port; dst_port = t.src_port }
+
+let to_string t =
+  Printf.sprintf "%s %s:%d -> %s:%d" (Proto.to_string t.proto)
+    (Ipv4.to_string t.src) t.src_port (Ipv4.to_string t.dst) t.dst_port
+
+let compare a b =
+  let c = Ipv4.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Ipv4.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Proto.compare a.proto b.proto in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.src_port b.src_port in
+        if c <> 0 then c else Int.compare a.dst_port b.dst_port
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Hashtbl.hash
+    (Ipv4.to_int t.src, Ipv4.to_int t.dst, Proto.to_int t.proto, t.src_port,
+     t.dst_port)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,29 @@
+(** The ident++ definition of a flow: the classic 5-tuple (§2 of the
+    paper): IP source and destination addresses, IP protocol, and
+    transport source and destination ports. *)
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  proto : Proto.t;
+  src_port : int;
+  dst_port : int;
+}
+
+val make :
+  src:Ipv4.t -> dst:Ipv4.t -> proto:Proto.t -> src_port:int -> dst_port:int -> t
+(** @raise Invalid_argument if a port is outside [0, 65535]. *)
+
+val tcp : src:Ipv4.t -> dst:Ipv4.t -> src_port:int -> dst_port:int -> t
+val udp : src:Ipv4.t -> dst:Ipv4.t -> src_port:int -> dst_port:int -> t
+
+val reverse : t -> t
+(** Swap source and destination (address and port). *)
+
+val to_string : t -> string
+(** e.g. ["tcp 10.0.0.1:5000 -> 10.0.0.2:80"]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

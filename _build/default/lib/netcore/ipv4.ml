@@ -1,0 +1,70 @@
+type t = int
+
+let mask32 = 0xffff_ffff
+let any = 0
+let broadcast = mask32
+let of_int i = i land mask32
+let to_int a = a
+let of_int32 i = Int32.to_int i land mask32
+let to_int32 a = Int32.of_int (a land mask32)
+
+let of_octets a b c d =
+  ((a land 0xff) lsl 24) lor ((b land 0xff) lsl 16) lor ((c land 0xff) lsl 8)
+  lor (d land 0xff)
+
+let localhost = of_octets 127 0 0 1
+
+let to_octets a =
+  ((a lsr 24) land 0xff, (a lsr 16) land 0xff, (a lsr 8) land 0xff, a land 0xff)
+
+let of_string s =
+  let len = String.length s in
+  let rec octet i acc ndigits =
+    if i >= len then (acc, i, ndigits)
+    else
+      match s.[i] with
+      | '0' .. '9' when ndigits < 3 ->
+          octet (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0'))
+            (ndigits + 1)
+      | _ -> (acc, i, ndigits)
+  in
+  let rec go i part acc =
+    let v, j, nd = octet i 0 0 in
+    if nd = 0 || v > 255 then invalid_arg "Ipv4.of_string: bad octet";
+    let acc = (acc lsl 8) lor v in
+    if part = 3 then
+      if j = len then acc else invalid_arg "Ipv4.of_string: trailing junk"
+    else if j < len && s.[j] = '.' then go (j + 1) (part + 1) acc
+    else invalid_arg "Ipv4.of_string: expected '.'"
+  in
+  go 0 0 0
+
+let of_string_opt s = try Some (of_string s) with Invalid_argument _ -> None
+
+let to_string a =
+  let x, y, z, w = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" x y z w
+
+let of_bytes s off =
+  if off < 0 || off + 4 > String.length s then
+    invalid_arg "Ipv4.of_bytes: out of bounds";
+  let b i = Char.code s.[off + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let write_bytes a b off =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((a lsr ((3 - i) * 8)) land 0xff))
+  done
+
+let succ a = (a + 1) land mask32
+let is_multicast a = a lsr 28 = 0xe
+
+let is_private a =
+  a lsr 24 = 10
+  || (a lsr 20 = (172 lsl 4) lor 1)
+  || a lsr 16 = (192 lsl 8) lor 168
+
+let compare = Int.compare
+let equal = Int.equal
+let hash a = Hashtbl.hash a
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,33 @@
+type t = Icmp | Tcp | Udp | Other of int
+
+let to_int = function Icmp -> 1 | Tcp -> 6 | Udp -> 17 | Other n -> n
+
+let of_int = function
+  | 1 -> Icmp
+  | 6 -> Tcp
+  | 17 -> Udp
+  | n ->
+      if n < 0 || n > 255 then invalid_arg "Proto.of_int: out of range";
+      Other n
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "icmp" -> Icmp
+  | "tcp" -> Tcp
+  | "udp" -> Udp
+  | other -> (
+      match int_of_string_opt other with
+      | Some n -> of_int n
+      | None -> invalid_arg "Proto.of_string: unknown protocol")
+
+let of_string_opt s = try Some (of_string s) with Invalid_argument _ -> None
+
+let to_string = function
+  | Icmp -> "icmp"
+  | Tcp -> "tcp"
+  | Udp -> "udp"
+  | Other n -> string_of_int n
+
+let compare a b = Int.compare (to_int a) (to_int b)
+let equal a b = to_int a = to_int b
+let pp ppf p = Format.pp_print_string ppf (to_string p)

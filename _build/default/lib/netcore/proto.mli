@@ -1,0 +1,16 @@
+(** IP protocol numbers. *)
+
+type t = Icmp | Tcp | Udp | Other of int
+
+val to_int : t -> int
+val of_int : int -> t
+
+val of_string : string -> t
+(** Accepts ["tcp"], ["udp"], ["icmp"] (case-insensitive) or a number.
+    @raise Invalid_argument on bad input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

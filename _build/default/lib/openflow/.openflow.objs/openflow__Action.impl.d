@@ -1,0 +1,1 @@
+lib/openflow/action.ml: Format List

@@ -1,0 +1,1 @@
+lib/openflow/flow_entry.ml: Action Format Match_fields Sim

@@ -1,0 +1,1 @@
+lib/openflow/flow_entry.mli: Action Format Match_fields Sim

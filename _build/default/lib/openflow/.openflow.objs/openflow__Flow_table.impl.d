@@ -1,0 +1,1 @@
+lib/openflow/flow_table.ml: Five_tuple Flow_entry Format Hashtbl List Match_fields Netcore Option Packet Prefix Sim

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.mli: Flow_entry Format Match_fields Netcore Packet Sim

@@ -1,0 +1,1 @@
+lib/openflow/match_fields.ml: Ethertype Five_tuple Format Fun Int List Mac Netcore Packet Prefix Proto Stdlib String Vlan

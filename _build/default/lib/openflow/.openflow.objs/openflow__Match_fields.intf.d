@@ -1,0 +1,1 @@
+lib/openflow/match_fields.mli: Ethertype Five_tuple Format Mac Netcore Packet Prefix Proto Vlan

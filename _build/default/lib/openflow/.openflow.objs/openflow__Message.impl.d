@@ -1,0 +1,1 @@
+lib/openflow/message.ml: Action Format List Match_fields Netcore Packet Sim

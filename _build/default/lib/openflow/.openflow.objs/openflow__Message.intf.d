@@ -1,0 +1,1 @@
+lib/openflow/message.mli: Action Format Match_fields Netcore Packet Sim

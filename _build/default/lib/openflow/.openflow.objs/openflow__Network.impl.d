@@ -1,0 +1,1 @@
+lib/openflow/network.ml: Format Hashtbl Int Ipv4 List Mac Message Netcore Option Packet Pcap Sim Switch Topology

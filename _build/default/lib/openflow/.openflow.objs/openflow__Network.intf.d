@@ -1,0 +1,1 @@
+lib/openflow/network.mli: Ipv4 Mac Message Netcore Packet Sim Switch Topology

@@ -1,0 +1,1 @@
+lib/openflow/switch.ml: Action Flow_entry Flow_table Format Int List Message Netcore Packet Sim String

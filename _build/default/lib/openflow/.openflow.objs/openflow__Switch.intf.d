@@ -1,0 +1,1 @@
+lib/openflow/switch.mli: Flow_table Format Message Netcore Packet Sim

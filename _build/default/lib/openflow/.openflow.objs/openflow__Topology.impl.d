@@ -1,0 +1,1 @@
+lib/openflow/topology.ml: Format Hashtbl List Map Message Option Printf Sim Stdlib

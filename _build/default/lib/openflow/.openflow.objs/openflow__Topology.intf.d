@@ -1,0 +1,1 @@
+lib/openflow/topology.mli: Format Message Sim

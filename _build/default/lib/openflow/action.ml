@@ -1,0 +1,26 @@
+type t = Output of int | Flood | To_controller | Drop
+
+let drop = [ Drop ]
+
+let is_drop actions =
+  actions = []
+  || List.for_all (function Drop -> true | Output _ | Flood | To_controller -> false) actions
+
+let output_ports actions =
+  List.filter_map (function Output p -> Some p | Flood | To_controller | Drop -> None) actions
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Output p -> Format.fprintf ppf "output:%d" p
+  | Flood -> Format.pp_print_string ppf "flood"
+  | To_controller -> Format.pp_print_string ppf "controller"
+  | Drop -> Format.pp_print_string ppf "drop"
+
+let pp_list ppf actions =
+  match actions with
+  | [] -> Format.pp_print_string ppf "drop(empty)"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+        pp ppf actions

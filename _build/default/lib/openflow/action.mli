@@ -1,0 +1,19 @@
+(** Actions a flow-table entry applies to matching packets (§3.1):
+    drop, forward out ports, flood, or send to the controller. *)
+
+type t =
+  | Output of int  (** Forward out a specific port. *)
+  | Flood  (** Forward out every port except the ingress one. *)
+  | To_controller  (** Encapsulate and send to the OpenFlow controller. *)
+  | Drop
+
+val drop : t list
+(** The canonical "no actions" drop list. *)
+
+val is_drop : t list -> bool
+(** True when the list forwards nowhere (empty or explicit [Drop]). *)
+
+val output_ports : t list -> int list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

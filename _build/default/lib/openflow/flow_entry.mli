@@ -1,0 +1,34 @@
+(** A single flow-table entry: match, priority, actions, timeouts and
+    traffic counters. *)
+
+type t = {
+  fields : Match_fields.t;
+  priority : int;  (** Higher wins; OpenFlow 1.0 convention. *)
+  actions : Action.t list;
+  idle_timeout : Sim.Time.t option;
+      (** Evict after this much time without a matching packet. *)
+  hard_timeout : Sim.Time.t option;
+      (** Evict this long after installation regardless of traffic. *)
+  cookie : int;  (** Opaque controller tag. *)
+  installed_at : Sim.Time.t;
+  mutable last_hit : Sim.Time.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+val make :
+  ?priority:int ->
+  ?idle_timeout:Sim.Time.t ->
+  ?hard_timeout:Sim.Time.t ->
+  ?cookie:int ->
+  ?installed_at:Sim.Time.t ->
+  fields:Match_fields.t ->
+  Action.t list ->
+  t
+(** Default priority is 0x8000 (OpenFlow's default), no timeouts. *)
+
+val hit : t -> now:Sim.Time.t -> size:int -> unit
+(** Update counters when a packet matches. *)
+
+val expired : t -> now:Sim.Time.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+open Netcore
+
+module Flow_tbl = Hashtbl.Make (struct
+  type t = Five_tuple.t
+
+  let equal = Five_tuple.equal
+  let hash = Five_tuple.hash
+end)
+
+type t = {
+  capacity : int option;
+  mutable entries : Flow_entry.t list;
+      (* Every entry, sorted by priority descending, then recency of
+         installation (newer first). The authoritative store. *)
+  index : Flow_entry.t Flow_tbl.t;
+      (* Fast path: entries whose match is exactly one 5-tuple (the
+         shape controllers install to cache per-flow decisions), keyed
+         by that tuple. An index hit is only final when no wildcard
+         entry of higher priority exists — see [lookup]. *)
+  mutable wildcards : Flow_entry.t list;
+      (* The non-indexable entries, in the same order as [entries]. *)
+  mutable max_wildcard_priority : int;
+      (* Highest priority among NON-indexable entries; min_int when
+         there are none. Lets the common case (index hit, no wildcard
+         above it) skip the linear scan entirely. *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable next_expiry : int option;
+      (* Lower bound (ns) on the earliest possible entry expiry; [None]
+         when no entry carries a timeout. Hits only push deadlines
+         later, so the bound stays valid until the next full scan. *)
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Flow_table.create: capacity must be positive"
+  | _ -> ());
+  {
+    capacity;
+    entries = [];
+    index = Flow_tbl.create 64;
+    wildcards = [];
+    max_wildcard_priority = min_int;
+    hit_count = 0;
+    miss_count = 0;
+    next_expiry = None;
+  }
+
+let size t = List.length t.entries
+
+(* The 5-tuple an entry's fields pin down exactly, when the entry is
+   "five-tuple shaped": layer-2 fields and ingress port wildcarded,
+   /32 addresses, protocol and both ports given. *)
+let index_key_of (fields : Match_fields.t) =
+  match fields with
+  | {
+   Match_fields.in_port = None;
+   dl_src = None;
+   dl_dst = None;
+   dl_vlan = None;
+   dl_type = _;
+   nw_src = Some src;
+   nw_dst = Some dst;
+   nw_proto = Some proto;
+   tp_src = Some tp_src;
+   tp_dst = Some tp_dst;
+  }
+    when Prefix.length src = 32 && Prefix.length dst = 32 ->
+      Some
+        (Five_tuple.make ~src:(Prefix.network src) ~dst:(Prefix.network dst)
+           ~proto ~src_port:tp_src ~dst_port:tp_dst)
+  | _ -> None
+
+let deadline_of (e : Flow_entry.t) =
+  let of_timeout base = function
+    | None -> None
+    | Some timeout -> Some (Sim.Time.to_ns (Sim.Time.add base timeout))
+  in
+  match
+    (of_timeout e.last_hit e.idle_timeout, of_timeout e.installed_at e.hard_timeout)
+  with
+  | None, d | d, None -> d
+  | Some a, Some b -> Some (min a b)
+
+let recompute_aux t =
+  Flow_tbl.reset t.index;
+  t.max_wildcard_priority <- min_int;
+  t.next_expiry <-
+    List.fold_left
+      (fun acc e ->
+        match (acc, deadline_of e) with
+        | None, d | d, None -> d
+        | Some a, Some b -> Some (min a b))
+      None t.entries;
+  (* entries are newest-first within a priority; keep the FIRST entry
+     seen per key so ties resolve like the linear scan. *)
+  let wildcards =
+    List.filter
+      (fun (e : Flow_entry.t) ->
+        match index_key_of e.fields with
+        | Some key ->
+            if not (Flow_tbl.mem t.index key) then Flow_tbl.add t.index key e;
+            false
+        | None ->
+            if e.priority > t.max_wildcard_priority then
+              t.max_wildcard_priority <- e.priority;
+            true)
+      t.entries
+  in
+  t.wildcards <- wildcards
+
+let evict_lru t =
+  match t.entries with
+  | [] -> ()
+  | first :: _ ->
+      let victim =
+        List.fold_left
+          (fun (acc : Flow_entry.t) (e : Flow_entry.t) ->
+            if Sim.Time.compare e.last_hit acc.last_hit < 0 then e else acc)
+          first t.entries
+      in
+      t.entries <- List.filter (fun e -> e != victim) t.entries;
+      recompute_aux t
+
+let add t (entry : Flow_entry.t) =
+  (* Replace an identical (fields, priority) entry. *)
+  t.entries <-
+    List.filter
+      (fun (e : Flow_entry.t) ->
+        not
+          (e.priority = entry.priority
+          && Match_fields.equal e.fields entry.fields))
+      t.entries;
+  (match t.capacity with
+  | Some cap when List.length t.entries >= cap -> evict_lru t
+  | _ -> ());
+  (* Insert before existing entries of the same priority so newer
+     installations win ties. *)
+  let rec insert = function
+    | [] -> [ entry ]
+    | (e : Flow_entry.t) :: rest as l ->
+        if entry.priority >= e.priority then entry :: l else e :: insert rest
+  in
+  t.entries <- insert t.entries;
+  recompute_aux t
+
+let scan_wildcards t ~in_port pkt =
+  List.find_opt
+    (fun (e : Flow_entry.t) -> Match_fields.matches e.fields ~in_port pkt)
+    t.wildcards
+
+let full_scan t ~in_port pkt =
+  List.find_opt
+    (fun (e : Flow_entry.t) -> Match_fields.matches e.fields ~in_port pkt)
+    t.entries
+
+let lookup t ~in_port pkt =
+  let found =
+    match Option.bind (Packet.five_tuple pkt) (Flow_tbl.find_opt t.index) with
+    | Some (e : Flow_entry.t) when Match_fields.matches e.fields ~in_port pkt
+      ->
+        if e.priority > t.max_wildcard_priority then
+          (* Fast path: no wildcard entry can outrank or tie the
+             indexed hit. *)
+          Some e
+        else begin
+          (* A wildcard entry might outrank or tie it. *)
+          match scan_wildcards t ~in_port pkt with
+          | Some (w : Flow_entry.t) when w.priority > e.priority -> Some w
+          | Some (w : Flow_entry.t) when w.priority = e.priority ->
+              (* Equal priority: linear order (recency) decides. *)
+              List.find_opt (fun x -> x == e || x == w) t.entries
+          | Some _ | None -> Some e
+        end
+    | Some _ ->
+        (* Key collision with a non-matching entry (e.g. a dead entry
+           with exact addresses but a non-IP dl_type): fall back to the
+           authoritative scan. *)
+        full_scan t ~in_port pkt
+    | None ->
+        (* No indexed candidate: only wildcard-shaped entries can match
+           (an indexable entry matches exactly its own key). *)
+        scan_wildcards t ~in_port pkt
+  in
+  (match found with
+  | Some _ -> t.hit_count <- t.hit_count + 1
+  | None -> t.miss_count <- t.miss_count + 1);
+  found
+
+let remove t ~fields =
+  t.entries <-
+    List.filter
+      (fun (e : Flow_entry.t) -> not (Match_fields.equal e.fields fields))
+      t.entries;
+  recompute_aux t
+
+let remove_matching t ~fields =
+  t.entries <-
+    List.filter
+      (fun (e : Flow_entry.t) -> not (Match_fields.covers fields e.fields))
+      t.entries;
+  recompute_aux t
+
+let expire t ~now =
+  match t.next_expiry with
+  | Some bound when Sim.Time.to_ns now > bound ->
+      let before = List.length t.entries in
+      t.entries <-
+        List.filter (fun e -> not (Flow_entry.expired e ~now)) t.entries;
+      let evicted = before - List.length t.entries in
+      (* Recompute the bound even without evictions: hits may have
+         pushed every deadline past [now]. *)
+      recompute_aux t;
+      evicted
+  | Some _ | None -> 0
+
+let entries t = t.entries
+
+let clear t =
+  t.entries <- [];
+  recompute_aux t
+
+let misses t = t.miss_count
+let hits t = t.hit_count
+
+let pp ppf t =
+  Format.fprintf ppf "flow-table (%d entries, %d hits, %d misses)@."
+    (size t) t.hit_count t.miss_count;
+  List.iter (fun e -> Format.fprintf ppf "  %a@." Flow_entry.pp e) t.entries

@@ -1,0 +1,41 @@
+(** A switch's flow table: priority-ordered wildcard matching with an
+    exact-match fast path, per OpenFlow 1.0 semantics. *)
+
+open Netcore
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of entries (default unbounded);
+    inserting into a full table evicts the least-recently-hit entry. *)
+
+val add : t -> Flow_entry.t -> unit
+(** Install an entry. An entry with identical fields and priority
+    replaces the old one (OpenFlow overlap semantics for identical
+    matches). *)
+
+val lookup : t -> in_port:int -> Packet.t -> Flow_entry.t option
+(** Highest-priority matching entry; ties broken by most recent
+    installation. Does not update counters — callers decide (see
+    {!Switch}). *)
+
+val remove : t -> fields:Match_fields.t -> unit
+(** Strict delete: removes entries whose fields equal [fields]. *)
+
+val remove_matching : t -> fields:Match_fields.t -> unit
+(** Wildcard delete: removes entries covered by [fields] (OpenFlow
+    DELETE semantics). *)
+
+val expire : t -> now:Sim.Time.t -> int
+(** Drop timed-out entries; returns how many were evicted. *)
+
+val entries : t -> Flow_entry.t list
+(** All live entries, highest priority first. *)
+
+val size : t -> int
+val clear : t -> unit
+val misses : t -> int
+(** Cumulative lookup misses. *)
+
+val hits : t -> int
+val pp : Format.formatter -> t -> unit

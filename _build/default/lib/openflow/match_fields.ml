@@ -1,0 +1,155 @@
+open Netcore
+
+type t = {
+  in_port : int option;
+  dl_src : Mac.t option;
+  dl_dst : Mac.t option;
+  dl_type : Ethertype.t option;
+  dl_vlan : Vlan.t option;
+  nw_src : Prefix.t option;
+  nw_dst : Prefix.t option;
+  nw_proto : Proto.t option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+let any =
+  {
+    in_port = None;
+    dl_src = None;
+    dl_dst = None;
+    dl_type = None;
+    dl_vlan = None;
+    nw_src = None;
+    nw_dst = None;
+    nw_proto = None;
+    tp_src = None;
+    tp_dst = None;
+  }
+
+let ethertype_of_packet (pkt : Packet.t) =
+  match pkt.eth_payload with
+  | Packet.Ip _ -> Ethertype.Ipv4
+  | Packet.Raw_eth (et, _) -> et
+
+let exact ~in_port (pkt : Packet.t) =
+  let nw_src, nw_dst, nw_proto, tp_src, tp_dst =
+    match Packet.five_tuple pkt with
+    | Some ft ->
+        ( Some (Prefix.host ft.src),
+          Some (Prefix.host ft.dst),
+          Some ft.proto,
+          Some ft.src_port,
+          Some ft.dst_port )
+    | None -> (None, None, None, None, None)
+  in
+  {
+    in_port = Some in_port;
+    dl_src = Some pkt.eth_src;
+    dl_dst = Some pkt.eth_dst;
+    dl_type = Some (ethertype_of_packet pkt);
+    dl_vlan = Some pkt.vlan;
+    nw_src;
+    nw_dst;
+    nw_proto;
+    tp_src;
+    tp_dst;
+  }
+
+let of_five_tuple (ft : Five_tuple.t) =
+  {
+    any with
+    dl_type = Some Ethertype.Ipv4;
+    nw_src = Some (Prefix.host ft.src);
+    nw_dst = Some (Prefix.host ft.dst);
+    nw_proto = Some ft.proto;
+    tp_src = Some ft.src_port;
+    tp_dst = Some ft.dst_port;
+  }
+
+let field_matches field value ~eq =
+  match field with None -> true | Some f -> eq f value
+
+let matches t ~in_port (pkt : Packet.t) =
+  field_matches t.in_port in_port ~eq:Int.equal
+  && field_matches t.dl_src pkt.eth_src ~eq:Mac.equal
+  && field_matches t.dl_dst pkt.eth_dst ~eq:Mac.equal
+  && field_matches t.dl_type (ethertype_of_packet pkt) ~eq:Ethertype.equal
+  && field_matches t.dl_vlan pkt.vlan ~eq:Vlan.equal
+  &&
+  match Packet.five_tuple pkt with
+  | Some ft ->
+      (match t.nw_src with None -> true | Some p -> Prefix.mem ft.src p)
+      && (match t.nw_dst with None -> true | Some p -> Prefix.mem ft.dst p)
+      && field_matches t.nw_proto ft.proto ~eq:Proto.equal
+      && field_matches t.tp_src ft.src_port ~eq:Int.equal
+      && field_matches t.tp_dst ft.dst_port ~eq:Int.equal
+  | None ->
+      (* Non-IP packets only match when all network fields are wild. *)
+      t.nw_src = None && t.nw_dst = None && t.nw_proto = None
+      && t.tp_src = None && t.tp_dst = None
+
+let covers_field general specific ~eq =
+  match (general, specific) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some g, Some s -> eq g s
+
+let covers_prefix general specific =
+  match (general, specific) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some g, Some s -> Prefix.subset s g
+
+let covers general specific =
+  covers_field general.in_port specific.in_port ~eq:Int.equal
+  && covers_field general.dl_src specific.dl_src ~eq:Mac.equal
+  && covers_field general.dl_dst specific.dl_dst ~eq:Mac.equal
+  && covers_field general.dl_type specific.dl_type ~eq:Ethertype.equal
+  && covers_field general.dl_vlan specific.dl_vlan ~eq:Vlan.equal
+  && covers_prefix general.nw_src specific.nw_src
+  && covers_prefix general.nw_dst specific.nw_dst
+  && covers_field general.nw_proto specific.nw_proto ~eq:Proto.equal
+  && covers_field general.tp_src specific.tp_src ~eq:Int.equal
+  && covers_field general.tp_dst specific.tp_dst ~eq:Int.equal
+
+let full_prefix = function Some p -> Prefix.length p = 32 | None -> false
+
+let is_exact t =
+  t.in_port <> None && t.dl_src <> None && t.dl_dst <> None
+  && t.dl_type <> None && t.dl_vlan <> None && full_prefix t.nw_src
+  && full_prefix t.nw_dst && t.nw_proto <> None && t.tp_src <> None
+  && t.tp_dst <> None
+
+let wildcard_count t =
+  let w = function None -> 1 | Some _ -> 0 in
+  w t.in_port + w t.dl_src + w t.dl_dst + w t.dl_type + w t.dl_vlan
+  + w t.nw_src + w t.nw_dst + w t.nw_proto + w t.tp_src + w t.tp_dst
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let field name pp_v = function
+    | None -> None
+    | Some v -> Some (Format.asprintf "%s=%a" name pp_v v)
+  in
+  let pp_int ppf = Format.fprintf ppf "%d" in
+  let parts =
+    List.filter_map Fun.id
+      [
+        field "in_port" pp_int t.in_port;
+        field "dl_src" Mac.pp t.dl_src;
+        field "dl_dst" Mac.pp t.dl_dst;
+        field "dl_type" Ethertype.pp t.dl_type;
+        field "dl_vlan" Vlan.pp t.dl_vlan;
+        field "nw_src" Prefix.pp t.nw_src;
+        field "nw_dst" Prefix.pp t.nw_dst;
+        field "nw_proto" Proto.pp t.nw_proto;
+        field "tp_src" pp_int t.tp_src;
+        field "tp_dst" pp_int t.tp_dst;
+      ]
+  in
+  match parts with
+  | [] -> Format.pp_print_string ppf "{any}"
+  | _ -> Format.fprintf ppf "{%s}" (String.concat " " parts)

@@ -1,0 +1,46 @@
+(** The OpenFlow 10-tuple flow match (§3.1 of the paper): ingress port,
+    MAC source/destination, Ethernet type, VLAN id, IP source/destination,
+    IP protocol, transport source/destination ports. Every field may be
+    wildcarded; IP addresses wildcard by CIDR prefix as in OpenFlow 1.0. *)
+
+open Netcore
+
+type t = {
+  in_port : int option;
+  dl_src : Mac.t option;
+  dl_dst : Mac.t option;
+  dl_type : Ethertype.t option;
+  dl_vlan : Vlan.t option;
+  nw_src : Prefix.t option;
+  nw_dst : Prefix.t option;
+  nw_proto : Proto.t option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+val any : t
+(** All fields wildcarded; matches every packet. *)
+
+val exact : in_port:int -> Packet.t -> t
+(** The fully-specified match for a concrete packet as seen on a port —
+    what a controller installs to cache a per-flow decision. *)
+
+val of_five_tuple : Five_tuple.t -> t
+(** Match on the ident++ 5-tuple only (layer-2 fields wildcarded). *)
+
+val matches : t -> in_port:int -> Packet.t -> bool
+
+val covers : t -> t -> bool
+(** [covers general specific]: every packet matched by [specific] is
+    matched by [general]. Conservative for prefix fields (exact CIDR
+    subset test). *)
+
+val is_exact : t -> bool
+(** No wildcards (addresses must be /32). *)
+
+val wildcard_count : t -> int
+(** Number of wildcarded fields, 0–10. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** Control-channel messages between switches and the controller,
+    modelled on the OpenFlow 1.0 message set the paper relies on. *)
+
+open Netcore
+
+type switch_id = int
+(** Datapath identifier. *)
+
+type packet_in = {
+  dpid : switch_id;
+  in_port : int;
+  reason : [ `No_match | `Action ];
+  packet : Packet.t;
+}
+
+type flow_mod_command = Add | Delete | Delete_strict
+
+type flow_mod = {
+  command : flow_mod_command;
+  fields : Match_fields.t;
+  priority : int;
+  actions : Action.t list;
+  idle_timeout : Sim.Time.t option;
+  hard_timeout : Sim.Time.t option;
+  cookie : int;
+}
+
+type packet_out = {
+  out_packet : Packet.t;
+  out_port : [ `Port of int | `Flood | `Table ];
+      (** [`Table] runs the packet through the flow table. *)
+}
+
+type flow_stat = {
+  st_fields : Match_fields.t;
+  st_priority : int;
+  st_packets : int;
+  st_bytes : int;
+  st_age : Sim.Time.t;  (** Time since installation. *)
+}
+
+type stats_reply = {
+  st_dpid : switch_id;
+  st_xid : int;  (** Echoes the request's transaction id. *)
+  st_flows : flow_stat list;
+  st_lookups : int;  (** Table lookup count (hits + misses). *)
+  st_matched : int;  (** Table hit count. *)
+}
+
+type to_controller = Packet_in of packet_in | Stats_reply of stats_reply
+
+type to_switch =
+  | Flow_mod of flow_mod
+  | Packet_out of packet_out
+  | Stats_request of { xid : int }
+  | Barrier
+
+val add_flow :
+  ?priority:int ->
+  ?idle_timeout:Sim.Time.t ->
+  ?hard_timeout:Sim.Time.t ->
+  ?cookie:int ->
+  fields:Match_fields.t ->
+  Action.t list ->
+  to_switch
+
+val delete_flow : fields:Match_fields.t -> to_switch
+val pp_to_controller : Format.formatter -> to_controller -> unit
+val pp_to_switch : Format.formatter -> to_switch -> unit

@@ -1,0 +1,102 @@
+open Netcore
+
+type t = {
+  dpid : Message.switch_id;
+  ports : int list;
+  table : Flow_table.t;
+  mutable packets_handled : int;
+}
+
+let create ~dpid ~ports =
+  { dpid; ports; table = Flow_table.create (); packets_handled = 0 }
+
+let dpid t = t.dpid
+let ports t = t.ports
+let table t = t.table
+
+type forward_decision = Forward of int list | Send_to_controller | Dropped
+
+let resolve_actions t ~in_port actions =
+  if Action.is_drop actions then Dropped
+  else if List.exists (function Action.To_controller -> true | _ -> false) actions
+  then Send_to_controller
+  else
+    let ports =
+      List.concat_map
+        (function
+          | Action.Output p -> [ p ]
+          | Action.Flood -> List.filter (fun p -> p <> in_port) t.ports
+          | Action.To_controller | Action.Drop -> [])
+        actions
+    in
+    if ports = [] then Dropped else Forward (List.sort_uniq Int.compare ports)
+
+let process t ~now ~in_port pkt =
+  t.packets_handled <- t.packets_handled + 1;
+  ignore (Flow_table.expire t.table ~now);
+  match Flow_table.lookup t.table ~in_port pkt with
+  | None -> Send_to_controller
+  | Some entry ->
+      Flow_entry.hit entry ~now ~size:(Packet.size pkt);
+      resolve_actions t ~in_port entry.actions
+
+type apply_result =
+  | Nothing
+  | Emit of int list * Packet.t
+  | Reply of Message.to_controller
+
+let apply t ~now msg =
+  match msg with
+  | Message.Barrier -> Nothing
+  | Message.Flow_mod fm -> (
+      match fm.command with
+      | Message.Add ->
+          Flow_table.add t.table
+            (Flow_entry.make ~priority:fm.priority
+               ?idle_timeout:fm.idle_timeout ?hard_timeout:fm.hard_timeout
+               ~cookie:fm.cookie ~installed_at:now ~fields:fm.fields fm.actions);
+          Nothing
+      | Message.Delete ->
+          Flow_table.remove_matching t.table ~fields:fm.fields;
+          Nothing
+      | Message.Delete_strict ->
+          Flow_table.remove t.table ~fields:fm.fields;
+          Nothing)
+  | Message.Stats_request { xid } ->
+      let flows =
+        List.map
+          (fun (e : Flow_entry.t) ->
+            {
+              Message.st_fields = e.fields;
+              st_priority = e.priority;
+              st_packets = e.packets;
+              st_bytes = e.bytes;
+              st_age = Sim.Time.sub now e.installed_at;
+            })
+          (Flow_table.entries t.table)
+      in
+      Reply
+        (Message.Stats_reply
+           {
+             Message.st_dpid = t.dpid;
+             st_xid = xid;
+             st_flows = flows;
+             st_lookups = Flow_table.hits t.table + Flow_table.misses t.table;
+             st_matched = Flow_table.hits t.table;
+           })
+  | Message.Packet_out po -> (
+      match po.out_port with
+      | `Port p -> Emit ([ p ], po.out_packet)
+      | `Flood -> Emit (t.ports, po.out_packet)
+      | `Table -> (
+          (* Run through the table with a pseudo ingress port of 0. *)
+          match process t ~now ~in_port:0 po.out_packet with
+          | Forward ports -> Emit (ports, po.out_packet)
+          | Send_to_controller | Dropped -> Nothing))
+
+let packets_handled t = t.packets_handled
+
+let pp ppf t =
+  Format.fprintf ppf "switch dpid=%d ports=[%s] handled=%d@.%a" t.dpid
+    (String.concat ";" (List.map string_of_int t.ports))
+    t.packets_handled Flow_table.pp t.table

@@ -1,0 +1,37 @@
+(** The OpenFlow switch model: a flow table plus the table-miss rule
+    "encapsulate and send to the controller" (§3.1). *)
+
+open Netcore
+
+type t
+
+val create : dpid:Message.switch_id -> ports:int list -> t
+(** [ports] are the switch's physical port numbers. *)
+
+val dpid : t -> Message.switch_id
+val ports : t -> int list
+val table : t -> Flow_table.t
+
+type forward_decision =
+  | Forward of int list  (** Concrete output ports (flood resolved). *)
+  | Send_to_controller
+  | Dropped
+
+val process :
+  t -> now:Sim.Time.t -> in_port:int -> Packet.t -> forward_decision
+(** Run a packet through the flow table: on a hit, update the entry's
+    counters and resolve its actions to ports; on a miss, the OpenFlow
+    default of sending to the controller. *)
+
+type apply_result =
+  | Nothing
+  | Emit of int list * Packet.t  (** Ports to emit the packet on. *)
+  | Reply of Message.to_controller  (** Response on the control channel. *)
+
+val apply : t -> now:Sim.Time.t -> Message.to_switch -> apply_result
+(** Apply a controller message. [Flow_mod] mutates the table;
+    [Packet_out] resolves [`Flood]/[`Table] to concrete ports;
+    [Stats_request] snapshots the flow table into a [Stats_reply]. *)
+
+val packets_handled : t -> int
+val pp : Format.formatter -> t -> unit

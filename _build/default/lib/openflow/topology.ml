@@ -1,0 +1,169 @@
+type node = Sw of Message.switch_id | Host of string
+type endpoint = { node : node; port : int }
+type link = { a : endpoint; b : endpoint; latency : Sim.Time.t }
+
+module Node_map = Map.Make (struct
+  type t = node
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  mutable nodes : unit Node_map.t;
+  mutable links : link list;
+  (* (node, port) -> far endpoint + latency, both directions. *)
+  wiring : (node * int, endpoint * Sim.Time.t) Hashtbl.t;
+}
+
+let create () = { nodes = Node_map.empty; links = []; wiring = Hashtbl.create 64 }
+
+let add_node t n =
+  if Node_map.mem n t.nodes then
+    invalid_arg "Topology: duplicate node";
+  t.nodes <- Node_map.add n () t.nodes
+
+let add_switch t dpid = add_node t (Sw dpid)
+let add_host t name = add_node t (Host name)
+
+let node_to_string = function
+  | Sw d -> Printf.sprintf "s%d" d
+  | Host h -> h
+
+let link t ?(latency = Sim.Time.us 10) (na, pa) (nb, pb) =
+  if not (Node_map.mem na t.nodes) then
+    invalid_arg ("Topology.link: unknown node " ^ node_to_string na);
+  if not (Node_map.mem nb t.nodes) then
+    invalid_arg ("Topology.link: unknown node " ^ node_to_string nb);
+  if Hashtbl.mem t.wiring (na, pa) then
+    invalid_arg
+      (Printf.sprintf "Topology.link: %s port %d already wired"
+         (node_to_string na) pa);
+  if Hashtbl.mem t.wiring (nb, pb) then
+    invalid_arg
+      (Printf.sprintf "Topology.link: %s port %d already wired"
+         (node_to_string nb) pb);
+  let a = { node = na; port = pa } and b = { node = nb; port = pb } in
+  t.links <- { a; b; latency } :: t.links;
+  Hashtbl.replace t.wiring (na, pa) (b, latency);
+  Hashtbl.replace t.wiring (nb, pb) (a, latency)
+
+let switches t =
+  Node_map.fold
+    (fun n () acc -> match n with Sw d -> d :: acc | Host _ -> acc)
+    t.nodes []
+  |> List.rev
+
+let hosts t =
+  Node_map.fold
+    (fun n () acc -> match n with Host h -> h :: acc | Sw _ -> acc)
+    t.nodes []
+  |> List.rev
+
+let links t = List.rev t.links
+
+let peer t node port =
+  Option.map fst (Hashtbl.find_opt t.wiring (node, port))
+
+let ports_of t node =
+  Hashtbl.fold
+    (fun (n, p) _ acc -> if n = node then p :: acc else acc)
+    t.wiring []
+
+let host_attachment t name =
+  match ports_of t (Host name) with
+  | [] -> None
+  | port :: _ -> (
+      match Hashtbl.find_opt t.wiring (Host name, port) with
+      | Some (ep, _) -> ( match ep.node with Sw _ -> Some ep | Host _ -> None)
+      | None -> None)
+
+(* Dijkstra over nodes, weights = link latency in ns. *)
+let shortest_path t ~(src : node) ~(dst : node) =
+  let dist = Hashtbl.create 32 in
+  let prev = Hashtbl.create 32 in
+  (* prev: node -> (previous node, in_port at node, out_port at prev) *)
+  let pq = Sim.Heap.create () in
+  Hashtbl.replace dist src 0;
+  Sim.Heap.push pq ~key:0 src;
+  let rec loop () =
+    match Sim.Heap.pop pq with
+    | None -> ()
+    | Some (d, n) ->
+        let known = try Hashtbl.find dist n with Not_found -> max_int in
+        if d > known then loop ()
+        else if n = dst then ()
+        else begin
+          List.iter
+            (fun port ->
+              match Hashtbl.find_opt t.wiring (n, port) with
+              | None -> ()
+              | Some (far, latency) ->
+                  (* Hosts do not forward transit traffic. *)
+                  let transit_ok =
+                    match far.node with
+                    | Sw _ -> true
+                    | Host _ -> far.node = dst
+                  in
+                  if transit_ok then begin
+                    let nd = d + Sim.Time.to_ns latency in
+                    let cur =
+                      try Hashtbl.find dist far.node with Not_found -> max_int
+                    in
+                    if nd < cur then begin
+                      Hashtbl.replace dist far.node nd;
+                      Hashtbl.replace prev far.node (n, far.port, port);
+                      Sim.Heap.push pq ~key:nd far.node
+                    end
+                  end)
+            (ports_of t n);
+          loop ()
+        end
+  in
+  loop ();
+  if not (Hashtbl.mem dist dst) then None
+  else begin
+    (* Walk back from dst collecting (node, in_port_at_node). *)
+    let rec walk n acc =
+      match Hashtbl.find_opt prev n with
+      | None -> acc
+      | Some (p, in_port_at_n, out_port_at_p) ->
+          walk p ((n, in_port_at_n, out_port_at_p) :: acc)
+    in
+    Some (walk dst [])
+  end
+
+let switch_path t ~src ~dst =
+  match shortest_path t ~src:(Host src) ~dst:(Host dst) with
+  | None -> None
+  | Some hops ->
+      (* hops: [(node, in_port at node, out_port at previous node)].
+         For each switch hop we need (dpid, in_port, out_port): in_port is
+         carried on its own hop entry; out_port is the "out_port at
+         previous node" of the NEXT hop. *)
+      let rec build = function
+        | (Sw d, in_port, _) :: ((_, _, out_port_at_prev) :: _ as rest) ->
+            (d, in_port, out_port_at_prev) :: build rest
+        | [ (Host _, _, _) ] -> []
+        | (Host _, _, _) :: rest -> build rest
+        | [ (Sw _, _, _) ] ->
+            (* A path cannot end at a switch when dst is a host. *)
+            []
+        | [] -> []
+      in
+      Some (build hops)
+
+let next_hop t ~from ~dst_host =
+  match shortest_path t ~src:(Sw from) ~dst:(Host dst_host) with
+  | None | Some [] -> None
+  | Some ((_, _, out_port_at_src) :: _) -> Some out_port_at_src
+
+let pp ppf t =
+  Format.fprintf ppf "topology: %d switches, %d hosts, %d links@."
+    (List.length (switches t))
+    (List.length (hosts t))
+    (List.length t.links);
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  %s:%d <-> %s:%d (%a)@." (node_to_string l.a.node)
+        l.a.port (node_to_string l.b.node) l.b.port Sim.Time.pp l.latency)
+    (links t)

@@ -1,0 +1,48 @@
+(** The network graph: switches and hosts joined by point-to-point links
+    with latencies, plus shortest-path routing used by controllers to
+    install entries "along the path" (Figure 1, step 4). *)
+
+type node = Sw of Message.switch_id | Host of string
+
+type endpoint = { node : node; port : int }
+
+type link = { a : endpoint; b : endpoint; latency : Sim.Time.t }
+
+type t
+
+val create : unit -> t
+val add_switch : t -> Message.switch_id -> unit
+val add_host : t -> string -> unit
+
+val link :
+  t -> ?latency:Sim.Time.t -> node * int -> node * int -> unit
+(** Bidirectional link between two (node, port) endpoints. Default
+    latency is 10us. @raise Invalid_argument if either endpoint's node
+    is unknown or the port is already wired. *)
+
+val switches : t -> Message.switch_id list
+val hosts : t -> string list
+val links : t -> link list
+
+val peer : t -> node -> int -> endpoint option
+(** What is connected at this node's port. *)
+
+val host_attachment : t -> string -> endpoint option
+(** The switch endpoint a host hangs off ([None] if unattached). The
+    returned endpoint is the {e switch side}: its node is the switch and
+    its port the switch port facing the host. *)
+
+val switch_path :
+  t -> src:string -> dst:string -> (Message.switch_id * int * int) list option
+(** Hop-by-hop switch path from host [src] to host [dst], as
+    [(dpid, in_port, out_port)] triples — exactly what a controller
+    needs to install a flow along the path. [None] when unreachable.
+    Minimizes total link latency (Dijkstra). *)
+
+val next_hop : t -> from:Message.switch_id -> dst_host:string -> int option
+(** The output port at switch [from] on a shortest path toward
+    [dst_host]; [None] when unreachable. Used by transit controllers to
+    forward intercepted ident++ packets hop by hop (§3.4). *)
+
+val node_to_string : node -> string
+val pp : Format.formatter -> t -> unit

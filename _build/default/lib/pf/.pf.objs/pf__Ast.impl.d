@@ -1,0 +1,1 @@
+lib/pf/ast.ml: List Netcore Prefix

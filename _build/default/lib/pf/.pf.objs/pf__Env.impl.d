@@ -1,0 +1,1 @@
+lib/pf/env.ml: Ast Hashtbl List Netcore Option Parser Prefix Printf Result

@@ -1,0 +1,1 @@
+lib/pf/env.mli: Ast Netcore Prefix

@@ -1,0 +1,1 @@
+lib/pf/eval.ml: Ast Env Five_tuple Fnreg Format Hashtbl Idcrypto Identxx List Netcore Option Parser Prefix Proto String

@@ -1,0 +1,1 @@
+lib/pf/eval.mli: Ast Env Five_tuple Fnreg Idcrypto Identxx Netcore

@@ -1,0 +1,1 @@
+lib/pf/fnreg.ml: Hashtbl List

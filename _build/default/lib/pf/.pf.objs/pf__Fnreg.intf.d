@@ -1,0 +1,1 @@
+lib/pf/fnreg.mli:

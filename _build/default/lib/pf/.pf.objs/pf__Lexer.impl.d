@@ -1,0 +1,1 @@
+lib/pf/lexer.ml: Buffer List Printf String Token

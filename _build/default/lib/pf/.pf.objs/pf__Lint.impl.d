@@ -1,0 +1,1 @@
+lib/pf/lint.ml: Ast Fnreg Format List Printf

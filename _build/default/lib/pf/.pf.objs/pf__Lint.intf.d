@@ -1,0 +1,1 @@
+lib/pf/lint.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/pf/parser.ml: Array Ast Format Lexer List Netcore Prefix Printf Services Token

@@ -1,0 +1,1 @@
+lib/pf/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/pf/pretty.ml: Ast Buffer Format Fun Ipv4 List Netcore Option Prefix Printf String

@@ -1,0 +1,1 @@
+lib/pf/pretty.mli: Ast Format

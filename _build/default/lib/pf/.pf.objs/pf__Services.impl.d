@@ -1,0 +1,1 @@
+lib/pf/services.ml: List String

@@ -1,0 +1,1 @@
+lib/pf/token.ml: Format Printf

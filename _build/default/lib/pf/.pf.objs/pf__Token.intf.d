@@ -1,0 +1,1 @@
+lib/pf/token.mli: Format

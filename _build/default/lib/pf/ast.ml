@@ -1,0 +1,90 @@
+(** The PF+=2 abstract syntax (§3.3). Types only; parsing lives in
+    {!Parser}, semantics in {!Eval}, printing in {!Pretty}. *)
+
+open Netcore
+
+(** A function-call argument. *)
+type arg =
+  | Dict_access of { star : bool; dict : string; key : string }
+      (** [@src[userID]], [@pubkeys[research]]; [star] is the [*@]
+          all-sections concatenation accessor. *)
+  | Macro_ref of string  (** [$allowed] *)
+  | Lit of string  (** A bare word or quoted string. *)
+
+type funcall = { fname : string; args : arg list }
+(** A [with] predicate: user-definable boolean function (§3.3). *)
+
+(** Address part of a [from]/[to] endpoint. *)
+type addr_match =
+  | Addr_any
+  | Addr_table of string  (** [<mail-server>] *)
+  | Addr_prefix of Prefix.t  (** A literal address or CIDR block. *)
+  | Addr_list of Prefix.t list
+      (** PF's inline list: [from { 10.0.0.1 10.0.0.2/31 }]. *)
+
+type addr_spec = { negated : bool; addr : addr_match }
+
+(** Port constraint on an endpoint: a single port or an inclusive
+    range ([port 8000:8080], PF's range syntax). *)
+type port_match = Port_eq of int | Port_range of int * int
+
+type endpoint_spec = { addr : addr_spec option; port : port_match option }
+(** [None] fields are unconstrained. *)
+
+type action = Pass | Block
+
+type rule = {
+  action : action;
+  quick : bool;
+  log : bool;
+      (** PF's [log] modifier. The paper notes it does "not currently
+          use the log action" — we do, to support the delegation-audit
+          story of S1 (see {!Eval.verdict} and the controller's audit
+          log). *)
+  proto : Netcore.Proto.t option;
+      (** Optional [proto tcp|udp|icmp] constraint, as in PF. *)
+  from_ : endpoint_spec;
+  to_ : endpoint_spec;
+  conds : funcall list;  (** All [with] clauses, conjunctive. *)
+  keep_state : bool;
+  line : int;  (** Source line, for diagnostics. *)
+}
+
+type table_item =
+  | Item_prefix of Prefix.t
+  | Item_ref of string  (** Nested table reference, e.g. [<lan>]. *)
+
+(** The interception extensions the paper alludes to in §3.4 ("the
+    controller can be configured to intercept queries and responses
+    using additional extensions in PF+=2"). *)
+type intercept_kind =
+  | Answer_query
+      (** [intercept query to <t> answer { k : v }]: answer queries
+          addressed to matching hosts on their behalf, without
+          forwarding the query. *)
+  | Augment_response
+      (** [intercept response to <t> augment { k : v }]: append a
+          section to responses transiting toward matching addresses. *)
+
+type intercept = {
+  ikind : intercept_kind;
+  target : addr_spec;
+  pairs : (string * string) list;
+  iline : int;
+}
+
+type decl =
+  | Macro_def of string * string  (** [allowed = "{ http ssh }"] *)
+  | Table_def of string * table_item list
+  | Dict_def of string * (string * string) list
+  | Intercept_def of intercept
+  | Rule_decl of rule
+
+type ruleset = decl list
+
+let rules ruleset =
+  List.filter_map (function Rule_decl r -> Some r | _ -> None) ruleset
+
+let endpoint_any = { addr = None; port = None }
+
+let is_all rule = rule.from_ = endpoint_any && rule.to_ = endpoint_any

@@ -1,0 +1,36 @@
+(** The static environment of a PF+=2 configuration: macros, tables
+    (with nested references resolved) and dictionaries, plus the rule
+    list in source order. *)
+
+open Netcore
+
+type t
+
+val build : Ast.ruleset -> (t, string) result
+(** Resolves table references (rejecting cycles and unknown names) and
+    checks that rules mention only defined tables. Later definitions of
+    the same macro/table/dict name shadow earlier ones, matching the
+    "files are concatenated" controller model (§3.4). *)
+
+val build_exn : Ast.ruleset -> t
+val of_string : string -> (t, string) result
+(** Parse then build. *)
+
+val rules : t -> Ast.rule list
+val intercepts : t -> Ast.intercept list
+
+val addr_spec_matches : t -> Ast.addr_spec -> Netcore.Ipv4.t -> bool
+(** Evaluate an address spec against an address (false when it names an
+    unknown table — {!build} rejects that case anyway). *)
+
+val referenced_keys : t -> string list
+(** Every response key the rules read through [@src]/[@dst] accesses, in
+    first-use order — exactly "the keys that the controller is
+    interested in" that a query should hint (§3.2). *)
+
+val macro : t -> string -> string option
+val table : t -> string -> Prefix.t list option
+val dict : t -> string -> (string * string) list option
+val dict_value : t -> dict:string -> key:string -> string option
+val table_names : t -> string list
+val empty : t

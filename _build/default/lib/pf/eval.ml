@@ -1,0 +1,281 @@
+open Netcore
+
+type ctx = {
+  src : Identxx.Response.t option;
+  dst : Identxx.Response.t option;
+  keystore : Idcrypto.Sign.keystore;
+  functions : Fnreg.t;
+}
+
+let ctx ?src ?dst ?keystore ?functions () =
+  {
+    src;
+    dst;
+    keystore = Option.value ~default:(Idcrypto.Sign.keystore ()) keystore;
+    functions = Option.value ~default:(Fnreg.create ()) functions;
+  }
+
+type verdict = {
+  decision : Ast.action;
+  matched : Ast.rule option;
+  keep_state : bool;
+  log : bool;
+}
+
+exception Eval_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Eval_error m)) fmt
+
+let allowed_depth_limit = 4
+
+(* allowed() receives the same requirements strings for every flow of an
+   application, so parsing is memoized. Bounded: adversarial daemons
+   could otherwise grow the table without limit. *)
+let allowed_cache : (string, (Ast.rule list, string) result) Hashtbl.t =
+  Hashtbl.create 64
+
+let allowed_cache_limit = 1024
+
+let parse_rules_cached text =
+  match Hashtbl.find_opt allowed_cache text with
+  | Some r -> r
+  | None ->
+      let r = Parser.parse_rules text in
+      if Hashtbl.length allowed_cache >= allowed_cache_limit then
+        Hashtbl.reset allowed_cache;
+      Hashtbl.add allowed_cache text r;
+      r
+
+let response_of ctx name =
+  match name with
+  | "src" -> Some ctx.src
+  | "dst" -> Some ctx.dst
+  | _ -> None
+
+let arg_value env ctx (arg : Ast.arg) =
+  match arg with
+  | Ast.Lit s -> Some s
+  | Ast.Macro_ref name -> (
+      match Env.macro env name with
+      | Some v -> Some v
+      | None -> error "undefined macro $%s" name)
+  | Ast.Dict_access { star; dict; key } -> (
+      match response_of ctx dict with
+      | Some response -> (
+          match response with
+          | None -> None
+          | Some r ->
+              if star then
+                match Identxx.Response.all_values r key with
+                | [] -> None
+                | vs -> Some (String.concat "," vs)
+              else Identxx.Response.latest r key)
+      | None -> (
+          match Env.dict env dict with
+          | Some entries -> List.assoc_opt key entries
+          | None -> error "undefined dictionary @%s" dict))
+
+(* "{ http ssh }" or a bare word: the list forms member() accepts. *)
+let parse_list_spec spec =
+  let spec = String.trim spec in
+  let inner =
+    if String.length spec >= 2 && spec.[0] = '{'
+       && spec.[String.length spec - 1] = '}' then
+      String.sub spec 1 (String.length spec - 2)
+    else spec
+  in
+  String.split_on_char ' ' inner
+  |> List.concat_map (String.split_on_char ',')
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let split_multi v =
+  String.split_on_char ',' v |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let as_int s = int_of_string_opt (String.trim s)
+
+let numeric_cmp op a b =
+  match (a, b) with
+  | Some a, Some b -> (
+      match (as_int a, as_int b) with
+      | Some x, Some y -> op (compare x y) 0
+      | _ -> false)
+  | _ -> false
+
+let rec eval_funcall ~depth env ctx flow (fc : Ast.funcall) =
+  let values () = List.map (arg_value env ctx) fc.args in
+  let arity n =
+    if List.length fc.args <> n then
+      error "%s expects %d arguments, got %d (line use)" fc.fname n
+        (List.length fc.args)
+  in
+  match fc.fname with
+  | "eq" -> (
+      arity 2;
+      match values () with
+      | [ Some a; Some b ] -> (
+          match (as_int a, as_int b) with
+          | Some x, Some y -> x = y
+          | _ -> String.equal a b)
+      | _ -> false)
+  | "gt" ->
+      arity 2;
+      (match values () with [ a; b ] -> numeric_cmp ( > ) a b | _ -> false)
+  | "lt" ->
+      arity 2;
+      (match values () with [ a; b ] -> numeric_cmp ( < ) a b | _ -> false)
+  | "gte" ->
+      arity 2;
+      (match values () with [ a; b ] -> numeric_cmp ( >= ) a b | _ -> false)
+  | "lte" ->
+      arity 2;
+      (match values () with [ a; b ] -> numeric_cmp ( <= ) a b | _ -> false)
+  | "member" -> (
+      arity 2;
+      match values () with
+      | [ Some v; Some spec ] ->
+          let members = parse_list_spec spec in
+          List.exists (fun x -> List.mem x members) (split_multi v)
+      | _ -> false)
+  | "includes" -> (
+      arity 2;
+      match values () with
+      | [ Some v; Some item ] -> List.mem item (split_multi v)
+      | _ -> false)
+  | "verify" -> (
+      if List.length fc.args < 3 then
+        error "verify expects at least 3 arguments";
+      match values () with
+      | Some signature :: Some public :: data ->
+          if List.exists Option.is_none data then false
+          else
+            Idcrypto.Sign.verify ctx.keystore ~public ~signature
+              (List.map Option.get data)
+      | _ -> false)
+  | "allowed" -> (
+      arity 1;
+      if depth >= allowed_depth_limit then
+        error "allowed() nesting exceeds depth %d" allowed_depth_limit;
+      match values () with
+      | [ Some rules_text ] -> (
+          match parse_rules_cached rules_text with
+          | Error e -> error "allowed(): %s" e
+          | Ok rules ->
+              (* Fail closed: a flow no rule mentions is NOT allowed. *)
+              let verdict =
+                eval_rules ~depth:(depth + 1) ~default:Ast.Block env ctx flow
+                  rules
+              in
+              verdict.decision = Ast.Pass)
+      | _ -> false)
+  | name -> (
+      match Fnreg.find ctx.functions name with
+      | Some fn -> fn (values ())
+      | None -> error "unknown function %s" name)
+
+and addr_matches env (spec : Ast.addr_spec) ip =
+  let base =
+    match spec.addr with
+    | Ast.Addr_any -> true
+    | Ast.Addr_prefix p -> Prefix.mem ip p
+    | Ast.Addr_table name -> (
+        match Env.table env name with
+        | Some prefixes -> List.exists (Prefix.mem ip) prefixes
+        | None -> error "unknown table <%s>" name)
+    | Ast.Addr_list prefixes -> List.exists (Prefix.mem ip) prefixes
+  in
+  if spec.negated then not base else base
+
+and endpoint_matches env (spec : Ast.endpoint_spec) ip port =
+  (match spec.addr with None -> true | Some a -> addr_matches env a ip)
+  &&
+  match spec.port with
+  | None -> true
+  | Some (Ast.Port_eq p) -> p = port
+  | Some (Ast.Port_range (lo, hi)) -> lo <= port && port <= hi
+
+and rule_matches ~depth env ctx (flow : Five_tuple.t) (rule : Ast.rule) =
+  (match rule.proto with
+  | None -> true
+  | Some p -> Proto.equal p flow.proto)
+  && endpoint_matches env rule.from_ flow.src flow.src_port
+  && endpoint_matches env rule.to_ flow.dst flow.dst_port
+  && List.for_all (eval_funcall ~depth env ctx flow) rule.conds
+
+and eval_rules ~depth ~default env ctx flow rules =
+  let rec go last = function
+    | [] -> last
+    | rule :: rest ->
+        if rule_matches ~depth env ctx flow rule then
+          let verdict =
+            {
+              decision = rule.Ast.action;
+              matched = Some rule;
+              keep_state = rule.Ast.keep_state;
+              log = rule.Ast.log;
+            }
+          in
+          if rule.Ast.quick then verdict else go verdict rest
+        else go last rest
+  in
+  go { decision = default; matched = None; keep_state = false; log = false } rules
+
+let eval ?(default = Ast.Pass) env ctx flow =
+  try Ok (eval_rules ~depth:0 ~default env ctx flow (Env.rules env))
+  with Eval_error msg -> Error msg
+
+let eval_exn ?default env ctx flow =
+  match eval ?default env ctx flow with
+  | Ok v -> v
+  | Error e -> invalid_arg ("Pf.Eval: " ^ e)
+
+type trace_step = { rule : Ast.rule; matched : bool; decided : bool }
+
+let trace ?(default = Ast.Pass) env ctx flow =
+  try
+    let steps = ref [] in
+    let verdict = ref { decision = default; matched = None; keep_state = false; log = false } in
+    let rec go = function
+      | [] -> ()
+      | rule :: rest ->
+          let matched = rule_matches ~depth:0 env ctx flow rule in
+          steps := { rule; matched; decided = matched } :: !steps;
+          if matched then begin
+            verdict :=
+              {
+                decision = rule.Ast.action;
+                matched = Some rule;
+                keep_state = rule.Ast.keep_state;
+                log = rule.Ast.log;
+              };
+            if not rule.Ast.quick then go rest
+          end
+          else go rest
+    in
+    go (Env.rules env);
+    (* Only the verdict's rule keeps [decided]; earlier matches were
+       overridden. *)
+    let final = !verdict in
+    let steps =
+      List.rev_map
+        (fun s ->
+          {
+            s with
+            decided =
+              (match final.matched with
+              | Some r -> s.rule == r
+              | None -> false);
+          })
+        !steps
+    in
+    Ok (steps, final)
+  with Eval_error msg -> Error msg
+
+let passes ?default env ctx flow =
+  match eval ?default env ctx flow with
+  | Ok v -> v.decision = Ast.Pass
+  | Error _ -> false
+
+let arg_value env ctx arg =
+  try arg_value env ctx arg with Eval_error _ -> None

@@ -1,0 +1,14 @@
+type fn = string option list -> bool
+type t = (string, fn) Hashtbl.t
+
+let builtin_names =
+  [ "eq"; "gt"; "lt"; "gte"; "lte"; "member"; "includes"; "allowed"; "verify" ]
+
+let create () = Hashtbl.create 8
+
+let register t ~name fn =
+  if List.mem name builtin_names then
+    invalid_arg ("Fnreg.register: cannot shadow built-in " ^ name);
+  Hashtbl.replace t name fn
+
+let find t name = Hashtbl.find_opt t name

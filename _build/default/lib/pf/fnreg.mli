@@ -1,0 +1,17 @@
+(** User-defined predicate functions: "functions are user-definable and
+    new functions can be added" (§3.3). Built-ins live in {!Eval} and
+    cannot be shadowed. *)
+
+type fn = string option list -> bool
+(** A predicate over resolved argument values; [None] marks a value that
+    could not be resolved (missing key, unanswered query). *)
+
+type t
+
+val create : unit -> t
+val register : t -> name:string -> fn -> unit
+(** @raise Invalid_argument when [name] collides with a built-in
+    (eq/gt/lt/gte/lte/member/includes/allowed/verify). *)
+
+val find : t -> string -> fn option
+val builtin_names : string list

@@ -1,0 +1,8 @@
+(** The PF+=2 lexer. Newlines are whitespace (rules are delimited by
+    their grammar, which lets one daemon-supplied [requirements] value
+    hold several rules on one line, as in Figure 3); [#] starts a
+    comment; a backslash before a newline is the PF line-continuation
+    and is skipped. *)
+
+val tokenize : string -> (Token.located list, string) result
+(** Errors mention the offending line number. *)

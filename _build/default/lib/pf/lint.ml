@@ -1,0 +1,82 @@
+type finding = { line : int; code : string; message : string }
+
+let is_quick_all (r : Ast.rule) =
+  r.Ast.quick && Ast.is_all r && r.Ast.conds = [] && r.Ast.proto = None
+
+(* Compare rules up to their source position. *)
+let same_rule (a : Ast.rule) (b : Ast.rule) =
+  { a with Ast.line = 0 } = { b with Ast.line = 0 }
+
+let dead_after_quick_all rules =
+  let rec go = function
+    | [] -> []
+    | (r : Ast.rule) :: rest when is_quick_all r ->
+        List.map
+          (fun (dead : Ast.rule) ->
+            {
+              line = dead.Ast.line;
+              code = "dead-after-quick-all";
+              message =
+                Printf.sprintf
+                  "unreachable: the quick rule at line %d decides every flow"
+                  r.Ast.line;
+            })
+          rest
+    | _ :: rest -> go rest
+  in
+  go rules
+
+let duplicates rules =
+  let rec go = function
+    | [] -> []
+    | (r : Ast.rule) :: rest ->
+        let dups =
+          List.filter_map
+            (fun (later : Ast.rule) ->
+              if same_rule r later && (not r.Ast.quick) && not later.Ast.quick
+              then
+                Some
+                  {
+                    line = r.Ast.line;
+                    code = "duplicate-rule";
+                    message =
+                      Printf.sprintf
+                        "redundant: identical rule at line %d makes this one \
+                         irrelevant under last-match"
+                        later.Ast.line;
+                  }
+              else None)
+            rest
+        in
+        dups @ go rest
+  in
+  go rules
+
+let unknown_functions rules =
+  List.concat_map
+    (fun (r : Ast.rule) ->
+      List.filter_map
+        (fun (fc : Ast.funcall) ->
+          if List.mem fc.Ast.fname Fnreg.builtin_names then None
+          else
+            Some
+              {
+                line = r.Ast.line;
+                code = "unknown-function";
+                message =
+                  Printf.sprintf
+                    "%s is not a built-in function; evaluation fails unless a \
+                     custom function is registered"
+                    fc.Ast.fname;
+              })
+        r.Ast.conds)
+    rules
+
+let check decls =
+  let rules = Ast.rules decls in
+  dead_after_quick_all rules @ duplicates rules @ unknown_functions rules
+  |> List.sort_uniq compare
+  |> List.sort (fun a b -> compare a.line b.line)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "line %d: [%s] %s" f.line f.code f.message

@@ -1,0 +1,22 @@
+(** Static checks over a parsed policy, beyond what {!Env.build}
+    enforces. Delegated configurations are assembled from files written
+    by different parties (§3.4), which makes it easy to ship rules that
+    can never fire; the linter flags the cheap-to-detect cases. *)
+
+type finding = {
+  line : int;  (** Of the offending rule. *)
+  code : string;  (** Stable identifier, e.g. ["dead-after-quick-all"]. *)
+  message : string;
+}
+
+val check : Ast.ruleset -> finding list
+(** Findings, in source order. Currently detected:
+    - [dead-after-quick-all]: rules following an unconditional [quick]
+      rule (it short-circuits every flow that reaches it);
+    - [duplicate-rule]: a rule textually identical to a later one (the
+      earlier of a last-match pair is redundant when neither is quick);
+    - [unknown-function]: a [with] predicate that is not a built-in
+      (legitimate for deployments registering custom functions, hence a
+      warning rather than an {!Env.build} error). *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,24 @@
+let table =
+  [
+    ("ftp", 21); ("ssh", 22); ("telnet", 23); ("smtp", 25); ("domain", 53);
+    ("http", 80); ("pop3", 110); ("ident", 113); ("auth", 113); ("ntp", 123);
+    ("imap", 143); ("snmp", 161); ("https", 443); ("submission", 587);
+    ("identxx", 783); ("imaps", 993); ("pop3s", 995); ("mysql", 3306);
+    ("rdp", 3389); ("postgres", 5432);
+  ]
+
+let port_of_name name = List.assoc_opt (String.lowercase_ascii name) table
+
+let name_of_port port =
+  List.fold_left
+    (fun acc (n, p) -> if p = port && acc = None then Some n else acc)
+    None table
+
+let parse_port s =
+  match int_of_string_opt s with
+  | Some p when p >= 0 && p <= 0xffff -> Ok p
+  | Some _ -> Error ("port out of range: " ^ s)
+  | None -> (
+      match port_of_name s with
+      | Some p -> Ok p
+      | None -> Error ("unknown service name: " ^ s))

@@ -1,0 +1,7 @@
+(** Well-known service names usable in [port] clauses ([port http]). *)
+
+val port_of_name : string -> int option
+val name_of_port : int -> string option
+
+val parse_port : string -> (int, string) result
+(** A number or a service name. *)

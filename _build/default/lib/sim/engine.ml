@@ -1,0 +1,59 @@
+type event = { action : unit -> unit; mutable cancelled : bool }
+type t = { mutable clock : Time.t; queue : event Heap.t }
+type cancel = event
+
+let create () = { clock = Time.zero; queue = Heap.create () }
+let now t = t.clock
+
+let schedule_at t ~at action =
+  if Time.compare at t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  Heap.push t.queue ~key:(Time.to_ns at) { action; cancelled = false }
+
+let schedule t ~delay action = schedule_at t ~at:(Time.add t.clock delay) action
+
+let schedule_cancellable t ~delay action =
+  let ev = { action; cancelled = false } in
+  Heap.push t.queue ~key:(Time.to_ns (Time.add t.clock delay)) ev;
+  ev
+
+let cancel ev = ev.cancelled <- true
+let pending t = Heap.size t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+      (* Cancelled events are reaped without advancing the clock — time
+         only moves when something actually happens. *)
+      if not ev.cancelled then begin
+        t.clock <- Time.ns at;
+        ev.action ()
+      end;
+      true
+
+let run ?until ?max_events t =
+  let dispatched = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (at, _) ->
+        let past_deadline =
+          match until with
+          | Some u -> at > Time.to_ns u
+          | None -> false
+        in
+        let over_budget =
+          match max_events with Some m -> !dispatched >= m | None -> false
+        in
+        if past_deadline || over_budget then continue := false
+        else begin
+          ignore (step t);
+          incr dispatched
+        end
+  done
+
+let reset t =
+  Heap.clear t.queue;
+  t.clock <- Time.zero

@@ -1,0 +1,17 @@
+(** A mutable binary min-heap keyed by integer priorities, with FIFO
+    tie-breaking (insertion order decides between equal keys). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> key:int -> 'a -> unit
+
+val peek : 'a t -> (int * 'a) option
+(** Smallest key, without removing. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Smallest key; equal keys come out in insertion order. *)
+
+val clear : 'a t -> unit

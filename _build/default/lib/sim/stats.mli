@@ -1,0 +1,32 @@
+(** Online statistics for simulation measurements. *)
+
+type t
+(** A sample accumulator: keeps count/mean/variance online and the full
+    sample set for exact percentiles. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 99.0] is the exact p99 (nearest-rank on the sorted
+    sample). @raise Invalid_argument when empty or p outside [0,100]. *)
+
+val median : t -> float
+
+val summary : t -> string
+(** One-line "n=.. mean=.. p50=.. p99=.. max=..". *)
+
+type histogram
+(** Fixed-width bucket counts for distribution plots. *)
+
+val histogram : ?buckets:int -> t -> histogram
+val buckets : histogram -> (float * float * int) list
+(** (lo, hi, count) triples. *)
+
+val pp_histogram : Format.formatter -> histogram -> unit

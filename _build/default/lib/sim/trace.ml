@@ -1,0 +1,20 @@
+type entry = { at : Time.t; actor : string; event : string }
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let record t ~at ~actor event =
+  t.entries <- { at; actor; event } :: t.entries
+
+let entries t = List.rev t.entries
+let find t ~f = List.find_opt f (entries t)
+let count t ~f = List.length (List.filter f (entries t))
+let clear t = t.entries <- []
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%8s  %-12s %s"
+    (Format.asprintf "%a" Time.pp e.at)
+    e.actor e.event
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,17 @@
+(** A simulation trace: timestamped, categorised event records, used by
+    the netsim binary to print Figure-1-style sequences and by tests to
+    assert on event ordering. *)
+
+type entry = { at : Time.t; actor : string; event : string }
+type t
+
+val create : unit -> t
+val record : t -> at:Time.t -> actor:string -> string -> unit
+val entries : t -> entry list
+(** In recording order. *)
+
+val find : t -> f:(entry -> bool) -> entry option
+val count : t -> f:(entry -> bool) -> int
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

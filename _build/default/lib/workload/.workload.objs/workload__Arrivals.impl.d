@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Baselines Float Flowgen List Sim

@@ -1,0 +1,1 @@
+lib/workload/arrivals.mli: Baselines Five_tuple Netcore Population Sim

@@ -1,0 +1,1 @@
+lib/workload/attack.mli: Baselines Ipv4 Netcore Population

@@ -1,0 +1,1 @@
+lib/workload/flowgen.ml: Array Baselines Five_tuple Ipv4 List Netcore Population Prefix Sim

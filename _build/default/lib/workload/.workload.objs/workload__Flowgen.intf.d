@@ -1,0 +1,1 @@
+lib/workload/flowgen.mli: Baselines Five_tuple Netcore Population Sim

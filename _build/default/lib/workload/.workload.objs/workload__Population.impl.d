@@ -1,0 +1,1 @@
+lib/workload/population.ml: Array Ipv4 List Netcore Prefix Printf

@@ -1,0 +1,1 @@
+lib/workload/population.mli: Ipv4 Netcore Prefix

@@ -1,0 +1,36 @@
+let flows_at ~prng ~population times =
+  let n = List.length times in
+  let flows = Flowgen.mixed ~prng ~population ~count:n () in
+  List.map2 (fun at fi -> (at, fi)) times flows
+
+let poisson ~prng ~population ~rate_per_s ~duration =
+  if rate_per_s <= 0.0 then invalid_arg "Arrivals.poisson: rate must be positive";
+  let mean_gap = 1.0 /. rate_per_s in
+  let rec gaps t acc =
+    let t = t +. Sim.Prng.exponential prng ~mean:mean_gap in
+    if t >= Sim.Time.to_float_s duration then List.rev acc
+    else gaps t (Sim.Time.of_float_s t :: acc)
+  in
+  flows_at ~prng ~population (gaps 0.0 [])
+
+let bursty ~prng ~population ~on_rate_per_s ~burst ~idle ~duration =
+  if on_rate_per_s <= 0.0 then
+    invalid_arg "Arrivals.bursty: rate must be positive";
+  let period = Sim.Time.to_float_s (Sim.Time.add burst idle) in
+  let burst_s = Sim.Time.to_float_s burst in
+  let mean_gap = 1.0 /. on_rate_per_s in
+  (* Walk absolute time; skip over idle periods. *)
+  let rec gaps t acc =
+    let t = t +. Sim.Prng.exponential prng ~mean:mean_gap in
+    let in_period = Float.rem t period in
+    let t = if in_period < burst_s then t else t -. in_period +. period in
+    if t >= Sim.Time.to_float_s duration then List.rev acc
+    else gaps t (Sim.Time.of_float_s t :: acc)
+  in
+  flows_at ~prng ~population (gaps 0.0 [])
+
+let inject ~engine ~send arrivals =
+  List.iter
+    (fun ((at : Sim.Time.t), (fi : Baselines.Flow_info.t)) ->
+      Sim.Engine.schedule engine ~delay:at (fun () -> send fi.Baselines.Flow_info.flow))
+    arrivals

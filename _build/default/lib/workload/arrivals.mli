@@ -1,0 +1,34 @@
+(** Time-stamped flow arrival processes, for driving the simulator with
+    realistic load instead of lock-step injection. Deterministic given
+    the generator. *)
+
+open Netcore
+
+val poisson :
+  prng:Sim.Prng.t ->
+  population:Population.t ->
+  rate_per_s:float ->
+  duration:Sim.Time.t ->
+  (Sim.Time.t * Baselines.Flow_info.t) list
+(** Flows from {!Flowgen.mixed}-style traffic with exponential
+    inter-arrival gaps of mean [1/rate_per_s], timestamped in
+    [0, duration). Sorted by time. *)
+
+val bursty :
+  prng:Sim.Prng.t ->
+  population:Population.t ->
+  on_rate_per_s:float ->
+  burst:Sim.Time.t ->
+  idle:Sim.Time.t ->
+  duration:Sim.Time.t ->
+  (Sim.Time.t * Baselines.Flow_info.t) list
+(** On/off traffic: Poisson arrivals at [on_rate_per_s] during [burst]
+    periods, silence during [idle] periods, alternating from time 0. *)
+
+val inject :
+  engine:Sim.Engine.t ->
+  send:(Five_tuple.t -> unit) ->
+  (Sim.Time.t * Baselines.Flow_info.t) list ->
+  unit
+(** Schedule each arrival's first packet on the engine (relative to the
+    current simulated time). *)

@@ -1,0 +1,55 @@
+open Netcore
+module FI = Baselines.Flow_info
+
+let worm_scan ~from ~targets ?(port = 445) ?(claim_app = "Server") () =
+  Array.to_list targets
+  |> List.filter (fun (t : Population.host) ->
+         not (Ipv4.equal t.Population.ip from.Population.ip))
+  |> List.mapi (fun i (t : Population.host) ->
+         let flow =
+           Five_tuple.tcp ~src:from.Population.ip ~dst:t.Population.ip
+             ~src_port:(40000 + (i mod 20000))
+             ~dst_port:port
+         in
+         FI.make ~legitimate:false
+           ~src:
+             (FI.endpoint ~user:from.Population.user
+                ~groups:from.Population.groups ~app:claim_app
+                ~compromised:true ())
+           ~dst:
+             (FI.endpoint ~user:t.Population.user ~groups:t.Population.groups
+                ~app:"Server" ())
+           flow)
+
+let reachable_pairs enforcement ~population ~compromised ?(claimed_user = "system")
+    ?(port = 445) () =
+  ignore claimed_user;
+  let hosts = Population.all population in
+  let is_compromised ip = List.exists (Ipv4.equal ip) compromised in
+  let count = ref 0 in
+  Array.iter
+    (fun (src : Population.host) ->
+      Array.iter
+        (fun (dst : Population.host) ->
+          if not (Ipv4.equal src.Population.ip dst.Population.ip) then begin
+            let flow =
+              Five_tuple.tcp ~src:src.Population.ip ~dst:dst.Population.ip
+                ~src_port:50000 ~dst_port:port
+            in
+            let fi =
+              FI.make ~legitimate:false
+                ~src:
+                  (FI.endpoint ~user:src.Population.user
+                     ~groups:src.Population.groups ~app:"Server"
+                     ~compromised:(is_compromised src.Population.ip) ())
+                ~dst:
+                  (FI.endpoint ~user:dst.Population.user
+                     ~groups:dst.Population.groups ~app:"Server"
+                     ~compromised:(is_compromised dst.Population.ip) ())
+                flow
+            in
+            if enforcement.Baselines.Enforcement.admits fi then incr count
+          end)
+        hosts)
+    hosts;
+  !count

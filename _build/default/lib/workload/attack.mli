@@ -1,0 +1,27 @@
+(** Attack traffic generators for the security experiments (E5, E8). *)
+
+open Netcore
+
+val worm_scan :
+  from:Population.host ->
+  targets:Population.host array ->
+  ?port:int ->
+  ?claim_app:string ->
+  unit ->
+  Baselines.Flow_info.t list
+(** A Conficker-style scan (§4, Figure 8): the compromised [from] host
+    probes every target on [port] (default 445), its daemon claiming to
+    be [claim_app] (default ["Server"]). All flows are illegitimate. *)
+
+val reachable_pairs :
+  Baselines.Enforcement.t ->
+  population:Population.t ->
+  compromised:Ipv4.t list ->
+  ?claimed_user:string ->
+  ?port:int ->
+  unit ->
+  int
+(** §5's damage metric: over every ordered (src, dst) host pair, how
+    many flows does the system admit when the [compromised] hosts lie
+    (claiming [claimed_user], default "system") and the rest are honest?
+    Lower is better. *)

@@ -1,0 +1,72 @@
+open Netcore
+
+type app = { app_name : string; app_port : int; approved : bool }
+
+let catalog =
+  [
+    { app_name = "firefox"; app_port = 80; approved = true };
+    { app_name = "skype"; app_port = 80; approved = false };
+    { app_name = "ssh"; app_port = 22; approved = true };
+    { app_name = "thunderbird"; app_port = 25; approved = true };
+    { app_name = "telnet"; app_port = 23; approved = false };
+    { app_name = "research-app"; app_port = 7777; approved = false };
+  ]
+
+let app_named name = List.find (fun a -> a.app_name = name) catalog
+
+type host = {
+  name : string;
+  ip : Ipv4.t;
+  user : string;
+  groups : string list;
+  role : [ `Client | `Server ];
+}
+
+type t = { clients : host array; servers : host array }
+
+let group_cycle = [| [ "staff" ]; [ "research"; "staff" ]; [ "eng"; "staff" ] |]
+
+let create ?(seed = 1) ~clients ~servers () =
+  ignore seed;
+  if clients < 1 || servers < 1 then
+    invalid_arg "Population.create: need at least one client and one server";
+  let client i =
+    {
+      name = Printf.sprintf "c%d" i;
+      ip = Ipv4.of_octets 10 0 (1 + (i / 250)) (1 + (i mod 250));
+      user = Printf.sprintf "u%d" i;
+      groups = group_cycle.(i mod Array.length group_cycle);
+      role = `Client;
+    }
+  in
+  let server i =
+    {
+      name = Printf.sprintf "srv%d" i;
+      ip = Ipv4.of_octets 10 1 0 (1 + i);
+      user = "system";
+      groups = [ "services" ];
+      role = `Server;
+    }
+  in
+  {
+    clients = Array.init clients client;
+    servers = Array.init servers server;
+  }
+
+let clients t = t.clients
+let servers t = t.servers
+let all t = Array.append t.clients t.servers
+
+let host_by_ip t ip =
+  let find arr =
+    Array.fold_left
+      (fun acc h -> if Ipv4.equal h.ip ip then Some h else acc)
+      None arr
+  in
+  match find t.clients with Some h -> Some h | None -> find t.servers
+
+let important_server t = t.servers.(0)
+let lan_prefix = Prefix.of_string "10.0.0.0/8"
+
+let external_ip i =
+  Ipv4.of_octets 198 51 (i / 250 mod 250) (1 + (i mod 250))

@@ -1,0 +1,48 @@
+(** Synthetic enterprise populations: hosts with addresses, users,
+    groups and installed applications. Deterministic given a seed, so
+    experiments are reproducible (DESIGN.md §2: stands in for the real
+    enterprise traffic the paper's setting assumes). *)
+
+open Netcore
+
+type app = {
+  app_name : string;
+  app_port : int;  (** The destination port the app's flows use. *)
+  approved : bool;  (** Is the app on the administrator's allow list? *)
+}
+
+val catalog : app list
+(** The built-in application mix. Includes [skype] on port 80 — the
+    paper's §1 motivating example of port-number aliasing with web
+    traffic. *)
+
+val app_named : string -> app
+(** @raise Not_found for unknown names. *)
+
+type host = {
+  name : string;
+  ip : Ipv4.t;
+  user : string;
+  groups : string list;
+  role : [ `Client | `Server ];
+}
+
+type t
+
+val create : ?seed:int -> clients:int -> servers:int -> unit -> t
+(** Clients get 10.0.x.y addresses, servers 10.1.0.s. Users are
+    [u<i>]; groups cycle through staff/research/eng; server processes
+    run as [system] in group [services]. *)
+
+val clients : t -> host array
+val servers : t -> host array
+val all : t -> host array
+val host_by_ip : t -> Ipv4.t -> host option
+val important_server : t -> host
+(** The first server — the "important webserver" of §1. *)
+
+val lan_prefix : Prefix.t
+(** 10.0.0.0/8: everything the population occupies. *)
+
+val external_ip : int -> Ipv4.t
+(** Deterministic Internet addresses (198.51.x.y test range). *)

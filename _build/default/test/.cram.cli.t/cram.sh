@@ -1,0 +1,48 @@
+  $ cat > site.control <<'POLICY'
+  > table <lan> { 192.168.0.0/24 }
+  > block all
+  > pass from <lan> to any with eq(@src[name], firefox) keep state
+  > POLICY
+  $ identxx_ctl check site.control
+  $ cat > broken.control <<'POLICY'
+  > block all
+  > pass frm any to any
+  > POLICY
+  $ identxx_ctl check broken.control
+  $ identxx_ctl fmt site.control
+  $ identxx_ctl eval -p site.control --flow "tcp 192.168.0.10:40000 -> 8.8.8.8:443" --src name=firefox
+  $ identxx_ctl eval -p site.control --flow "tcp 192.168.0.10:40000 -> 8.8.8.8:443" --src name=skype
+  $ cat > app.conf <<'CONF'
+  > @app /usr/bin/skype {
+  > name : skype
+  > requirements : pass from any port http with eq(@src[name], skype)
+  > req-sig : abc123
+  > }
+  > CONF
+  $ identxx_ctl daemon-check app.conf
+  $ cat > unsigned.conf <<'CONF'
+  > @app /usr/bin/tool {
+  > name : tool
+  > requirements : pass all
+  > }
+  > CONF
+  $ identxx_ctl daemon-check unsigned.conf
+  $ identxx_ctl keygen research
+  $ identxx_ctl sign --secret 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e hash research-app "pass all"
+  $ identxx_ctl verify --public pkac0947a98f887778ef589374141c3dca8954efbd \
+  >   --secret 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e \
+  >   --signature 16aa066c19f2ab71538ce84c56dd1213ff16a930efc113e60c1de1e23b9f24f9 \
+  >   hash research-app "pass all"
+  $ identxx_ctl verify --public pkac0947a98f887778ef589374141c3dca8954efbd \
+  >   --secret 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e \
+  >   --signature 16aa066c19f2ab71538ce84c56dd1213ff16a930efc113e60c1de1e23b9f24f9 \
+  >   hash research-app "pass none"
+  $ cat > lint.control <<'POLICY'
+  > pass from any to any port 80
+  > block quick all
+  > pass from any to any port 443
+  > POLICY
+  $ identxx_ctl analyze lint.control
+  $ identxx_ctl analyze site.control
+  $ identxx_ctl eval -p site.control --trace \
+  >   --flow "tcp 192.168.0.10:40000 -> 8.8.8.8:443" --src name=firefox

@@ -1,0 +1,15 @@
+  $ cat > skype.conf <<'CONF'
+  > @app /usr/bin/skype {
+  > name : skype
+  > version : 210
+  > }
+  > CONF
+  $ cat > procs.txt <<'TABLE'
+  > conn 100 alice staff /usr/bin/skype tcp 10.0.0.1:50000 10.0.0.9:33000
+  > listen 200 smtp services /usr/sbin/sendmail tcp 25
+  > TABLE
+  $ printf 'TCP 50000 33000\nuserID\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --config skype.conf --table procs.txt
+  $ printf 'TCP 4444 25\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --table procs.txt
+  $ printf 'FROG 1 2\n\n' | identxxd --ip 10.0.0.1 --table procs.txt

@@ -1,0 +1,1 @@
+  $ identxx-netsim fig1 | head -20

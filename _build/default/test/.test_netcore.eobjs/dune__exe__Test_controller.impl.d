@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Ethertype Five_tuple Idcrypto Identxx Identxx_core Ipv4 List Mac Netcore Openflow Option Packet Pf Printf Proto Sim String Vlan

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Five_tuple Identxx Identxx_core Ipv4 List Netcore Pf Sim

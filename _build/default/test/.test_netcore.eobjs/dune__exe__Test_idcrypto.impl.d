@@ -1,0 +1,1 @@
+test/test_idcrypto.ml: Alcotest Char Idcrypto List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_identxx.ml: Alcotest Five_tuple Idcrypto Identxx Ipv4 List Mac Netcore Option Packet Pf Proto QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Buffer Bytes Char Checksum Ethertype Five_tuple Format Ipv4 List Mac Netcore Option Packet Pcap Prefix Proto QCheck QCheck_alcotest String Vlan

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Ethertype Five_tuple Ipv4 List Mac Netcore Openflow Option Packet Prefix Printf Proto QCheck QCheck_alcotest Sim String Vlan

@@ -1,0 +1,1 @@
+test/test_pf.ml: Alcotest Buffer Five_tuple Fun Idcrypto Identxx Identxx_core Ipv4 List Netcore Openflow Packet Pf Prefix Printf Proto QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Fun List Option QCheck QCheck_alcotest Sim

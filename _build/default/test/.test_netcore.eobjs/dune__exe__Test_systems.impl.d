@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Array Baselines Five_tuple Float Identxx Ipv4 List Netcore Prefix Sim Workload

@@ -1,0 +1,105 @@
+The identxx_ctl CLI validates, formats and evaluates PF+=2 policies.
+
+Validate a policy:
+
+  $ cat > site.control <<'POLICY'
+  > table <lan> { 192.168.0.0/24 }
+  > block all
+  > pass from <lan> to any with eq(@src[name], firefox) keep state
+  > POLICY
+  $ identxx_ctl check site.control
+  OK: 1 files, 2 rules, tables: lan
+
+A parse error is reported with its line:
+
+  $ cat > broken.control <<'POLICY'
+  > block all
+  > pass frm any to any
+  > POLICY
+  $ identxx_ctl check broken.control
+  error: broken: line 2: unexpected frm in rule
+  [1]
+
+Pretty-print normalizes layout:
+
+  $ identxx_ctl fmt site.control
+  table <lan> { 192.168.0.0/24 }
+  block all
+  pass from <lan> to any with eq(@src[name], firefox) keep state
+
+Evaluate flows (exit 0 = pass, 2 = block):
+
+  $ identxx_ctl eval -p site.control --flow "tcp 192.168.0.10:40000 -> 8.8.8.8:443" --src name=firefox
+  tcp 192.168.0.10:40000 -> 8.8.8.8:443 => pass (line 3: pass from <lan> to any with eq(@src[name], firefox) keep state)
+
+  $ identxx_ctl eval -p site.control --flow "tcp 192.168.0.10:40000 -> 8.8.8.8:443" --src name=skype
+  tcp 192.168.0.10:40000 -> 8.8.8.8:443 => block (line 2: block all)
+  [2]
+
+Daemon configuration linting:
+
+  $ cat > app.conf <<'CONF'
+  > @app /usr/bin/skype {
+  > name : skype
+  > requirements : pass from any port http with eq(@src[name], skype)
+  > req-sig : abc123
+  > }
+  > CONF
+  $ identxx_ctl daemon-check app.conf
+  app.conf: OK (0 global pairs, 1 @app blocks)
+
+  $ cat > unsigned.conf <<'CONF'
+  > @app /usr/bin/tool {
+  > name : tool
+  > requirements : pass all
+  > }
+  > CONF
+  $ identxx_ctl daemon-check unsigned.conf
+  unsigned.conf: warning: @app /usr/bin/tool has requirements but no req-sig
+  unsigned.conf: OK (0 global pairs, 1 @app blocks)
+
+The signing workflow drives the delegation figures from the shell
+(deterministic keys, so output is stable):
+
+  $ identxx_ctl keygen research
+  owner:  research
+  public: pkac0947a98f887778ef589374141c3dca8954efbd
+  secret: 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e
+
+  $ identxx_ctl sign --secret 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e hash research-app "pass all"
+  16aa066c19f2ab71538ce84c56dd1213ff16a930efc113e60c1de1e23b9f24f9
+
+  $ identxx_ctl verify --public pkac0947a98f887778ef589374141c3dca8954efbd \
+  >   --secret 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e \
+  >   --signature 16aa066c19f2ab71538ce84c56dd1213ff16a930efc113e60c1de1e23b9f24f9 \
+  >   hash research-app "pass all"
+  valid
+
+  $ identxx_ctl verify --public pkac0947a98f887778ef589374141c3dca8954efbd \
+  >   --secret 2e85b546aa893125dc279e7374e1f494dda46293b9a1663d5f9269cdb5679a7e \
+  >   --signature 16aa066c19f2ab71538ce84c56dd1213ff16a930efc113e60c1de1e23b9f24f9 \
+  >   hash research-app "pass none"
+  INVALID
+  [2]
+
+Policy linting finds dead and duplicated rules:
+
+  $ cat > lint.control <<'POLICY'
+  > pass from any to any port 80
+  > block quick all
+  > pass from any to any port 443
+  > POLICY
+  $ identxx_ctl analyze lint.control
+  lint.control: line 3: [dead-after-quick-all] unreachable: the quick rule at line 2 decides every flow
+  [2]
+
+  $ identxx_ctl analyze site.control
+  no findings in 1 file(s)
+
+--trace shows how each rule fared (=> decided, * matched-but-overridden):
+
+  $ identxx_ctl eval -p site.control --trace \
+  >   --flow "tcp 192.168.0.10:40000 -> 8.8.8.8:443" --src name=firefox
+  *  line 2   block all
+  => line 3   pass from <lan> to any with eq(@src[name], firefox) keep state
+  tcp 192.168.0.10:40000 -> 8.8.8.8:443 => pass (line 3: pass from <lan> to any with eq(@src[name], firefox) keep state)

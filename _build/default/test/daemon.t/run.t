@@ -1,0 +1,48 @@
+identxxd answers ident++ queries from stdin using on-disk configuration
+and a process-table fixture (the lsof stand-in).
+
+  $ cat > skype.conf <<'CONF'
+  > @app /usr/bin/skype {
+  > name : skype
+  > version : 210
+  > }
+  > CONF
+  $ cat > procs.txt <<'TABLE'
+  > conn 100 alice staff /usr/bin/skype tcp 10.0.0.1:50000 10.0.0.9:33000
+  > listen 200 smtp services /usr/sbin/sendmail tcp 25
+  > TABLE
+
+A query about the flow alice's skype opened (the daemon is the source):
+
+  $ printf 'TCP 50000 33000\nuserID\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --config skype.conf --table procs.txt
+  TCP 50000 33000
+  userID: alice
+  groupID: staff
+  pid: 100
+  exe-path: /usr/bin/skype
+  name: skype
+  app-name: skype
+  
+  name: skype
+  version: 210
+  
+
+A query the listener would accept (the daemon is the destination):
+
+  $ printf 'TCP 4444 25\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --table procs.txt
+  TCP 4444 25
+  userID: smtp
+  groupID: services
+  pid: 200
+  exe-path: /usr/sbin/sendmail
+  name: sendmail
+  app-name: sendmail
+  
+
+A malformed query is answered with an error marker:
+
+  $ printf 'FROG 1 2\n\n' | identxxd --ip 10.0.0.1 --table procs.txt
+  error: query: malformed header fields
+  

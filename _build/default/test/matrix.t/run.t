@@ -1,0 +1,45 @@
+The Figure-2 decision matrix: the paper's three .control files
+(transcribed verbatim, as in policies/) replayed over eight scenarios.
+
+  $ cat > 00-local-header.control <<'EOF'
+  > table <server> { 192.168.1.1 }
+  > table <lan> { 192.168.0.0/24 }
+  > table <int_hosts> { <lan> <server> }
+  > allowed = "{ http ssh }"
+  > block all
+  > pass from <int_hosts> to !<int_hosts> keep state
+  > pass from <int_hosts> to <int_hosts> \
+  > with member(@src[name], $allowed) keep state
+  > EOF
+  $ cat > 50-skype.control <<'EOF'
+  > table <skype_update> { 123.123.123.0/24 }
+  > pass all with eq(@src[name], skype) with eq(@dst[name], skype)
+  > pass from any to <skype_update> port 80 \
+  > with eq(@src[name], skype) keep state
+  > EOF
+  $ cat > 99-local-footer.control <<'EOF'
+  > block all with eq(@src[name], skype) with lt(@src[version], 200)
+  > block from any to <server> with eq(@src[name], skype)
+  > EOF
+  $ cat > figure2.matrix <<'EOF'
+  > tcp 192.168.0.10:40000 -> 192.168.0.11:33000 | name=skype version=210 | name=skype version=210 | pass
+  > tcp 192.168.0.10:40000 -> 123.123.123.5:80 | name=skype version=210 | | pass
+  > tcp 192.168.0.10:40000 -> 192.168.1.1:80 | name=skype version=210 | | block
+  > tcp 192.168.0.10:40000 -> 192.168.0.11:33000 | name=skype version=150 | name=skype version=210 | block
+  > tcp 192.168.0.10:40000 -> 192.168.1.1:80 | name=http | | pass
+  > tcp 192.168.0.10:40000 -> 192.168.1.1:23 | name=telnet | | block
+  > tcp 192.168.0.10:40000 -> 8.8.8.8:443 | name=firefox | | pass
+  > tcp 8.8.8.8:40000 -> 192.168.0.10:80 | | | block
+  > EOF
+
+  $ identxx_ctl matrix -p 00-local-header.control -p 50-skype.control \
+  >   -p 99-local-footer.control figure2.matrix
+  tcp 192.168.0.10:40000 -> 192.168.0.11:33000       pass   pass   ok
+  tcp 192.168.0.10:40000 -> 123.123.123.5:80         pass   pass   ok
+  tcp 192.168.0.10:40000 -> 192.168.1.1:80           block  block  ok
+  tcp 192.168.0.10:40000 -> 192.168.0.11:33000       block  block  ok
+  tcp 192.168.0.10:40000 -> 192.168.1.1:80           pass   pass   ok
+  tcp 192.168.0.10:40000 -> 192.168.1.1:23           block  block  ok
+  tcp 192.168.0.10:40000 -> 8.8.8.8:443              pass   pass   ok
+  tcp 8.8.8.8:40000 -> 192.168.0.10:80               block  block  ok
+  all 8 scenarios match

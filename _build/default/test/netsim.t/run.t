@@ -1,0 +1,24 @@
+The netsim binary replays the paper's Figure-1 sequence with a
+deterministic trace.
+
+  $ identxx-netsim fig1 | head -20
+  Figure 1: client -> switch -> controller -> ident++ -> install -> deliver
+  
+  === trace ===
+        0s  client       tx [00:00:00:0a:00:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:50000 -> 10.0.0.2:80]
+      10us  s1           packet-in -> controller [00:00:00:0a:00:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:50000 -> 10.0.0.2:80]
+      60us  controller   -> s1 packet-out port=1 [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:49152 -> 10.0.0.1:783]
+      60us  controller   -> s1 packet-out port=2 [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:49152 -> 10.0.0.2:783]
+     120us  client       rx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:49152 -> 10.0.0.1:783]
+     120us  client       tx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:783 -> 10.0.0.2:49152]
+     120us  server       rx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:49152 -> 10.0.0.2:783]
+     120us  server       tx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:783 -> 10.0.0.1:49152]
+     130us  s1           packet-in -> controller [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:783 -> 10.0.0.2:49152]
+     130us  s1           packet-in -> controller [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:783 -> 10.0.0.1:49152]
+     180us  controller   -> s1 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.1/32 nw_dst=10.0.0.2/32 nw_proto=tcp tp_src=50000 tp_dst=80} -> output:2
+     180us  controller   -> s1 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.2/32 nw_dst=10.0.0.1/32 nw_proto=tcp tp_src=80 tp_dst=50000} -> output:1
+     180us  controller   -> s1 packet-out port=table [00:00:00:0a:00:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:50000 -> 10.0.0.2:80]
+     240us  server       rx [00:00:00:0a:00:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.1:50000 -> 10.0.0.2:80]
+  
+  === summary ===
+  packets delivered to hosts: 3

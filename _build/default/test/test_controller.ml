@@ -1,0 +1,1185 @@
+(* Integration tests of the ident++ controller over the simulated
+   OpenFlow fabric: the Figure-1 flow-setup sequence, policy caching,
+   keep-state, interception, incremental deployment and failure
+   injection. *)
+
+open Netcore
+module Net = Openflow.Network
+module Topo = Openflow.Topology
+module C = Identxx_core.Controller
+module Deploy = Identxx_core.Deploy
+
+let ip = Ipv4.of_string
+
+(* A policy that admits only flows whose source daemon names an approved
+   application. *)
+let app_policy apps =
+  Printf.sprintf "allowed = \"{ %s }\"\nblock all\npass all with member(@src[name], $allowed)"
+    (String.concat " " apps)
+
+let run_flow ?(dst_port = 80) (s : Deploy.simple) ~user ~exe =
+  let proc = Identxx.Host.run s.client ~user ~exe () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port ()
+  in
+  let pkt = Identxx.Host.first_packet s.client ~flow in
+  Net.send_from_host s.network ~name:"client" pkt;
+  Sim.Engine.run s.engine;
+  flow
+
+let test_fig1_allowed_flow_delivered () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  let delivered_before = Net.delivered s.network in
+  let _flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  let st = C.stats s.controller in
+  Alcotest.(check int) "one flow seen" 1 st.C.flows_seen;
+  Alcotest.(check int) "one allowed" 1 st.C.allowed;
+  Alcotest.(check int) "none blocked" 0 st.C.blocked;
+  Alcotest.(check int) "two queries" 2 st.C.queries_sent;
+  Alcotest.(check int) "two responses" 2 st.C.responses_received;
+  Alcotest.(check bool) "data packet delivered to server" true
+    (Net.delivered s.network > delivered_before)
+
+let test_fig1_blocked_flow_not_delivered () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  let _flow = run_flow s ~user:"mallory" ~exe:"/usr/bin/exfiltrator" in
+  let st = C.stats s.controller in
+  Alcotest.(check int) "one blocked" 1 st.C.blocked;
+  Alcotest.(check int) "none allowed" 0 st.C.allowed;
+  (* Only ident++ exchange packets were delivered to hosts; count the
+     data packet as dropped. *)
+  Alcotest.(check bool) "drop recorded" true (Net.dropped s.network >= 0)
+
+let test_fig1_event_sequence () =
+  (* The trace must show the Figure-1 order: client tx, packet-in,
+     queries out, responses back, flow-mods, then server rx. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  let entries = Sim.Trace.entries (Net.trace s.network) in
+  let index_of pred =
+    let rec go i = function
+      | [] -> None
+      | e :: rest -> if pred e then Some i else go (i + 1) rest
+    in
+    go 0 entries
+  in
+  let contains sub (e : Sim.Trace.entry) =
+    let len_s = String.length sub and len_e = String.length e.event in
+    let rec go i =
+      i + len_s <= len_e && (String.sub e.event i len_s = sub || go (i + 1))
+    in
+    len_s <= len_e && go 0
+  in
+  let first_packet_in = index_of (fun e -> contains "packet-in" e) in
+  let first_flow_mod = index_of (fun e -> contains "flow-mod" e) in
+  (* The server's first rx is the ident++ query (Figure 1 step 3); the
+     data packet is delivered last, on port 80. *)
+  let server_rx =
+    let rec last i best = function
+      | [] -> best
+      | e :: rest ->
+          let best =
+            if e.Sim.Trace.actor = "server" && contains "rx" e && contains ":80" e
+            then Some i
+            else best
+          in
+          last (i + 1) best rest
+    in
+    last 0 None entries
+  in
+  match (first_packet_in, first_flow_mod, server_rx) with
+  | Some pi, Some fm, Some rx ->
+      Alcotest.(check bool) "packet-in before flow-mod" true (pi < fm);
+      Alcotest.(check bool) "flow-mod before server delivery" true (fm < rx)
+  | _ -> Alcotest.fail "expected packet-in, flow-mod and server rx in trace"
+
+let test_udp_flow_end_to_end () =
+  (* UDP flows run the same pipeline: daemon identifies the sender and
+     the listening service, policy decides, entries install. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block all\npass proto udp from any to any port 53 with eq(@dst[name], named)";
+  let dproc = Identxx.Host.run s.server ~user:"bind" ~exe:"/usr/sbin/named" () in
+  Identxx.Host.listen s.server ~proc:dproc ~port:53 ~proto:Proto.Udp ();
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/dig" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~proto:Proto.Udp ~dst_port:53 ()
+  in
+  let delivered_before = Net.delivered s.network in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "allowed" 1 (C.stats s.controller).C.allowed;
+  Alcotest.(check bool) "datagram delivered" true
+    (Net.delivered s.network > delivered_before);
+  (* The same query to a TCP port is a different proto and is blocked. *)
+  let flow2 =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~proto:Proto.Tcp ~dst_port:53 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow:flow2);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "tcp blocked by proto clause" 1
+    (C.stats s.controller).C.blocked
+
+let test_caching_second_packet_bypasses_controller () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  let st1 = C.stats s.controller in
+  let packet_ins_before = Net.packet_ins s.network in
+  (* Re-send a packet of the same flow: it must ride the installed entry. *)
+  let pkt = Identxx.Host.first_packet s.client ~flow in
+  Net.send_from_host s.network ~name:"client" pkt;
+  Sim.Engine.run s.engine;
+  let st2 = C.stats s.controller in
+  Alcotest.(check int) "no new flow decisions" st1.C.flows_seen st2.C.flows_seen;
+  Alcotest.(check int) "no new packet-ins" packet_ins_before
+    (Net.packet_ins s.network)
+
+let test_denial_caching () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  let flow = run_flow s ~user:"mallory" ~exe:"/usr/bin/worm" in
+  let packet_ins_before = Net.packet_ins s.network in
+  let pkt = Identxx.Host.first_packet s.client ~flow in
+  Net.send_from_host s.network ~name:"client" pkt;
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "denied flow cached as drop entry" packet_ins_before
+    (Net.packet_ins s.network)
+
+let test_silent_daemon_fails_closed () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.client) Identxx.Daemon.Silent;
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "flow blocked" 1 st.C.blocked;
+  Alcotest.(check int) "timeout recorded" 1 st.C.query_timeouts
+
+let test_late_response_after_timeout_is_harmless () =
+  (* A response that arrives after the query timeout finds no pending
+     flow: it is treated as transit traffic and forwarded, never
+     revising the already-made (fail-closed) decision. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.client) Identxx.Daemon.Silent;
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:80 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "timed out and blocked" 1 (C.stats s.controller).C.blocked;
+  (* The "server's" answer finally limps in, long after the verdict. *)
+  let late =
+    Identxx.Wire.response_packet ~to_ip:(Identxx.Host.ip s.client)
+      ~from_ip:(Identxx.Host.ip s.server) ~dst_port:49152
+      (Identxx.Response.make ~flow
+         [ [ Identxx.Key_value.pair "name" "firefox" ] ])
+  in
+  Net.send_from_host s.network ~name:"server" late;
+  Sim.Engine.run s.engine;
+  let st = C.stats s.controller in
+  Alcotest.(check int) "decision unchanged" 1 st.C.blocked;
+  Alcotest.(check int) "no retroactive allow" 0 st.C.allowed;
+  Alcotest.(check int) "no pending resurrection" 0 (C.pending_count s.controller)
+
+let test_lying_daemon_can_bypass_name_policy () =
+  (* §5.3: a compromised end-host can send false responses; name-based
+     policy alone cannot catch it (signatures can, see test_pf verify). *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour
+    (Identxx.Host.daemon s.client)
+    (Identxx.Daemon.Lying [ Identxx.Key_value.pair "name" "firefox" ]);
+  ignore (run_flow s ~user:"mallory" ~exe:"/usr/bin/worm");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "lying daemon admitted" 1 st.C.allowed
+
+let test_keep_state_installs_reverse_path () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy"
+    "block all\npass all with eq(@src[userID], alice) keep state";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  let packet_ins_before = Net.packet_ins s.network in
+  (* The server's reply must pass without a new controller decision. *)
+  let reply = Packet.of_five_tuple (Five_tuple.reverse flow) in
+  Net.send_from_host s.network ~name:"server" reply;
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "reply bypassed controller" packet_ins_before
+    (Net.packet_ins s.network);
+  let st = C.stats s.controller in
+  Alcotest.(check int) "still one decision" 1 st.C.flows_seen
+
+let test_no_keep_state_reply_needs_decision () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" "block all\npass all with eq(@src[userID], alice)";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  (* Reply flow has server as source: alice isn't there, so blocked. *)
+  let reply = Packet.of_five_tuple (Five_tuple.reverse flow) in
+  Net.send_from_host s.network ~name:"server" reply;
+  Sim.Engine.run s.engine;
+  let st = C.stats s.controller in
+  Alcotest.(check int) "reply was a separate decision" 2 st.C.flows_seen;
+  Alcotest.(check int) "reply blocked" 1 st.C.blocked
+
+let test_query_targets_src_only () =
+  let config = { C.default_config with C.query_targets = C.Src_only } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "firefox" ]);
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "only one query" 1 st.C.queries_sent;
+  Alcotest.(check int) "allowed" 1 st.C.allowed
+
+let test_local_answers_controller_only_deployment () =
+  (* §4 Incremental Benefit: controllers implement ident++ but hosts
+     don't — the controller answers from its own information. *)
+  let config = { C.default_config with C.query_targets = C.Both } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller)
+    ~name:"00-policy" (app_policy [ "inventory-db" ]);
+  (* Hosts' daemons are silent; the controller knows its assets. *)
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.client) Identxx.Daemon.Silent;
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  C.set_local_answers s.controller (fun addr ->
+      if Ipv4.equal addr (Identxx.Host.ip s.client) then
+        Some [ Identxx.Key_value.pair "name" "inventory-db" ]
+      else if Ipv4.equal addr (Identxx.Host.ip s.server) then
+        Some [ Identxx.Key_value.pair "name" "inventory-db" ]
+      else None);
+  ignore (run_flow s ~user:"svc" ~exe:"/opt/inventory-db");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "no wire queries" 0 st.C.queries_sent;
+  Alcotest.(check int) "answered locally" 2 st.C.queries_answered_locally;
+  Alcotest.(check int) "allowed" 1 st.C.allowed
+
+let test_policy_hot_reload () =
+  let s = Deploy.simple_network () in
+  let policy = C.policy s.controller in
+  Identxx_core.Policy_store.add_exn policy ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/curl");
+  Alcotest.(check int) "curl blocked" 1 (C.stats s.controller).C.blocked;
+  (* Administrator adds curl to the approved list; new flows pass. *)
+  Identxx_core.Policy_store.add_exn policy ~name:"00-policy"
+    (app_policy [ "firefox"; "curl" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/curl" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:8080 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "curl now allowed" 1 (C.stats s.controller).C.allowed
+
+let test_non_ip_packets_dropped () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00" "pass all";
+  let arp =
+    {
+      Packet.eth_src = Mac.of_int 1;
+      eth_dst = Mac.broadcast;
+      vlan = Vlan.untagged;
+      eth_payload = Packet.Raw_eth (Ethertype.Arp, "who-has");
+    }
+  in
+  let dropped_before = Net.dropped s.network in
+  Net.send_from_host s.network ~name:"client" arp;
+  Sim.Engine.run s.engine;
+  (* The packet-in reaches the controller, which ignores non-IP; the
+     frame goes nowhere. *)
+  Alcotest.(check int) "no decisions" 0 (C.stats s.controller).C.flows_seen;
+  Alcotest.(check bool) "not delivered anywhere" true
+    (Net.delivered s.network = 0 && Net.dropped s.network >= dropped_before)
+
+let test_flow_to_unknown_destination_blocked () =
+  (* A pass verdict toward an address outside the topology cannot be
+     routed: no entries install and the buffered packet is never
+     released. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00" "pass all";
+  let proc = Identxx.Host.run s.client ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(ip "203.0.113.7") ~dst_port:80 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "decision happened" 1 (C.stats s.controller).C.allowed;
+  (* Only the ident++ query to the known source host was delivered; the
+     data packet had nowhere to go. *)
+  Alcotest.(check int) "only the query delivered" 1 (Net.delivered s.network)
+
+let test_pipeline_agrees_with_pure_decision () =
+  (* The networked pipeline (queries over the fabric, responses
+     reassembled at the controller) must decide exactly like the pure
+     Decision engine fed the daemons' direct answers. *)
+  let policy_text =
+    "allowed = \"{ firefox ssh }\"\n\
+     block all\n\
+     pass from any to any port 22 with member(@src[name], $allowed)\n\
+     pass from any to any port 80 with eq(@src[name], firefox) with \
+     gte(@src[version], 100)\n\
+     block from any to any port 80 with eq(@src[userID], guest)"
+  in
+  let prng = Sim.Prng.create 4242 in
+  let apps = [| "firefox"; "ssh"; "worm" |] in
+  let users = [| "alice"; "guest" |] in
+  for case = 0 to 19 do
+    let app = Sim.Prng.pick prng apps in
+    let user = Sim.Prng.pick prng users in
+    let version = 50 + Sim.Prng.int prng 200 in
+    let dst_port = if Sim.Prng.bool prng then 22 else 80 in
+    (* Networked run. *)
+    let s = Deploy.simple_network () in
+    Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00"
+      policy_text;
+    let exe = "/usr/bin/" ^ app in
+    (match
+       Identxx.Daemon.load_config (Identxx.Host.daemon s.client) ~name:"10"
+         (Printf.sprintf "@app %s {\nname : %s\nversion : %d\n}" exe app version)
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    let proc = Identxx.Host.run s.client ~user ~exe () in
+    let flow =
+      Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+        ~dst_port ()
+    in
+    Net.send_from_host s.network ~name:"client"
+      (Identxx.Host.first_packet s.client ~flow);
+    Sim.Engine.run s.engine;
+    let networked = (C.stats s.controller).C.allowed = 1 in
+    (* Pure run over the daemons' direct answers. *)
+    let answer host ~peer =
+      Option.map fst
+        (Identxx.Daemon.answer (Identxx.Host.daemon host) ~peer
+           ~proto:flow.Five_tuple.proto ~src_port:flow.Five_tuple.src_port
+           ~dst_port:flow.Five_tuple.dst_port ~keys:[])
+    in
+    let input =
+      {
+        Identxx_core.Decision.flow;
+        src_response = answer s.client ~peer:(Identxx.Host.ip s.server);
+        dst_response = answer s.server ~peer:(Identxx.Host.ip s.client);
+      }
+    in
+    let pure = Identxx_core.Decision.allows (C.decision s.controller) input in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d (%s/%s v%d :%d)" case app user version dst_port)
+      pure networked
+  done
+
+(* --- multi-switch path installation --- *)
+
+let test_entries_installed_along_path () =
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~switches:3 ~hosts_per_switch:1 ()
+  in
+  Identxx_core.Policy_store.add_exn (C.policy controller) ~name:"00-policy"
+    "pass all";
+  let h1 = hosts.(0) and h3 = hosts.(2) in
+  let proc = Identxx.Host.run h1 ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h3) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:(Identxx.Host.name h1)
+    (Identxx.Host.first_packet h1 ~flow);
+  Sim.Engine.run engine;
+  (* Every switch on the path holds an entry for the flow. *)
+  List.iter
+    (fun dpid ->
+      let table = Openflow.Switch.table (Net.switch network dpid) in
+      Alcotest.(check bool)
+        (Printf.sprintf "switch %d has an entry" dpid)
+        true
+        (Openflow.Flow_table.size table > 0))
+    [ 1; 2; 3 ];
+  (* And only the first switch took a packet-in for the data flow. *)
+  let st = C.stats controller in
+  Alcotest.(check int) "one flow decision" 1 st.C.flows_seen
+
+let test_ablation_ingress_only_installation () =
+  let config = { C.default_config with C.install_along_path = false } in
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~config ~switches:3 ~hosts_per_switch:1 ()
+  in
+  Identxx_core.Policy_store.add_exn (C.policy controller) ~name:"00-policy"
+    "pass all";
+  let h1 = hosts.(0) and h3 = hosts.(2) in
+  let proc = Identxx.Host.run h1 ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h3) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:(Identxx.Host.name h1)
+    (Identxx.Host.first_packet h1 ~flow);
+  Sim.Engine.run engine;
+  (* Ingress-only installation: downstream switches miss, causing extra
+     controller work for the same flow. *)
+  let st = C.stats controller in
+  Alcotest.(check bool) "more than one decision for one flow" true
+    (st.C.flows_seen > 1)
+
+(* --- interception across domains (§3.4 / §4 network collaboration) --- *)
+
+let two_domain_network () =
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  Topo.add_switch topology 1;
+  Topo.add_switch topology 2;
+  Topo.add_host topology "hA";
+  Topo.add_host topology "hB";
+  Topo.link topology (Topo.Host "hA", 0) (Topo.Sw 1, 1);
+  Topo.link topology (Topo.Host "hB", 0) (Topo.Sw 2, 1);
+  Topo.link topology (Topo.Sw 1, 2) (Topo.Sw 2, 2);
+  let network = Net.create ~engine ~topology () in
+  let cA = C.create ~network ~id:0 () in
+  let cB = C.create ~network ~id:1 () in
+  Net.assign_switch network 1 0;
+  Net.assign_switch network 2 1;
+  let hA =
+    Identxx.Host.create ~name:"hA" ~mac:(Mac.of_int 1) ~ip:(ip "10.0.1.1") ()
+  in
+  let hB =
+    Identxx.Host.create ~name:"hB" ~mac:(Mac.of_int 2) ~ip:(ip "10.0.2.1") ()
+  in
+  Deploy.attach_host network hA;
+  Deploy.attach_host network hB;
+  (engine, network, cA, cB, hA, hB)
+
+let test_three_domain_transit_chain () =
+  (* A response crossing TWO transit domains gets augmented by each
+     (hop-by-hop forwarding, §3.4), and the querying controller sees
+     both sections. *)
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  List.iter (Topo.add_switch topology) [ 1; 2; 3 ];
+  List.iter (Topo.add_host topology) [ "hA"; "hC" ];
+  Topo.link topology (Topo.Host "hA", 0) (Topo.Sw 1, 1);
+  Topo.link topology (Topo.Host "hC", 0) (Topo.Sw 3, 1);
+  Topo.link topology (Topo.Sw 1, 2) (Topo.Sw 2, 2);
+  Topo.link topology (Topo.Sw 2, 3) (Topo.Sw 3, 3);
+  let network = Net.create ~engine ~topology () in
+  let cA = C.create ~network ~id:0 () in
+  let cB = C.create ~network ~id:1 () in
+  let cC = C.create ~network ~id:2 () in
+  Net.assign_switch network 1 0;
+  Net.assign_switch network 2 1;
+  Net.assign_switch network 3 2;
+  (* hC's response toward hA packet-ins at s3 first (domain C), then at
+     s2 (domain B); each controller appends its tag, so the querying
+     controller reads the concatenation in transit order: "C,B". *)
+  Identxx_core.Policy_store.add_exn (C.policy cA) ~name:"00"
+    "block all\npass all with eq(*@dst[hop], \"C,B\")";
+  Identxx_core.Policy_store.add_exn (C.policy cB) ~name:"00" "pass all";
+  Identxx_core.Policy_store.add_exn (C.policy cC) ~name:"00" "pass all";
+  C.set_response_augment cB (fun _ -> [ Identxx.Key_value.pair "hop" "B" ]);
+  C.set_response_augment cC (fun _ -> [ Identxx.Key_value.pair "hop" "C" ]);
+  let hA = Identxx.Host.create ~name:"hA" ~mac:(Mac.of_int 1) ~ip:(ip "10.0.1.1") () in
+  let hC = Identxx.Host.create ~name:"hC" ~mac:(Mac.of_int 3) ~ip:(ip "10.0.3.1") () in
+  List.iter (Deploy.attach_host network) [ hA; hC ];
+  let proc = Identxx.Host.run hA ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect hA ~proc ~dst:(Identxx.Host.ip hC) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:"hA" (Identxx.Host.first_packet hA ~flow);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "admitted via two transit augments" 1
+    (C.stats cA).C.allowed;
+  Alcotest.(check bool) "both transits augmented" true
+    ((C.stats cB).C.responses_augmented >= 1
+    && (C.stats cC).C.responses_augmented >= 1)
+
+let test_interception_augments_response () =
+  let engine, network, cA, cB, hA, hB = two_domain_network () in
+  (* Domain A admits flows only when domain B vouches for them: B's
+     controller augments transiting responses with a branch tag. *)
+  Identxx_core.Policy_store.add_exn (C.policy cA) ~name:"00"
+    "block all\npass all with eq(@dst[branch], B)";
+  Identxx_core.Policy_store.add_exn (C.policy cB) ~name:"00" "pass all";
+  C.set_response_augment cB (fun _r ->
+      [ Identxx.Key_value.pair "branch" "B" ]);
+  let proc = Identxx.Host.run hA ~user:"u" ~exe:"/bin/app" () in
+  let server_proc = Identxx.Host.run hB ~user:"svc" ~exe:"/bin/srv" () in
+  Identxx.Host.listen hB ~proc:server_proc ~port:80 ();
+  let flow =
+    Identxx.Host.connect hA ~proc ~dst:(Identxx.Host.ip hB) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:"hA" (Identxx.Host.first_packet hA ~flow);
+  Sim.Engine.run engine;
+  let stA = C.stats cA and stB = C.stats cB in
+  Alcotest.(check int) "A allowed the flow" 1 stA.C.allowed;
+  Alcotest.(check bool) "B augmented at least one response" true
+    (stB.C.responses_augmented >= 1)
+
+let test_interception_without_augment_blocks () =
+  let engine, network, cA, cB, hA, hB = two_domain_network () in
+  Identxx_core.Policy_store.add_exn (C.policy cA) ~name:"00"
+    "block all\npass all with eq(@dst[branch], B)";
+  Identxx_core.Policy_store.add_exn (C.policy cB) ~name:"00" "pass all";
+  (* No augment hook: the branch tag never appears. *)
+  let proc = Identxx.Host.run hA ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect hA ~proc ~dst:(Identxx.Host.ip hB) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:"hA" (Identxx.Host.first_packet hA ~flow);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "A blocked the flow" 1 (C.stats cA).C.blocked
+
+
+let test_total_loss_fails_closed () =
+  (* With the ident++ exchange lost on the wire, the decision falls to
+     the query timeout with no responses; information-dependent policy
+     fails closed. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:80 ()
+  in
+  let pkt = Identxx.Host.first_packet s.client ~flow in
+  (* The data packet reaches the switch, then all subsequent frames
+     (queries and responses) are lost. *)
+  Net.send_from_host s.network ~name:"client" pkt;
+  Sim.Engine.run ~max_events:1 s.engine;
+  Net.set_loss s.network ~rate:1.0 ();
+  Sim.Engine.run s.engine;
+  let st = C.stats s.controller in
+  Alcotest.(check int) "blocked" 1 st.C.blocked;
+  Alcotest.(check int) "timeout" 1 st.C.query_timeouts
+
+let test_flow_stats_monitoring () =
+  (* OpenFlow flow-stats: the controller snapshots a switch's table and
+     sees the counters of installed entries. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "pass all";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  (* Two more packets ride the cached entry. *)
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  C.request_stats s.controller 1;
+  Sim.Engine.run s.engine;
+  match C.switch_stats s.controller 1 with
+  | None -> Alcotest.fail "no stats reply"
+  | Some reply ->
+      Alcotest.(check bool) "has entries" true
+        (List.length reply.Openflow.Message.st_flows >= 1);
+      let data_entry =
+        List.find_opt
+          (fun (st : Openflow.Message.flow_stat) ->
+            st.Openflow.Message.st_fields.Openflow.Match_fields.tp_dst = Some 80)
+          reply.Openflow.Message.st_flows
+      in
+      (match data_entry with
+      | Some st ->
+          (* The first packet was released via packet-out `Table (one
+             hit) plus two cached packets. *)
+          Alcotest.(check int) "three packets counted" 3
+            st.Openflow.Message.st_packets
+      | None -> Alcotest.fail "no entry for the data flow")
+
+let test_conn_state_survives_entry_expiry () =
+  (* keep-state is connection state, not just reverse flow entries: a
+     reply arriving after the cached entries idled out is re-admitted
+     without a new ident++ exchange (PF evaluates state before rules). *)
+  let config =
+    { C.default_config with C.entry_idle_timeout = Some (Sim.Time.ms 1) }
+  in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block all\npass all with eq(@src[userID], alice) keep state";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  (* Let the flow entries idle out (but not the 60 s connection state). *)
+  Sim.Engine.schedule s.engine ~delay:(Sim.Time.ms 50) (fun () -> ());
+  Sim.Engine.run s.engine;
+  let queries_before = (C.stats s.controller).C.queries_sent in
+  let delivered_before = Net.delivered s.network in
+  let reply = Packet.of_five_tuple (Five_tuple.reverse flow) in
+  Net.send_from_host s.network ~name:"server" reply;
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "no new queries for the stateful reply" queries_before
+    (C.stats s.controller).C.queries_sent;
+  Alcotest.(check bool) "reply delivered" true
+    (Net.delivered s.network > delivered_before)
+
+let test_query_retries_on_silent_daemon () =
+  let config = { C.default_config with C.query_retries = 2 } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.client) Identxx.Daemon.Silent;
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "two retry rounds" 2 st.C.query_retries_sent;
+  (* 2 initial + 2 per retry round. *)
+  Alcotest.(check int) "six queries total" 6 st.C.queries_sent;
+  Alcotest.(check int) "still fails closed" 1 st.C.blocked;
+  Alcotest.(check int) "one timeout in the end" 1 st.C.query_timeouts
+
+let test_retry_recovers_from_transient_loss () =
+  let config = { C.default_config with C.query_retries = 3 } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:80 ()
+  in
+  (* Lose everything during the first exchange, then heal the network
+     before the first retry fires. *)
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run ~max_events:1 s.engine;
+  Net.set_loss s.network ~rate:1.0 ();
+  Sim.Engine.schedule s.engine ~delay:(Sim.Time.ms 4) (fun () ->
+      Net.set_loss s.network ~rate:0.0 ());
+  Sim.Engine.run s.engine;
+  let st = C.stats s.controller in
+  Alcotest.(check int) "allowed after retry" 1 st.C.allowed;
+  Alcotest.(check bool) "at least one retry round" true
+    (st.C.query_retries_sent >= 1)
+
+let test_spoofed_response_accepted_without_signing () =
+  (* Baseline: an attacker host fabricates the server's response and the
+     controller, with signing off, believes it. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block all\npass all with eq(@dst[clearance], top)";
+  (* The real server would never claim clearance=top. *)
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  let proc = Identxx.Host.run s.client ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:80 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  (* The client host also plays attacker: it injects a response that
+     claims to come from the server. *)
+  let fake =
+    Identxx.Wire.response_packet ~to_ip:(Identxx.Host.ip s.client)
+      ~from_ip:(Identxx.Host.ip s.server) ~dst_port:49152
+      (Identxx.Response.make ~flow
+         [ [ Identxx.Key_value.pair "clearance" "top" ] ])
+  in
+  Sim.Engine.schedule s.engine ~delay:(Sim.Time.us 200) (fun () ->
+      Net.send_from_host s.network ~name:"client" fake);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "spoof believed without signing" 1
+    (C.stats s.controller).C.allowed
+
+let test_spoofed_response_rejected_with_signing () =
+  let config = { C.default_config with C.require_signed_responses = true } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block all\npass all with eq(@dst[clearance], top)";
+  (* Hosts hold keys the controller trusts. *)
+  let client_key = Idcrypto.Sign.generate "client-host" in
+  let server_key = Idcrypto.Sign.generate "server-host" in
+  Idcrypto.Sign.register (C.keystore s.controller) client_key;
+  Idcrypto.Sign.register (C.keystore s.controller) server_key;
+  Identxx.Host.set_signing_key s.client (Some client_key);
+  Identxx.Host.set_signing_key s.server (Some server_key);
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  let proc = Identxx.Host.run s.client ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:80 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  let fake =
+    Identxx.Wire.response_packet ~to_ip:(Identxx.Host.ip s.client)
+      ~from_ip:(Identxx.Host.ip s.server) ~dst_port:49152
+      (Identxx.Response.make ~flow
+         [ [ Identxx.Key_value.pair "clearance" "top" ] ])
+  in
+  Sim.Engine.schedule s.engine ~delay:(Sim.Time.us 200) (fun () ->
+      Net.send_from_host s.network ~name:"client" fake);
+  Sim.Engine.run s.engine;
+  let st = C.stats s.controller in
+  Alcotest.(check bool) "spoof rejected" true (st.C.responses_rejected >= 1);
+  Alcotest.(check int) "flow fails closed" 1 st.C.blocked
+
+let test_signed_responses_accepted_when_valid () =
+  let config = { C.default_config with C.require_signed_responses = true } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let client_key = Idcrypto.Sign.generate "client-host" in
+  let server_key = Idcrypto.Sign.generate "server-host" in
+  Idcrypto.Sign.register (C.keystore s.controller) client_key;
+  Idcrypto.Sign.register (C.keystore s.controller) server_key;
+  Identxx.Host.set_signing_key s.client (Some client_key);
+  Identxx.Host.set_signing_key s.server (Some server_key);
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "signed responses admitted" 1 st.C.allowed;
+  Alcotest.(check int) "nothing rejected" 0 st.C.responses_rejected
+
+let test_policy_configured_local_answers () =
+  (* The S3.4 PF+=2 extensions: a policy file configures the controller
+     to answer queries on behalf of hosts — no OCaml hook needed. *)
+  let s = Deploy.simple_network () in
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.client) Identxx.Daemon.Silent;
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "intercept query to any answer { asset-class : kiosk }\n\
+     block all\n\
+     pass all with eq(@src[asset-class], kiosk)";
+  ignore (run_flow s ~user:"u" ~exe:"/bin/app");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "no wire queries" 0 st.C.queries_sent;
+  Alcotest.(check int) "answered from policy" 2 st.C.queries_answered_locally;
+  Alcotest.(check int) "allowed via policy-supplied pairs" 1 st.C.allowed
+
+let test_policy_configured_augment () =
+  (* Branch collaboration configured purely in the .control file. *)
+  let engine, network, cA, cB, hA, hB = two_domain_network () in
+  Identxx_core.Policy_store.add_exn (C.policy cA) ~name:"00"
+    "block all\npass all with eq(@dst[branch], B)";
+  Identxx_core.Policy_store.add_exn (C.policy cB) ~name:"00"
+    "pass all\nintercept response to !10.0.2.0/24 augment { branch : B }";
+  let proc = Identxx.Host.run hA ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect hA ~proc ~dst:(Identxx.Host.ip hB) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:"hA" (Identxx.Host.first_packet hA ~flow);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "A allowed via policy-configured augment" 1
+    (C.stats cA).C.allowed
+
+(* --- proactive quick-block compilation (line-rate enforcement, S6) --- *)
+
+let test_precompiled_block_never_reaches_controller () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block quick from any to any port 445\npass all";
+  Sim.Engine.run s.engine;
+  (* propagate the proactive flow-mods *)
+  let packet_ins_before = Net.packet_ins s.network in
+  let proc = Identxx.Host.run s.client ~user:"worm" ~exe:"/bin/worm" () in
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port:445 ()
+  in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "no packet-in for precompiled block" packet_ins_before
+    (Net.packet_ins s.network);
+  Alcotest.(check int) "controller never consulted" 0
+    (C.stats s.controller).C.flows_seen;
+  (* Other traffic still goes reactive and passes. *)
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  Alcotest.(check int) "reactive path intact" 1 (C.stats s.controller).C.allowed
+
+let test_precompiled_sync_on_policy_change () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block quick from any to any port 445\npass all";
+  Sim.Engine.run s.engine;
+  let table = Openflow.Switch.table (Net.switch s.network 1) in
+  Alcotest.(check int) "one proactive entry" 1 (Openflow.Flow_table.size table);
+  (* Replace the policy: the old proactive entry must disappear and the
+     new one appear. *)
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block quick from any to any port 23\npass all";
+  Sim.Engine.run s.engine;
+  let entries = Openflow.Flow_table.entries table in
+  Alcotest.(check int) "still one proactive entry" 1 (List.length entries);
+  (match entries with
+  | [ e ] ->
+      Alcotest.(check bool) "matches port 23" true
+        (e.Openflow.Flow_entry.fields.Openflow.Match_fields.tp_dst = Some 23)
+  | _ -> Alcotest.fail "expected exactly one entry")
+
+let test_precompile_stops_at_informational_quick () =
+  (* A quick rule needing end-host info blocks compilation of anything
+     after it, but leading network-only quick blocks still compile. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block quick from any to any port 445\n\
+     block quick all with eq(@src[name], worm)\n\
+     block quick from any to any port 23\n\
+     pass all";
+  Sim.Engine.run s.engine;
+  let table = Openflow.Switch.table (Net.switch s.network 1) in
+  let entries = Openflow.Flow_table.entries table in
+  Alcotest.(check int) "only the leading rule compiled" 1 (List.length entries)
+
+let test_precompile_expands_tables_and_ranges () =
+  let env =
+    match
+      Pf.Env.of_string
+        "table <bad> { 203.0.113.0/24 198.51.100.0/24 }\n\
+         block quick from <bad> to any port 8000:8003\npass all"
+    with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let matches = Identxx_core.Precompile.drop_matches env in
+  (* 2 prefixes x 4 ports. *)
+  Alcotest.(check int) "cross product" 8 (List.length matches)
+
+let test_precompile_rejects_negation_and_big_ranges () =
+  let check_empty policy =
+    match Pf.Env.of_string policy with
+    | Ok env ->
+        Alcotest.(check int)
+          ("not compilable: " ^ policy)
+          0
+          (List.length (Identxx_core.Precompile.drop_matches env))
+    | Error e -> Alcotest.fail e
+  in
+  check_empty "table <t> {10.0.0.0/8}\nblock quick from !<t> to any";
+  check_empty "block quick from any to any port 1:10000";
+  check_empty "block quick log from any to any port 445";
+  check_empty "block quick all with eq(@src[name], x)";
+  (* Non-quick blocks are never precompiled (they can be overridden). *)
+  check_empty "block from any to any port 445"
+
+let test_tree_network_cross_pod_flow () =
+  (* depth-3 binary tree: 7 switches, 4 leaves. A flow between hosts in
+     different pods must traverse the root and install entries on every
+     switch of the path. *)
+  let engine, network, controller, hosts =
+    Deploy.tree_network ~depth:3 ~fanout:2 ~hosts_per_edge:1 ()
+  in
+  Identxx_core.Policy_store.add_exn (C.policy controller) ~name:"00" "pass all";
+  Alcotest.(check int) "four leaf hosts" 4 (Array.length hosts);
+  let src = hosts.(0) and dst = hosts.(3) in
+  let proc = Identxx.Host.run src ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect src ~proc ~dst:(Identxx.Host.ip dst) ~dst_port:80 ()
+  in
+  let delivered_before = Net.delivered network in
+  Net.send_from_host network ~name:(Identxx.Host.name src)
+    (Identxx.Host.first_packet src ~flow);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "delivered across pods" true
+    (Net.delivered network > delivered_before);
+  Alcotest.(check int) "one decision" 1 (C.stats controller).C.flows_seen;
+  (* Path: leaf -> aggregation -> root -> aggregation -> leaf = 5 switches. *)
+  let with_entries =
+    List.length
+      (List.filter
+         (fun dpid ->
+           Openflow.Flow_table.size (Openflow.Switch.table (Net.switch network dpid)) > 0)
+         [ 1; 2; 3; 4; 5; 6; 7 ])
+  in
+  Alcotest.(check int) "entries on the 5-switch path" 5 with_entries
+
+let test_poisson_driven_enterprise () =
+  (* Time-driven load over the fabric: Poisson arrivals scheduled on the
+     engine, everything decided by policy, accounting must balance. *)
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~switches:3 ~hosts_per_switch:4 ()
+  in
+  Identxx_core.Policy_store.add_exn (C.policy controller) ~name:"00"
+    "block all\npass all with eq(@src[userID], user) keep state";
+  let prng = Sim.Prng.create 99 in
+  let sends = ref 0 in
+  (* Pick random (src, dst) host pairs at Poisson times. *)
+  let rec schedule t =
+    let t = t +. Sim.Prng.exponential prng ~mean:0.02 in
+    if t < 2.0 then begin
+      Sim.Engine.schedule engine ~delay:(Sim.Time.of_float_s t) (fun () ->
+          let src = hosts.(Sim.Prng.int prng (Array.length hosts)) in
+          let dst = hosts.(Sim.Prng.int prng (Array.length hosts)) in
+          if Identxx.Host.ip src <> Identxx.Host.ip dst then begin
+            incr sends;
+            let proc = Identxx.Host.run src ~user:"user" ~exe:"/bin/app" () in
+            let flow =
+              Identxx.Host.connect src ~proc ~dst:(Identxx.Host.ip dst)
+                ~dst_port:80 ()
+            in
+            Net.send_from_host network ~name:(Identxx.Host.name src)
+              (Identxx.Host.first_packet src ~flow)
+          end);
+      schedule t
+    end
+  in
+  schedule 0.0;
+  Sim.Engine.run engine;
+  let st = C.stats controller in
+  Alcotest.(check bool) "a real load ran" true (!sends > 50);
+  (* Keep-state admissions may bypass decisions, so allowed+blocked can
+     be <= sends, but nothing may be lost or erroneous. *)
+  Alcotest.(check bool) "decisions bounded by sends" true
+    (st.C.allowed + st.C.blocked <= !sends);
+  Alcotest.(check int) "no eval errors" 0 st.C.eval_errors;
+  Alcotest.(check int) "no timeouts" 0 st.C.query_timeouts;
+  Alcotest.(check int) "nothing left pending" 0 (C.pending_count controller)
+
+(* --- audit and revocation (S1: "override, audit, and revoke") --- *)
+
+let test_audit_records_decisions () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "block all\npass log all with eq(@src[name], firefox)";
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  ignore (run_flow s ~user:"bob" ~exe:"/usr/bin/worm");
+  let audit = C.audit s.controller in
+  Alcotest.(check int) "two decisions" 2 (Identxx_core.Audit.count audit);
+  Alcotest.(check int) "one blocked" 1 (Identxx_core.Audit.blocked_count audit);
+  let flagged = Identxx_core.Audit.flagged audit in
+  Alcotest.(check int) "only the log rule flags" 1 (List.length flagged);
+  (match flagged with
+  | [ e ] ->
+      Alcotest.(check bool) "records the pass" true
+        (e.Identxx_core.Audit.decision = Pf.Ast.Pass);
+      Alcotest.(check bool) "summarizes source info" true
+        (List.mem_assoc "userID" e.Identxx_core.Audit.src_info)
+  | _ -> Alcotest.fail "expected one flagged entry");
+  (* The blocked flow's entry records the default/block. *)
+  let blocked =
+    List.find
+      (fun (e : Identxx_core.Audit.entry) -> e.decision = Pf.Ast.Block)
+      (Identxx_core.Audit.entries audit)
+  in
+  Alcotest.(check bool) "blocked entry has rule line" true
+    (blocked.Identxx_core.Audit.rule_line <> None)
+
+let test_revocation_takes_immediate_effect () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-base"
+    "block all";
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"50-grant"
+    "pass all with eq(@src[userID], alice)";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  Alcotest.(check int) "granted" 1 (C.stats s.controller).C.allowed;
+  (* Revoke: policy file removed AND caches flushed. *)
+  C.revoke_file s.controller ~name:"50-grant";
+  Sim.Engine.run s.engine;
+  (* The same flow's next packet must be re-decided and blocked. *)
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  let st = C.stats s.controller in
+  Alcotest.(check int) "re-decided" 2 st.C.flows_seen;
+  Alcotest.(check int) "now blocked" 1 st.C.blocked
+
+let test_without_flush_cache_serves_stale_policy () =
+  (* The ablation: removing the file without flushing leaves the cached
+     entry serving the revoked policy. *)
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-base"
+    "block all";
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"50-grant"
+    "pass all with eq(@src[userID], alice)";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  Identxx_core.Policy_store.remove (C.policy s.controller) ~name:"50-grant";
+  let delivered_before = Net.delivered s.network in
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "no new decision (stale cache)" 1
+    (C.stats s.controller).C.flows_seen;
+  Alcotest.(check bool) "packet still delivered" true
+    (Net.delivered s.network > delivered_before)
+
+let test_flush_is_domain_scoped () =
+  (* Two controllers share the fabric; revoking policy in domain A must
+     not disturb domain B's cached entries. *)
+  let engine, network, cA, cB, hA, hB = two_domain_network () in
+  Identxx_core.Policy_store.add_exn (C.policy cA) ~name:"00" "pass all";
+  Identxx_core.Policy_store.add_exn (C.policy cB) ~name:"00" "pass all";
+  (* hB talks locally within domain B to populate switch 2's table. *)
+  let procB = Identxx.Host.run hB ~user:"u" ~exe:"/bin/app" () in
+  let flowB =
+    Identxx.Host.connect hB ~proc:procB ~dst:(Identxx.Host.ip hA) ~dst_port:80 ()
+  in
+  Net.send_from_host network ~name:"hB" (Identxx.Host.first_packet hB ~flow:flowB);
+  Sim.Engine.run engine;
+  let s2_entries () =
+    Openflow.Flow_table.size (Openflow.Switch.table (Net.switch network 2))
+  in
+  let before = s2_entries () in
+  Alcotest.(check bool) "domain B has cached entries" true (before > 0);
+  (* Flush domain A only. *)
+  C.flush_cache cA;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "domain B untouched" before (s2_entries ());
+  Alcotest.(check int) "domain A cleared" 0
+    (Openflow.Flow_table.size (Openflow.Switch.table (Net.switch network 1)))
+
+let test_update_file_flushes () =
+  let s = Deploy.simple_network () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    "pass all";
+  let flow = run_flow s ~user:"alice" ~exe:"/usr/bin/firefox" in
+  (match C.update_file s.controller ~name:"00-policy" "block all" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Sim.Engine.run s.engine;
+  Net.send_from_host s.network ~name:"client"
+    (Identxx.Host.first_packet s.client ~flow);
+  Sim.Engine.run s.engine;
+  Alcotest.(check int) "blocked after update" 1 (C.stats s.controller).C.blocked
+
+let () =
+  Alcotest.run "controller"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "allowed flow delivered" `Quick
+            test_fig1_allowed_flow_delivered;
+          Alcotest.test_case "blocked flow not delivered" `Quick
+            test_fig1_blocked_flow_not_delivered;
+          Alcotest.test_case "event sequence" `Quick test_fig1_event_sequence;
+          Alcotest.test_case "udp end to end" `Quick test_udp_flow_end_to_end;
+        ] );
+      ( "caching",
+        [
+          Alcotest.test_case "second packet bypasses controller" `Quick
+            test_caching_second_packet_bypasses_controller;
+          Alcotest.test_case "denial caching" `Quick test_denial_caching;
+        ] );
+      ( "failure injection",
+        [
+          Alcotest.test_case "silent daemon fails closed" `Quick
+            test_silent_daemon_fails_closed;
+          Alcotest.test_case "lying daemon bypasses name policy" `Quick
+            test_lying_daemon_can_bypass_name_policy;
+          Alcotest.test_case "late response harmless" `Quick
+            test_late_response_after_timeout_is_harmless;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "keep state reverse path" `Quick
+            test_keep_state_installs_reverse_path;
+          Alcotest.test_case "no keep state means new decision" `Quick
+            test_no_keep_state_reply_needs_decision;
+        ] );
+      ( "deployment modes",
+        [
+          Alcotest.test_case "src-only queries" `Quick
+            test_query_targets_src_only;
+          Alcotest.test_case "controller-only (local answers)" `Quick
+            test_local_answers_controller_only_deployment;
+          Alcotest.test_case "policy hot reload" `Quick test_policy_hot_reload;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "pipeline agrees with pure decision" `Quick
+            test_pipeline_agrees_with_pure_decision;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "non-ip dropped" `Quick test_non_ip_packets_dropped;
+          Alcotest.test_case "unknown destination" `Quick
+            test_flow_to_unknown_destination_blocked;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "entries along path" `Quick
+            test_entries_installed_along_path;
+          Alcotest.test_case "ingress-only ablation" `Quick
+            test_ablation_ingress_only_installation;
+        ] );
+      ( "state & retries",
+        [
+          Alcotest.test_case "conn state survives entry expiry" `Quick
+            test_conn_state_survives_entry_expiry;
+          Alcotest.test_case "retries on silent daemon" `Quick
+            test_query_retries_on_silent_daemon;
+          Alcotest.test_case "retry recovers from loss" `Quick
+            test_retry_recovers_from_transient_loss;
+        ] );
+      ( "signed responses",
+        [
+          Alcotest.test_case "spoof accepted without signing" `Quick
+            test_spoofed_response_accepted_without_signing;
+          Alcotest.test_case "spoof rejected with signing" `Quick
+            test_spoofed_response_rejected_with_signing;
+          Alcotest.test_case "valid signatures accepted" `Quick
+            test_signed_responses_accepted_when_valid;
+        ] );
+      ( "policy intercepts",
+        [
+          Alcotest.test_case "local answers from policy" `Quick
+            test_policy_configured_local_answers;
+          Alcotest.test_case "augment from policy" `Quick
+            test_policy_configured_augment;
+        ] );
+      ( "precompile",
+        [
+          Alcotest.test_case "precompiled block bypasses controller" `Quick
+            test_precompiled_block_never_reaches_controller;
+          Alcotest.test_case "sync on policy change" `Quick
+            test_precompiled_sync_on_policy_change;
+          Alcotest.test_case "stops at informational quick" `Quick
+            test_precompile_stops_at_informational_quick;
+          Alcotest.test_case "expands tables and ranges" `Quick
+            test_precompile_expands_tables_and_ranges;
+          Alcotest.test_case "rejects negation and big ranges" `Quick
+            test_precompile_rejects_negation_and_big_ranges;
+        ] );
+      ( "robustness & monitoring",
+        [
+          Alcotest.test_case "total loss fails closed" `Quick
+            test_total_loss_fails_closed;
+          Alcotest.test_case "flow stats monitoring" `Quick
+            test_flow_stats_monitoring;
+        ] );
+      ( "time-driven load",
+        [
+          Alcotest.test_case "poisson enterprise" `Quick
+            test_poisson_driven_enterprise;
+          Alcotest.test_case "tree cross-pod flow" `Quick
+            test_tree_network_cross_pod_flow;
+        ] );
+      ( "audit & revoke",
+        [
+          Alcotest.test_case "audit records decisions" `Quick
+            test_audit_records_decisions;
+          Alcotest.test_case "revocation immediate" `Quick
+            test_revocation_takes_immediate_effect;
+          Alcotest.test_case "stale cache without flush" `Quick
+            test_without_flush_cache_serves_stale_policy;
+          Alcotest.test_case "update flushes" `Quick test_update_file_flushes;
+          Alcotest.test_case "flush is domain-scoped" `Quick
+            test_flush_is_domain_scoped;
+        ] );
+      ( "interception",
+        [
+          Alcotest.test_case "augment admits" `Quick
+            test_interception_augments_response;
+          Alcotest.test_case "three-domain transit chain" `Quick
+            test_three_domain_transit_chain;
+          Alcotest.test_case "no augment blocks" `Quick
+            test_interception_without_augment_blocks;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Unit tests for the smaller identxx_core and pf support modules:
+   connection state, the audit log, the policy store, services, and the
+   deploy helpers. *)
+
+open Netcore
+
+let check = Alcotest.check
+let ip = Ipv4.of_string
+
+let flow ?(sp = 40000) ?(dp = 80) src dst =
+  Five_tuple.tcp ~src:(ip src) ~dst:(ip dst) ~src_port:sp ~dst_port:dp
+
+(* --- Conn_state --- *)
+
+let test_conn_state_permits_forward_and_reverse () =
+  let cs = Identxx_core.Conn_state.create () in
+  let f = flow "10.0.0.1" "10.0.0.2" in
+  Identxx_core.Conn_state.note cs ~now:Sim.Time.zero f;
+  check Alcotest.bool "forward" true
+    (Identxx_core.Conn_state.permits cs ~now:(Sim.Time.s 1) f);
+  check Alcotest.bool "reverse" true
+    (Identxx_core.Conn_state.permits cs ~now:(Sim.Time.s 1) (Five_tuple.reverse f));
+  check Alcotest.bool "unrelated" false
+    (Identxx_core.Conn_state.permits cs ~now:(Sim.Time.s 1)
+       (flow "10.0.0.3" "10.0.0.2"))
+
+let test_conn_state_idle_expiry () =
+  let cs = Identxx_core.Conn_state.create ~idle_timeout:(Sim.Time.s 10) () in
+  let f = flow "10.0.0.1" "10.0.0.2" in
+  Identxx_core.Conn_state.note cs ~now:Sim.Time.zero f;
+  (* A hit refreshes the timer. *)
+  check Alcotest.bool "fresh at 8s" true
+    (Identxx_core.Conn_state.permits cs ~now:(Sim.Time.s 8) f);
+  check Alcotest.bool "refreshed at 16s" true
+    (Identxx_core.Conn_state.permits cs ~now:(Sim.Time.s 16) f);
+  check Alcotest.bool "stale at 30s" false
+    (Identxx_core.Conn_state.permits cs ~now:(Sim.Time.s 30) f);
+  check Alcotest.int "expire reaps" 1
+    (Identxx_core.Conn_state.expire cs ~now:(Sim.Time.s 30));
+  check Alcotest.int "empty" 0 (Identxx_core.Conn_state.size cs)
+
+(* --- Audit --- *)
+
+let verdict ?(decision = Pf.Ast.Pass) ?(log = false) () =
+  { Pf.Eval.decision; matched = None; keep_state = false; log }
+
+let test_audit_counts_and_flags () =
+  let a = Identxx_core.Audit.create () in
+  let f = flow "1.1.1.1" "2.2.2.2" in
+  Identxx_core.Audit.record a ~at:Sim.Time.zero ~flow:f ~verdict:(verdict ())
+    ~src:None ~dst:None;
+  Identxx_core.Audit.record a ~at:(Sim.Time.ms 1) ~flow:f
+    ~verdict:(verdict ~decision:Pf.Ast.Block ~log:true ())
+    ~src:None ~dst:None;
+  check Alcotest.int "count" 2 (Identxx_core.Audit.count a);
+  check Alcotest.int "blocked" 1 (Identxx_core.Audit.blocked_count a);
+  check Alcotest.int "flagged" 1 (List.length (Identxx_core.Audit.flagged a));
+  Identxx_core.Audit.clear a;
+  check Alcotest.int "cleared" 0 (Identxx_core.Audit.count a)
+
+let test_audit_capacity_trims () =
+  let a = Identxx_core.Audit.create ~capacity:10 () in
+  let f = flow "1.1.1.1" "2.2.2.2" in
+  for _ = 1 to 100 do
+    Identxx_core.Audit.record a ~at:Sim.Time.zero ~flow:f ~verdict:(verdict ())
+      ~src:None ~dst:None
+  done;
+  check Alcotest.bool "bounded" true
+    (List.length (Identxx_core.Audit.entries a) <= 13);
+  check Alcotest.int "total count still exact" 100 (Identxx_core.Audit.count a)
+
+let test_audit_summarizes_responses () =
+  let a = Identxx_core.Audit.create () in
+  let f = flow "1.1.1.1" "2.2.2.2" in
+  let r =
+    Identxx.Response.make ~flow:f
+      [
+        [
+          Identxx.Key_value.pair "userID" "alice";
+          Identxx.Key_value.pair "name" "skype";
+          Identxx.Key_value.pair "irrelevant-blob" "xxxxx";
+        ];
+      ]
+  in
+  Identxx_core.Audit.record a ~at:Sim.Time.zero ~flow:f ~verdict:(verdict ())
+    ~src:(Some r) ~dst:None;
+  match Identxx_core.Audit.entries a with
+  | [ e ] ->
+      check Alcotest.(option string) "user kept" (Some "alice")
+        (List.assoc_opt "userID" e.Identxx_core.Audit.src_info);
+      check Alcotest.(option string) "blob dropped" None
+        (List.assoc_opt "irrelevant-blob" e.Identxx_core.Audit.src_info)
+  | _ -> Alcotest.fail "expected one entry"
+
+(* --- Policy_store --- *)
+
+let test_policy_store_alphabetical_order () =
+  let ps = Identxx_core.Policy_store.create () in
+  Identxx_core.Policy_store.add_exn ps ~name:"99-footer" "block all";
+  Identxx_core.Policy_store.add_exn ps ~name:"00-header.control" "pass all";
+  check Alcotest.(list string) "sorted, suffix stripped"
+    [ "00-header"; "99-footer" ]
+    (List.map fst (Identxx_core.Policy_store.files ps));
+  (* Concatenation order decides last-match: 99-footer's block wins. *)
+  let env = Identxx_core.Policy_store.env_exn ps in
+  let v =
+    Pf.Eval.eval_exn env (Pf.Eval.ctx ()) (flow "1.1.1.1" "2.2.2.2")
+  in
+  check Alcotest.bool "footer wins" true (v.Pf.Eval.decision = Pf.Ast.Block)
+
+let test_policy_store_rejects_broken_concatenation () =
+  let ps = Identxx_core.Policy_store.create () in
+  Identxx_core.Policy_store.add_exn ps ~name:"00" "pass from <lan> to any\ntable <lan> {10.0.0.0/8}";
+  (* A new file that shadows the table with a cycle must be rejected and
+     rolled back. *)
+  (match Identxx_core.Policy_store.add ps ~name:"50" "table <lan> { <lan> }" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "broken concatenation accepted");
+  check Alcotest.int "rolled back" 1
+    (List.length (Identxx_core.Policy_store.files ps));
+  match Identxx_core.Policy_store.env ps with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "store left broken: %s" e
+
+let test_policy_store_on_change_fires () =
+  let ps = Identxx_core.Policy_store.create () in
+  let fired = ref 0 in
+  Identxx_core.Policy_store.on_change ps (fun () -> incr fired);
+  Identxx_core.Policy_store.add_exn ps ~name:"00" "pass all";
+  Identxx_core.Policy_store.remove ps ~name:"00";
+  (* A rejected add must not fire. *)
+  ignore (Identxx_core.Policy_store.add ps ~name:"01" "pass frm any");
+  check Alcotest.int "fired twice" 2 !fired
+
+(* --- Services --- *)
+
+let test_services_lookup () =
+  check Alcotest.(option int) "http" (Some 80) (Pf.Services.port_of_name "http");
+  check Alcotest.(option int) "identxx port" (Some 783)
+    (Pf.Services.port_of_name "identxx");
+  check Alcotest.(option string) "reverse" (Some "https")
+    (Pf.Services.name_of_port 443);
+  (match Pf.Services.parse_port "8080" with
+  | Ok 8080 -> ()
+  | _ -> Alcotest.fail "numeric port");
+  match Pf.Services.parse_port "70000" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out of range accepted"
+
+(* --- Deploy validation --- *)
+
+let test_deploy_linear_validation () =
+  Alcotest.check_raises "zero switches"
+    (Invalid_argument "Deploy.linear_network: switches out of range") (fun () ->
+      ignore (Identxx_core.Deploy.linear_network ~switches:0 ~hosts_per_switch:1 ()))
+
+(* --- Precompile unit view --- *)
+
+let test_precompile_compilable_rule () =
+  let env =
+    match Pf.Env.of_string "table <t> {10.0.0.0/8}\nblock quick from <t> to any port 445\npass all" with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "%s" e
+  in
+  match Pf.Env.rules env with
+  | [ blockq; passall ] ->
+      check Alcotest.bool "quick block compiles" true
+        (Identxx_core.Precompile.compilable_rule env blockq);
+      check Alcotest.bool "pass does not" false
+        (Identxx_core.Precompile.compilable_rule env passall)
+  | _ -> Alcotest.fail "expected two rules"
+
+let () =
+  Alcotest.run "core_units"
+    [
+      ( "conn_state",
+        [
+          Alcotest.test_case "forward and reverse" `Quick
+            test_conn_state_permits_forward_and_reverse;
+          Alcotest.test_case "idle expiry" `Quick test_conn_state_idle_expiry;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "counts and flags" `Quick test_audit_counts_and_flags;
+          Alcotest.test_case "capacity trims" `Quick test_audit_capacity_trims;
+          Alcotest.test_case "summarizes responses" `Quick
+            test_audit_summarizes_responses;
+        ] );
+      ( "policy_store",
+        [
+          Alcotest.test_case "alphabetical order" `Quick
+            test_policy_store_alphabetical_order;
+          Alcotest.test_case "rejects broken concatenation" `Quick
+            test_policy_store_rejects_broken_concatenation;
+          Alcotest.test_case "on_change fires" `Quick
+            test_policy_store_on_change_fires;
+        ] );
+      ("services", [ Alcotest.test_case "lookup" `Quick test_services_lookup ]);
+      ( "deploy",
+        [ Alcotest.test_case "linear validation" `Quick test_deploy_linear_validation ] );
+      ( "precompile",
+        [ Alcotest.test_case "compilable rule" `Quick test_precompile_compilable_rule ] );
+    ]

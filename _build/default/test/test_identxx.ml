@@ -1,0 +1,740 @@
+(* Tests for the ident++ protocol library: key-value validation, the
+   query/response wire formats of §3.2, daemon configuration files
+   (Figures 3/4/6), the simulated process table, and the daemon's
+   section-assembly behaviour. *)
+
+open Netcore
+module KV = Identxx.Key_value
+
+let check = Alcotest.check
+let ip = Ipv4.of_string
+
+let flow ?(proto = Proto.Tcp) ?(sp = 40000) ?(dp = 80) src dst =
+  Five_tuple.make ~src:(ip src) ~dst:(ip dst) ~proto ~src_port:sp ~dst_port:dp
+
+(* --- Key_value --- *)
+
+let test_kv_validation () =
+  check Alcotest.bool "plain key" true (KV.valid_key "userID");
+  check Alcotest.bool "dashed key" true (KV.valid_key "os-patch");
+  check Alcotest.bool "empty key" false (KV.valid_key "");
+  check Alcotest.bool "colon in key" false (KV.valid_key "a:b");
+  check Alcotest.bool "newline in key" false (KV.valid_key "a\nb");
+  check Alcotest.bool "newline in value" false (KV.valid_value "x\ny");
+  check Alcotest.bool "colon ok in value" true (KV.valid_value "a:b:c");
+  Alcotest.check_raises "pair rejects bad key"
+    (Invalid_argument "Key_value.pair: bad key a:b") (fun () ->
+      ignore (KV.pair "a:b" "v"))
+
+let test_kv_find_last_binding () =
+  let s = [ KV.pair "k" "v1"; KV.pair "other" "x"; KV.pair "k" "v2" ] in
+  check Alcotest.(option string) "last wins" (Some "v2") (KV.find s "k");
+  check Alcotest.(option string) "missing" None (KV.find s "nope")
+
+(* --- Query --- *)
+
+let test_query_wire_format () =
+  let q =
+    Identxx.Query.make ~flow:(flow ~sp:5000 ~dp:80 "1.1.1.1" "2.2.2.2")
+      ~keys:[ "userID"; "name" ]
+  in
+  check Alcotest.string "exact bytes" "TCP 5000 80\nuserID\nname\n"
+    (Identxx.Query.encode q)
+
+let test_query_decode () =
+  match Identxx.Query.decode "UDP 123 456\nuserID\n" with
+  | Ok q ->
+      check Alcotest.bool "udp" true (Proto.equal q.Identxx.Query.proto Proto.Udp);
+      check Alcotest.int "src port" 123 q.Identxx.Query.src_port;
+      check Alcotest.(list string) "keys" [ "userID" ] q.Identxx.Query.keys
+  | Error e -> Alcotest.fail e
+
+let test_query_decode_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Identxx.Query.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "TCP"; "TCP 1"; "TCP 1 2 3"; "FROG 1 2"; "TCP 99999 80"; "TCP -1 80";
+      "TCP 1 2\nbad:key\n" ]
+
+let test_query_roundtrip () =
+  let q =
+    Identxx.Query.make ~flow:(flow ~proto:Proto.Udp "9.9.9.9" "8.8.8.8")
+      ~keys:[ "a"; "b"; "c-d" ]
+  in
+  match Identxx.Query.decode (Identxx.Query.encode q) with
+  | Ok q' -> check Alcotest.bool "roundtrip" true (Identxx.Query.equal q q')
+  | Error e -> Alcotest.fail e
+
+(* --- Response --- *)
+
+let sample_response () =
+  Identxx.Response.make ~flow:(flow "1.1.1.1" "2.2.2.2")
+    [
+      [ KV.pair "userID" "alice"; KV.pair "name" "skype" ];
+      [ KV.pair "name" "not-skype"; KV.pair "branch" "B" ];
+    ]
+
+let test_response_wire_format () =
+  let r = sample_response () in
+  check Alcotest.string "exact bytes"
+    "TCP 40000 80\nuserID: alice\nname: skype\n\nname: not-skype\nbranch: B\n"
+    (Identxx.Response.encode r)
+
+let test_response_roundtrip () =
+  let r = sample_response () in
+  match Identxx.Response.decode (Identxx.Response.encode r) with
+  | Ok r' -> check Alcotest.bool "roundtrip" true (Identxx.Response.equal r r')
+  | Error e -> Alcotest.fail e
+
+let test_response_latest_and_star () =
+  let r = sample_response () in
+  check Alcotest.(option string) "latest from last section" (Some "not-skype")
+    (Identxx.Response.latest r "name");
+  check Alcotest.(option string) "single binding" (Some "alice")
+    (Identxx.Response.latest r "userID");
+  check Alcotest.string "star concatenation" "skype,not-skype"
+    (Identxx.Response.concat_values r "name");
+  check Alcotest.(list string) "keys in order" [ "userID"; "name"; "branch" ]
+    (Identxx.Response.keys r)
+
+let test_response_append_section () =
+  let r = sample_response () in
+  let r' = Identxx.Response.append_section r [ KV.pair "hop" "ctrl-b" ] in
+  check Alcotest.int "three sections" 3 (List.length r'.Identxx.Response.sections);
+  check Alcotest.(option string) "appended visible" (Some "ctrl-b")
+    (Identxx.Response.latest r' "hop");
+  (* Appending nothing is the identity. *)
+  check Alcotest.bool "empty append is no-op" true
+    (Identxx.Response.equal r (Identxx.Response.append_section r []))
+
+let test_response_decode_skips_blank_runs () =
+  (* Multiple consecutive blank lines do not create empty sections. *)
+  match Identxx.Response.decode "TCP 1 2\na: 1\n\n\n\nb: 2\n" with
+  | Ok r -> check Alcotest.int "two sections" 2 (List.length r.Identxx.Response.sections)
+  | Error e -> Alcotest.fail e
+
+let test_response_decode_rejects_bad_pair () =
+  match Identxx.Response.decode "TCP 1 2\nno-colon-here\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted pair without colon"
+
+(* --- Config --- *)
+
+let fig3 =
+  "@app /usr/bin/skype {\n\
+   name : skype\n\
+   version : 210\n\
+   vendor : skype.com\n\
+   type : voip\n\
+   requirements : \\\n\
+   pass from any port http \\\n\
+   with eq(@src[name], skype) \\\n\
+   pass from any port https \\\n\
+   with eq(@src[name], skype)\n\
+   req-sig : 21oirw3eda\n\
+   }"
+
+let test_config_parses_figure3 () =
+  let cfg = Identxx.Config.parse_exn fig3 in
+  match Identxx.Config.app cfg ~path:"/usr/bin/skype" with
+  | None -> Alcotest.fail "no @app block"
+  | Some pairs ->
+      check Alcotest.(option string) "name" (Some "skype") (KV.find pairs "name");
+      check Alcotest.(option string) "version" (Some "210") (KV.find pairs "version");
+      let reqs = Option.value ~default:"" (KV.find pairs "requirements") in
+      check Alcotest.bool "continuations joined" true
+        (String.length reqs > 50 && not (String.contains reqs '\\'));
+      (* The joined requirements parse as two PF+=2 rules. *)
+      (match Pf.Parser.parse_rules reqs with
+      | Ok [ _; _ ] -> ()
+      | Ok _ -> Alcotest.fail "expected two rules in requirements"
+      | Error e -> Alcotest.fail e)
+
+let test_config_globals_and_comments () =
+  let cfg =
+    Identxx.Config.parse_exn
+      "# host-wide pairs\nos-patch : MS08-067 # latest\ntype : workstation\n"
+  in
+  check Alcotest.(option string) "os-patch" (Some "MS08-067")
+    (KV.find cfg.Identxx.Config.globals "os-patch");
+  check Alcotest.int "no apps" 0 (List.length cfg.Identxx.Config.apps)
+
+let test_config_render_roundtrip () =
+  let cfg = Identxx.Config.parse_exn fig3 in
+  let cfg' = Identxx.Config.parse_exn (Identxx.Config.render cfg) in
+  check Alcotest.bool "render/parse roundtrip" true (cfg = cfg')
+
+let test_config_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Identxx.Config.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ "@app {"; "@app /x {\nkey value\n}"; "@app /x {\nname : y\n" ]
+
+let test_config_merge_order () =
+  let a = Identxx.Config.parse_exn "k : from-a" in
+  let b = Identxx.Config.parse_exn "k : from-b" in
+  let merged = Identxx.Config.merge a b in
+  (* Later files' pairs come later, so they win latest-style lookups. *)
+  check Alcotest.(option string) "later file wins" (Some "from-b")
+    (KV.find merged.Identxx.Config.globals "k")
+
+(* --- Process_table --- *)
+
+let test_ptable_connect_lookup () =
+  let t = Identxx.Process_table.create () in
+  let p = Identxx.Process_table.spawn t ~user:"alice" ~groups:[ "staff" ] ~exe:"/bin/x" () in
+  let fl = flow "10.0.0.1" "10.0.0.2" in
+  Identxx.Process_table.connect t ~pid:p.Identxx.Process_table.pid ~flow:fl;
+  (match Identxx.Process_table.owner_of_flow t ~flow:fl with
+  | Some q -> check Alcotest.string "owner" "alice" q.Identxx.Process_table.user
+  | None -> Alcotest.fail "owner not found");
+  Identxx.Process_table.disconnect t ~flow:fl;
+  check Alcotest.bool "disconnected" true
+    (Identxx.Process_table.owner_of_flow t ~flow:fl = None)
+
+let test_ptable_listener_lookup () =
+  let t = Identxx.Process_table.create () in
+  let p = Identxx.Process_table.spawn t ~user:"www" ~groups:[] ~exe:"/bin/httpd" () in
+  Identxx.Process_table.listen t ~pid:p.Identxx.Process_table.pid ~proto:Proto.Tcp ~port:80;
+  let incoming = flow "9.9.9.9" "10.0.0.1" ~dp:80 in
+  (match Identxx.Process_table.lookup t ~flow:incoming ~as_source:false with
+  | Some q -> check Alcotest.string "listener owner" "www" q.Identxx.Process_table.user
+  | None -> Alcotest.fail "listener not found");
+  check Alcotest.bool "wrong port" true
+    (Identxx.Process_table.lookup t ~flow:(flow "9.9.9.9" "10.0.0.1" ~dp:81)
+       ~as_source:false
+    = None)
+
+let test_ptable_accepted_connection_precedes_listener () =
+  let t = Identxx.Process_table.create () in
+  let listener = Identxx.Process_table.spawn t ~user:"www" ~groups:[] ~exe:"/bin/httpd" () in
+  let worker = Identxx.Process_table.spawn t ~user:"worker" ~groups:[] ~exe:"/bin/httpd" () in
+  Identxx.Process_table.listen t ~pid:listener.Identxx.Process_table.pid ~proto:Proto.Tcp ~port:80;
+  let incoming = flow "9.9.9.9" "10.0.0.1" ~dp:80 in
+  (* The worker owns the accepted connection (host is the flow's dst, so
+     ownership is registered for the reversed flow). *)
+  Identxx.Process_table.connect t ~pid:worker.Identxx.Process_table.pid
+    ~flow:(Five_tuple.reverse incoming);
+  match Identxx.Process_table.lookup t ~flow:incoming ~as_source:false with
+  | Some q -> check Alcotest.string "accepted wins" "worker" q.Identxx.Process_table.user
+  | None -> Alcotest.fail "no owner"
+
+let test_ptable_kill_cleans_up () =
+  let t = Identxx.Process_table.create () in
+  let p = Identxx.Process_table.spawn t ~user:"u" ~groups:[] ~exe:"/bin/x" () in
+  let fl = flow "10.0.0.1" "10.0.0.2" in
+  Identxx.Process_table.connect t ~pid:p.Identxx.Process_table.pid ~flow:fl;
+  Identxx.Process_table.listen t ~pid:p.Identxx.Process_table.pid ~proto:Proto.Tcp ~port:9;
+  Identxx.Process_table.kill t ~pid:p.Identxx.Process_table.pid;
+  check Alcotest.bool "connection gone" true
+    (Identxx.Process_table.owner_of_flow t ~flow:fl = None);
+  check Alcotest.bool "listener gone" true
+    (Identxx.Process_table.owner_of_listener t ~proto:Proto.Tcp ~port:9 = None);
+  check Alcotest.int "no processes" 0
+    (List.length (Identxx.Process_table.processes t))
+
+let test_ptable_rejects_unknown_pid () =
+  let t = Identxx.Process_table.create () in
+  Alcotest.check_raises "connect unknown pid"
+    (Invalid_argument "Process_table: unknown pid 1") (fun () ->
+      Identxx.Process_table.connect t ~pid:1 ~flow:(flow "1.1.1.1" "2.2.2.2"))
+
+let make_host ?behaviour name ip_str =
+  Identxx.Host.create ?behaviour ~name ~mac:(Mac.of_int 7) ~ip:(ip ip_str) ()
+
+let test_ptable_ptrace_same_user () =
+  (* S5.4: a compromised app can exec+ptrace another app of the SAME
+     user and masquerade as it. *)
+  let t = Identxx.Process_table.create () in
+  let evil = Identxx.Process_table.spawn t ~user:"alice" ~groups:[] ~exe:"/bin/evil" () in
+  let pine = Identxx.Process_table.spawn t ~user:"alice" ~groups:[] ~exe:"/usr/bin/pine" () in
+  (match Identxx.Process_table.ptrace t ~by:evil.Identxx.Process_table.pid
+           ~target:pine.Identxx.Process_table.pid with
+  | Ok p -> Alcotest.(check string) "gains pine identity" "/usr/bin/pine"
+              p.Identxx.Process_table.exe_path
+  | Error e -> Alcotest.fail e);
+  (* ...but not across users. *)
+  let root = Identxx.Process_table.spawn t ~user:"root" ~groups:[] ~exe:"/sbin/init" () in
+  match Identxx.Process_table.ptrace t ~by:evil.Identxx.Process_table.pid
+          ~target:root.Identxx.Process_table.pid with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cross-user ptrace must fail"
+
+let test_ptable_ptrace_isolation () =
+  (* S5.4's mitigation: the administrator marks the application setgid
+     with a no-file-access group; ptrace is then denied even to the
+     same user. *)
+  let t = Identxx.Process_table.create () in
+  let evil = Identxx.Process_table.spawn t ~user:"alice" ~groups:[] ~exe:"/bin/evil" () in
+  let pine =
+    Identxx.Process_table.spawn t ~isolated:true ~user:"alice" ~groups:[]
+      ~exe:"/usr/bin/pine" ()
+  in
+  match Identxx.Process_table.ptrace t ~by:evil.Identxx.Process_table.pid
+          ~target:pine.Identxx.Process_table.pid with
+  | Error e ->
+      Alcotest.(check bool) "mentions setgid" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "isolated process must not be traceable"
+
+let test_ptrace_masquerade_changes_daemon_answer () =
+  (* End to end: after a successful ptrace, flows registered under the
+     victim pid are attributed to the victim app by the daemon. *)
+  let h = make_host "h" "10.0.0.1" in
+  let evil = Identxx.Host.run h ~user:"alice" ~exe:"/bin/evil" () in
+  let pine = Identxx.Host.run h ~user:"alice" ~exe:"/usr/bin/pine" () in
+  (match
+     Identxx.Process_table.ptrace (Identxx.Host.processes h)
+       ~by:evil.Identxx.Process_table.pid ~target:pine.Identxx.Process_table.pid
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let fl = Identxx.Host.connect h ~proc:pine ~dst:(ip "10.0.0.9") ~dst_port:25 () in
+  match
+    Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "10.0.0.9")
+      ~proto:Proto.Tcp ~src_port:fl.Five_tuple.src_port ~dst_port:25 ~keys:[]
+  with
+  | Some (r, _) ->
+      check Alcotest.(option string) "daemon reports pine" (Some "pine")
+        (Identxx.Response.latest r "name")
+  | None -> Alcotest.fail "no answer"
+
+(* --- Daemon & Host --- *)
+
+let test_daemon_source_response_sections () =
+  let h = make_host "h" "10.0.0.1" in
+  Identxx.Host.install_exe h ~path:"/usr/bin/skype" ~content:"skype-image";
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon h) ~name:"50-skype"
+       "@app /usr/bin/skype {\nname : skype\nversion : 210\n}"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon h) ~name:"00-admin"
+       "os-patch : MS08-067"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let proc = Identxx.Host.run h ~user:"alice" ~groups:[ "staff"; "voip" ] ~exe:"/usr/bin/skype" () in
+  let fl = Identxx.Host.connect h ~proc ~dst:(ip "10.0.0.2") ~dst_port:33000 () in
+  match
+    Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "10.0.0.2")
+      ~proto:Proto.Tcp ~src_port:fl.Five_tuple.src_port ~dst_port:33000 ~keys:[]
+  with
+  | None -> Alcotest.fail "no answer"
+  | Some (r, role) ->
+      check Alcotest.bool "as source" true (role = Identxx.Daemon.As_source);
+      check Alcotest.(option string) "userID" (Some "alice")
+        (Identxx.Response.latest r "userID");
+      check Alcotest.(option string) "groups joined" (Some "staff,voip")
+        (Identxx.Response.latest r "groupID");
+      check Alcotest.(option string) "config name overrides basename"
+        (Some "skype")
+        (Identxx.Response.latest r "name");
+      check Alcotest.(option string) "version from config" (Some "210")
+        (Identxx.Response.latest r "version");
+      check Alcotest.(option string) "host-wide admin pair" (Some "MS08-067")
+        (Identxx.Response.latest r "os-patch");
+      check Alcotest.(option string) "exe hash reported"
+        (Some (Idcrypto.Sha256.hexdigest "skype-image"))
+        (Identxx.Response.latest r "exe-hash")
+
+let test_daemon_destination_response () =
+  let h = make_host "srv" "10.0.0.2" in
+  let proc = Identxx.Host.run h ~user:"smtp" ~exe:"/usr/sbin/sendmail" () in
+  Identxx.Host.listen h ~proc ~port:25 ();
+  match
+    Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "10.0.0.1")
+      ~proto:Proto.Tcp ~src_port:50000 ~dst_port:25 ~keys:[]
+  with
+  | Some (r, Identxx.Daemon.As_destination) ->
+      check Alcotest.(option string) "listener user" (Some "smtp")
+        (Identxx.Response.latest r "userID")
+  | Some (_, Identxx.Daemon.As_source) -> Alcotest.fail "wrong role"
+  | None -> Alcotest.fail "no answer"
+
+let test_daemon_runtime_pairs () =
+  let h = make_host "h" "10.0.0.1" in
+  let proc = Identxx.Host.run h ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let fl = Identxx.Host.connect h ~proc ~dst:(ip "10.0.0.9") ~dst_port:443 () in
+  (* A browser labelling a flow as user-initiated (§3.5). *)
+  Identxx.Daemon.register_runtime (Identxx.Host.daemon h) ~flow:fl
+    [ KV.pair "user-initiated" "yes" ];
+  (match
+     Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "10.0.0.9")
+       ~proto:Proto.Tcp ~src_port:fl.Five_tuple.src_port ~dst_port:443 ~keys:[]
+   with
+  | Some (r, _) ->
+      check Alcotest.(option string) "runtime pair present" (Some "yes")
+        (Identxx.Response.latest r "user-initiated")
+  | None -> Alcotest.fail "no answer");
+  Identxx.Daemon.clear_runtime (Identxx.Host.daemon h) ~flow:fl;
+  match
+    Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "10.0.0.9")
+      ~proto:Proto.Tcp ~src_port:fl.Five_tuple.src_port ~dst_port:443 ~keys:[]
+  with
+  | Some (r, _) ->
+      check Alcotest.(option string) "cleared" None
+        (Identxx.Response.latest r "user-initiated")
+  | None -> Alcotest.fail "no answer"
+
+let test_daemon_no_process_still_answers_globals () =
+  let h = make_host "h" "10.0.0.1" in
+  (match
+     Identxx.Daemon.load_config (Identxx.Host.daemon h) ~name:"00"
+       "asset : printer"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "1.2.3.4")
+      ~proto:Proto.Tcp ~src_port:1 ~dst_port:2 ~keys:[]
+  with
+  | Some (r, _) ->
+      check Alcotest.(option string) "globals only" (Some "printer")
+        (Identxx.Response.latest r "asset");
+      check Alcotest.(option string) "no userID" None
+        (Identxx.Response.latest r "userID")
+  | None -> Alcotest.fail "honest daemon must answer"
+
+let test_daemon_silent_and_lying () =
+  let h = make_host ~behaviour:Identxx.Daemon.Silent "h" "10.0.0.1" in
+  check Alcotest.bool "silent" true
+    (Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "1.1.1.1")
+       ~proto:Proto.Tcp ~src_port:1 ~dst_port:2 ~keys:[]
+    = None);
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon h)
+    (Identxx.Daemon.Lying [ KV.pair "name" "definitely-legit" ]);
+  match
+    Identxx.Daemon.answer (Identxx.Host.daemon h) ~peer:(ip "1.1.1.1")
+      ~proto:Proto.Tcp ~src_port:1 ~dst_port:2 ~keys:[]
+  with
+  | Some (r, _) ->
+      check Alcotest.(option string) "fabricated" (Some "definitely-legit")
+        (Identxx.Response.latest r "name")
+  | None -> Alcotest.fail "lying daemon answers"
+
+(* --- Wire --- *)
+
+let test_wire_query_packet_classify () =
+  let fl = flow "10.0.0.1" "10.0.0.2" in
+  let q = Identxx.Query.make ~flow:fl ~keys:[ "userID" ] in
+  (* Query the source host: addressed to flow.src, from flow.dst (§3.2). *)
+  let pkt = Identxx.Wire.query_packet ~to_ip:fl.Five_tuple.src ~from_ip:fl.Five_tuple.dst q in
+  match Identxx.Wire.classify pkt with
+  | Identxx.Wire.Query { from_ip; to_ip; query } ->
+      check Alcotest.bool "to source host" true (Ipv4.equal to_ip fl.Five_tuple.src);
+      check Alcotest.bool "from dest addr" true (Ipv4.equal from_ip fl.Five_tuple.dst);
+      check Alcotest.bool "payload survives" true (Identxx.Query.equal q query)
+  | _ -> Alcotest.fail "not classified as query"
+
+let test_wire_host_answers_query_packet () =
+  let h = make_host "h" "10.0.0.1" in
+  let proc = Identxx.Host.run h ~user:"alice" ~exe:"/usr/bin/pine" () in
+  let fl = Identxx.Host.connect h ~proc ~dst:(ip "10.0.0.2") ~dst_port:25 () in
+  let q = Identxx.Query.make ~flow:fl ~keys:[ "userID" ] in
+  let query_pkt = Identxx.Wire.query_packet ~to_ip:(ip "10.0.0.1") ~from_ip:(ip "10.0.0.2") q in
+  match Identxx.Host.handle_packet h query_pkt with
+  | None -> Alcotest.fail "host did not answer"
+  | Some reply -> (
+      match Identxx.Wire.classify reply with
+      | Identxx.Wire.Response { from_ip; to_ip; response } ->
+          check Alcotest.bool "reply from host" true (Ipv4.equal from_ip (ip "10.0.0.1"));
+          check Alcotest.bool "reply toward querier source" true
+            (Ipv4.equal to_ip (ip "10.0.0.2"));
+          check Alcotest.(option string) "user in reply" (Some "alice")
+            (Identxx.Response.latest response "userID")
+      | _ -> Alcotest.fail "reply not a response")
+
+let test_wire_host_ignores_foreign_query () =
+  let h = make_host "h" "10.0.0.1" in
+  let fl = flow "10.0.0.7" "10.0.0.8" in
+  let q = Identxx.Query.make ~flow:fl ~keys:[] in
+  let pkt = Identxx.Wire.query_packet ~to_ip:(ip "10.0.0.7") ~from_ip:(ip "10.0.0.8") q in
+  check Alcotest.bool "not addressed to us" true (Identxx.Host.handle_packet h pkt = None)
+
+let test_wire_malformed_not_identxx () =
+  let pkt =
+    Packet.tcp_syn ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ~src_port:999
+      ~dst_port:Identxx.Wire.port ()
+  in
+  (* Empty payload on port 783: not a parsable query. *)
+  check Alcotest.bool "not identxx" true (Identxx.Wire.classify pkt = Identxx.Wire.Not_identxx)
+
+let test_wire_is_identxx () =
+  check Alcotest.bool "dst 783" true
+    (Identxx.Wire.is_identxx (flow ~dp:783 "1.1.1.1" "2.2.2.2"));
+  check Alcotest.bool "src 783" true
+    (Identxx.Wire.is_identxx (flow ~sp:783 "1.1.1.1" "2.2.2.2"));
+  check Alcotest.bool "udp 783 is not" false
+    (Identxx.Wire.is_identxx (flow ~proto:Proto.Udp ~dp:783 "1.1.1.1" "2.2.2.2"))
+
+(* --- Signed responses --- *)
+
+let test_signed_roundtrip () =
+  let kp = Idcrypto.Sign.generate "host-key" in
+  let ks = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register ks kp;
+  let r =
+    Identxx.Response.make ~flow:(flow "10.0.0.1" "10.0.0.2")
+      [ [ KV.pair "userID" "alice" ]; [ KV.pair "name" "pine" ] ]
+  in
+  let signed = Identxx.Signed.sign ~keypair:kp r in
+  check Alcotest.int "one extra section" 3
+    (List.length signed.Identxx.Response.sections);
+  (match Identxx.Signed.verify ks signed with
+  | Identxx.Signed.Valid n -> check Alcotest.int "covers both sections" 2 n
+  | _ -> Alcotest.fail "expected valid");
+  (* Signature survives the wire. *)
+  match Identxx.Response.decode (Identxx.Response.encode signed) with
+  | Ok decoded ->
+      check Alcotest.bool "valid after roundtrip" true
+        (Identxx.Signed.verify ks decoded = Identxx.Signed.Valid 2)
+  | Error e -> Alcotest.fail e
+
+let test_signed_detects_tampering () =
+  let kp = Idcrypto.Sign.generate "host-key" in
+  let ks = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register ks kp;
+  let r =
+    Identxx.Response.make ~flow:(flow "10.0.0.1" "10.0.0.2")
+      [ [ KV.pair "name" "pine" ] ]
+  in
+  let signed = Identxx.Signed.sign ~keypair:kp r in
+  (* Tamper with a covered pair. *)
+  let tampered =
+    {
+      signed with
+      Identxx.Response.sections =
+        (match signed.Identxx.Response.sections with
+        | _ :: rest -> [ KV.pair "name" "skype" ] :: rest
+        | [] -> []);
+    }
+  in
+  check Alcotest.bool "tampered invalid" true
+    (Identxx.Signed.verify ks tampered = Identxx.Signed.Invalid);
+  (* Unknown signer. *)
+  let other_ks = Idcrypto.Sign.keystore () in
+  check Alcotest.bool "unknown signer invalid" true
+    (Identxx.Signed.verify other_ks signed = Identxx.Signed.Invalid);
+  (* No signature at all. *)
+  check Alcotest.bool "unsigned" true
+    (Identxx.Signed.verify ks r = Identxx.Signed.Unsigned)
+
+let test_signed_post_signature_sections_uncovered () =
+  let kp = Idcrypto.Sign.generate "host-key" in
+  let ks = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register ks kp;
+  let r =
+    Identxx.Response.make ~flow:(flow "10.0.0.1" "10.0.0.2")
+      [ [ KV.pair "name" "pine" ] ]
+  in
+  let signed = Identxx.Signed.sign ~keypair:kp r in
+  (* A transit controller appends after the signature: still Valid, but
+     the coverage count exposes that the extra section is unsigned. *)
+  let augmented =
+    Identxx.Response.append_section signed [ KV.pair "branch" "B" ]
+  in
+  match Identxx.Signed.verify ks augmented with
+  | Identxx.Signed.Valid n ->
+      check Alcotest.int "covers only the original" 1 n;
+      check Alcotest.int "but response has three sections" 3
+        (List.length augmented.Identxx.Response.sections)
+  | _ -> Alcotest.fail "expected valid"
+
+(* --- RFC 1413 compatibility --- *)
+
+let test_rfc1413_userid () =
+  let t = Identxx.Process_table.create () in
+  let p = Identxx.Process_table.spawn t ~user:"alice" ~groups:[] ~exe:"/usr/bin/irc" () in
+  let fl = flow ~sp:50123 ~dp:6667 "10.0.0.1" "10.0.0.9" in
+  Identxx.Process_table.connect t ~pid:p.Identxx.Process_table.pid ~flow:fl;
+  (* The server (10.0.0.9) asks: its local port 6667 pairs with our 50123. *)
+  check Alcotest.string "userid reply" "6667, 50123 : USERID : UNIX : alice"
+    (Identxx.Rfc1413.handle_request ~processes:t ~local_ip:(ip "10.0.0.1")
+       ~peer_ip:(ip "10.0.0.9") "6667, 50123")
+
+let test_rfc1413_no_user () =
+  let t = Identxx.Process_table.create () in
+  check Alcotest.string "no-user" "6667, 50123 : ERROR : NO-USER"
+    (Identxx.Rfc1413.handle_request ~processes:t ~local_ip:(ip "10.0.0.1")
+       ~peer_ip:(ip "10.0.0.9") "6667, 50123")
+
+let test_rfc1413_invalid () =
+  let t = Identxx.Process_table.create () in
+  List.iter
+    (fun req ->
+      let reply =
+        Identxx.Rfc1413.handle_request ~processes:t ~local_ip:(ip "10.0.0.1")
+          ~peer_ip:(ip "10.0.0.9") req
+      in
+      check Alcotest.bool ("invalid: " ^ req) true
+        (String.length reply >= 12
+        && String.sub reply (String.length reply - 12) 12 = "INVALID-PORT"))
+    [ ""; "abc"; "1"; "0, 5"; "70000, 5"; "1, 2, 3" ]
+
+(* --- property tests --- *)
+
+let gen_key =
+  QCheck.Gen.(
+    map
+      (fun (c, rest) -> String.make 1 c ^ rest)
+      (pair (char_range 'a' 'z')
+         (string_size ~gen:(char_range 'a' 'z') (int_bound 8))))
+
+let gen_value = gen_key
+
+let gen_section =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (map (fun (k, v) -> KV.pair k v) (pair gen_key gen_value)))
+
+let gen_response =
+  QCheck.Gen.(
+    let* sections = list_size (int_range 1 4) gen_section in
+    let* sp = int_bound 0xffff in
+    let* dp = int_bound 0xffff in
+    return
+      (Identxx.Response.make
+         ~flow:
+           (Five_tuple.make ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+              ~proto:Proto.Tcp ~src_port:sp ~dst_port:dp)
+         sections))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response encode/decode roundtrip" ~count:300
+    (QCheck.make gen_response ~print:Identxx.Response.encode)
+    (fun r ->
+      match Identxx.Response.decode (Identxx.Response.encode r) with
+      | Ok r' -> Identxx.Response.equal r r'
+      | Error _ -> false)
+
+let prop_latest_is_last_of_all_values =
+  QCheck.Test.make ~name:"latest equals last of all_values" ~count:300
+    (QCheck.make gen_response ~print:Identxx.Response.encode)
+    (fun r ->
+      List.for_all
+        (fun k ->
+          match (Identxx.Response.latest r k, List.rev (Identxx.Response.all_values r k)) with
+          | Some v, last :: _ -> v = last
+          | None, [] -> true
+          | _ -> false)
+        (Identxx.Response.keys r))
+
+let prop_append_preserves_existing =
+  QCheck.Test.make ~name:"append_section preserves existing bindings" ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair gen_response gen_section)
+       ~print:(fun (r, _) -> Identxx.Response.encode r))
+    (fun (r, section) ->
+      let r' = Identxx.Response.append_section r section in
+      let rec prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && prefix xs ys
+        | _ :: _, [] -> false
+      in
+      List.for_all
+        (fun k ->
+          prefix (Identxx.Response.all_values r k) (Identxx.Response.all_values r' k))
+        (Identxx.Response.keys r))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "identxx"
+    [
+      ( "key_value",
+        [
+          Alcotest.test_case "validation" `Quick test_kv_validation;
+          Alcotest.test_case "find last binding" `Quick test_kv_find_last_binding;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "wire format" `Quick test_query_wire_format;
+          Alcotest.test_case "decode" `Quick test_query_decode;
+          Alcotest.test_case "rejects garbage" `Quick test_query_decode_rejects_garbage;
+          Alcotest.test_case "roundtrip" `Quick test_query_roundtrip;
+        ] );
+      ( "response",
+        [
+          Alcotest.test_case "wire format" `Quick test_response_wire_format;
+          Alcotest.test_case "roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "latest and star" `Quick test_response_latest_and_star;
+          Alcotest.test_case "append section" `Quick test_response_append_section;
+          Alcotest.test_case "blank runs" `Quick test_response_decode_skips_blank_runs;
+          Alcotest.test_case "rejects bad pair" `Quick
+            test_response_decode_rejects_bad_pair;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "parses figure 3" `Quick test_config_parses_figure3;
+          Alcotest.test_case "globals and comments" `Quick
+            test_config_globals_and_comments;
+          Alcotest.test_case "render roundtrip" `Quick test_config_render_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_config_rejects_malformed;
+          Alcotest.test_case "merge order" `Quick test_config_merge_order;
+        ] );
+      ( "process_table",
+        [
+          Alcotest.test_case "connect/lookup" `Quick test_ptable_connect_lookup;
+          Alcotest.test_case "listener lookup" `Quick test_ptable_listener_lookup;
+          Alcotest.test_case "accepted beats listener" `Quick
+            test_ptable_accepted_connection_precedes_listener;
+          Alcotest.test_case "kill cleans up" `Quick test_ptable_kill_cleans_up;
+          Alcotest.test_case "rejects unknown pid" `Quick
+            test_ptable_rejects_unknown_pid;
+          Alcotest.test_case "ptrace same user" `Quick test_ptable_ptrace_same_user;
+          Alcotest.test_case "ptrace isolation" `Quick test_ptable_ptrace_isolation;
+          Alcotest.test_case "ptrace masquerade" `Quick
+            test_ptrace_masquerade_changes_daemon_answer;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "source response sections" `Quick
+            test_daemon_source_response_sections;
+          Alcotest.test_case "destination response" `Quick
+            test_daemon_destination_response;
+          Alcotest.test_case "runtime pairs" `Quick test_daemon_runtime_pairs;
+          Alcotest.test_case "no process, globals only" `Quick
+            test_daemon_no_process_still_answers_globals;
+          Alcotest.test_case "silent and lying" `Quick test_daemon_silent_and_lying;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "query packet classify" `Quick
+            test_wire_query_packet_classify;
+          Alcotest.test_case "host answers query packet" `Quick
+            test_wire_host_answers_query_packet;
+          Alcotest.test_case "ignores foreign query" `Quick
+            test_wire_host_ignores_foreign_query;
+          Alcotest.test_case "malformed not identxx" `Quick
+            test_wire_malformed_not_identxx;
+          Alcotest.test_case "is_identxx" `Quick test_wire_is_identxx;
+        ] );
+      ( "signed",
+        [
+          Alcotest.test_case "sign/verify roundtrip" `Quick test_signed_roundtrip;
+          Alcotest.test_case "detects tampering" `Quick
+            test_signed_detects_tampering;
+          Alcotest.test_case "post-signature sections" `Quick
+            test_signed_post_signature_sections_uncovered;
+        ] );
+      ( "rfc1413",
+        [
+          Alcotest.test_case "userid" `Quick test_rfc1413_userid;
+          Alcotest.test_case "no user" `Quick test_rfc1413_no_user;
+          Alcotest.test_case "invalid requests" `Quick test_rfc1413_invalid;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_response_roundtrip;
+            prop_latest_is_last_of_all_values;
+            prop_append_preserves_existing;
+          ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the discrete-event simulation substrate: time arithmetic,
+   the binary heap, the engine's ordering guarantees, the PRNG and the
+   statistics accumulator. *)
+
+let check = Alcotest.check
+
+(* --- Time --- *)
+
+let test_time_units () =
+  check Alcotest.int "us" 1_000 (Sim.Time.to_ns (Sim.Time.us 1));
+  check Alcotest.int "ms" 1_000_000 (Sim.Time.to_ns (Sim.Time.ms 1));
+  check Alcotest.int "s" 1_000_000_000 (Sim.Time.to_ns (Sim.Time.s 1));
+  check (Alcotest.float 1e-9) "to_float_s" 1.5
+    (Sim.Time.to_float_s (Sim.Time.ms 1500))
+
+let test_time_arithmetic () =
+  let a = Sim.Time.ms 3 and b = Sim.Time.ms 1 in
+  check Alcotest.int "add" 4_000_000 (Sim.Time.to_ns (Sim.Time.add a b));
+  check Alcotest.int "sub" 2_000_000 (Sim.Time.to_ns (Sim.Time.sub a b));
+  Alcotest.check_raises "negative sub" (Invalid_argument "Time.sub: negative result")
+    (fun () -> ignore (Sim.Time.sub b a));
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.ns: negative")
+    (fun () -> ignore (Sim.Time.ns (-1)))
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Sim.Time.pp t in
+  check Alcotest.string "zero" "0s" (s Sim.Time.zero);
+  check Alcotest.string "ns" "123ns" (s (Sim.Time.ns 123));
+  check Alcotest.string "s" "2s" (s (Sim.Time.s 2))
+
+(* --- Heap --- *)
+
+let test_heap_orders_by_key () =
+  let h = Sim.Heap.create () in
+  List.iter (fun k -> Sim.Heap.push h ~key:k k) [ 5; 1; 4; 2; 3 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  check Alcotest.(list int) "sorted" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_heap_fifo_on_ties () =
+  let h = Sim.Heap.create () in
+  List.iteri (fun i v -> Sim.Heap.push h ~key:7 (i, v)) [ "a"; "b"; "c" ];
+  let pop () = match Sim.Heap.pop h with Some (_, (_, v)) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  check Alcotest.(list string) "insertion order" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_peek_and_size () =
+  let h = Sim.Heap.create () in
+  check Alcotest.bool "empty" true (Sim.Heap.is_empty h);
+  Sim.Heap.push h ~key:3 "x";
+  Sim.Heap.push h ~key:1 "y";
+  check Alcotest.(option (pair int string)) "peek" (Some (1, "y")) (Sim.Heap.peek h);
+  check Alcotest.int "size" 2 (Sim.Heap.size h);
+  Sim.Heap.clear h;
+  check Alcotest.bool "cleared" true (Sim.Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iter (fun k -> Sim.Heap.push h ~key:k k) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare keys)
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~delay:(Sim.Time.ms 3) (fun () -> log := "c" :: !log);
+  Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> log := "a" :: !log);
+  Sim.Engine.schedule e ~delay:(Sim.Time.ms 2) (fun () -> log := "b" :: !log);
+  Sim.Engine.run e;
+  check Alcotest.(list string) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check Alcotest.int "clock advanced" 3_000_000 (Sim.Time.to_ns (Sim.Engine.now e))
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () ->
+      incr fired;
+      Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> incr fired));
+  Sim.Engine.run e;
+  check Alcotest.int "both fired" 2 !fired;
+  check Alcotest.int "clock at 2ms" 2_000_000 (Sim.Time.to_ns (Sim.Engine.now e))
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let handle =
+    Sim.Engine.schedule_cancellable e ~delay:(Sim.Time.ms 1) (fun () ->
+        fired := true)
+  in
+  Sim.Engine.cancel handle;
+  Sim.Engine.run e;
+  check Alcotest.bool "cancelled event did not fire" false !fired
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun ms ->
+      Sim.Engine.schedule e ~delay:(Sim.Time.ms ms) (fun () ->
+          fired := ms :: !fired))
+    [ 1; 2; 3; 10 ];
+  Sim.Engine.run ~until:(Sim.Time.ms 5) e;
+  check Alcotest.(list int) "only events before deadline" [ 1; 2; 3 ]
+    (List.rev !fired);
+  check Alcotest.int "one pending" 1 (Sim.Engine.pending e)
+
+let test_engine_max_events () =
+  let e = Sim.Engine.create () in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~delay:(Sim.Time.ms i) (fun () -> ())
+  done;
+  Sim.Engine.run ~max_events:4 e;
+  check Alcotest.int "six left" 6 (Sim.Engine.pending e)
+
+let test_engine_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule e ~delay:(Sim.Time.ms 1) (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  check Alcotest.(list int) "fifo among simultaneous" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_rejects_past () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~delay:(Sim.Time.ms 5) (fun () -> ());
+  Sim.Engine.run e;
+  Alcotest.check_raises "past scheduling"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      Sim.Engine.schedule_at e ~at:(Sim.Time.ms 1) (fun () -> ()))
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
+  let sa = List.init 20 (fun _ -> Sim.Prng.int a 1000) in
+  let sb = List.init 20 (fun _ -> Sim.Prng.int b 1000) in
+  check Alcotest.(list int) "same seed, same stream" sa sb
+
+let test_prng_seed_changes_stream () =
+  let a = Sim.Prng.create 1 and b = Sim.Prng.create 2 in
+  let sa = List.init 20 (fun _ -> Sim.Prng.int a 1000000) in
+  let sb = List.init 20 (fun _ -> Sim.Prng.int b 1000000) in
+  check Alcotest.bool "different streams" false (sa = sb)
+
+let prop_prng_int_in_range =
+  QCheck.Test.make ~name:"Prng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let p = Sim.Prng.create seed in
+      let v = Sim.Prng.int p bound in
+      v >= 0 && v < bound)
+
+let prop_prng_float_in_range =
+  QCheck.Test.make ~name:"Prng.float stays in range" ~count:500
+    QCheck.small_int (fun seed ->
+      let p = Sim.Prng.create seed in
+      let v = Sim.Prng.float p 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let test_prng_shuffle_permutes () =
+  let p = Sim.Prng.create 7 in
+  let arr = Array.init 50 Fun.id in
+  Sim.Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_prng_exponential_positive () =
+  let p = Sim.Prng.create 9 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "positive" true (Sim.Prng.exponential p ~mean:2.0 >= 0.0)
+  done
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check Alcotest.int "count" 5 (Sim.Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 3.0 (Sim.Stats.mean s);
+  check (Alcotest.float 1e-9) "variance" 2.5 (Sim.Stats.variance s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Sim.Stats.min_value s);
+  check (Alcotest.float 1e-9) "max" 5.0 (Sim.Stats.max_value s);
+  check (Alcotest.float 1e-9) "median" 3.0 (Sim.Stats.median s)
+
+let test_stats_percentiles () =
+  let s = Sim.Stats.create () in
+  for i = 1 to 100 do
+    Sim.Stats.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p50" 50.0 (Sim.Stats.percentile s 50.0);
+  check (Alcotest.float 1e-9) "p99" 99.0 (Sim.Stats.percentile s 99.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Sim.Stats.percentile s 100.0)
+
+let test_stats_add_after_percentile () =
+  (* Percentile sorts internally; later adds must still work. *)
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 3.0; 1.0; 2.0 ];
+  ignore (Sim.Stats.median s);
+  Sim.Stats.add s 0.5;
+  check (Alcotest.float 1e-9) "min updated" 0.5 (Sim.Stats.min_value s);
+  (* Nearest-rank median of [0.5; 1; 2; 3] is the 2nd element. *)
+  check (Alcotest.float 1e-9) "median after resort" 1.0 (Sim.Stats.median s)
+
+let test_stats_histogram () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0 ];
+  let h = Sim.Stats.histogram ~buckets:5 s in
+  let counts = List.map (fun (_, _, c) -> c) (Sim.Stats.buckets h) in
+  check Alcotest.int "bucket count" 5 (List.length counts);
+  check Alcotest.int "all samples bucketed" 10 (List.fold_left ( + ) 0 counts)
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"online mean equals naive mean" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Sim.Stats.create () in
+      List.iter (Sim.Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      abs_float (Sim.Stats.mean s -. naive) < 1e-6)
+
+(* --- Trace --- *)
+
+let test_trace_records_in_order () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~at:(Sim.Time.ms 1) ~actor:"a" "one";
+  Sim.Trace.record t ~at:(Sim.Time.ms 2) ~actor:"b" "two";
+  let entries = Sim.Trace.entries t in
+  check Alcotest.int "two entries" 2 (List.length entries);
+  check Alcotest.(option string) "find" (Some "two")
+    (Option.map
+       (fun (e : Sim.Trace.entry) -> e.event)
+       (Sim.Trace.find t ~f:(fun e -> e.Sim.Trace.actor = "b")));
+  check Alcotest.int "count" 1
+    (Sim.Trace.count t ~f:(fun e -> e.Sim.Trace.actor = "a"))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "orders by key" `Quick test_heap_orders_by_key;
+          Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "peek and size" `Quick test_heap_peek_and_size;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_runs_in_time_order;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "max events" `Quick test_engine_max_events;
+          Alcotest.test_case "fifo among simultaneous" `Quick
+            test_engine_same_time_fifo;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick
+            test_prng_seed_changes_stream;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "exponential positive" `Quick
+            test_prng_exponential_positive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "add after percentile" `Quick
+            test_stats_add_after_percentile;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "records in order" `Quick test_trace_records_in_order ] );
+      ( "properties",
+        qc
+          [
+            prop_heap_sorts;
+            prop_prng_int_in_range;
+            prop_prng_float_in_range;
+            prop_stats_mean_matches_naive;
+          ] );
+    ]
