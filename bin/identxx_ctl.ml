@@ -345,37 +345,149 @@ let matrix_cmd =
           expectation) against a policy")
     Term.(const run $ policies $ scenario)
 
-(* --- analyze: lint policies --- *)
+(* --- analyze: lint policies (cheap per-file checks, or the deep
+   whole-ruleset flow-space analysis with --deep) --- *)
+
+(* Daemon configuration files ride along on the analyze command line so
+   the cross-config key check can tell which @src/@dst keys any daemon
+   could ever answer. *)
+let is_daemon_config path = Filename.check_suffix path ".conf"
+
+let severity_count (findings : Analysis.Check.finding list) sev =
+  List.length
+    (List.filter (fun (f : Analysis.Check.finding) -> f.severity = sev) findings)
+
+let analyze_deep policy_files config_files format =
+  let named =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map
+         (fun path -> (Filename.basename path, read_file path))
+         policy_files)
+  in
+  let configs =
+    List.map
+      (fun path ->
+        match Identxx.Config.parse (read_file path) with
+        | Ok cfg -> (Filename.basename path, cfg)
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 1)
+      config_files
+  in
+  match Pf.Parser.parse (String.concat "\n" (List.map snd named)) with
+  | Error e ->
+      (* Parser errors carry the concatenated line number; map it back
+         to the contributing file so multi-file reports stay usable. *)
+      let e =
+        match Scanf.sscanf_opt e "line %d:" (fun n -> n) with
+        | Some n ->
+            let file, local = Analysis.Report.locator named n in
+            let colon = String.index e ':' in
+            Printf.sprintf "%s: line %d:%s" file local
+              (String.sub e (colon + 1) (String.length e - colon - 1))
+        | None -> e
+      in
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok decls ->
+      let where line =
+        let file, local = Analysis.Report.locator named line in
+        Printf.sprintf "%s:%d" file local
+      in
+      let findings = Analysis.Check.run ~configs ~where decls in
+      let located = Analysis.Report.locate named findings in
+      (match format with
+      | `Json -> print_endline (Analysis.Report.to_json located)
+      | `Text ->
+          List.iter
+            (fun l -> print_endline (Analysis.Report.text_line l))
+            located;
+          Printf.printf "%d error(s), %d warning(s), %d info in %d file(s)\n"
+            (severity_count findings Analysis.Check.Error)
+            (severity_count findings Analysis.Check.Warning)
+            (severity_count findings Analysis.Check.Info)
+            (List.length named));
+      Analysis.Report.exit_code findings
+
+let analyze_shallow policy_files format =
+  let findings =
+    List.concat_map
+      (fun path ->
+        match Pf.Parser.parse (read_file path) with
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 1
+        | Ok decls -> List.map (fun f -> (path, f)) (Pf.Lint.check decls))
+      policy_files
+  in
+  match format with
+  | `Json ->
+      let located =
+        List.map
+          (fun (path, (f : Pf.Lint.finding)) ->
+            {
+              Analysis.Report.file = path;
+              local_line = f.Pf.Lint.line;
+              finding = Analysis.Check.of_lint f;
+            })
+          findings
+      in
+      print_endline (Analysis.Report.to_json located);
+      if findings = [] then 0 else 2
+  | `Text ->
+      List.iter
+        (fun (path, f) ->
+          Printf.printf "%s: %s\n" path
+            (Format.asprintf "%a" Pf.Lint.pp_finding f))
+        findings;
+      if findings = [] then begin
+        Printf.printf "no findings in %d file(s)\n" (List.length policy_files);
+        0
+      end
+      else 2
 
 let analyze_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
-  let run files =
-    let findings =
-      List.concat_map
-        (fun path ->
-          match Pf.Parser.parse (read_file path) with
-          | Error e ->
-              Printf.eprintf "%s: %s\n" path e;
-              exit 1
-          | Ok decls ->
-              List.map (fun f -> (path, f)) (Pf.Lint.check decls))
-        files
-    in
-    List.iter
-      (fun (path, f) ->
-        Printf.printf "%s: %s\n" path
-          (Format.asprintf "%a" Pf.Lint.pp_finding f))
-      findings;
-    if findings = [] then begin
-      Printf.printf "no findings in %d file(s)\n" (List.length files);
-      0
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Run the whole-ruleset flow-space analysis (shadowing, \
+             conflicts, undefined references, cross-config keys, default \
+             fallthrough) over the alphabetical concatenation of the \
+             $(i,.control) files, treating $(i,*.conf) arguments as ident++ \
+             daemon configurations. Exit 1 iff error-severity findings.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: $(b,text) (default) or $(b,json).")
+  in
+  let run files deep format =
+    let config_files, policy_files = List.partition is_daemon_config files in
+    if policy_files = [] then begin
+      Printf.eprintf "error: no policy files given\n";
+      1
     end
-    else 2
+    else if deep then analyze_deep policy_files config_files format
+    else begin
+      List.iter
+        (fun path ->
+          Printf.eprintf "warning: %s ignored without --deep\n" path)
+        config_files;
+      analyze_shallow policy_files format
+    end
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Lint policies: dead rules, duplicates, unknown functions")
-    Term.(const run $ files)
+       ~doc:
+         "Lint policies (default: cheap per-file checks; --deep: symbolic \
+          flow-space analysis of the whole ruleset)")
+    Term.(const run $ files $ deep $ format)
 
 (* --- signing workflow: keygen / sign / verify ---
    The delegation figures need requirements signed by a principal whose

@@ -1,0 +1,284 @@
+(* Symbolic flow-space algebra for PF+=2 rulesets.
+
+   A flow-space is a finite union of atoms; an atom is a product of one
+   constraint per header dimension (protocol set, source/destination
+   prefix, source/destination port interval). Atoms are closed under
+   intersection; subtraction of two atoms yields a union of atoms by
+   carving one dimension at a time, so every set operation stays inside
+   the representation. This is the match-space geometry used by
+   header-space / packet-behavior analyses, restricted to the fields
+   PF+=2 rules can constrain. *)
+
+open Netcore
+
+(* --- protocol sets --- *)
+
+(* Closed under intersection and subtraction: [In] is a finite set,
+   [NotIn] a co-finite one. [NotIn []] is the full 0..255 space. *)
+type proto_set = In of Proto.t list | NotIn of Proto.t list
+
+let proto_any = NotIn []
+let proto_only p = In [ p ]
+
+let proto_norm l = List.sort_uniq Proto.compare l
+
+let proto_set_empty = function
+  | In [] -> true
+  | In _ -> false
+  | NotIn l -> List.length (proto_norm l) >= 256
+
+let proto_mem p = function
+  | In l -> List.exists (Proto.equal p) l
+  | NotIn l -> not (List.exists (Proto.equal p) l)
+
+let proto_inter a b =
+  match (a, b) with
+  | In xs, _ -> In (List.filter (fun p -> proto_mem p b) xs)
+  | _, In ys -> In (List.filter (fun p -> proto_mem p a) ys)
+  | NotIn xs, NotIn ys -> NotIn (proto_norm (xs @ ys))
+
+let proto_sub a b =
+  match (a, b) with
+  | In xs, _ -> In (List.filter (fun p -> not (proto_mem p b)) xs)
+  | NotIn xs, In ys -> NotIn (proto_norm (xs @ ys))
+  | NotIn _, NotIn ys ->
+      (* a minus (everything but ys) = a ∩ ys *)
+      proto_inter a (In ys)
+
+let proto_witness = function
+  | In (p :: _) -> Some p
+  | In [] -> None
+  | NotIn l ->
+      let candidates =
+        [ Proto.Tcp; Proto.Udp; Proto.Icmp ]
+        @ List.init 256 (fun i -> Proto.of_int i)
+      in
+      List.find_opt (fun p -> not (List.exists (Proto.equal p) l)) candidates
+
+let proto_set_to_string = function
+  | NotIn [] -> "any"
+  | In [] -> "none"
+  | In l -> String.concat "|" (List.map Proto.to_string (proto_norm l))
+  | NotIn l ->
+      "!(" ^ String.concat "|" (List.map Proto.to_string (proto_norm l)) ^ ")"
+
+(* --- port intervals --- *)
+
+type interval = int * int (* inclusive; empty iff lo > hi *)
+
+let port_any : interval = (0, 0xffff)
+let interval_empty (lo, hi) = lo > hi
+
+let interval_inter (a, b) (c, d) = (max a c, min b d)
+
+(* Up to two residual intervals: below and above the subtrahend. *)
+let interval_sub (a, b) (c, d) =
+  if interval_empty (interval_inter (a, b) (c, d)) then [ (a, b) ]
+  else
+    List.filter
+      (fun iv -> not (interval_empty iv))
+      [ (a, min b (c - 1)); (max a (d + 1), b) ]
+
+let interval_to_string (lo, hi) =
+  if (lo, hi) = port_any then "any"
+  else if lo = hi then string_of_int lo
+  else Printf.sprintf "%d:%d" lo hi
+
+(* --- prefix algebra --- *)
+
+(* The sibling of [q]'s length-[len] ancestor: the other half produced
+   when splitting the length-[len-1] ancestor. *)
+let sibling_at q len =
+  let qn = Ipv4.to_int (Prefix.network q) in
+  let bit = 1 lsl (32 - len) in
+  Prefix.make (Ipv4.of_int (qn lxor bit)) len
+
+(* p minus q as a disjoint prefix list: walking from q up to p, keep
+   the sibling shed at every level. *)
+let prefix_sub p q =
+  if not (Prefix.overlaps p q) then [ p ]
+  else if Prefix.subset p q then []
+  else
+    (* q strictly inside p *)
+    let rec go len acc =
+      if len <= Prefix.length p then acc else go (len - 1) (sibling_at q len :: acc)
+    in
+    go (Prefix.length q) []
+
+let prefix_inter p q =
+  if Prefix.subset p q then Some p
+  else if Prefix.subset q p then Some q
+  else None
+
+(* Complement of a union of prefixes, as a union of prefixes. *)
+let prefix_complement prefixes =
+  List.fold_left
+    (fun acc q -> List.concat_map (fun p -> prefix_sub p q) acc)
+    [ Prefix.all ] prefixes
+
+(* --- atoms --- *)
+
+type atom = {
+  proto : proto_set;
+  src : Prefix.t;
+  dst : Prefix.t;
+  sport : interval;
+  dport : interval;
+}
+
+let atom_any =
+  {
+    proto = proto_any;
+    src = Prefix.all;
+    dst = Prefix.all;
+    sport = port_any;
+    dport = port_any;
+  }
+
+let atom_empty a =
+  proto_set_empty a.proto || interval_empty a.sport || interval_empty a.dport
+
+let atom_inter a b =
+  match (prefix_inter a.src b.src, prefix_inter a.dst b.dst) with
+  | Some src, Some dst ->
+      let cand =
+        {
+          proto = proto_inter a.proto b.proto;
+          src;
+          dst;
+          sport = interval_inter a.sport b.sport;
+          dport = interval_inter a.dport b.dport;
+        }
+      in
+      if atom_empty cand then None else Some cand
+  | _ -> None
+
+(* a \ b: carve one dimension at a time. Each step emits the part of
+   [cur] outside b on that dimension and narrows [cur] to the part
+   inside; what survives every step lies inside b and is dropped. *)
+let atom_sub a b =
+  match atom_inter a b with
+  | None -> [ a ]
+  | Some _ ->
+      let acc = ref [] in
+      let emit at = if not (atom_empty at) then acc := at :: !acc in
+      let cur = ref a in
+      (* proto *)
+      let out = proto_sub !cur.proto b.proto in
+      if not (proto_set_empty out) then emit { !cur with proto = out };
+      cur := { !cur with proto = proto_inter !cur.proto b.proto };
+      (* src prefix *)
+      List.iter (fun p -> emit { !cur with src = p }) (prefix_sub !cur.src b.src);
+      (match prefix_inter !cur.src b.src with
+      | Some p -> cur := { !cur with src = p }
+      | None -> ());
+      (* dst prefix *)
+      List.iter (fun p -> emit { !cur with dst = p }) (prefix_sub !cur.dst b.dst);
+      (match prefix_inter !cur.dst b.dst with
+      | Some p -> cur := { !cur with dst = p }
+      | None -> ());
+      (* ports *)
+      List.iter (fun iv -> emit { !cur with sport = iv })
+        (interval_sub !cur.sport b.sport);
+      cur := { !cur with sport = interval_inter !cur.sport b.sport };
+      List.iter (fun iv -> emit { !cur with dport = iv })
+        (interval_sub !cur.dport b.dport);
+      List.rev !acc
+
+let atom_to_string a =
+  Printf.sprintf "proto %s from %s port %s to %s port %s"
+    (proto_set_to_string a.proto)
+    (Prefix.to_string a.src)
+    (interval_to_string a.sport)
+    (Prefix.to_string a.dst)
+    (interval_to_string a.dport)
+
+(* --- spaces: unions of atoms --- *)
+
+type t = atom list
+
+let empty : t = []
+let all : t = [ atom_any ]
+let of_atoms atoms = List.filter (fun a -> not (atom_empty a)) atoms
+let atoms (t : t) = t
+let is_empty (t : t) = t = []
+let union (a : t) (b : t) : t = a @ b
+
+let sub (a : t) (b : t) : t =
+  List.fold_left (fun acc batom -> List.concat_map (fun a -> atom_sub a batom) acc) a b
+
+let inter (a : t) (b : t) : t =
+  List.concat_map (fun x -> List.filter_map (fun y -> atom_inter x y) b) a
+
+let covers ~outer ~inner = is_empty (sub inner outer)
+let overlaps a b = not (is_empty (inter a b))
+
+let witness (t : t) =
+  List.find_map
+    (fun a ->
+      match proto_witness a.proto with
+      | None -> None
+      | Some proto ->
+          Some
+            (Five_tuple.make ~proto ~src:(Prefix.first a.src)
+               ~dst:(Prefix.first a.dst) ~src_port:(fst a.sport)
+               ~dst_port:(fst a.dport)))
+    t
+
+let to_string ?(max_atoms = 4) (t : t) =
+  match t with
+  | [] -> "(empty)"
+  | atoms ->
+      let shown = List.filteri (fun i _ -> i < max_atoms) atoms in
+      let rest = List.length atoms - List.length shown in
+      String.concat "; " (List.map atom_to_string shown)
+      ^ (if rest > 0 then Printf.sprintf "; ... (%d more)" rest else "")
+
+(* --- building spaces from rules --- *)
+
+(* The prefixes an address spec covers, honouring negation. [lookup]
+   resolves table names; an unknown table yields [None] (caller reports
+   it separately and over- or under-approximates as appropriate). *)
+let prefixes_of_spec ~lookup (spec : Pf.Ast.addr_spec option) =
+  let positive addr =
+    match addr with
+    | Pf.Ast.Addr_any -> Some [ Prefix.all ]
+    | Pf.Ast.Addr_prefix p -> Some [ p ]
+    | Pf.Ast.Addr_list ps -> Some ps
+    | Pf.Ast.Addr_table name -> lookup name
+  in
+  match spec with
+  | None -> Some [ Prefix.all ]
+  | Some { Pf.Ast.negated; addr } -> (
+      match positive addr with
+      | None -> None
+      | Some ps -> Some (if negated then prefix_complement ps else ps))
+
+let interval_of_port = function
+  | None -> port_any
+  | Some pm -> Pf.Ast.port_interval pm
+
+(* The flow-space a rule's header constraints cover. [with] conditions
+   are NOT represented: the result over-approximates the rule's true
+   match set (exact on condition-free rules). Unknown tables resolve to
+   the empty space so shadowing/conflict verdicts never rest on them. *)
+let of_rule ~lookup (rule : Pf.Ast.rule) : t =
+  let proto =
+    match rule.Pf.Ast.proto with None -> proto_any | Some p -> proto_only p
+  in
+  match
+    ( prefixes_of_spec ~lookup rule.Pf.Ast.from_.Pf.Ast.addr,
+      prefixes_of_spec ~lookup rule.Pf.Ast.to_.Pf.Ast.addr )
+  with
+  | None, _ | _, None -> empty
+  | Some srcs, Some dsts ->
+      let sport = interval_of_port rule.Pf.Ast.from_.Pf.Ast.port in
+      let dport = interval_of_port rule.Pf.Ast.to_.Pf.Ast.port in
+      List.concat_map
+        (fun src ->
+          List.map (fun dst -> { proto; src; dst; sport; dport }) dsts)
+        srcs
+      |> of_atoms
+
+let of_rule_env env rule =
+  of_rule ~lookup:(fun name -> Pf.Env.table env name) rule

@@ -1,0 +1,81 @@
+(** Symbolic flow-space algebra for PF+=2 rulesets.
+
+    A flow-space is a finite union of {!atom}s — products of a protocol
+    set, source/destination {!Netcore.Prefix.t}, and source/destination
+    port intervals. The representation is closed under intersection and
+    subtraction (subtraction splits prefixes and port intervals), which
+    is all the whole-ruleset checks in {!Check} need: coverage is
+    "subtract and test emptiness", a conflict witness is any member of
+    a non-empty intersection. *)
+
+(** A set of IP protocols: finite ([In]) or co-finite ([NotIn]).
+    [NotIn []] is the full space. *)
+type proto_set = In of Netcore.Proto.t list | NotIn of Netcore.Proto.t list
+
+val proto_any : proto_set
+val proto_only : Netcore.Proto.t -> proto_set
+val proto_set_empty : proto_set -> bool
+val proto_inter : proto_set -> proto_set -> proto_set
+val proto_sub : proto_set -> proto_set -> proto_set
+
+type interval = int * int
+(** Inclusive port interval; empty iff [lo > hi]. *)
+
+val port_any : interval
+val interval_empty : interval -> bool
+val interval_inter : interval -> interval -> interval
+
+val interval_sub : interval -> interval -> interval list
+(** At most two residual intervals (below and above the subtrahend). *)
+
+val prefix_sub : Netcore.Prefix.t -> Netcore.Prefix.t -> Netcore.Prefix.t list
+(** [prefix_sub p q] is [p \ q] as a disjoint prefix list: empty when
+    [p ⊆ q], [[p]] when disjoint, otherwise one sibling prefix per
+    level between the two lengths. *)
+
+val prefix_complement : Netcore.Prefix.t list -> Netcore.Prefix.t list
+(** Complement of a union of prefixes, as a union of prefixes. *)
+
+type atom = {
+  proto : proto_set;
+  src : Netcore.Prefix.t;
+  dst : Netcore.Prefix.t;
+  sport : interval;
+  dport : interval;
+}
+
+val atom_any : atom
+val atom_empty : atom -> bool
+val atom_inter : atom -> atom -> atom option
+val atom_sub : atom -> atom -> atom list
+val atom_to_string : atom -> string
+
+type t = atom list
+(** A flow-space: union of atoms (not necessarily disjoint). *)
+
+val empty : t
+val all : t
+val of_atoms : atom list -> t
+val atoms : t -> atom list
+val is_empty : t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val sub : t -> t -> t
+
+val covers : outer:t -> inner:t -> bool
+(** [covers ~outer ~inner] iff every flow in [inner] is in [outer]. *)
+
+val overlaps : t -> t -> bool
+
+val witness : t -> Netcore.Five_tuple.t option
+(** A concrete flow inside the space, if it is non-empty. *)
+
+val to_string : ?max_atoms:int -> t -> string
+
+val of_rule : lookup:(string -> Netcore.Prefix.t list option) -> Pf.Ast.rule -> t
+(** The flow-space a rule's header constraints cover. [with] conditions
+    are not represented, so the result over-approximates the rule's
+    true match set (it is exact for condition-free rules). A table
+    [lookup] returning [None] (unknown table) yields {!empty}. *)
+
+val of_rule_env : Pf.Env.t -> Pf.Ast.rule -> t

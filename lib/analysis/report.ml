@@ -1,0 +1,107 @@
+(* Rendering of analysis findings for humans (text) and machines
+   (JSON), plus the file/line bookkeeping needed because the controller
+   evaluates the alphabetical concatenation of many .control files
+   (§3.4) while findings should point into the file an operator can
+   edit. *)
+
+(* [locator files] maps a line number in [String.concat "\n" contents]
+   back to the contributing file and its local line. [files] must be in
+   concatenation order. *)
+let locator files =
+  let starts =
+    let rec go start acc = function
+      | [] -> List.rev acc
+      | (name, content) :: rest ->
+          let lines =
+            1 + String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 content
+          in
+          go (start + lines) ((name, start) :: acc) rest
+    in
+    go 1 [] files
+  in
+  fun line ->
+    let rec find best = function
+      | [] -> best
+      | (name, start) :: rest ->
+          if start <= line then find (Some (name, start)) rest else best
+    in
+    match find None starts with
+    | Some (name, start) -> (name, line - start + 1)
+    | None -> ("", line)
+
+type located = { file : string; local_line : int; finding : Check.finding }
+
+let locate files findings =
+  let loc = locator files in
+  List.map
+    (fun (f : Check.finding) ->
+      if f.Check.line = 0 then { file = ""; local_line = 0; finding = f }
+      else
+        let file, local_line = loc f.Check.line in
+        { file; local_line; finding = f })
+    findings
+
+let severity_string = Pf.Lint.severity_string
+
+let text_line l =
+  let f = l.finding in
+  let where =
+    if l.file = "" then "(whole ruleset)"
+    else Printf.sprintf "%s:%d" l.file l.local_line
+  in
+  let witness =
+    match f.Check.witness with
+    | None -> ""
+    | Some w -> Printf.sprintf " (witness: %s)" (Netcore.Five_tuple.to_string w)
+  in
+  Printf.sprintf "%s: %s [%s] %s%s" where
+    (severity_string f.Check.severity)
+    f.Check.code f.Check.message witness
+
+let to_text located = String.concat "\n" (List.map text_line located)
+
+(* --- JSON (hand-rolled: the repo carries no JSON dependency) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_finding l =
+  let f = l.finding in
+  let fields =
+    [
+      Printf.sprintf "\"file\": \"%s\"" (json_escape l.file);
+      Printf.sprintf "\"line\": %d" l.local_line;
+      Printf.sprintf "\"severity\": \"%s\"" (severity_string f.Check.severity);
+      Printf.sprintf "\"code\": \"%s\"" (json_escape f.Check.code);
+      Printf.sprintf "\"message\": \"%s\"" (json_escape f.Check.message);
+    ]
+    @
+    match f.Check.witness with
+    | None -> []
+    | Some w ->
+        [
+          Printf.sprintf "\"witness\": \"%s\""
+            (json_escape (Netcore.Five_tuple.to_string w));
+        ]
+  in
+  "{" ^ String.concat ", " fields ^ "}"
+
+let to_json located =
+  "[" ^ String.concat ",\n " (List.map json_finding located) ^ "]"
+
+(* Exit-code contract: 1 iff any error-severity finding — warnings and
+   info never fail CI. *)
+let exit_code findings = if Check.has_errors findings then 1 else 0

@@ -2,9 +2,11 @@ type t = {
   mutable files : (string * string) list; (* sorted by name *)
   mutable compiled : (Pf.Env.t, string) result option;
   mutable listeners : (unit -> unit) list;
+  strict : bool;
 }
 
-let create () = { files = []; compiled = None; listeners = [] }
+let create ?(strict = false) () =
+  { files = []; compiled = None; listeners = []; strict }
 
 let notify t = List.iter (fun f -> f ()) (List.rev t.listeners)
 
@@ -28,6 +30,34 @@ let recompile t =
   t.compiled <- Some result;
   result
 
+let analyze t =
+  match Pf.Parser.parse (concatenated t) with
+  | Error _ -> [] (* compilation reports parse errors already *)
+  | Ok decls -> Analysis.Check.run decls
+
+(* In strict mode, error-severity analysis findings (undefined macros,
+   dictionaries, table cycles — things Eval would only hit at flow
+   time) reject the load just like a compile failure. *)
+let strict_error t =
+  if not t.strict then None
+  else
+    let errors =
+      List.filter
+        (fun (f : Analysis.Check.finding) ->
+          f.Analysis.Check.severity = Analysis.Check.Error)
+        (analyze t)
+    in
+    match errors with
+    | [] -> None
+    | f :: rest ->
+        Some
+          (Printf.sprintf "strict analysis: line %d: [%s] %s%s"
+             f.Analysis.Check.line f.Analysis.Check.code
+             f.Analysis.Check.message
+             (match rest with
+             | [] -> ""
+             | _ -> Printf.sprintf " (and %d more)" (List.length rest)))
+
 let add t ~name content =
   let name = strip_suffix name in
   (* Validate the file alone parses before accepting it. *)
@@ -36,15 +66,21 @@ let add t ~name content =
   | Ok _ -> (
       let previous = t.files in
       t.files <- sort_files ((name, content) :: List.remove_assoc name t.files);
+      let rollback e =
+        t.files <- previous;
+        ignore (recompile t);
+        Error (name ^ ": " ^ e)
+      in
       match recompile t with
-      | Ok _ ->
-          notify t;
-          Ok ()
+      | Ok _ -> (
+          match strict_error t with
+          | None ->
+              notify t;
+              Ok ()
+          | Some e -> rollback e)
       | Error e ->
           (* Roll back: the file broke the concatenated config. *)
-          t.files <- previous;
-          ignore (recompile t);
-          Error (name ^ ": " ^ e))
+          rollback e)
 
 let add_exn t ~name content =
   match add t ~name content with Ok () -> () | Error e -> invalid_arg e

@@ -7,7 +7,12 @@
 
 type t
 
-val create : unit -> t
+val create : ?strict:bool -> unit -> t
+(** With [~strict:true], {!add} additionally runs the deep flow-space
+    analysis ({!Analysis.Check.run}) over the concatenated ruleset and
+    rejects the load (with rollback) when it reports error-severity
+    findings — undefined macros, dictionaries, or table cycles that
+    plain compilation only discovers at flow time. Default [false]. *)
 
 val add : t -> name:string -> string -> (unit, string) result
 (** Add or replace a file. The content must parse as PF+=2; on success
@@ -28,6 +33,11 @@ val env : t -> (Pf.Env.t, string) result
     table no file defines. *)
 
 val env_exn : t -> Pf.Env.t
+
+val analyze : t -> Analysis.Check.finding list
+(** Deep flow-space analysis of the current concatenation (shadowing,
+    conflicts, undefined references, default fallthrough); empty when
+    the concatenation does not parse ({!env} reports that instead). *)
 
 val on_change : t -> (unit -> unit) -> unit
 (** Register a callback fired after every successful {!add} or

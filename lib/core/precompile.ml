@@ -71,16 +71,29 @@ let matches_of_rule env (rule : Pf.Ast.rule) =
         dsts)
     srcs
 
+(* A compilable [block quick] rule is safe to offload as a dataplane
+   drop iff no earlier non-compilable quick rule can decide one of its
+   flows differently first. Rule order gives the precise condition: the
+   flow-spaces must be disjoint. Earlier compilable quick rules are
+   drops themselves (consistent), and non-quick rules never decide
+   before a later quick match. [Flowspace.of_rule_env] over-approximates
+   conditional rules, so disjointness is conservative. This generalizes
+   the old "stop at the first non-compilable quick rule" cutoff: a
+   network-only block behind an unrelated informational quick rule now
+   still offloads. *)
 let drop_matches env =
-  let rec leading = function
+  let rec go blockers = function
     | [] -> []
     | (rule : Pf.Ast.rule) :: rest ->
-        if not rule.Pf.Ast.quick then leading rest
+        if not rule.Pf.Ast.quick then go blockers rest
         else if compilable_rule env rule then
-          matches_of_rule env rule @ leading rest
+          let space = Analysis.Flowspace.of_rule_env env rule in
+          if Analysis.Flowspace.overlaps space blockers then go blockers rest
+          else matches_of_rule env rule @ go blockers rest
         else
-          (* First non-compilable quick rule: later quick blocks may be
-             shadowed by it, so compilation must stop here. *)
-          []
+          go
+            (Analysis.Flowspace.union blockers
+               (Analysis.Flowspace.of_rule_env env rule))
+            rest
   in
-  leading (Pf.Env.rules env)
+  go Analysis.Flowspace.empty (Pf.Env.rules env)

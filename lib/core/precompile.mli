@@ -12,15 +12,20 @@
     known-bad prefixes) never causes a packet-in at all.
 
     A rule is compilable when it:
-    - is [block quick] and appears before any other [quick] rule,
+    - is [block quick],
     - has no [with] clauses and no [log] modifier,
     - uses non-negated addresses (any / table / prefix), and
     - constrains ports by equality or by a range of at most
       {!max_range_expansion} ports (OpenFlow 1.0 matches cannot express
       ranges, so small ranges are expanded).
 
-    Compilation stops at the first quick rule that fails these tests —
-    later quick blocks may be shadowed by it, so they stay reactive. *)
+    A compilable rule is offloaded iff its flow-space is disjoint from
+    every earlier non-compilable [quick] rule's (over-approximated)
+    flow-space — an overlapping earlier quick rule could decide one of
+    its flows differently, so that rule stays reactive. Disjointness is
+    decided symbolically with {!Analysis.Flowspace}; this strictly
+    generalizes the previous behaviour of stopping compilation at the
+    first non-compilable quick rule. *)
 
 val max_range_expansion : int
 (** 16. *)

@@ -88,3 +88,20 @@ let rules ruleset =
 let endpoint_any = { addr = None; port = None }
 
 let is_all rule = rule.from_ = endpoint_any && rule.to_ = endpoint_any
+
+let cond_free rule = rule.conds = []
+
+let rule_args rule = List.concat_map (fun fc -> fc.args) rule.conds
+
+(** The inclusive port interval a port match covers. *)
+let port_interval = function
+  | Port_eq p -> (p, p)
+  | Port_range (lo, hi) -> (lo, hi)
+
+let tables_of_endpoint (e : endpoint_spec) =
+  match e.addr with
+  | Some { addr = Addr_table n; _ } -> [ n ]
+  | Some _ | None -> []
+
+let tables_of_rule rule =
+  tables_of_endpoint rule.from_ @ tables_of_endpoint rule.to_

@@ -30,9 +30,14 @@ let allowed_depth_limit = 4
 
 (* allowed() receives the same requirements strings for every flow of an
    application, so parsing is memoized. Bounded: adversarial daemons
-   could otherwise grow the table without limit. *)
+   could otherwise grow the table without limit. Eviction is FIFO, one
+   entry at a time — wiping the whole table on overflow would let a
+   single daemon cycling requirement strings force a re-parse stampede
+   for every other cached application. *)
 let allowed_cache : (string, (Ast.rule list, string) result) Hashtbl.t =
   Hashtbl.create 64
+
+let allowed_cache_order : string Queue.t = Queue.create ()
 
 let allowed_cache_limit = 1024
 
@@ -41,9 +46,12 @@ let parse_rules_cached text =
   | Some r -> r
   | None ->
       let r = Parser.parse_rules text in
-      if Hashtbl.length allowed_cache >= allowed_cache_limit then
-        Hashtbl.reset allowed_cache;
+      if Hashtbl.length allowed_cache >= allowed_cache_limit then (
+        match Queue.take_opt allowed_cache_order with
+        | Some oldest -> Hashtbl.remove allowed_cache oldest
+        | None -> Hashtbl.reset allowed_cache);
       Hashtbl.add allowed_cache text r;
+      Queue.add text allowed_cache_order;
       r
 
 let response_of ctx name =

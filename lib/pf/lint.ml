@@ -1,4 +1,18 @@
-type finding = { line : int; code : string; message : string }
+type severity = Error | Warning | Info
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type finding = {
+  line : int;
+  severity : severity;
+  code : string;
+  message : string;
+}
 
 let is_quick_all (r : Ast.rule) =
   r.Ast.quick && Ast.is_all r && r.Ast.conds = [] && r.Ast.proto = None
@@ -7,7 +21,9 @@ let is_quick_all (r : Ast.rule) =
 let same_rule (a : Ast.rule) (b : Ast.rule) =
   { a with Ast.line = 0 } = { b with Ast.line = 0 }
 
-let dead_after_quick_all rules =
+let default_where l = "line " ^ string_of_int l
+
+let dead_after_quick_all ~where rules =
   let rec go = function
     | [] -> []
     | (r : Ast.rule) :: rest when is_quick_all r ->
@@ -15,37 +31,55 @@ let dead_after_quick_all rules =
           (fun (dead : Ast.rule) ->
             {
               line = dead.Ast.line;
+              severity = Warning;
               code = "dead-after-quick-all";
               message =
                 Printf.sprintf
-                  "unreachable: the quick rule at line %d decides every flow"
-                  r.Ast.line;
+                  "unreachable: the quick rule at %s decides every flow"
+                  (where r.Ast.line);
             })
           rest
     | _ :: rest -> go rest
   in
   go rules
 
-let duplicates rules =
+(* Of an identical pair, the redundant one depends on quick: a quick
+   earlier rule decides first (the later copy never fires); otherwise
+   the later copy always overrides the earlier under last-match — and a
+   later quick copy decides with the same verdict the earlier one would
+   have left pending. *)
+let duplicates ~where rules =
   let rec go = function
     | [] -> []
     | (r : Ast.rule) :: rest ->
         let dups =
           List.filter_map
             (fun (later : Ast.rule) ->
-              if same_rule r later && (not r.Ast.quick) && not later.Ast.quick
-              then
+              if not (same_rule r later) then None
+              else if r.Ast.quick then
                 Some
                   {
-                    line = r.Ast.line;
+                    line = later.Ast.line;
+                    severity = Warning;
                     code = "duplicate-rule";
                     message =
                       Printf.sprintf
-                        "redundant: identical rule at line %d makes this one \
-                         irrelevant under last-match"
-                        later.Ast.line;
+                        "redundant: identical quick rule at %s always \
+                         decides first"
+                        (where r.Ast.line);
                   }
-              else None)
+              else
+                Some
+                  {
+                    line = r.Ast.line;
+                    severity = Warning;
+                    code = "duplicate-rule";
+                    message =
+                      Printf.sprintf
+                        "redundant: identical rule at %s makes this one \
+                         irrelevant under last-match"
+                        (where later.Ast.line);
+                  })
             rest
         in
         dups @ go rest
@@ -62,6 +96,7 @@ let unknown_functions rules =
             Some
               {
                 line = r.Ast.line;
+                severity = Warning;
                 code = "unknown-function";
                 message =
                   Printf.sprintf
@@ -72,11 +107,13 @@ let unknown_functions rules =
         r.Ast.conds)
     rules
 
-let check decls =
+let check ?(where = default_where) decls =
   let rules = Ast.rules decls in
-  dead_after_quick_all rules @ duplicates rules @ unknown_functions rules
+  dead_after_quick_all ~where rules @ duplicates ~where rules
+  @ unknown_functions rules
   |> List.sort_uniq compare
   |> List.sort (fun a b -> compare a.line b.line)
 
 let pp_finding ppf f =
-  Format.fprintf ppf "line %d: [%s] %s" f.line f.code f.message
+  Format.fprintf ppf "line %d: %s [%s] %s" f.line (severity_string f.severity)
+    f.code f.message

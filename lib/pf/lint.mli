@@ -1,20 +1,37 @@
 (** Static checks over a parsed policy, beyond what {!Env.build}
     enforces. Delegated configurations are assembled from files written
     by different parties (§3.4), which makes it easy to ship rules that
-    can never fire; the linter flags the cheap-to-detect cases. *)
+    can never fire; the linter flags the cheap-to-detect cases. The
+    deeper flow-space analysis (shadowing under quick/last-match
+    semantics, conflicts, cross-config checks) lives in the [analysis]
+    library and reuses this severity scale. *)
+
+type severity = Error | Warning | Info
+(** [Error] findings make the ruleset unsafe to load (evaluation can
+    fail at flow time); [Warning] marks rules that cannot behave as
+    written; [Info] is advisory. *)
+
+val severity_string : severity -> string
+val severity_rank : severity -> int
+(** [0] for [Error], increasing with decreasing gravity — sort key. *)
 
 type finding = {
   line : int;  (** Of the offending rule. *)
+  severity : severity;
   code : string;  (** Stable identifier, e.g. ["dead-after-quick-all"]. *)
   message : string;
 }
 
-val check : Ast.ruleset -> finding list
-(** Findings, in source order. Currently detected:
+val check : ?where:(int -> string) -> Ast.ruleset -> finding list
+(** Findings, in source order. [where] formats cross-references to
+    other rules' line numbers inside messages (default
+    ["line N"]) — callers analyzing a concatenation of files pass a
+    formatter that maps back to [file:line]. Currently detected:
     - [dead-after-quick-all]: rules following an unconditional [quick]
       rule (it short-circuits every flow that reaches it);
-    - [duplicate-rule]: a rule textually identical to a later one (the
-      earlier of a last-match pair is redundant when neither is quick);
+    - [duplicate-rule]: two textually identical rules — the earlier is
+      redundant under last-match unless it is [quick], in which case
+      the later copy can never fire first;
     - [unknown-function]: a [with] predicate that is not a built-in
       (legitimate for deployments registering custom functions, hence a
       warning rather than an {!Env.build} error). *)

@@ -205,7 +205,11 @@ let parse_endpoint st =
         | Some Token.Colon -> (
             advance st;
             let hi = parse (expect_word st "the upper port of the range") in
-            if hi < lo then fail st "empty port range %d:%d" lo hi
+            if hi < lo then
+              fail st
+                "empty port range %d:%d (lower bound exceeds upper bound; no \
+                 flow can match)"
+                lo hi
             else Some (Ast.Port_range (lo, hi)))
         | _ -> Some (Ast.Port_eq lo))
     | _ -> None

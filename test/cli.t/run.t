@@ -90,7 +90,7 @@ Policy linting finds dead and duplicated rules:
   > pass from any to any port 443
   > POLICY
   $ identxx_ctl analyze lint.control
-  lint.control: line 3: [dead-after-quick-all] unreachable: the quick rule at line 2 decides every flow
+  lint.control: line 3: warning [dead-after-quick-all] unreachable: the quick rule at line 2 decides every flow
   [2]
 
   $ identxx_ctl analyze site.control
@@ -103,3 +103,50 @@ Policy linting finds dead and duplicated rules:
   *  line 2   block all
   => line 3   pass from <lan> to any with eq(@src[name], firefox) keep state
   tcp 192.168.0.10:40000 -> 8.8.8.8:443 => pass (line 3: pass from <lan> to any with eq(@src[name], firefox) keep state)
+
+Deep flow-space analysis reasons about the whole ruleset at once:
+shadowing under quick/last-match semantics, pass/block conflicts with
+a witness flow, undefined table references, and dictionary keys no
+daemon configuration can answer:
+
+  $ cat > deep.control <<'POLICY'
+  > block quick from 10.0.0.0/8 to any
+  > pass from 10.0.0.0/16 to any port 22
+  > pass from any to any port 80:90
+  > pass from any to <ghost> port 443
+  > block from any to any with eq(@dst[machine-room], dmz)
+  > POLICY
+  $ cat > host.identxx.conf <<'CONF'
+  > os-name : Linux
+  > CONF
+  $ identxx_ctl analyze --deep deep.control host.identxx.conf | grep -v default-fallthrough
+  deep.control:2: warning [shadowed-rule] this rule never decides a flow: earlier quick rules (deep.control:1) decide every flow before it is reached
+  deep.control:3: warning [rule-conflict] partially overlaps the block rule at deep.control:1 with the opposite action; rule order alone decides the overlap (witness: tcp 10.0.0.0:0 -> 0.0.0.0:80)
+  deep.control:4: error [undefined-table] table <ghost> is never defined
+  deep.control:5: warning [unanswerable-key] @dst[machine-room] can never be answered: none of the 1 daemon config(s) defines 'machine-room', it is not a built-in key, and no intercept supplies it (the condition is false unless registered at runtime)
+  1 error(s), 3 warning(s), 1 info in 1 file(s)
+
+The exit code is 1 iff an error-severity finding exists; warnings and
+info alone exit 0:
+
+  $ identxx_ctl analyze --deep deep.control host.identxx.conf >/dev/null
+  [1]
+
+  $ cat > warn.control <<'POLICY'
+  > block quick all
+  > pass from any to any port 80
+  > POLICY
+  $ identxx_ctl analyze --deep warn.control
+  (whole ruleset): info [default-fallthrough] no flow reaches the implicit default: unconditional rules cover the whole flow-space
+  warn.control:2: warning [shadowed-rule] this rule never decides a flow: earlier quick rules (warn.control:1) decide every flow before it is reached
+  0 error(s), 1 warning(s), 1 info in 1 file(s)
+
+Findings are also available as JSON for tooling:
+
+  $ identxx_ctl analyze --deep --format json warn.control
+  [{"file": "", "line": 0, "severity": "info", "code": "default-fallthrough", "message": "no flow reaches the implicit default: unconditional rules cover the whole flow-space"},
+   {"file": "warn.control", "line": 2, "severity": "warning", "code": "shadowed-rule", "message": "this rule never decides a flow: earlier quick rules (warn.control:1) decide every flow before it is reached"}]
+
+  $ identxx_ctl analyze --deep site.control
+  (whole ruleset): info [default-fallthrough] no flow reaches the implicit default: unconditional rules cover the whole flow-space
+  0 error(s), 0 warning(s), 1 info in 1 file(s)

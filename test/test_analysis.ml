@@ -1,0 +1,397 @@
+(* Flow-space algebra and whole-ruleset static checks: the analysis
+   library that backs `identxx_ctl analyze --deep` and `dune build
+   @lint`. *)
+
+open Netcore
+module F = Analysis.Flowspace
+module C = Analysis.Check
+
+let prefix = Prefix.of_string
+
+let prefix_list =
+  Alcotest.testable
+    (fun fmt ps ->
+      Format.pp_print_string fmt
+        (String.concat " " (List.map Prefix.to_string ps)))
+    (fun a b -> List.map Prefix.to_string a = List.map Prefix.to_string b)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let parse_rules s =
+  match Pf.Parser.parse s with
+  | Ok decls -> decls
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let env_of s =
+  match Pf.Env.of_string s with
+  | Ok env -> env
+  | Error e -> Alcotest.failf "env error: %s" e
+
+let space_of_rule ?(tables = []) s =
+  match parse_rules s with
+  | [ Pf.Ast.Rule_decl r ] ->
+      F.of_rule ~lookup:(fun n -> List.assoc_opt n tables) r
+  | _ -> Alcotest.fail "expected a single rule"
+
+let findings_of ?configs s = C.run ?configs (parse_rules s)
+let find_code c fs = List.find_opt (fun (f : C.finding) -> f.C.code = c) fs
+
+let has_code c fs =
+  Alcotest.(check bool) (c ^ " reported") true (find_code c fs <> None)
+
+let no_code c fs =
+  Alcotest.(check bool) (c ^ " absent") true (find_code c fs = None)
+
+(* --- proto sets --- *)
+
+let test_proto_sets () =
+  Alcotest.(check bool) "any non-empty" false (F.proto_set_empty F.proto_any);
+  let tcp = F.proto_only Proto.Tcp in
+  Alcotest.(check bool)
+    "tcp inter udp empty" true
+    (F.proto_set_empty (F.proto_inter tcp (F.proto_only Proto.Udp)));
+  Alcotest.(check bool)
+    "tcp \\ tcp empty" true
+    (F.proto_set_empty (F.proto_sub tcp tcp));
+  Alcotest.(check bool)
+    "any \\ tcp keeps udp" false
+    (F.proto_set_empty (F.proto_inter (F.proto_sub F.proto_any tcp)
+                          (F.proto_only Proto.Udp)));
+  (* co-finite \ co-finite goes finite *)
+  let not_tcp = F.proto_sub F.proto_any tcp in
+  let not_udp = F.proto_sub F.proto_any (F.proto_only Proto.Udp) in
+  let diff = F.proto_sub not_tcp not_udp in
+  Alcotest.(check bool)
+    "(¬tcp) \\ (¬udp) = {udp}" false (F.proto_set_empty diff);
+  Alcotest.(check bool)
+    "…and contains no tcp" true
+    (F.proto_set_empty (F.proto_inter diff tcp))
+
+(* --- intervals --- *)
+
+let test_intervals () =
+  Alcotest.(check bool) "empty iff lo>hi" true (F.interval_empty (5, 4));
+  Alcotest.(check bool)
+    "inter overlap" false
+    (F.interval_empty (F.interval_inter (10, 20) (15, 30)));
+  Alcotest.(check (list (pair int int)))
+    "sub middle splits" [ (10, 14); (18, 20) ]
+    (F.interval_sub (10, 20) (15, 17));
+  Alcotest.(check (list (pair int int)))
+    "sub covering is empty" [] (F.interval_sub (10, 20) (0, 65535));
+  Alcotest.(check (list (pair int int)))
+    "sub disjoint is identity" [ (10, 20) ]
+    (F.interval_sub (10, 20) (30, 40))
+
+(* --- prefix subtraction / complement --- *)
+
+let test_prefix_sub () =
+  Alcotest.check prefix_list "p \\ p = 0" []
+    (F.prefix_sub (prefix "10.0.0.0/8") (prefix "10.0.0.0/8"));
+  Alcotest.check prefix_list "disjoint is identity"
+    [ prefix "10.0.0.0/8" ]
+    (F.prefix_sub (prefix "10.0.0.0/8") (prefix "192.168.0.0/16"));
+  (* carving a /10 out of a /8 leaves one sibling per level *)
+  let residue = F.prefix_sub (prefix "10.0.0.0/8") (prefix "10.64.0.0/10") in
+  Alcotest.check prefix_list "10/8 \\ 10.64/10"
+    [ prefix "10.128.0.0/9"; prefix "10.0.0.0/10" ]
+    residue;
+  (* the residue is disjoint from the subtrahend and unions back *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "residue disjoint" false
+        (Prefix.overlaps p (prefix "10.64.0.0/10")))
+    residue;
+  Alcotest.check prefix_list "smaller \\ larger = 0" []
+    (F.prefix_sub (prefix "10.64.0.0/10") (prefix "10.0.0.0/8"))
+
+let test_prefix_complement () =
+  Alcotest.check prefix_list "complement of all" []
+    (F.prefix_complement [ prefix "0.0.0.0/0" ]);
+  let comp = F.prefix_complement [ prefix "128.0.0.0/1" ] in
+  Alcotest.check prefix_list "complement of 128/1" [ prefix "0.0.0.0/1" ] comp;
+  (* complement of a /2 has one prefix per level *)
+  let comp = F.prefix_complement [ prefix "192.0.0.0/2" ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "disjoint from input" false
+        (Prefix.overlaps p (prefix "192.0.0.0/2")))
+    comp;
+  Alcotest.(check int) "two pieces" 2 (List.length comp)
+
+(* --- space algebra --- *)
+
+let test_space_algebra () =
+  let a = space_of_rule "pass from 10.0.0.0/8 to any port 80:90" in
+  let b = space_of_rule "block from 10.0.0.0/16 to any port 85" in
+  Alcotest.(check bool) "overlap" true (F.overlaps a b);
+  Alcotest.(check bool) "b inside a" true (F.covers ~outer:a ~inner:b);
+  Alcotest.(check bool) "a not inside b" false (F.covers ~outer:b ~inner:a);
+  Alcotest.(check bool) "a \\ a empty" true (F.is_empty (F.sub a a));
+  let residual = F.sub a b in
+  Alcotest.(check bool) "residual non-empty" false (F.is_empty residual);
+  Alcotest.(check bool) "residual misses b" false (F.overlaps residual b);
+  Alcotest.(check bool)
+    "residual ∪ b ⊇ a" true
+    (F.covers ~outer:(F.union residual b) ~inner:a)
+
+let test_space_witness () =
+  let s = space_of_rule "pass proto udp from 10.0.0.0/8 to 192.168.1.0/24 port 53" in
+  (match F.witness s with
+  | None -> Alcotest.fail "expected witness"
+  | Some w ->
+      Alcotest.(check bool) "witness in src" true
+        (Prefix.mem w.Five_tuple.src (prefix "10.0.0.0/8"));
+      Alcotest.(check bool) "witness in dst" true
+        (Prefix.mem w.Five_tuple.dst (prefix "192.168.1.0/24"));
+      Alcotest.(check int) "witness dport" 53 w.Five_tuple.dst_port;
+      Alcotest.(check bool) "witness proto" true
+        (w.Five_tuple.proto = Proto.Udp));
+  Alcotest.(check bool) "empty has none" true
+    (F.witness F.empty = None)
+
+let test_space_negation () =
+  let s = space_of_rule "pass from !10.0.0.0/8 to any" in
+  let inside = space_of_rule "pass from 10.1.2.0/24 to any" in
+  let outside = space_of_rule "pass from 192.168.0.0/16 to any" in
+  Alcotest.(check bool) "negation excludes 10/8" false (F.overlaps s inside);
+  Alcotest.(check bool) "negation keeps the rest" true
+    (F.covers ~outer:s ~inner:outside)
+
+let test_space_of_table_rule () =
+  let tables = [ ("lan", [ prefix "10.0.0.0/8"; prefix "192.168.0.0/16" ]) ] in
+  let s = space_of_rule ~tables "pass from <lan> to any" in
+  Alcotest.(check bool) "covers both member prefixes" true
+    (F.covers ~outer:s
+       ~inner:(F.union
+                 (space_of_rule "pass from 10.0.0.0/8 to any")
+                 (space_of_rule "pass from 192.168.0.0/16 to any")));
+  Alcotest.(check bool) "unknown table is empty" true
+    (F.is_empty (space_of_rule "pass from <ghost> to any"))
+
+(* --- whole-ruleset checks --- *)
+
+let test_shadowed_by_quick () =
+  let fs = findings_of "block quick from 10.0.0.0/8 to any\npass from 10.0.0.0/16 to any" in
+  has_code "shadowed-rule" fs;
+  (* the shadowed rule's own conds don't matter: it still can't fire *)
+  let fs =
+    findings_of
+      "block quick from 10.0.0.0/8 to any\n\
+       pass from 10.0.0.0/16 to any with eq(@src[name], ssh)"
+  in
+  has_code "shadowed-rule" fs;
+  (* a conditional quick rule can't shadow: it may not match *)
+  let fs =
+    findings_of
+      "block quick from 10.0.0.0/8 to any with eq(@src[name], worm)\n\
+       pass from 10.0.0.0/16 to any"
+  in
+  no_code "shadowed-rule" fs
+
+let test_shadowed_by_last_match () =
+  (* non-quick rule always overridden by a later covering rule *)
+  let fs = findings_of "pass from 10.0.0.0/16 to any port 22\nblock from 10.0.0.0/8 to any" in
+  has_code "shadowed-rule" fs;
+  (* …but a later partial cover leaves it live *)
+  let fs = findings_of "pass from 10.0.0.0/16 to any\nblock from 10.0.1.0/24 to any" in
+  no_code "shadowed-rule" fs;
+  (* quick protects against later rules *)
+  let fs = findings_of "pass quick from 10.0.0.0/16 to any port 22\nblock from 10.0.0.0/8 to any" in
+  no_code "shadowed-rule" fs
+
+let test_conflicts () =
+  (* partial overlap with opposite actions: conflict with a witness *)
+  let fs = findings_of "pass from 10.0.0.0/8 to any port 80:90\nblock from any to any port 85:100" in
+  (match find_code "rule-conflict" fs with
+  | None -> Alcotest.fail "expected rule-conflict"
+  | Some f ->
+      (match f.C.witness with
+      | None -> Alcotest.fail "conflict needs a witness"
+      | Some w ->
+          Alcotest.(check bool) "witness src in 10/8" true
+            (Prefix.mem w.Five_tuple.src (prefix "10.0.0.0/8"));
+          Alcotest.(check bool) "witness port in overlap" true
+            (w.Five_tuple.dst_port >= 85 && w.Five_tuple.dst_port <= 90)));
+  (* containment is the PF idiom (block all + pass from <lan>): no conflict *)
+  let fs = findings_of "block all\npass from 10.0.0.0/8 to any" in
+  no_code "rule-conflict" fs;
+  (* same action: no conflict *)
+  let fs = findings_of "pass from 10.0.0.0/8 to any port 80:90\npass from any to any port 85:100" in
+  no_code "rule-conflict" fs
+
+let test_table_cycle () =
+  let fs =
+    findings_of
+      "table <a> { <b> }\ntable <b> { <a> }\npass from <a> to any"
+  in
+  has_code "table-cycle" fs;
+  Alcotest.(check bool) "cycle is an error" true (C.has_errors fs);
+  (* nested refs that terminate resolve fine *)
+  let fs =
+    findings_of
+      "table <base> { 10.0.0.0/8 }\ntable <all> { <base> 192.168.0.0/16 }\n\
+       block all\npass from <all> to any"
+  in
+  no_code "table-cycle" fs;
+  no_code "undefined-table" fs
+
+let test_undefined_references () =
+  let fs = findings_of "pass from <nowhere> to any" in
+  has_code "undefined-table" fs;
+  let fs = findings_of "pass all with member(@src[name], $badmacro)" in
+  has_code "undefined-macro" fs;
+  Alcotest.(check bool) "undefined refs are errors" true (C.has_errors fs);
+  let fs = findings_of "pass all with member(@mydict[k], x)" in
+  has_code "undefined-dict" fs;
+  no_code "undefined-dict"
+    (findings_of "pass all with member(@src[name], ssh)")
+
+let test_default_fallthrough () =
+  let fs = findings_of "pass from 10.0.0.0/8 to any" in
+  (match find_code "default-fallthrough" fs with
+  | None -> Alcotest.fail "expected default-fallthrough"
+  | Some f ->
+      Alcotest.(check bool) "info severity" true (f.C.severity = C.Info);
+      Alcotest.(check bool) "has witness outside 10/8" true
+        (match f.C.witness with
+        | Some w -> not (Prefix.mem w.Five_tuple.src (prefix "10.0.0.0/8"))
+        | None -> false));
+  (* full coverage: fallthrough reported as unreachable, no witness *)
+  let fs = findings_of "block all" in
+  match find_code "default-fallthrough" fs with
+  | Some { C.witness = None; _ } -> ()
+  | Some _ -> Alcotest.fail "covered default should have no witness"
+  | None -> Alcotest.fail "fallthrough finding should still appear"
+
+let test_unanswerable_keys () =
+  let conf s =
+    match Identxx.Config.parse s with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "config error: %s" e
+  in
+  let configs = [ ("host.identxx.conf", conf "os-name : Linux\n") ] in
+  let policy = "block all\npass from any to any with eq(@dst[machine-room], dmz)" in
+  (* no configs: check is skipped entirely *)
+  no_code "unanswerable-key" (findings_of policy);
+  has_code "unanswerable-key" (findings_of ~configs policy);
+  (* a key any config answers is fine *)
+  no_code "unanswerable-key"
+    (findings_of ~configs
+       "block all\npass from any to any with eq(@dst[os-name], plan9)");
+  (* built-in keys need no config entry *)
+  List.iter
+    (fun key ->
+      no_code "unanswerable-key"
+        (findings_of ~configs
+           (Printf.sprintf
+              "block all\npass from any to any with eq(@src[%s], x)" key)))
+    C.daemon_builtin_keys
+
+let test_exit_code_contract () =
+  let warn_only = findings_of "block quick all\npass from any to any port 80" in
+  has_code "shadowed-rule" warn_only;
+  Alcotest.(check int) "warnings exit 0" 0 (Analysis.Report.exit_code warn_only);
+  let errors = findings_of "pass from <ghost> to any" in
+  Alcotest.(check int) "errors exit 1" 1 (Analysis.Report.exit_code errors)
+
+let test_report_locator () =
+  let files = [ ("a.control", "block all\npass all"); ("b.control", "pass from any to any port 80") ] in
+  Alcotest.(check (pair string int)) "first file line 1"
+    ("a.control", 1)
+    (Analysis.Report.locator files 1);
+  Alcotest.(check (pair string int)) "first file line 2"
+    ("a.control", 2)
+    (Analysis.Report.locator files 2);
+  Alcotest.(check (pair string int)) "second file restarts numbering"
+    ("b.control", 1)
+    (Analysis.Report.locator files 3)
+
+(* --- integration: policy store strict mode, precompile offload --- *)
+
+let test_policy_store_strict () =
+  (* an undefined macro compiles (Env.build only fails at flow time) but
+     the strict store's analysis pass rejects it *)
+  let bad = "block all\npass all with member(@src[name], $badmacro)" in
+  let store = Identxx_core.Policy_store.create ~strict:true () in
+  (match Identxx_core.Policy_store.add store ~name:"10-bad" bad with
+  | Ok () -> Alcotest.fail "strict store accepted an undefined macro"
+  | Error e ->
+      Alcotest.(check bool) "mentions the macro" true
+        (contains_substring e "badmacro"));
+  Alcotest.(check int) "rolled back" 0
+    (List.length (Identxx_core.Policy_store.files store));
+  (* warnings do not block even in strict mode *)
+  (match
+     Identxx_core.Policy_store.add store ~name:"20-warn"
+       "block quick all\npass from any to any port 80"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "strict store rejected warnings: %s" e);
+  let lax = Identxx_core.Policy_store.create () in
+  match Identxx_core.Policy_store.add lax ~name:"10-bad" bad with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "non-strict add failed: %s" e
+
+let test_precompile_disjoint_offload () =
+  (* A compilable `block quick` AFTER a non-compilable quick rule is
+     still offloaded when their flow-spaces are disjoint… *)
+  let env =
+    env_of
+      "pass quick from 10.0.0.0/8 to any with eq(@src[name], ssh) keep state\n\
+       block quick from 192.168.0.0/16 to any\n\
+       block all"
+  in
+  let drops = Identxx_core.Precompile.drop_matches env in
+  Alcotest.(check bool) "disjoint blocker offloaded" true (drops <> []);
+  (* …but not when they overlap: the conditional rule may pass first. *)
+  let env =
+    env_of
+      "pass quick from 192.168.0.0/24 to any with eq(@src[name], ssh) keep state\n\
+       block quick from 192.168.0.0/16 to any\n\
+       block all"
+  in
+  Alcotest.(check int) "overlapping blocker withheld" 0
+    (List.length (Identxx_core.Precompile.drop_matches env))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "flowspace",
+        [
+          Alcotest.test_case "proto sets" `Quick test_proto_sets;
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "prefix subtraction" `Quick test_prefix_sub;
+          Alcotest.test_case "prefix complement" `Quick test_prefix_complement;
+          Alcotest.test_case "space algebra" `Quick test_space_algebra;
+          Alcotest.test_case "witness" `Quick test_space_witness;
+          Alcotest.test_case "negation" `Quick test_space_negation;
+          Alcotest.test_case "table rules" `Quick test_space_of_table_rule;
+        ] );
+      ( "checks",
+        [
+          Alcotest.test_case "shadowed by quick" `Quick test_shadowed_by_quick;
+          Alcotest.test_case "shadowed by last-match" `Quick
+            test_shadowed_by_last_match;
+          Alcotest.test_case "conflicts" `Quick test_conflicts;
+          Alcotest.test_case "table cycles" `Quick test_table_cycle;
+          Alcotest.test_case "undefined references" `Quick
+            test_undefined_references;
+          Alcotest.test_case "default fallthrough" `Quick
+            test_default_fallthrough;
+          Alcotest.test_case "unanswerable keys" `Quick test_unanswerable_keys;
+          Alcotest.test_case "exit code contract" `Quick
+            test_exit_code_contract;
+          Alcotest.test_case "report locator" `Quick test_report_locator;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "policy store strict" `Quick
+            test_policy_store_strict;
+          Alcotest.test_case "precompile disjoint offload" `Quick
+            test_precompile_disjoint_offload;
+        ] );
+    ]

@@ -17,6 +17,11 @@ let response flow sections =
 
 let check_decision = Alcotest.(check bool)
 
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let env_of s =
   match Pf.Env.of_string s with
   | Ok env -> env
@@ -215,8 +220,22 @@ let test_parse_port_range () =
 
 let test_parse_rejects_empty_range () =
   match Pf.Parser.parse "pass from any to any port 90:80" with
-  | Error _ -> ()
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (has_substring e "line 1");
+      Alcotest.(check bool) "error shows the range" true
+        (has_substring e "90:80")
   | Ok _ -> Alcotest.fail "inverted range should not parse"
+
+let test_parse_rejects_out_of_range_port () =
+  (match Pf.Parser.parse "block all\npass from any to any port 70000" with
+  | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (has_substring e "line 2")
+  | Ok _ -> Alcotest.fail "port 70000 should not parse");
+  match Pf.Parser.parse "pass from any to any port 80:70000" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "range ending past 65535 should not parse"
 
 let test_parse_log_modifier () =
   match Pf.Ast.rules (parse_ok "block log from any to any port 23") with
@@ -598,6 +617,19 @@ let test_lint_duplicates () =
   Alcotest.(check (list string)) "duplicate reported" [ "duplicate-rule" ]
     (lint_of "pass from any to any port 80\nblock all\npass from any to any port 80")
 
+let test_lint_duplicate_quick () =
+  (* identical quick rules: the earlier always fires first, so the
+     LATER copy is the redundant one *)
+  match
+    Pf.Lint.check
+      (Pf.Parser.parse_exn
+         "pass quick from any to any port 80\nblock all\npass quick from any to any port 80")
+  with
+  | [ f ] ->
+      Alcotest.(check string) "code" "duplicate-rule" f.Pf.Lint.code;
+      Alcotest.(check int) "later copy flagged" 3 f.Pf.Lint.line
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
 let test_lint_unknown_function () =
   Alcotest.(check (list string)) "unknown function" [ "unknown-function" ]
     (lint_of "pass all with frobnicate(@src[x])")
@@ -975,6 +1007,8 @@ let () =
           Alcotest.test_case "port range" `Quick test_parse_port_range;
           Alcotest.test_case "rejects empty range" `Quick
             test_parse_rejects_empty_range;
+          Alcotest.test_case "rejects out-of-range port" `Quick
+            test_parse_rejects_out_of_range_port;
           Alcotest.test_case "log modifier" `Quick test_parse_log_modifier;
         ] );
       ( "env",
@@ -1057,6 +1091,7 @@ let () =
           Alcotest.test_case "dead after quick all" `Quick
             test_lint_dead_after_quick_all;
           Alcotest.test_case "duplicates" `Quick test_lint_duplicates;
+          Alcotest.test_case "duplicate quick" `Quick test_lint_duplicate_quick;
           Alcotest.test_case "unknown function" `Quick test_lint_unknown_function;
           Alcotest.test_case "figure 2 clean" `Quick test_lint_clean_policy;
         ] );
