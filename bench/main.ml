@@ -52,6 +52,122 @@ let bench_fig1 =
            (Identxx.Host.processes s.Deploy.client)
            ~flow:fl))
 
+(* --- fast path: warm-cache / breaker-open / post-reload flow setup ----- *)
+
+(* The fastpath benches share one harness: a simple network with
+   microsecond entry timeouts (so every iteration is a fresh table-miss)
+   and ONE long-lived connection whose first packet is re-sent each
+   iteration — the measured body is exactly the table-miss flow setup
+   (packet-in, decide, install, deliver), with no per-iteration
+   connect/disconnect bookkeeping. The cold member of the group runs the
+   identical harness with the fast path disabled, so the warm/cold ratio
+   isolates what the caches save. *)
+let fastpath_network ~fastpath () =
+  let config =
+    {
+      C.default_config with
+      C.entry_idle_timeout = Some (Sim.Time.us 1);
+      C.require_signed_responses = true;
+      C.fastpath = fastpath;
+    }
+  in
+  let s = Deploy.simple_network ~config () in
+  (* Representative deployment config, so the cold exchange carries its
+     genuine per-flow cost: both daemons sign their answers (§3.4) and
+     carry an administrator configuration of realistic size — the
+     attributes a site actually publishes (patch level, requirements
+     program, inventory tags) — which the caches let warm flows skip
+     re-shipping, re-verifying and re-decoding. *)
+  Sim.Trace.set_enabled (Openflow.Network.trace s.Deploy.network) false;
+  let admin_config =
+    String.concat "\n"
+      ("os-patch : 8831"
+      :: List.init 24 (fun i ->
+             Printf.sprintf "site-attr-%02d : %s" i (String.make 48 'v')))
+  in
+  List.iter
+    (fun (host, key_name) ->
+      let key = Idcrypto.Sign.generate key_name in
+      Idcrypto.Sign.register (C.keystore s.Deploy.controller) key;
+      Identxx.Host.set_signing_key host (Some key);
+      match
+        Identxx.Daemon.load_config (Identxx.Host.daemon host) ~name:"00-admin"
+          admin_config
+      with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    [ (s.Deploy.client, "client-host"); (s.Deploy.server, "server-host") ];
+  PS.add_exn (C.policy s.Deploy.controller) ~name:"00"
+    "block all\npass all with eq(@src[name], firefox)";
+  s
+
+(* Sim time accumulates across iterations; a huge TTL and backoff keep
+   cache entries and breaker state live for the whole run. *)
+let fastpath_on =
+  {
+    Fastpath.default_config with
+    Fastpath.attr_ttl = Sim.Time.s 1_000_000;
+    breaker_backoff = Sim.Time.s 1_000_000;
+  }
+
+let flow_setup_iter s =
+  let proc =
+    Identxx.Host.run s.Deploy.client ~user:"alice" ~exe:"/usr/bin/firefox" ()
+  in
+  let fl =
+    Identxx.Host.connect s.Deploy.client ~proc
+      ~dst:(Identxx.Host.ip s.Deploy.server)
+      ~dst_port:80 ()
+  in
+  let pkt = Identxx.Host.first_packet s.Deploy.client ~flow:fl in
+  fun () ->
+    Openflow.Network.send_from_host s.Deploy.network ~name:"client" pkt;
+    Sim.Engine.run s.Deploy.engine
+
+let bench_fastpath_cold =
+  let s = fastpath_network ~fastpath:Fastpath.disabled () in
+  let iter = flow_setup_iter s in
+  Test.make ~name:"fastpath/flow-setup-cold-exchange" (Staged.stage iter)
+
+let bench_fastpath_warm =
+  let s = fastpath_network ~fastpath:fastpath_on () in
+  let iter = flow_setup_iter s in
+  (* One cold exchange warms both caches; every measured iteration is a
+     pure attribute-cache + decision-cache hit. *)
+  iter ();
+  Test.make ~name:"fastpath/flow-setup-warm-cache" (Staged.stage iter)
+
+let bench_fastpath_breaker_open =
+  let s = fastpath_network ~fastpath:fastpath_on () in
+  (* Both daemons silent: the breaker trips during setup, then every
+     measured flow decides immediately with absent responses (§4's
+     non-ident++-host fallback). *)
+  Identxx.Daemon.set_behaviour
+    (Identxx.Host.daemon s.Deploy.client)
+    Identxx.Daemon.Silent;
+  Identxx.Daemon.set_behaviour
+    (Identxx.Host.daemon s.Deploy.server)
+    Identxx.Daemon.Silent;
+  let iter = flow_setup_iter s in
+  for _ = 1 to fastpath_on.Fastpath.breaker_threshold do
+    iter ()
+  done;
+  Test.make ~name:"fastpath/flow-setup-breaker-open" (Staged.stage iter)
+
+let bench_fastpath_post_reload =
+  let s = fastpath_network ~fastpath:fastpath_on () in
+  let iter = flow_setup_iter s in
+  iter ();
+  (* Each iteration reloads the policy (epoch bump, decision cache
+     flushed) and then sets up a flow: attributes stay warm, only the
+     PF+=2 evaluation is redone. *)
+  Test.make ~name:"fastpath/flow-setup-post-reload"
+    (Staged.stage (fun () ->
+         PS.add_exn
+           (C.policy s.Deploy.controller)
+           ~name:"00" "block all\npass all with eq(@src[name], firefox)";
+         iter ()))
+
 (* --- E9: decision latency vs ruleset size ---------------------------- *)
 
 let ruleset n tail =
@@ -388,6 +504,10 @@ let tests =
   Test.make_grouped ~name:"identxx"
     ([
        bench_fig1;
+       bench_fastpath_cold;
+       bench_fastpath_warm;
+       bench_fastpath_breaker_open;
+       bench_fastpath_post_reload;
        bench_decision_vs_rules;
        bench_flow_table;
        bench_switch_process_hit;
@@ -403,7 +523,59 @@ let tests =
      ]
     @ bench_proto @ bench_crypto @ bench_packet @ bench_granularity)
 
-let () =
+(* Run every benchmark body exactly once, untimed — `dune build
+   @bench-smoke` uses this so bench code can't bit-rot outside the
+   (slow) timed runs. *)
+let run_smoke () =
+  List.iter
+    (fun elt ->
+      let (Test.V { fn; kind; allocate; free }) = Test.Elt.fn elt in
+      let fn = fn `Init in
+      (match kind with
+      | Test.Uniq ->
+          let v = allocate () in
+          ignore (fn (Test.Uniq.prj v));
+          free v
+      | Test.Multiple ->
+          let v = allocate 1 in
+          ignore (fn (Test.Multiple.prj v).(0));
+          free v);
+      Printf.printf "smoke: %s ok\n%!" (Test.Elt.name elt))
+    (Test.elements tests);
+  Printf.printf "all benchmark bodies ran once.\n"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Machine-readable results, one object per benchmark, so the perf
+   trajectory can be diffed across commits (see bench/baseline.json). *)
+let write_json file rows =
+  let oc = open_out file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns, runs) ->
+      Printf.fprintf oc "  { \"name\": \"%s\", \"ns_per_op\": %s, \"runs\": %d }%s\n"
+        (json_escape name)
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        runs
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let run_timed json_file =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -419,11 +591,37 @@ let () =
           | Some (e :: _) -> e
           | Some [] | None -> nan
         in
-        (name, ns) :: acc)
+        let runs =
+          match Hashtbl.find_opt raw name with
+          | Some b -> b.Benchmark.stats.Benchmark.samples
+          | None -> 0
+        in
+        (name, ns, runs) :: acc)
       results []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
   in
-  Printf.printf "%-55s %14s\n" "benchmark" "ns/op";
-  Printf.printf "%s\n" (String.make 71 '-');
-  List.iter (fun (name, ns) -> Printf.printf "%-55s %14.1f\n" name ns) rows;
-  Printf.printf "\n%d benchmarks completed.\n" (List.length rows)
+  Printf.printf "%-55s %14s %8s\n" "benchmark" "ns/op" "runs";
+  Printf.printf "%s\n" (String.make 80 '-');
+  List.iter
+    (fun (name, ns, runs) -> Printf.printf "%-55s %14.1f %8d\n" name ns runs)
+    rows;
+  Printf.printf "\n%d benchmarks completed.\n" (List.length rows);
+  Option.iter (fun file -> write_json file rows) json_file
+
+let () =
+  let smoke = ref false and json_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: main.exe [--smoke] [--json FILE]\n";
+        Printf.eprintf "unknown argument: %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !smoke then run_smoke () else run_timed !json_file

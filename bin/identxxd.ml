@@ -66,7 +66,7 @@ let load_table processes content =
                  ~port:(int_of_string port)
            | _ -> failwith (Printf.sprintf "table line %d: unparsable" (lineno + 1)))
 
-let run ip configs table_path peer =
+let run ip configs table_path peer cache_expires =
   let host_ip = Netcore.Ipv4.of_string ip in
   let peer_ip = Netcore.Ipv4.of_string peer in
   let processes = Identxx.Process_table.create () in
@@ -88,6 +88,19 @@ let run ip configs table_path peer =
       | Ok () -> ()
       | Error e -> failwith e)
     configs;
+  (* The daemon-side cache knob: an [expires] pair in every answer caps
+     how long a querier's attribute cache may reuse it (0 forbids
+     caching outright). Loaded last so it wins latest-pair lookups even
+     when a --config file also sets one. *)
+  (match cache_expires with
+  | None -> ()
+  | Some seconds -> (
+      match
+        Identxx.Daemon.load_config daemon ~name:"zz-cache-expires"
+          (Printf.sprintf "expires : %g" seconds)
+      with
+      | Ok () -> ()
+      | Error e -> failwith e));
   (* Read query payloads: header line + key lines, terminated by a blank
      line or EOF. *)
   let buf = Buffer.create 128 in
@@ -145,10 +158,19 @@ let () =
       & info [ "peer" ] ~docv:"ADDR"
           ~doc:"The flow's far end (the querying side's address).")
   in
+  let cache_expires =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cache-expires" ] ~docv:"SECONDS"
+          ~doc:"Stamp every answer with an 'expires' pair bounding how long \
+                the controller's attribute cache may reuse it (0 disables \
+                caching of this host's answers).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "identxxd" ~version:"1.0.0"
          ~doc:"ident++ daemon: answer queries from stdin")
-      Term.(const run $ ip $ configs $ table $ peer)
+      Term.(const run $ ip $ configs $ table $ peer $ cache_expires)
   in
   exit (Cmd.eval' cmd)

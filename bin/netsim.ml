@@ -27,11 +27,62 @@ let print_summary ?(controllers = []) network =
       Format.printf
         "%s: flows=%d allowed=%d blocked=%d queries=%d responses=%d@." name
         st.C.flows_seen st.C.allowed st.C.blocked st.C.queries_sent
-        st.C.responses_received)
+        st.C.responses_received;
+      Format.printf "%s: query timeouts=%d retries sent=%d@." name
+        st.C.query_timeouts st.C.query_retries_sent;
+      if Fastpath.enabled (C.fastpath c) then
+        Format.printf
+          "%s: fastpath decisions=%d attr-cache %d/%d (evict %d, inval %d) \
+           decision-cache %d/%d (evict %d) breaker trips=%d fastpaths=%d@."
+          name st.C.fastpath_decisions st.C.attr_cache_hits
+          st.C.attr_cache_misses st.C.attr_cache_evictions
+          st.C.attr_cache_invalidations st.C.decision_cache_hits
+          st.C.decision_cache_misses st.C.decision_cache_evictions
+          st.C.breaker_trips st.C.breaker_fastpaths)
     controllers
 
-let fig1 ~arm () =
-  let s = Deploy.simple_network () in
+(* Machine-readable end-of-run report (same numbers as the summary), so
+   scenario runs can be diffed or plotted without scraping the trace. *)
+let write_json ~scenario ~file ~controllers network =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"%s\",\n\
+    \  \"delivered\": %d,\n\
+    \  \"dropped\": %d,\n\
+    \  \"packet_ins\": %d,\n\
+    \  \"controllers\": [\n"
+    scenario (Net.delivered network) (Net.dropped network)
+    (Net.packet_ins network);
+  List.iteri
+    (fun i (name, c) ->
+      let st = C.stats c in
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"flows_seen\": %d, \"allowed\": %d, \
+         \"blocked\": %d,\n\
+        \      \"queries_sent\": %d, \"responses_received\": %d, \
+         \"query_timeouts\": %d, \"query_retries_sent\": %d,\n\
+        \      \"fastpath_enabled\": %b, \"fastpath_decisions\": %d,\n\
+        \      \"attr_cache_hits\": %d, \"attr_cache_misses\": %d, \
+         \"attr_cache_evictions\": %d, \"attr_cache_invalidations\": %d,\n\
+        \      \"decision_cache_hits\": %d, \"decision_cache_misses\": %d, \
+         \"decision_cache_evictions\": %d,\n\
+        \      \"breaker_trips\": %d, \"breaker_fastpaths\": %d }%s\n"
+        name st.C.flows_seen st.C.allowed st.C.blocked st.C.queries_sent
+        st.C.responses_received st.C.query_timeouts st.C.query_retries_sent
+        (Fastpath.enabled (C.fastpath c))
+        st.C.fastpath_decisions st.C.attr_cache_hits st.C.attr_cache_misses
+        st.C.attr_cache_evictions st.C.attr_cache_invalidations
+        st.C.decision_cache_hits st.C.decision_cache_misses
+        st.C.decision_cache_evictions st.C.breaker_trips st.C.breaker_fastpaths
+        (if i = List.length controllers - 1 then "" else ","))
+    controllers;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %s@." file
+
+let fig1 ~arm ~config () =
+  let s = Deploy.simple_network ~config () in
   arm s.Deploy.network;
   PS.add_exn (C.policy s.controller) ~name:"00"
     "block all\npass all with eq(@src[name], firefox) keep state";
@@ -44,12 +95,11 @@ let fig1 ~arm () =
     (Identxx.Host.first_packet s.client ~flow);
   Sim.Engine.run s.engine;
   Format.printf "Figure 1: client -> switch -> controller -> ident++ -> install -> deliver@.";
-  print_summary ~controllers:[ ("controller", s.controller) ] s.network;
-  0
+  (s.network, [ ("controller", s.controller) ])
 
-let linear ~arm () =
+let linear ~arm ~config () =
   let engine, network, controller, hosts =
-    Deploy.linear_network ~switches:4 ~hosts_per_switch:1 ()
+    Deploy.linear_network ~config ~switches:4 ~hosts_per_switch:1 ()
   in
   arm network;
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
@@ -62,12 +112,11 @@ let linear ~arm () =
     (Identxx.Host.first_packet h1 ~flow);
   Sim.Engine.run engine;
   Format.printf "linear: one flow across a 4-switch chain@.";
-  print_summary ~controllers:[ ("controller", controller) ] network;
-  0
+  (network, [ ("controller", controller) ])
 
-let tree ~arm () =
+let tree ~arm ~config () =
   let engine, network, controller, hosts =
-    Deploy.tree_network ~depth:3 ~fanout:2 ~hosts_per_edge:1 ()
+    Deploy.tree_network ~config ~depth:3 ~fanout:2 ~hosts_per_edge:1 ()
   in
   arm network;
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
@@ -80,10 +129,9 @@ let tree ~arm () =
     (Identxx.Host.first_packet src ~flow);
   Sim.Engine.run engine;
   Format.printf "tree: cross-pod flow over a depth-3 binary tree (7 switches)@.";
-  print_summary ~controllers:[ ("controller", controller) ] network;
-  0
+  (network, [ ("controller", controller) ])
 
-let branches ~arm () =
+let branches ~arm ~config () =
   let engine = Sim.Engine.create () in
   let topology = Topo.create () in
   Topo.add_switch topology 1;
@@ -94,8 +142,8 @@ let branches ~arm () =
   Topo.link topology ~latency:(Sim.Time.ms 2) (Topo.Sw 1, 9) (Topo.Sw 2, 9);
   let network = Net.create ~engine ~topology () in
   arm network;
-  let ca = C.create ~network ~id:0 () in
-  let cb = C.create ~network ~id:1 () in
+  let ca = C.create ~config ~network ~id:0 () in
+  let cb = C.create ~config ~network ~id:1 () in
   Net.assign_switch network 1 0;
   Net.assign_switch network 2 1;
   PS.add_exn (C.policy ca) ~name:"00"
@@ -119,10 +167,7 @@ let branches ~arm () =
   Net.send_from_host network ~name:"a1" (Identxx.Host.first_packet a1 ~flow);
   Sim.Engine.run engine;
   Format.printf "branches: two collaborating ident++ domains@.";
-  print_summary
-    ~controllers:[ ("branch-a", ca); ("branch-b", cb) ]
-    network;
-  0
+  (network, [ ("branch-a", ca); ("branch-b", cb) ])
 
 (* Optionally capture every frame the scenario emits to a pcap file. *)
 let with_capture pcap_path f =
@@ -159,21 +204,102 @@ let () =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
   in
-  let run scenario pcap verbose =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the end-of-run summary (delivery and controller \
+                counters) to FILE as JSON.")
+  in
+  let fp = Fastpath.default_config in
+  let fastpath =
+    Arg.(
+      value & flag
+      & info [ "fastpath" ]
+          ~doc:"Enable the controller's flow-setup fast path (attribute and \
+                decision caches, silent-host circuit breaker). Off by \
+                default, matching the controller default.")
+  in
+  let attr_capacity =
+    Arg.(
+      value
+      & opt int fp.Fastpath.attr_capacity
+      & info [ "attr-capacity" ] ~docv:"N"
+          ~doc:"Attribute-cache capacity (entries), with --fastpath.")
+  in
+  let attr_ttl =
+    Arg.(
+      value
+      & opt float (Sim.Time.to_float_s fp.Fastpath.attr_ttl)
+      & info [ "attr-ttl" ] ~docv:"SECONDS"
+          ~doc:"Attribute-cache entry TTL, with --fastpath.")
+  in
+  let decision_capacity =
+    Arg.(
+      value
+      & opt int fp.Fastpath.decision_capacity
+      & info [ "decision-capacity" ] ~docv:"N"
+          ~doc:"Decision-cache capacity (entries), with --fastpath.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value
+      & opt int fp.Fastpath.breaker_threshold
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:"Consecutive query timeouts before a host's circuit breaker \
+                trips, with --fastpath.")
+  in
+  let breaker_backoff =
+    Arg.(
+      value
+      & opt float (Sim.Time.to_float_s fp.Fastpath.breaker_backoff)
+      & info [ "breaker-backoff" ] ~docv:"SECONDS"
+          ~doc:"How long a tripped breaker stays open before a re-probe, \
+                with --fastpath.")
+  in
+  let run scenario pcap verbose json fastpath attr_capacity attr_ttl
+      decision_capacity breaker_threshold breaker_backoff =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
+    let config =
+      {
+        C.default_config with
+        C.fastpath =
+          (if not fastpath then Fastpath.disabled
+           else
+             {
+               fp with
+               Fastpath.attr_capacity;
+               attr_ttl = Sim.Time.of_float_s attr_ttl;
+               decision_capacity;
+               breaker_threshold;
+               breaker_backoff = Sim.Time.of_float_s breaker_backoff;
+             });
+      }
+    in
     with_capture pcap (fun arm ->
-        match scenario with
-        | `Fig1 -> fig1 ~arm ()
-        | `Linear -> linear ~arm ()
-        | `Branches -> branches ~arm ()
-        | `Tree -> tree ~arm ())
+        let name, build =
+          match scenario with
+          | `Fig1 -> ("fig1", fig1)
+          | `Linear -> ("linear", linear)
+          | `Branches -> ("branches", branches)
+          | `Tree -> ("tree", tree)
+        in
+        let network, controllers = build ~arm ~config () in
+        print_summary ~controllers network;
+        Option.iter
+          (fun file -> write_json ~scenario:name ~file ~controllers network)
+          json;
+        0)
   in
   let cmd =
     Cmd.v
       (Cmd.info "netsim" ~doc:"Run a named ident++ simulation scenario")
-      Term.(const run $ scenario $ pcap $ verbose)
+      Term.(
+        const run $ scenario $ pcap $ verbose $ json $ fastpath $ attr_capacity
+        $ attr_ttl $ decision_capacity $ breaker_threshold $ breaker_backoff)
   in
   exit (Cmd.eval' cmd)

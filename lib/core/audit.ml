@@ -14,13 +14,14 @@ type entry = {
 type t = {
   capacity : int;
   mutable entries : entry list; (* newest first *)
+  mutable length : int; (* List.length entries, kept so record is O(1) *)
   mutable count : int;
   mutable blocked : int;
 }
 
 let create ?(capacity = 10_000) () =
   if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
-  { capacity; entries = []; count = 0; blocked = 0 }
+  { capacity; entries = []; length = 0; count = 0; blocked = 0 }
 
 let interesting_keys =
   [
@@ -56,15 +57,17 @@ let record t ~at ~flow ~(verdict : Pf.Eval.verdict) ~src ~dst =
   t.count <- t.count + 1;
   if verdict.Pf.Eval.decision = Pf.Ast.Block then t.blocked <- t.blocked + 1;
   t.entries <- entry :: t.entries;
+  t.length <- t.length + 1;
   (* Trim lazily: only when we exceed capacity by a margin, to keep
      recording O(1) amortized. *)
-  if List.length t.entries > t.capacity + (t.capacity / 4) then begin
+  if t.length > t.capacity + (t.capacity / 4) then begin
     let rec take n = function
       | [] -> []
       | _ when n = 0 -> []
       | x :: rest -> x :: take (n - 1) rest
     in
-    t.entries <- take t.capacity t.entries
+    t.entries <- take t.capacity t.entries;
+    t.length <- t.capacity
   end
 
 let entries t = t.entries
@@ -73,6 +76,7 @@ let count t = t.count
 let blocked_count t = t.blocked
 let clear t =
   t.entries <- [];
+  t.length <- 0;
   t.count <- 0;
   t.blocked <- 0
 

@@ -27,6 +27,19 @@ let permits t ~now flow =
   in
   check flow || check (Five_tuple.reverse flow)
 
+let revoke t ~ip =
+  let doomed =
+    Flow_tbl.fold
+      (fun flow _ acc ->
+        if
+          Ipv4.equal flow.Five_tuple.src ip || Ipv4.equal flow.Five_tuple.dst ip
+        then flow :: acc
+        else acc)
+      t.entries []
+  in
+  List.iter (Flow_tbl.remove t.entries) doomed;
+  List.length doomed
+
 let size t = Flow_tbl.length t.entries
 
 let expire t ~now =

@@ -16,6 +16,11 @@ val permits : t -> now:Sim.Time.t -> Five_tuple.t -> bool
 (** True for a recorded flow or the exact reverse of one (the state
     entry admits replies). Refreshes the entry's idle timer on hit. *)
 
+val revoke : t -> ip:Ipv4.t -> int
+(** Drop every state entry whose flow has [ip] as either endpoint
+    (principal revocation: replies must re-consult policy too); returns
+    the number dropped. *)
+
 val size : t -> int
 val expire : t -> now:Sim.Time.t -> int
 val clear : t -> unit

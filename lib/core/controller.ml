@@ -21,6 +21,7 @@ type config = {
   query_retries : int;
   query_targets : query_targets;
   default : Pf.Ast.action;
+  fastpath : Fastpath.config;
 }
 
 let default_config =
@@ -45,6 +46,9 @@ let default_config =
     query_retries = 0;
     query_targets = Both;
     default = Pf.Ast.Pass;
+    (* Off by default: the baseline controller runs the unmodified
+       Figure-1 exchange for every table-miss flow. *)
+    fastpath = Fastpath.disabled;
   }
 
 type pending = {
@@ -71,6 +75,16 @@ type stats = {
   responses_augmented : int;
   queries_answered_locally : int;
   eval_errors : int;
+  fastpath_decisions : int;
+  attr_cache_hits : int;
+  attr_cache_misses : int;
+  attr_cache_evictions : int;
+  attr_cache_invalidations : int;
+  decision_cache_hits : int;
+  decision_cache_misses : int;
+  decision_cache_evictions : int;
+  breaker_trips : int;
+  breaker_fastpaths : int;
 }
 
 module Flow_tbl = Hashtbl.Make (struct
@@ -102,12 +116,17 @@ type t = {
   mutable s_augmented : int;
   mutable s_local_answers : int;
   mutable s_eval_errors : int;
+  mutable s_fastpath_decisions : int;
+  fastpath : Fastpath.t;
+  mutable src_port_matters : (int * bool) option;
+      (* Per-epoch memo of Fastpath.env_matches_src_port. *)
   mutable last_stats : (Msg.switch_id * Msg.stats_reply) list;
   mutable precompiled : Openflow.Match_fields.t list;
       (* Drop matches currently pushed to the dataplane. *)
 }
 
 let policy t = t.policy
+let fastpath t = t.fastpath
 let decision t = t.decision
 let audit t = t.audit
 let keystore t = Decision.keystore t.decision
@@ -117,6 +136,7 @@ let set_response_augment t f = t.augment <- f
 let set_local_answers t f = t.local_answers <- f
 
 let stats t =
+  let c = Fastpath.counters t.fastpath in
   {
     flows_seen = t.s_flows_seen;
     allowed = t.s_allowed;
@@ -129,6 +149,16 @@ let stats t =
     responses_augmented = t.s_augmented;
     queries_answered_locally = t.s_local_answers;
     eval_errors = t.s_eval_errors;
+    fastpath_decisions = t.s_fastpath_decisions;
+    attr_cache_hits = c.Fastpath.attr_hits;
+    attr_cache_misses = c.Fastpath.attr_misses;
+    attr_cache_evictions = c.Fastpath.attr_evictions;
+    attr_cache_invalidations = c.Fastpath.attr_invalidations;
+    decision_cache_hits = c.Fastpath.decision_hits;
+    decision_cache_misses = c.Fastpath.decision_misses;
+    decision_cache_evictions = c.Fastpath.decision_evictions;
+    breaker_trips = c.Fastpath.breaker_trips;
+    breaker_fastpaths = c.Fastpath.breaker_fastpaths;
   }
 
 let pending_count t = Flow_tbl.length t.pending
@@ -226,7 +256,7 @@ let install_drop t ~dpid flow =
        ~fields:(Openflow.Match_fields.of_five_tuple flow)
        Openflow.Action.drop)
 
-let release_packets t p =
+let release_packets t packets =
   (* Send each buffered packet back through its switch's (now updated)
      table. Flow-mods were enqueued first, and the control channel is
      FIFO, so the entries are in place when the packets run. *)
@@ -234,31 +264,69 @@ let release_packets t p =
     (fun (dpid, _in_port, pkt) ->
       Net.send_to_switch t.network dpid
         (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table }))
-    (List.rev p.p_packets)
+    (List.rev packets)
 
-let finalize t p =
-  Sim.Engine.cancel p.p_timeout;
-  Flow_tbl.remove t.pending p.p_flow;
-  let input =
-    {
-      Decision.flow = p.p_flow;
-      src_response = p.src_resp;
-      dst_response = p.dst_resp;
-    }
-  in
-  let verdict =
-    match Decision.decide t.decision input with
-    | Ok v -> v
-    | Error _ ->
-        t.s_eval_errors <- t.s_eval_errors + 1;
-        (* Fail closed on configuration errors. *)
-        { Pf.Eval.decision = Pf.Ast.Block; matched = None; keep_state = false; log = false }
-  in
+(* Whether any rule of the current policy constrains source ports: the
+   decision-cache key wildcards the ephemeral client port only when it
+   provably cannot change the verdict. Memoized per policy epoch. *)
+let src_port_matters t =
+  let epoch = Policy_store.epoch t.policy in
+  match t.src_port_matters with
+  | Some (e, b) when e = epoch -> b
+  | Some _ | None ->
+      let b =
+        match Policy_store.env t.policy with
+        | Ok env -> Fastpath.env_matches_src_port env
+        | Error _ -> true (* conservative: key on the full 5-tuple *)
+      in
+      t.src_port_matters <- Some (epoch, b);
+      b
+
+let compute_verdict t ~flow ~src ~dst =
+  let input = { Decision.flow; src_response = src; dst_response = dst } in
+  match Decision.decide t.decision input with
+  | Ok v -> v
+  | Error _ ->
+      t.s_eval_errors <- t.s_eval_errors + 1;
+      (* Fail closed on configuration errors. *)
+      {
+        Pf.Eval.decision = Pf.Ast.Block;
+        matched = None;
+        keep_state = false;
+        log = false;
+      }
+
+(* The verdict for a flow given both endpoint answers, through the
+   decision cache when the fast path is on. [src_tag]/[dst_tag] are
+   pre-computed answer tags (from the attribute cache) that save
+   re-encoding the responses on the hot path. *)
+let eval_decision ?src_tag ?dst_tag t ~flow ~src ~dst =
+  if not (Fastpath.enabled t.fastpath) then compute_verdict t ~flow ~src ~dst
+  else begin
+    let epoch = Policy_store.epoch t.policy in
+    let tag precomputed resp =
+      match precomputed with
+      | Some tg -> tg
+      | None -> Fastpath.answer_tag resp
+    in
+    let key =
+      Fastpath.decision_key_tagged ~match_src_port:(src_port_matters t) ~flow
+        ~src_tag:(tag src_tag src) ~dst_tag:(tag dst_tag dst)
+    in
+    match Fastpath.find_decision t.fastpath ~epoch ~key with
+    | Some v -> v
+    | None ->
+        let v = compute_verdict t ~flow ~src ~dst in
+        Fastpath.store_decision t.fastpath ~epoch ~key ~flow v;
+        v
+  end
+
+let apply_verdict t ~flow ~packets ~src ~dst verdict =
   Audit.record t.audit
     ~at:(Sim.Engine.now (Net.engine t.network))
-    ~flow:p.p_flow ~verdict ~src:p.src_resp ~dst:p.dst_resp;
+    ~flow ~verdict ~src ~dst;
   Log.debug (fun m ->
-      m "decision %s: %s%s" (Five_tuple.to_string p.p_flow)
+      m "decision %s: %s%s" (Five_tuple.to_string flow)
         (match verdict.Pf.Eval.decision with
         | Pf.Ast.Pass -> "pass"
         | Pf.Ast.Block -> "block")
@@ -268,20 +336,27 @@ let finalize t p =
   match verdict.Pf.Eval.decision with
   | Pf.Ast.Pass ->
       t.s_allowed <- t.s_allowed + 1;
-      let installed = install_path t p.p_flow in
+      let installed = install_path t flow in
       if verdict.Pf.Eval.keep_state then begin
         Conn_state.note t.conn_state
           ~now:(Sim.Engine.now (Net.engine t.network))
-          p.p_flow;
-        ignore (install_path t (Five_tuple.reverse p.p_flow))
+          flow;
+        ignore (install_path t (Five_tuple.reverse flow))
       end;
-      if installed then release_packets t p
+      if installed then release_packets t packets
   | Pf.Ast.Block -> (
       t.s_blocked <- t.s_blocked + 1;
       if t.cfg.cache_denials then
-        match p.p_packets with
-        | (dpid, _, _) :: _ -> install_drop t ~dpid p.p_flow
+        match packets with
+        | (dpid, _, _) :: _ -> install_drop t ~dpid flow
         | [] -> ())
+
+let finalize t p =
+  Sim.Engine.cancel p.p_timeout;
+  Flow_tbl.remove t.pending p.p_flow;
+  let verdict = eval_decision t ~flow:p.p_flow ~src:p.src_resp ~dst:p.dst_resp in
+  apply_verdict t ~flow:p.p_flow ~packets:p.p_packets ~src:p.src_resp
+    ~dst:p.dst_resp verdict
 
 let maybe_finalize t p =
   if (not p.await_src) && not p.await_dst then finalize t p
@@ -293,6 +368,18 @@ let maybe_finalize t p =
    source address, so the response naturally routes back through the
    network (and its interception points). Returns false when no query
    could be issued (unknown host). *)
+(* The key list a query hints: the keys the current policy actually
+   reads, falling back to the configured defaults (§3.2: the list is
+   only a hint; daemons may answer with more). Also the attribute-cache
+   key for the host's answer. *)
+let hint_keys t =
+  match Policy_store.env t.policy with
+  | Ok env -> (
+      match Pf.Env.referenced_keys env with
+      | [] -> t.cfg.query_keys
+      | keys -> keys)
+  | Error _ -> t.cfg.query_keys
+
 let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
   match resolve_local_answer t target_ip with
   | Some section ->
@@ -307,18 +394,7 @@ let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
           match Topo.host_attachment (Net.topology t.network) host with
           | None -> `Unreachable
           | Some attachment ->
-              (* Hint the keys the current policy actually reads, falling
-                 back to the configured defaults (S3.2: the list is only
-                 a hint; daemons may answer with more). *)
-              let keys =
-                match Policy_store.env t.policy with
-                | Ok env -> (
-                    match Pf.Env.referenced_keys env with
-                    | [] -> t.cfg.query_keys
-                    | keys -> keys)
-                | Error _ -> t.cfg.query_keys
-              in
-              let query = Identxx.Query.make ~flow ~keys in
+              let query = Identxx.Query.make ~flow ~keys:(hint_keys t) in
               let pkt =
                 Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to
                   query
@@ -346,13 +422,55 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
         (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table })
   end
   else begin
+    let now = Sim.Engine.now (Net.engine t.network) in
+    let want_src =
+      match t.cfg.query_targets with
+      | Both | Src_only -> true
+      | Dst_only | Neither -> false
+    and want_dst =
+      match t.cfg.query_targets with
+      | Both | Dst_only -> true
+      | Src_only | Neither -> false
+    in
+    (* Fast path: before any Figure-1 exchange, try to resolve each
+       queried endpoint from the attribute cache, or — for a host whose
+       breaker is open — as an immediate absent response. [Some (r, tag)]
+       is a resolved answer (r = None means absent) with its cached
+       decision-key tag; [None] means the daemon must actually be
+       asked. *)
+    let fp_resolve want ip =
+      if not want then Some (None, "-")
+      else
+        match
+          Fastpath.find_attrs_tagged t.fastpath ~now ~host:ip
+            ~keys:(hint_keys t)
+        with
+        | Some (r, tag) -> Some (Some r, tag)
+        | None -> (
+            match Fastpath.consult_host t.fastpath ~now ip with
+            | `Absent -> Some (None, "-")
+            | `Ask | `Probe -> None)
+    in
+    let pre_src = fp_resolve want_src flow.Five_tuple.src
+    and pre_dst = fp_resolve want_dst flow.Five_tuple.dst in
+    match (pre_src, pre_dst) with
+    | Some (src, src_tag), Some (dst, dst_tag) when Fastpath.enabled t.fastpath
+      ->
+        (* Both ends resolved without touching the network: decide now,
+           with no pending entry and no timer. *)
+        t.s_fastpath_decisions <- t.s_fastpath_decisions + 1;
+        let verdict = eval_decision t ~flow ~src ~dst ~src_tag ~dst_tag in
+        apply_verdict t ~flow
+          ~packets:[ (dpid, in_port, pkt) ]
+          ~src ~dst verdict
+    | _ ->
     let timeout_handle = ref None in
     let p =
       {
         p_flow = flow;
         p_packets = [ (dpid, in_port, pkt) ];
-        src_resp = None;
-        dst_resp = None;
+        src_resp = (match pre_src with Some (r, _) -> r | None -> None);
+        dst_resp = (match pre_dst with Some (r, _) -> r | None -> None);
         await_src = false;
         await_dst = false;
         retries_left = t.cfg.query_retries;
@@ -402,22 +520,25 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
                       match !timeout_handle with Some f -> f () | None -> ())
               end
               else begin
-                if p.await_src || p.await_dst then
+                if p.await_src || p.await_dst then begin
                   t.s_timeouts <- t.s_timeouts + 1;
+                  (* Feed the breaker: each side that stayed silent
+                     through every attempt is a consecutive timeout. *)
+                  let now = Sim.Engine.now (Net.engine t.network) in
+                  if p.await_src then
+                    Fastpath.note_timeout t.fastpath ~now flow.Five_tuple.src;
+                  if p.await_dst then
+                    Fastpath.note_timeout t.fastpath ~now flow.Five_tuple.dst
+                end;
                 p.await_src <- false;
                 p.await_dst <- false;
                 finalize t p
               end
           | Some _ | None -> ());
     Flow_tbl.replace t.pending flow p;
-    p.await_src <-
-      (match t.cfg.query_targets with
-      | Both | Src_only -> true
-      | Dst_only | Neither -> false);
-    p.await_dst <-
-      (match t.cfg.query_targets with
-      | Both | Dst_only -> true
-      | Src_only | Neither -> false);
+    (* Query only the ends the fast path could not resolve. *)
+    p.await_src <- want_src && Option.is_none pre_src;
+    p.await_dst <- want_dst && Option.is_none pre_dst;
     issue_queries ();
     maybe_finalize t p
   end
@@ -455,6 +576,14 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
           m "rejecting unauthenticated response from %s" (Ipv4.to_string from_ip)))
   | Some (flow, p) ->
       t.s_responses <- t.s_responses + 1;
+      (* An (authenticated, if required) answer: close any breaker state
+         and remember the attributes for subsequent flows. *)
+      Fastpath.note_response t.fastpath from_ip;
+      Fastpath.store_attrs t.fastpath
+        ~now:(Sim.Engine.now (Net.engine t.network))
+        ~host:from_ip ~keys:(hint_keys t)
+        ?signer:(Identxx.Response.latest response Identxx.Signed.signer_key)
+        response;
       if Ipv4.equal from_ip flow.Five_tuple.src then begin
         p.src_resp <- Some response;
         p.await_src <- false
@@ -588,9 +717,39 @@ let flush_cache t =
         (Msg.delete_flow ~fields:Openflow.Match_fields.any))
     (Net.switches_in_domain t.network t.id);
   Conn_state.clear t.conn_state;
+  (* Memoized verdicts go too; cached host attributes survive, since
+     policy operations do not change what the hosts would answer. *)
+  Fastpath.flush_decisions t.fastpath;
   (* The wildcard delete also removed the precompiled entries. *)
   t.precompiled <- [];
   sync_precompiled t
+
+(* A daemon-side change event (login/logout, process spawn/exit,
+   configuration reload) reached us: what the host would answer may have
+   changed, so its cached attributes — and every decision derived from
+   them — are no longer trustworthy. *)
+let note_host_changed t ip = Fastpath.note_host_changed t.fastpath ip
+
+let revoke_principal t ~ip =
+  Log.info (fun m -> m "revoking principal %s" (Ipv4.to_string ip));
+  let dropped = Conn_state.revoke t.conn_state ~ip in
+  Fastpath.revoke_ip t.fastpath ip;
+  (* Dataplane: delete every installed entry the principal's address
+     appears in, either end, on every switch of the domain. *)
+  let host = Prefix.host ip in
+  List.iter
+    (fun dpid ->
+      Net.send_to_switch t.network dpid
+        (Msg.delete_flow
+           ~fields:{ Openflow.Match_fields.any with nw_src = Some host });
+      Net.send_to_switch t.network dpid
+        (Msg.delete_flow
+           ~fields:{ Openflow.Match_fields.any with nw_dst = Some host }))
+    (Net.switches_in_domain t.network t.id);
+  (* The per-host deletes cannot have clipped a precompiled wildcard
+     entry unless it was host-specific; re-sync to be sure. *)
+  sync_precompiled t;
+  dropped
 
 let update_file t ~name content =
   match Policy_store.add t.policy ~name content with
@@ -632,6 +791,9 @@ let create ?(config = default_config) ?keystore ?functions ~network ~id () =
       s_augmented = 0;
       s_local_answers = 0;
       s_eval_errors = 0;
+      s_fastpath_decisions = 0;
+      fastpath = Fastpath.create config.fastpath;
+      src_port_matters = None;
       last_stats = [];
       precompiled = [];
     }

@@ -46,6 +46,11 @@ type config = {
           single attempt). *)
   query_targets : query_targets;
   default : Pf.Ast.action;  (** When no policy rule matches. *)
+  fastpath : Fastpath.config;
+      (** Flow-setup fast path (attribute/decision caches and the
+          silent-host circuit breaker — see {!Fastpath} and DESIGN.md).
+          {!Fastpath.disabled} by default: the baseline controller runs
+          the full Figure-1 exchange for every table-miss flow. *)
 }
 
 val default_config : config
@@ -68,6 +73,11 @@ val create :
     ({!Openflow.Network.assign_switch}; domain 0 is the default). *)
 
 val policy : t -> Policy_store.t
+
+val fastpath : t -> Fastpath.t
+(** The controller's fast-path state (caches and breaker) — mostly for
+    tests and tooling; counters also surface through {!stats}. *)
+
 val decision : t -> Decision.t
 val keystore : t -> Idcrypto.Sign.keystore
 val config : t -> config
@@ -97,6 +107,20 @@ val update_file : t -> name:string -> string -> (unit, string) result
 val revoke_file : t -> name:string -> unit
 (** Remove a [.control] file (e.g. a delegation granted to a user or a
     third party) and flush, so revocation takes effect immediately. *)
+
+val revoke_principal : t -> ip:Ipv4.t -> int
+(** Revoke a principal by address: drop its connection state (returned),
+    purge its cached attributes and every memoized decision its answers
+    may have influenced, reset its breaker state, and delete every
+    installed dataplane entry with the address at either end. Already
+    in-flight pending flows are unaffected (they decide with the
+    responses they gathered). *)
+
+val note_host_changed : t -> Ipv4.t -> unit
+(** A daemon-side change event (login/logout, process spawn or exit,
+    daemon configuration reload) occurred on the host: invalidate its
+    cached attributes and dependent decisions. {!Deploy} wires
+    {!Identxx.Daemon.on_change} to this. *)
 
 (** {2 Interception hooks (§3.4)} *)
 
@@ -129,6 +153,18 @@ type stats = {
   responses_augmented : int;
   queries_answered_locally : int;
   eval_errors : int;
+  fastpath_decisions : int;
+      (** Flows decided without any query exchange: every needed answer
+          came from the attribute cache or an open breaker. *)
+  attr_cache_hits : int;
+  attr_cache_misses : int;
+  attr_cache_evictions : int;
+  attr_cache_invalidations : int;
+  decision_cache_hits : int;
+  decision_cache_misses : int;
+  decision_cache_evictions : int;
+  breaker_trips : int;
+  breaker_fastpaths : int;
 }
 
 val stats : t -> stats

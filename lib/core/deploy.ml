@@ -13,6 +13,21 @@ let attach_host_with network host ~rx =
 
 let attach_host network host = attach_host_with network host ~rx:(fun _ -> ())
 
+(* Fast-path invalidation (DESIGN.md, "Flow-setup fast path"): any
+   daemon-side change event — login/logout (process spawn/exit),
+   configuration reload, run-time pairs — drops the host's cached
+   attributes at the controller. In a real deployment the daemon would
+   push a change notification over its TCP session; in the simulator the
+   hook is a direct call. *)
+let watch_host controller host =
+  let ip = Identxx.Host.ip host in
+  Identxx.Daemon.on_change
+    (Identxx.Host.daemon host)
+    (fun () -> Controller.note_host_changed controller ip)
+
+let watch_hosts controller hosts =
+  Array.iter (fun h -> watch_host controller h) hosts
+
 type simple = {
   engine : Sim.Engine.t;
   topology : Openflow.Topology.t;
@@ -41,6 +56,8 @@ let simple_network ?config ?(client_ip = Ipv4.of_string "10.0.0.1")
   in
   attach_host network client;
   attach_host network server;
+  watch_host controller client;
+  watch_host controller server;
   { engine; topology; network; controller; client; server }
 
 let tree_network ?config ~depth ~fanout ~hosts_per_edge () =
@@ -88,6 +105,7 @@ let tree_network ?config ~depth ~fanout ~hosts_per_edge () =
   let controller = Controller.create ?config ~network ~id:0 () in
   let hosts = Array.of_list (List.rev !hosts) in
   Array.iter (fun h -> attach_host network h) hosts;
+  watch_hosts controller hosts;
   (engine, network, controller, hosts)
 
 let linear_network ?config ~switches ~hosts_per_switch () =
@@ -120,4 +138,5 @@ let linear_network ?config ~switches ~hosts_per_switch () =
   let controller = Controller.create ?config ~network ~id:0 () in
   let hosts = Array.of_list (List.rev !hosts) in
   Array.iter (fun h -> attach_host network h) hosts;
+  watch_hosts controller hosts;
   (engine, network, controller, hosts)

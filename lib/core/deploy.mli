@@ -16,6 +16,15 @@ val attach_host_with :
 (** Like {!attach_host} but also invokes [rx] on every delivered packet
     (after ident++ processing), for application-level assertions. *)
 
+val watch_host : Controller.t -> Identxx.Host.t -> unit
+(** Subscribe the controller's fast path to the host's daemon change
+    events ({!Identxx.Daemon.on_change} →
+    {!Controller.note_host_changed}), so cached host attributes are
+    dropped when what the daemon would answer changes. The canned
+    topologies below do this for every host they create. *)
+
+val watch_hosts : Controller.t -> Identxx.Host.t array -> unit
+
 type simple = {
   engine : Sim.Engine.t;
   topology : Openflow.Topology.t;

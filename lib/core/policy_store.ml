@@ -2,11 +2,15 @@ type t = {
   mutable files : (string * string) list; (* sorted by name *)
   mutable compiled : (Pf.Env.t, string) result option;
   mutable listeners : (unit -> unit) list;
+  mutable epoch : int;
   strict : bool;
 }
 
 let create ?(strict = false) () =
-  { files = []; compiled = None; listeners = []; strict }
+  { files = []; compiled = None; listeners = []; epoch = 0; strict }
+
+let epoch t = t.epoch
+let bump t = t.epoch <- t.epoch + 1
 
 let notify t = List.iter (fun f -> f ()) (List.rev t.listeners)
 
@@ -69,12 +73,16 @@ let add t ~name content =
       let rollback e =
         t.files <- previous;
         ignore (recompile t);
+        (* The env was (briefly) replaced and restored: bump anyway so
+           any observer that sampled mid-load cannot keep stale state. *)
+        bump t;
         Error (name ^ ": " ^ e)
       in
       match recompile t with
       | Ok _ -> (
           match strict_error t with
           | None ->
+              bump t;
               notify t;
               Ok ()
           | Some e -> rollback e)
@@ -88,6 +96,7 @@ let add_exn t ~name content =
 let remove t ~name =
   t.files <- List.remove_assoc (strip_suffix name) t.files;
   ignore (recompile t);
+  bump t;
   notify t
 
 let files t = t.files

@@ -39,6 +39,13 @@ val analyze : t -> Analysis.Check.finding list
     conflicts, undefined references, default fallthrough); empty when
     the concatenation does not parse ({!env} reports that instead). *)
 
+val epoch : t -> int
+(** Monotonic policy generation: starts at 0 and is bumped by every
+    successful {!add}, every {!remove}, and every rolled-back load.
+    Anything derived from a compiled environment (e.g. memoized
+    verdicts) is valid only while the epoch it was computed under is
+    current. *)
+
 val on_change : t -> (unit -> unit) -> unit
 (** Register a callback fired after every successful {!add} or
     {!remove} (the controller uses this to resynchronize precompiled

@@ -1,0 +1,135 @@
+open Netcore
+
+let expires_key = "expires"
+
+type entry = {
+  response : Identxx.Response.t;
+  tag : string;
+      (* the response's decision-key answer tag ("R" ^ encoding),
+         computed once here so cache hits never re-encode *)
+  signer : string option;
+  expires_at : Sim.Time.t;
+}
+
+(* Key: host address + the sorted query-key set. *)
+module Key = struct
+  type t = int * string
+
+  let make host keys =
+    (Ipv4.to_int host, String.concat "," (List.sort_uniq String.compare keys))
+
+  let equal (a : t) (b : t) = a = b
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = {
+  capacity : int;
+  ttl : Sim.Time.t;
+  entries : entry Tbl.t;
+  order : Key.t Queue.t; (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(capacity = 4096) ~ttl () =
+  if capacity < 1 then invalid_arg "Attr_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    ttl;
+    entries = Tbl.create 256;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+(* The response's own lifetime bound, when it carries one. *)
+let self_expiry response =
+  match Identxx.Response.latest response expires_key with
+  | None -> None
+  | Some v -> (
+      match float_of_string_opt (String.trim v) with
+      | Some s when s >= 0.0 -> Some (Sim.Time.of_float_s s)
+      | Some _ | None -> None)
+
+let evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some key ->
+      if Tbl.mem t.entries key then begin
+        Tbl.remove t.entries key;
+        t.evictions <- t.evictions + 1
+      end
+
+let store t ~now ~host ~keys ?signer response =
+  let key = Key.make host keys in
+  let ttl =
+    match self_expiry response with
+    | Some bound -> Sim.Time.min t.ttl bound
+    | None -> t.ttl
+  in
+  let entry =
+    {
+      response;
+      tag = "R" ^ Identxx.Response.encode response;
+      signer;
+      expires_at = Sim.Time.add now ttl;
+    }
+  in
+  if not (Tbl.mem t.entries key) then begin
+    (* The queue may hold keys of already-replaced or invalidated
+       entries; evict until a live entry actually goes. *)
+    while Tbl.length t.entries >= t.capacity do
+      evict_one t
+    done;
+    Queue.add key t.order
+  end;
+  Tbl.replace t.entries key entry
+
+let find_tagged t ~now ~host ~keys =
+  let key = Key.make host keys in
+  match Tbl.find_opt t.entries key with
+  | Some e when Sim.Time.(now < e.expires_at) ->
+      t.hits <- t.hits + 1;
+      Some (e.response, e.tag)
+  | Some _ ->
+      Tbl.remove t.entries key;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let find t ~now ~host ~keys = Option.map fst (find_tagged t ~now ~host ~keys)
+
+let drop_matching t pred =
+  let stale =
+    Tbl.fold (fun k e acc -> if pred k e then k :: acc else acc) t.entries []
+  in
+  List.iter (Tbl.remove t.entries) stale;
+  let n = List.length stale in
+  t.invalidations <- t.invalidations + n;
+  n
+
+let invalidate_host t host =
+  let addr = Ipv4.to_int host in
+  drop_matching t (fun (a, _) _ -> a = addr)
+
+let invalidate_signer t signer =
+  drop_matching t (fun _ e -> e.signer = Some signer)
+
+let size t = Tbl.length t.entries
+
+let clear t =
+  Tbl.reset t.entries;
+  Queue.clear t.order
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations

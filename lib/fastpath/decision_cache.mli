@@ -1,0 +1,43 @@
+(** Memoized policy verdicts, keyed by (policy epoch, flow class,
+    canonical answer set).
+
+    Two flows whose classifier fields and end-host answers are identical
+    receive the identical verdict from {!Pf.Eval}, so the controller can
+    replay a cached verdict instead of re-walking the ruleset — but only
+    within a single policy {e epoch}: {!Policy_store} bumps a monotonic
+    counter on every load, remove and rollback, and entries from any
+    other epoch are unreachable (and dropped wholesale on the first
+    access in the new epoch), so a stale decision can never survive a
+    policy change.
+
+    The cache also remembers which hosts each entry's flow touched, so
+    revoking a principal ({!purge_ip}) removes every decision that could
+    have been influenced by it. *)
+
+open Netcore
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** FIFO-bounded (default 16384 entries). *)
+
+val find : t -> epoch:int -> key:string -> Pf.Eval.verdict option
+(** Counts a hit or a miss. An [epoch] different from the cache's
+    current one first clears the cache. *)
+
+val store :
+  t -> epoch:int -> key:string -> flow:Five_tuple.t -> Pf.Eval.verdict -> unit
+
+val purge_ip : t -> Ipv4.t -> int
+(** Drop every entry whose flow involved the address; returns the
+    number dropped. *)
+
+val size : t -> int
+val clear : t -> unit
+
+(** {2 Counters} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+(** Capacity evictions; epoch flushes and purges are not counted. *)

@@ -1,0 +1,153 @@
+open Netcore
+module Attr_cache = Attr_cache
+module Decision_cache = Decision_cache
+module Breaker = Breaker
+
+type config = {
+  enabled : bool;
+  attr_capacity : int;
+  attr_ttl : Sim.Time.t;
+  decision_capacity : int;
+  breaker_threshold : int;
+  breaker_backoff : Sim.Time.t;
+}
+
+let default_config =
+  {
+    enabled = true;
+    attr_capacity = 4096;
+    attr_ttl = Sim.Time.s 5;
+    decision_capacity = 16384;
+    breaker_threshold = 3;
+    breaker_backoff = Sim.Time.s 30;
+  }
+
+let disabled = { default_config with enabled = false }
+
+type t = {
+  cfg : config;
+  attrs : Attr_cache.t;
+  decisions : Decision_cache.t;
+  breaker : Breaker.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    attrs = Attr_cache.create ~capacity:cfg.attr_capacity ~ttl:cfg.attr_ttl ();
+    decisions = Decision_cache.create ~capacity:cfg.decision_capacity ();
+    breaker =
+      Breaker.create ~threshold:cfg.breaker_threshold
+        ~backoff:cfg.breaker_backoff ();
+  }
+
+let config t = t.cfg
+let enabled t = t.cfg.enabled
+let attr_cache t = t.attrs
+let decision_cache t = t.decisions
+let breaker t = t.breaker
+
+let find_attrs t ~now ~host ~keys =
+  if not t.cfg.enabled then None
+  else Attr_cache.find t.attrs ~now ~host ~keys
+
+let find_attrs_tagged t ~now ~host ~keys =
+  if not t.cfg.enabled then None
+  else Attr_cache.find_tagged t.attrs ~now ~host ~keys
+
+let store_attrs t ~now ~host ~keys ?signer response =
+  if t.cfg.enabled then
+    Attr_cache.store t.attrs ~now ~host ~keys ?signer response
+
+let consult_host t ~now ip =
+  if not t.cfg.enabled then `Ask else Breaker.consult t.breaker ~now ip
+
+let note_timeout t ~now ip =
+  if t.cfg.enabled then Breaker.note_timeout t.breaker ~now ip
+
+let note_response t ip =
+  if t.cfg.enabled then Breaker.note_response t.breaker ip
+
+let env_matches_src_port env =
+  List.exists
+    (fun (r : Pf.Ast.rule) -> r.from_.port <> None)
+    (Pf.Env.rules env)
+
+(* The "R" tag keeps "daemon answered with no pairs" distinct from
+   "daemon silent" — policy treats them differently. *)
+let answer_tag = function
+  | None -> "-"
+  | Some r -> "R" ^ Identxx.Response.encode r
+
+let decision_key_tagged ~match_src_port ~(flow : Five_tuple.t) ~src_tag
+    ~dst_tag =
+  (* Length prefixes keep the concatenated tags unambiguous (a tag may
+     contain any byte, including the separators). *)
+  Printf.sprintf "%s>%s/%s:%s:%d:%d,%s%s"
+    (Ipv4.to_string flow.Five_tuple.src)
+    (Ipv4.to_string flow.Five_tuple.dst)
+    (Proto.to_string flow.Five_tuple.proto)
+    (if match_src_port then string_of_int flow.Five_tuple.src_port else "*")
+    flow.Five_tuple.dst_port (String.length src_tag) src_tag dst_tag
+
+let decision_key ~match_src_port ~flow ~src ~dst =
+  decision_key_tagged ~match_src_port ~flow ~src_tag:(answer_tag src)
+    ~dst_tag:(answer_tag dst)
+
+let find_decision t ~epoch ~key =
+  if not t.cfg.enabled then None
+  else Decision_cache.find t.decisions ~epoch ~key
+
+let store_decision t ~epoch ~key ~flow verdict =
+  if t.cfg.enabled then
+    Decision_cache.store t.decisions ~epoch ~key ~flow verdict
+
+let note_host_changed t ip =
+  if t.cfg.enabled then begin
+    ignore (Attr_cache.invalidate_host t.attrs ip : int);
+    ignore (Decision_cache.purge_ip t.decisions ip : int)
+  end
+
+let revoke_ip t ip =
+  note_host_changed t ip;
+  if t.cfg.enabled then Breaker.note_response t.breaker ip
+
+let flush_decisions t = Decision_cache.clear t.decisions
+
+let flush t =
+  Attr_cache.clear t.attrs;
+  Decision_cache.clear t.decisions;
+  Breaker.clear t.breaker
+
+type counters = {
+  attr_hits : int;
+  attr_misses : int;
+  attr_evictions : int;
+  attr_invalidations : int;
+  decision_hits : int;
+  decision_misses : int;
+  decision_evictions : int;
+  breaker_trips : int;
+  breaker_fastpaths : int;
+}
+
+let counters t =
+  {
+    attr_hits = Attr_cache.hits t.attrs;
+    attr_misses = Attr_cache.misses t.attrs;
+    attr_evictions = Attr_cache.evictions t.attrs;
+    attr_invalidations = Attr_cache.invalidations t.attrs;
+    decision_hits = Decision_cache.hits t.decisions;
+    decision_misses = Decision_cache.misses t.decisions;
+    decision_evictions = Decision_cache.evictions t.decisions;
+    breaker_trips = Breaker.trips t.breaker;
+    breaker_fastpaths = Breaker.fastpaths t.breaker;
+  }
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "attr %d/%d (evict %d, inval %d) decision %d/%d (evict %d) breaker \
+     trips %d fastpaths %d"
+    c.attr_hits c.attr_misses c.attr_evictions c.attr_invalidations
+    c.decision_hits c.decision_misses c.decision_evictions c.breaker_trips
+    c.breaker_fastpaths

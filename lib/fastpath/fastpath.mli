@@ -1,0 +1,156 @@
+(** Flow-setup fast path: the three caches the controller consults
+    before (or instead of) the Figure-1 query exchange.
+
+    - {!Attr_cache}: recent daemon responses, keyed by (host, query-key
+      set, signer), dropped on daemon-side change events and TTL expiry;
+    - {!Decision_cache}: memoized verdicts keyed by (policy epoch, flow
+      class, canonical answer set) — a {!Policy_store} epoch bump
+      orphans every entry;
+    - {!Breaker}: a per-host circuit breaker that, after [threshold]
+      consecutive query timeouts, treats the host as non-ident++ for a
+      backoff window and lets flows decide immediately with absent
+      responses (§4's incremental-deployment fallback).
+
+    See DESIGN.md, "Flow-setup fast path", for invalidation rules and
+    the soundness argument. *)
+
+open Netcore
+
+module Attr_cache = Attr_cache
+module Decision_cache = Decision_cache
+module Breaker = Breaker
+
+type config = {
+  enabled : bool;
+  attr_capacity : int;  (** Attribute-cache entries (FIFO-evicted). *)
+  attr_ttl : Sim.Time.t;  (** Attribute-cache entry lifetime. *)
+  decision_capacity : int;  (** Decision-cache entries (FIFO-evicted). *)
+  breaker_threshold : int;
+      (** Consecutive timeouts before a host's breaker trips. *)
+  breaker_backoff : Sim.Time.t;
+      (** How long a tripped breaker stays open before a re-probe. *)
+}
+
+val default_config : config
+(** Enabled; 4096 attribute entries with a 5 s TTL, 16384 decisions,
+    breaker trips after 3 timeouts for 30 s. *)
+
+val disabled : config
+(** [default_config] with [enabled = false] — the controller default,
+    so the baseline Figure-1 exchange is unchanged unless asked for. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+val enabled : t -> bool
+
+val attr_cache : t -> Attr_cache.t
+val decision_cache : t -> Decision_cache.t
+val breaker : t -> Breaker.t
+(** Direct access to the underlying caches, for tests and tooling. *)
+
+(** {2 Attribute cache} *)
+
+val find_attrs :
+  t -> now:Sim.Time.t -> host:Ipv4.t -> keys:string list ->
+  Identxx.Response.t option
+(** [None] (without touching counters) when the fast path is off. *)
+
+val find_attrs_tagged :
+  t -> now:Sim.Time.t -> host:Ipv4.t -> keys:string list ->
+  (Identxx.Response.t * string) option
+(** Like {!find_attrs}, also returning the cached decision-key answer
+    tag so per-flow cache hits skip re-encoding the response. *)
+
+val store_attrs :
+  t ->
+  now:Sim.Time.t ->
+  host:Ipv4.t ->
+  keys:string list ->
+  ?signer:string ->
+  Identxx.Response.t ->
+  unit
+
+(** {2 Circuit breaker} *)
+
+val consult_host :
+  t -> now:Sim.Time.t -> Ipv4.t -> [ `Ask | `Absent | `Probe ]
+(** [`Ask] always when the fast path is off. *)
+
+val note_timeout : t -> now:Sim.Time.t -> Ipv4.t -> unit
+val note_response : t -> Ipv4.t -> unit
+
+(** {2 Decision cache} *)
+
+val env_matches_src_port : Pf.Env.t -> bool
+(** Whether any rule constrains the flow {e source} port. When none
+    does, the source port can be wildcarded out of the decision key, so
+    every ephemeral client port of the same (src, dst, proto, dst port)
+    class shares one cached verdict. *)
+
+val answer_tag : Identxx.Response.t option -> string
+(** The canonical encoding of one endpoint's answer as it enters the
+    decision key: ["-"] for an absent response (silent host), ["R" ^
+    encoding] otherwise — so an empty answer set is distinguished from
+    no answer at all. *)
+
+val decision_key_tagged :
+  match_src_port:bool ->
+  flow:Five_tuple.t ->
+  src_tag:string ->
+  dst_tag:string ->
+  string
+(** Canonical cache key from pre-computed {!answer_tag}s: the
+    flow-class fields plus both (length-prefixed) endpoint answer tags.
+    The hot path uses this with tags cached by {!Attr_cache}. *)
+
+val decision_key :
+  match_src_port:bool ->
+  flow:Five_tuple.t ->
+  src:Identxx.Response.t option ->
+  dst:Identxx.Response.t option ->
+  string
+(** [decision_key_tagged] with freshly computed tags. *)
+
+val find_decision : t -> epoch:int -> key:string -> Pf.Eval.verdict option
+(** [None] (without touching counters) when the fast path is off. *)
+
+val store_decision :
+  t -> epoch:int -> key:string -> flow:Five_tuple.t -> Pf.Eval.verdict -> unit
+
+(** {2 Invalidation} *)
+
+val note_host_changed : t -> Ipv4.t -> unit
+(** A daemon-side change event (login/logout, process spawn/exit,
+    configuration reload): drop the host's cached attributes and every
+    cached decision its answers may have influenced. *)
+
+val revoke_ip : t -> Ipv4.t -> unit
+(** Principal revocation: like {!note_host_changed}, also closing the
+    host's breaker state so a now-suspect silent host is re-probed. *)
+
+val flush_decisions : t -> unit
+(** Drop every memoized verdict (a policy override): cached attributes
+    and breaker state survive, since policy operations do not change
+    what hosts answer. *)
+
+val flush : t -> unit
+(** Drop everything (attribute cache, decision cache, breaker state). *)
+
+(** {2 Counters} *)
+
+type counters = {
+  attr_hits : int;
+  attr_misses : int;
+  attr_evictions : int;
+  attr_invalidations : int;
+  decision_hits : int;
+  decision_misses : int;
+  decision_evictions : int;
+  breaker_trips : int;
+  breaker_fastpaths : int;  (** Flows decided with a breaker-open absent. *)
+}
+
+val counters : t -> counters
+val pp_counters : Format.formatter -> counters -> unit

@@ -15,21 +15,36 @@ type t = {
   mutable config_files : (string * Config.t) list; (* sorted by name *)
   runtime : (Five_tuple.t * Key_value.section) list ref;
   mutable answered : int;
+  mutable change_listeners : (unit -> unit) list;
 }
 
-let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
-  {
-    ip;
-    processes;
-    exe_hash;
-    behaviour;
-    signing_key = None;
-    config_files = [];
-    runtime = ref [];
-    answered = 0;
-  }
+let notify_change t = List.iter (fun f -> f ()) (List.rev t.change_listeners)
 
-let set_behaviour t b = t.behaviour <- b
+let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
+  let t =
+    {
+      ip;
+      processes;
+      exe_hash;
+      behaviour;
+      signing_key = None;
+      config_files = [];
+      runtime = ref [];
+      answered = 0;
+      change_listeners = [];
+    }
+  in
+  (* Identity churn in the process table (spawn/kill) changes what this
+     daemon would answer. *)
+  Process_table.on_change processes (fun () -> notify_change t);
+  t
+
+let on_change t f = t.change_listeners <- f :: t.change_listeners
+
+let set_behaviour t b =
+  t.behaviour <- b;
+  notify_change t
+
 let set_signing_key t k = t.signing_key <- k
 
 let load_config t ~name content =
@@ -40,6 +55,7 @@ let load_config t ~name content =
         List.sort
           (fun (a, _) (b, _) -> String.compare a b)
           ((name, cfg) :: List.remove_assoc name t.config_files);
+      notify_change t;
       Ok ()
 
 let merged_config t =
@@ -48,11 +64,13 @@ let merged_config t =
     Config.empty t.config_files
 
 let register_runtime t ~flow section =
-  t.runtime := (flow, section) :: !(t.runtime)
+  t.runtime := (flow, section) :: !(t.runtime);
+  notify_change t
 
 let clear_runtime t ~flow =
   t.runtime :=
-    List.filter (fun (f, _) -> not (Five_tuple.equal f flow)) !(t.runtime)
+    List.filter (fun (f, _) -> not (Five_tuple.equal f flow)) !(t.runtime);
+  notify_change t
 
 type role = As_source | As_destination
 

@@ -22,6 +22,7 @@ type t = {
   procs : (int, process) Hashtbl.t;
   connections : int Flow_tbl.t; (* flow -> pid *)
   listeners : (int * int, int) Hashtbl.t; (* (proto, port) -> pid *)
+  mutable change_listeners : (unit -> unit) list;
 }
 
 let create () =
@@ -30,7 +31,11 @@ let create () =
     procs = Hashtbl.create 16;
     connections = Flow_tbl.create 16;
     listeners = Hashtbl.create 16;
+    change_listeners = [];
   }
+
+let on_change t f = t.change_listeners <- f :: t.change_listeners
+let notify_change t = List.iter (fun f -> f ()) (List.rev t.change_listeners)
 
 let spawn t ?pid ?(isolated = false) ~user ~groups ~exe () =
   let pid =
@@ -45,6 +50,7 @@ let spawn t ?pid ?(isolated = false) ~user ~groups ~exe () =
     invalid_arg (Printf.sprintf "Process_table.spawn: pid %d in use" pid);
   let p = { pid; user; groups; exe_path = exe; isolated } in
   Hashtbl.replace t.procs pid p;
+  notify_change t;
   p
 
 let kill t ~pid =
@@ -60,7 +66,8 @@ let kill t ~pid =
       (fun key p acc -> if p = pid then key :: acc else acc)
       t.listeners []
   in
-  List.iter (fun k -> Hashtbl.remove t.listeners k) ports
+  List.iter (fun k -> Hashtbl.remove t.listeners k) ports;
+  notify_change t
 
 let ptrace t ~by ~target =
   match (Hashtbl.find_opt t.procs by, Hashtbl.find_opt t.procs target) with

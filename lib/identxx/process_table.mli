@@ -64,3 +64,11 @@ val lookup :
     listener on the flow's destination port. *)
 
 val processes : t -> process list
+
+val on_change : t -> (unit -> unit) -> unit
+(** Register a callback fired after every {!spawn} and {!kill} — the
+    identity-bearing events: what the daemon would answer about users
+    and applications may have changed. Socket churn
+    ({!connect}/{!listen}/{!disconnect}) deliberately does {e not} fire
+    (it carries no identity change, and firing on every connection would
+    defeat any cache of host attributes). *)

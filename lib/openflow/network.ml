@@ -84,17 +84,24 @@ let controller_of t dpid =
   let cid = Option.value ~default:0 (Hashtbl.find_opt t.domains dpid) in
   Hashtbl.find_opt t.controllers cid
 
+(* Formatting an event string costs more than the rest of a packet hop,
+   so skip it entirely when tracing is off (benchmarks disable it). *)
 let record t fmt =
-  Format.kasprintf
-    (fun msg ->
-      (* actor is embedded in the message by callers via %s prefix *)
-      Sim.Trace.record t.trace ~at:(Sim.Engine.now t.engine) ~actor:"" msg)
-    fmt
+  if Sim.Trace.enabled t.trace then
+    Format.kasprintf
+      (fun msg ->
+        (* actor is embedded in the message by callers via %s prefix *)
+        Sim.Trace.record t.trace ~at:(Sim.Engine.now t.engine) ~actor:"" msg)
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let record_actor t actor fmt =
-  Format.kasprintf
-    (fun msg -> Sim.Trace.record t.trace ~at:(Sim.Engine.now t.engine) ~actor msg)
-    fmt
+  if Sim.Trace.enabled t.trace then
+    Format.kasprintf
+      (fun msg ->
+        Sim.Trace.record t.trace ~at:(Sim.Engine.now t.engine) ~actor msg)
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let bump_egress t node port size =
   let key = (node, port) in
@@ -108,8 +115,7 @@ let rec emit t ~from_node ~port pkt =
     t.dropped <- t.dropped + 1;
     record_actor t
       (Topology.node_to_string from_node)
-      "drop (loss) %s"
-      (Format.asprintf "%a" Packet.pp pkt)
+      "drop (loss) %a" Packet.pp pkt
   end
   else emit_frame t ~from_node ~port pkt
 
@@ -152,8 +158,7 @@ and arrive t ~(at : Topology.endpoint) pkt =
           record_actor t name "drop: host has no receive callback"
       | Some h ->
           t.delivered <- t.delivered + 1;
-          record_actor t name "rx %s"
-            (Format.asprintf "%a" Packet.pp pkt);
+          record_actor t name "rx %a" Packet.pp pkt;
           h.h_rx pkt)
   | Topology.Sw dpid -> switch_rx t dpid ~in_port:at.port pkt
 
@@ -166,8 +171,7 @@ and switch_rx t dpid ~in_port pkt =
       t.dropped <- t.dropped + 1;
       record_actor t
         (Topology.node_to_string (Topology.Sw dpid))
-        "drop (policy) %s"
-        (Format.asprintf "%a" Packet.pp pkt)
+        "drop (policy) %a" Packet.pp pkt
   | Switch.Send_to_controller -> (
       match controller_of t dpid with
       | None ->
@@ -179,16 +183,14 @@ and switch_rx t dpid ~in_port pkt =
           t.packet_ins <- t.packet_ins + 1;
           record_actor t
             (Topology.node_to_string (Topology.Sw dpid))
-            "packet-in -> controller %s"
-            (Format.asprintf "%a" Packet.pp pkt);
+            "packet-in -> controller %a" Packet.pp pkt;
           Sim.Engine.schedule t.engine ~delay:t.ctrl_latency (fun () ->
               ctrl
                 (Message.Packet_in
                    { Message.dpid; in_port; reason = `No_match; packet = pkt })))
 
 let send_to_switch t dpid msg =
-  record_actor t "controller" "-> s%d %s" dpid
-    (Format.asprintf "%a" Message.pp_to_switch msg);
+  record_actor t "controller" "-> s%d %a" dpid Message.pp_to_switch msg;
   Sim.Engine.schedule t.engine ~delay:t.ctrl_latency (fun () ->
       let sw = Hashtbl.find t.switches dpid in
       match Switch.apply sw ~now:(Sim.Engine.now t.engine) msg with
@@ -203,8 +205,7 @@ let send_to_switch t dpid msg =
           | Some ctrl ->
               record_actor t
                 (Topology.node_to_string (Topology.Sw dpid))
-                "%s"
-                (Format.asprintf "%a" Message.pp_to_controller reply);
+                "%a" Message.pp_to_controller reply;
               Sim.Engine.schedule t.engine ~delay:t.ctrl_latency (fun () ->
                   ctrl reply)))
 
@@ -229,7 +230,7 @@ let host_by_ip t ip =
 
 let send_from_host t ~name pkt =
   let _ = host_state t name in
-  record_actor t name "tx %s" (Format.asprintf "%a" Packet.pp pkt);
+  record_actor t name "tx %a" Packet.pp pkt;
   (* The host's single NIC is port 0 on the host node by convention of the
      topology builder; emit resolves the actual wiring. *)
   let host_node = Topology.Host name in

@@ -1,11 +1,16 @@
 type t = {
-  mutable values : float array;
+  mutable values : float array; (* insertion order, append-only *)
   mutable len : int;
   mutable mean : float;
   mutable m2 : float;
   mutable min_v : float;
   mutable max_v : float;
-  mutable sorted : bool;
+  mutable sorted : float array;
+      (* A sorted copy of values[0..sorted_len): percentile queries sort
+         only the suffix added since the last query and merge it in, so
+         interleaved add/percentile costs O(new log new + n) per query
+         instead of re-sorting the whole sample every time. *)
+  mutable sorted_len : int;
 }
 
 let create () =
@@ -16,7 +21,8 @@ let create () =
     m2 = 0.0;
     min_v = infinity;
     max_v = neg_infinity;
-    sorted = true;
+    sorted = [||];
+    sorted_len = 0;
   }
 
 let add t x =
@@ -28,7 +34,6 @@ let add t x =
   end;
   t.values.(t.len) <- x;
   t.len <- t.len + 1;
-  t.sorted <- false;
   (* Welford's online update. *)
   let delta = x -. t.mean in
   t.mean <- t.mean +. (delta /. float_of_int t.len);
@@ -44,11 +49,27 @@ let min_value t = t.min_v
 let max_value t = t.max_v
 
 let ensure_sorted t =
-  if not t.sorted then begin
-    let slice = Array.sub t.values 0 t.len in
-    Array.sort Float.compare slice;
-    Array.blit slice 0 t.values 0 t.len;
-    t.sorted <- true
+  if t.sorted_len < t.len then begin
+    let fresh = Array.sub t.values t.sorted_len (t.len - t.sorted_len) in
+    Array.sort Float.compare fresh;
+    let nfresh = Array.length fresh in
+    let merged = Array.make t.len 0.0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to t.len - 1 do
+      if
+        !i < t.sorted_len
+        && (!j >= nfresh || Float.compare t.sorted.(!i) fresh.(!j) <= 0)
+      then begin
+        merged.(k) <- t.sorted.(!i);
+        incr i
+      end
+      else begin
+        merged.(k) <- fresh.(!j);
+        incr j
+      end
+    done;
+    t.sorted <- merged;
+    t.sorted_len <- t.len
   end
 
 let percentile t p =
@@ -58,7 +79,7 @@ let percentile t p =
   let rank =
     int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) - 1
   in
-  t.values.(Stdlib.max 0 (Stdlib.min (t.len - 1) rank))
+  t.sorted.(Stdlib.max 0 (Stdlib.min (t.len - 1) rank))
 
 let median t = percentile t 50.0
 

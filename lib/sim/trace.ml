@@ -1,10 +1,12 @@
 type entry = { at : Time.t; actor : string; event : string }
-type t = { mutable entries : entry list }
+type t = { mutable entries : entry list; mutable enabled : bool }
 
-let create () = { entries = [] }
+let create () = { entries = []; enabled = true }
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
 
 let record t ~at ~actor event =
-  t.entries <- { at; actor; event } :: t.entries
+  if t.enabled then t.entries <- { at; actor; event } :: t.entries
 
 let entries t = List.rev t.entries
 let find t ~f = List.find_opt f (entries t)

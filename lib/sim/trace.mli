@@ -7,6 +7,14 @@ type t
 
 val create : unit -> t
 val record : t -> at:Time.t -> actor:string -> string -> unit
+(** No-op while recording is disabled. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Tracing is on by default. Callers on hot paths should check
+    {!enabled} before formatting an event string, so a disabled trace
+    costs nothing (benchmarks turn it off). *)
+
 val entries : t -> entry list
 (** In recording order. *)
 

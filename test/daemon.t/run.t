@@ -46,3 +46,19 @@ A malformed query is answered with an error marker:
   $ printf 'FROG 1 2\n\n' | identxxd --ip 10.0.0.1 --table procs.txt
   error: query: malformed header fields
   
+
+--cache-expires stamps every answer with an 'expires' pair, bounding
+how long the querying controller's attribute cache may reuse it:
+
+  $ printf 'TCP 4444 25\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --table procs.txt --cache-expires 2.5
+  TCP 4444 25
+  userID: smtp
+  groupID: services
+  pid: 200
+  exe-path: /usr/sbin/sendmail
+  name: sendmail
+  app-name: sendmail
+  
+  expires: 2.5
+  

@@ -646,6 +646,27 @@ let test_query_retries_on_silent_daemon () =
   Alcotest.(check int) "still fails closed" 1 st.C.blocked;
   Alcotest.(check int) "one timeout in the end" 1 st.C.query_timeouts
 
+let test_retry_resends_only_to_silent_side () =
+  (* One end answers, the other stays silent: the retry round must
+     re-query only the silent side — the answered side's daemon sees
+     exactly one query. *)
+  let config = { C.default_config with C.query_retries = 1 } in
+  let s = Deploy.simple_network ~config () in
+  Identxx_core.Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour (Identxx.Host.daemon s.server) Identxx.Daemon.Silent;
+  ignore (run_flow s ~user:"alice" ~exe:"/usr/bin/firefox");
+  let st = C.stats s.controller in
+  Alcotest.(check int) "one retry round" 1 st.C.query_retries_sent;
+  (* 2 initial + 1 retry aimed at the silent server only. *)
+  Alcotest.(check int) "three queries total" 3 st.C.queries_sent;
+  Alcotest.(check int) "client daemon queried exactly once" 1
+    (Identxx.Daemon.queries_answered (Identxx.Host.daemon s.client));
+  Alcotest.(check int) "one response" 1 st.C.responses_received;
+  Alcotest.(check int) "one timeout at give-up" 1 st.C.query_timeouts;
+  (* The rule reads only @src, which did answer: the flow passes. *)
+  Alcotest.(check int) "decided with the answered side" 1 st.C.allowed
+
 let test_retry_recovers_from_transient_loss () =
   let config = { C.default_config with C.query_retries = 3 } in
   let s = Deploy.simple_network ~config () in
@@ -1115,6 +1136,8 @@ let () =
             test_conn_state_survives_entry_expiry;
           Alcotest.test_case "retries on silent daemon" `Quick
             test_query_retries_on_silent_daemon;
+          Alcotest.test_case "retry targets only the silent side" `Quick
+            test_retry_resends_only_to_silent_side;
           Alcotest.test_case "retry recovers from loss" `Quick
             test_retry_recovers_from_transient_loss;
         ] );

@@ -1,0 +1,407 @@
+(* The flow-setup fast path: attribute cache, decision cache with epoch
+   invalidation, and the silent-host circuit breaker — both the cache
+   modules in isolation and the controller integration (cache hits must
+   skip daemon queries; epoch bumps and revocation must prevent stale
+   decisions; the breaker must trip after N timeouts and re-probe after
+   the backoff window). *)
+
+open Netcore
+module Net = Openflow.Network
+module C = Identxx_core.Controller
+module Deploy = Identxx_core.Deploy
+module Policy_store = Identxx_core.Policy_store
+
+let ip = Ipv4.of_string
+let check = Alcotest.check
+
+(* --- Attr_cache unit tests --- *)
+
+let resp ?(pairs = [ ("userID", "alice") ]) () =
+  let flow =
+    Five_tuple.tcp ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:50000
+      ~dst_port:80
+  in
+  Identxx.Response.make ~flow
+    [ List.map (fun (k, v) -> Identxx.Key_value.pair k v) pairs ]
+
+let test_attr_ttl () =
+  let c = Fastpath.Attr_cache.create ~ttl:(Sim.Time.ms 10) () in
+  let host = ip "10.0.0.1" and keys = [ "userID"; "name" ] in
+  Fastpath.Attr_cache.store c ~now:Sim.Time.zero ~host ~keys (resp ());
+  check Alcotest.bool "live before ttl" true
+    (Fastpath.Attr_cache.find c ~now:(Sim.Time.ms 9) ~host ~keys <> None);
+  (* The key set is order-insensitive. *)
+  check Alcotest.bool "key order ignored" true
+    (Fastpath.Attr_cache.find c ~now:(Sim.Time.ms 9) ~host
+       ~keys:[ "name"; "userID" ]
+    <> None);
+  check Alcotest.bool "expired at ttl" true
+    (Fastpath.Attr_cache.find c ~now:(Sim.Time.ms 10) ~host ~keys = None);
+  check Alcotest.int "hits" 2 (Fastpath.Attr_cache.hits c);
+  check Alcotest.int "misses" 1 (Fastpath.Attr_cache.misses c);
+  check Alcotest.int "expired entry dropped" 0 (Fastpath.Attr_cache.size c)
+
+let test_attr_self_expiry () =
+  (* A response-carried "expires" key caps the lifetime below the
+     configured TTL. *)
+  let c = Fastpath.Attr_cache.create ~ttl:(Sim.Time.s 60) () in
+  let host = ip "10.0.0.1" and keys = [ "userID" ] in
+  Fastpath.Attr_cache.store c ~now:Sim.Time.zero ~host ~keys
+    (resp ~pairs:[ ("userID", "alice"); ("expires", "0.5") ] ());
+  check Alcotest.bool "live before self-expiry" true
+    (Fastpath.Attr_cache.find c ~now:(Sim.Time.ms 499) ~host ~keys <> None);
+  check Alcotest.bool "dead after self-expiry" true
+    (Fastpath.Attr_cache.find c ~now:(Sim.Time.ms 500) ~host ~keys = None)
+
+let test_attr_capacity_and_invalidation () =
+  let c = Fastpath.Attr_cache.create ~capacity:2 ~ttl:(Sim.Time.s 1) () in
+  let keys = [ "userID" ] in
+  let store i =
+    Fastpath.Attr_cache.store c ~now:Sim.Time.zero
+      ~host:(Ipv4.of_octets 10 0 0 i)
+      ~keys (resp ())
+  in
+  store 1;
+  store 2;
+  store 3;
+  (* FIFO: host 1 evicted. *)
+  check Alcotest.int "capacity bound" 2 (Fastpath.Attr_cache.size c);
+  check Alcotest.int "one eviction" 1 (Fastpath.Attr_cache.evictions c);
+  check Alcotest.bool "oldest gone" true
+    (Fastpath.Attr_cache.find c ~now:Sim.Time.zero
+       ~host:(Ipv4.of_octets 10 0 0 1) ~keys
+    = None);
+  check Alcotest.int "invalidate host" 1
+    (Fastpath.Attr_cache.invalidate_host c (Ipv4.of_octets 10 0 0 2));
+  check Alcotest.int "invalidation counted" 1
+    (Fastpath.Attr_cache.invalidations c);
+  check Alcotest.int "one left" 1 (Fastpath.Attr_cache.size c)
+
+(* --- Breaker unit tests --- *)
+
+let test_breaker_transitions () =
+  let b = Fastpath.Breaker.create ~threshold:2 ~backoff:(Sim.Time.ms 100) () in
+  let h = ip "10.0.0.9" in
+  let t ms = Sim.Time.ms ms in
+  check Alcotest.bool "closed: ask" true
+    (Fastpath.Breaker.consult b ~now:(t 0) h = `Ask);
+  Fastpath.Breaker.note_timeout b ~now:(t 5) h;
+  check Alcotest.bool "below threshold: still ask" true
+    (Fastpath.Breaker.consult b ~now:(t 5) h = `Ask);
+  Fastpath.Breaker.note_timeout b ~now:(t 10) h;
+  check Alcotest.int "tripped" 1 (Fastpath.Breaker.trips b);
+  check Alcotest.bool "open: absent" true
+    (Fastpath.Breaker.consult b ~now:(t 50) h = `Absent);
+  check Alcotest.bool "window expired: probe" true
+    (Fastpath.Breaker.consult b ~now:(t 111) h = `Probe);
+  check Alcotest.bool "while probing, others get absent" true
+    (Fastpath.Breaker.consult b ~now:(t 112) h = `Absent);
+  (* Failed probe: straight back to open. *)
+  Fastpath.Breaker.note_timeout b ~now:(t 120) h;
+  check Alcotest.int "probe failure re-trips" 2 (Fastpath.Breaker.trips b);
+  check Alcotest.bool "open again" true
+    (Fastpath.Breaker.consult b ~now:(t 121) h = `Absent);
+  (* A response closes the breaker and forgets the history. *)
+  check Alcotest.bool "second window expired: probe" true
+    (Fastpath.Breaker.consult b ~now:(t 225) h = `Probe);
+  Fastpath.Breaker.note_response b h;
+  check Alcotest.bool "closed after response" true
+    (Fastpath.Breaker.consult b ~now:(t 230) h = `Ask);
+  check Alcotest.int "history forgotten" 0 (Fastpath.Breaker.tracked b)
+
+(* --- Decision_cache unit tests --- *)
+
+let verdict_pass =
+  { Pf.Eval.decision = Pf.Ast.Pass; matched = None; keep_state = false; log = false }
+
+let flow_of i =
+  Five_tuple.tcp ~src:(Ipv4.of_octets 10 0 0 i) ~dst:(ip "10.0.0.99")
+    ~src_port:(50000 + i) ~dst_port:80
+
+let test_decision_epoch_and_purge () =
+  let c = Fastpath.Decision_cache.create ~capacity:8 () in
+  Fastpath.Decision_cache.store c ~epoch:0 ~key:"k1" ~flow:(flow_of 1)
+    verdict_pass;
+  check Alcotest.bool "hit in same epoch" true
+    (Fastpath.Decision_cache.find c ~epoch:0 ~key:"k1" <> None);
+  (* An epoch bump orphans everything at once. *)
+  check Alcotest.bool "miss after epoch bump" true
+    (Fastpath.Decision_cache.find c ~epoch:1 ~key:"k1" = None);
+  check Alcotest.int "cache emptied" 0 (Fastpath.Decision_cache.size c);
+  Fastpath.Decision_cache.store c ~epoch:1 ~key:"a" ~flow:(flow_of 1)
+    verdict_pass;
+  Fastpath.Decision_cache.store c ~epoch:1 ~key:"b" ~flow:(flow_of 2)
+    verdict_pass;
+  check Alcotest.int "purge by ip" 1
+    (Fastpath.Decision_cache.purge_ip c (Ipv4.of_octets 10 0 0 1));
+  check Alcotest.bool "purged entry gone" true
+    (Fastpath.Decision_cache.find c ~epoch:1 ~key:"a" = None);
+  check Alcotest.bool "other entry survives" true
+    (Fastpath.Decision_cache.find c ~epoch:1 ~key:"b" <> None)
+
+let test_decision_key_wildcards_src_port () =
+  let src = Some (resp ()) and dst = None in
+  let k p =
+    Fastpath.decision_key ~match_src_port:false ~flow:(
+      Five_tuple.tcp ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:p
+        ~dst_port:80)
+      ~src ~dst
+  in
+  check Alcotest.bool "ephemeral ports share a key" true (k 50000 = k 50001);
+  let k' p =
+    Fastpath.decision_key ~match_src_port:true ~flow:(
+      Five_tuple.tcp ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:p
+        ~dst_port:80)
+      ~src ~dst
+  in
+  check Alcotest.bool "matched ports distinguish keys" true
+    (k' 50000 <> k' 50001);
+  (* Absent and empty-but-present responses must not collide. *)
+  let base flow_src =
+    Fastpath.decision_key ~match_src_port:false ~flow:(
+      Five_tuple.tcp ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:1
+        ~dst_port:80)
+      ~src:flow_src ~dst:None
+  in
+  let empty =
+    Identxx.Response.make
+      ~flow:
+        (Five_tuple.tcp ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:1
+           ~dst_port:80)
+      []
+  in
+  check Alcotest.bool "absent distinct from empty" true
+    (base None <> base (Some empty))
+
+(* --- Controller integration --- *)
+
+let app_policy apps =
+  Printf.sprintf
+    "allowed = \"{ %s }\"\nblock all\npass all with member(@src[name], $allowed)"
+    (String.concat " " apps)
+
+let fp_on =
+  {
+    C.default_config with
+    C.fastpath =
+      {
+        Fastpath.default_config with
+        Fastpath.breaker_threshold = 2;
+        breaker_backoff = Sim.Time.ms 100;
+      };
+  }
+
+(* Start a flow from an existing process (no spawn, so no change event)
+   and run the simulation to quiescence. *)
+let connect_and_run (s : Deploy.simple) ~proc ?(dst_port = 80) () =
+  let flow =
+    Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
+      ~dst_port ()
+  in
+  let pkt = Identxx.Host.first_packet s.client ~flow in
+  Net.send_from_host s.network ~name:"client" pkt;
+  Sim.Engine.run s.engine;
+  flow
+
+let advance (s : Deploy.simple) ms =
+  Sim.Engine.schedule s.engine ~delay:(Sim.Time.ms ms) (fun () -> ());
+  Sim.Engine.run s.engine
+
+let test_warm_cache_skips_queries () =
+  let s = Deploy.simple_network ~config:fp_on () in
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  ignore (connect_and_run s ~proc ());
+  let st1 = C.stats s.controller in
+  check Alcotest.int "cold flow queries both ends" 2 st1.C.queries_sent;
+  check Alcotest.int "cold flow is not a fastpath decision" 0
+    st1.C.fastpath_decisions;
+  (* Same process, new connection (fresh ephemeral port): both answers
+     come from the attribute cache — no daemon sees a query. *)
+  ignore (connect_and_run s ~proc ());
+  let st2 = C.stats s.controller in
+  check Alcotest.int "warm flow sends no queries" 2 st2.C.queries_sent;
+  check Alcotest.int "one fastpath decision" 1 st2.C.fastpath_decisions;
+  check Alcotest.int "two attribute hits" 2 st2.C.attr_cache_hits;
+  check Alcotest.int "decision replayed from cache" 1 st2.C.decision_cache_hits;
+  check Alcotest.int "client daemon queried once in total" 1
+    (Identxx.Daemon.queries_answered (Identxx.Host.daemon s.client));
+  check Alcotest.int "both flows allowed" 2 st2.C.allowed
+
+let test_spawn_invalidates_attr_cache () =
+  (* A daemon-side change event (here: a process spawn — the paper's
+     login/new-application case) must drop the host's cached attributes
+     and force a fresh exchange. *)
+  let s = Deploy.simple_network ~config:fp_on () in
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  ignore (connect_and_run s ~proc ());
+  let proc2 =
+    Identxx.Host.run s.client ~user:"mallory" ~exe:"/usr/bin/worm" ()
+  in
+  ignore (connect_and_run s ~proc:proc2 ());
+  let st = C.stats s.controller in
+  check Alcotest.bool "cache invalidated on spawn" true
+    (st.C.attr_cache_invalidations >= 1);
+  (* Invalidation is per-host: the changed client is re-queried, the
+     untouched server still answers from the cache — 2 + 1 queries. *)
+  check Alcotest.int "client (only) re-queried" 3 st.C.queries_sent;
+  check Alcotest.int "client daemon saw the second query" 2
+    (Identxx.Daemon.queries_answered (Identxx.Host.daemon s.client));
+  check Alcotest.int "server daemon never re-queried" 1
+    (Identxx.Daemon.queries_answered (Identxx.Host.daemon s.server));
+  check Alcotest.int "worm still blocked" 1 st.C.blocked
+
+let test_epoch_bump_prevents_stale_decision () =
+  let s = Deploy.simple_network ~config:fp_on () in
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  ignore (connect_and_run s ~proc ());
+  check Alcotest.int "allowed under the old policy" 1
+    (C.stats s.controller).C.allowed;
+  (* Replace the policy through the store alone: no controller flush, so
+     only the epoch protects against replaying the cached verdict. *)
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "chrome" ]);
+  ignore (connect_and_run s ~proc ());
+  let st = C.stats s.controller in
+  check Alcotest.int "stale pass not replayed" 1 st.C.allowed;
+  check Alcotest.int "re-evaluated and blocked" 1 st.C.blocked;
+  (* The attribute cache legitimately survives the policy change: the
+     re-evaluation still needs no fresh queries. *)
+  check Alcotest.int "no new queries" 2 st.C.queries_sent;
+  check Alcotest.int "both decisions fastpathed" 1 st.C.fastpath_decisions
+
+let test_revoke_principal_purges () =
+  let s = Deploy.simple_network ~config:fp_on () in
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  ignore (connect_and_run s ~proc ());
+  ignore (connect_and_run s ~proc ());
+  let st = C.stats s.controller in
+  check Alcotest.int "warm before revocation" 1 st.C.fastpath_decisions;
+  ignore (C.revoke_principal s.controller ~ip:(Identxx.Host.ip s.client));
+  (* Everything the principal could have influenced is gone: its
+     attributes, its memoized decisions, its connection state. The next
+     flow re-queries the revoked host (the server's cached attributes
+     are legitimately untouched). *)
+  ignore (connect_and_run s ~proc ());
+  let st' = C.stats s.controller in
+  check Alcotest.int "revoked host re-queried" 3 st'.C.queries_sent;
+  check Alcotest.int "no new fastpath decision" 1 st'.C.fastpath_decisions;
+  check Alcotest.int "decision not replayed" 1 st'.C.decision_cache_hits;
+  check Alcotest.bool "attribute entries purged" true
+    (st'.C.attr_cache_invalidations >= 1)
+
+let test_breaker_trips_and_reprobes () =
+  let s =
+    Deploy.simple_network ~config:{ fp_on with C.query_targets = C.Src_only } ()
+  in
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour
+    (Identxx.Host.daemon s.client)
+    Identxx.Daemon.Silent;
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  (* Two consecutive timeouts trip the breaker (threshold 2). *)
+  ignore (connect_and_run s ~proc ());
+  ignore (connect_and_run s ~proc ());
+  let st = C.stats s.controller in
+  check Alcotest.int "two queries burned timeouts" 2 st.C.queries_sent;
+  check Alcotest.int "two timeouts" 2 st.C.query_timeouts;
+  check Alcotest.int "breaker tripped" 1 st.C.breaker_trips;
+  (* Open breaker: flows decide immediately, with no query and no
+     timeout wait. *)
+  let before = Sim.Engine.now s.engine in
+  ignore (connect_and_run s ~proc ());
+  let st = C.stats s.controller in
+  check Alcotest.int "no query while open" 2 st.C.queries_sent;
+  check Alcotest.int "decided via breaker" 1 st.C.breaker_fastpaths;
+  check Alcotest.int "fastpath decision" 1 st.C.fastpath_decisions;
+  let elapsed = Sim.Time.sub (Sim.Engine.now s.engine) before in
+  check Alcotest.bool "decided without burning the query timeout" true
+    (Sim.Time.compare elapsed C.default_config.C.query_timeout < 0);
+  (* After the backoff window the next flow re-probes the (healed)
+     host; its answer closes the breaker. *)
+  Identxx.Daemon.set_behaviour
+    (Identxx.Host.daemon s.client)
+    Identxx.Daemon.Honest;
+  advance s 150;
+  ignore (connect_and_run s ~proc ());
+  let st = C.stats s.controller in
+  check Alcotest.int "probe query sent after backoff" 3 st.C.queries_sent;
+  check Alcotest.int "probe answered" 1 st.C.responses_received;
+  check Alcotest.int "flow allowed after heal" 1 st.C.allowed;
+  check Alcotest.bool "breaker closed" true
+    (Fastpath.Breaker.state
+       (Fastpath.breaker (C.fastpath s.controller))
+       (Identxx.Host.ip s.client)
+    = Fastpath.Breaker.Closed)
+
+let test_breaker_failed_probe_reopens () =
+  let s =
+    Deploy.simple_network ~config:{ fp_on with C.query_targets = C.Src_only } ()
+  in
+  Policy_store.add_exn (C.policy s.controller) ~name:"00-policy"
+    (app_policy [ "firefox" ]);
+  Identxx.Daemon.set_behaviour
+    (Identxx.Host.daemon s.client)
+    Identxx.Daemon.Silent;
+  let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  ignore (connect_and_run s ~proc ());
+  ignore (connect_and_run s ~proc ());
+  check Alcotest.int "tripped" 1 (C.stats s.controller).C.breaker_trips;
+  advance s 150;
+  (* Still silent: the probe query times out and the breaker re-opens
+     for another window. *)
+  ignore (connect_and_run s ~proc ());
+  let st = C.stats s.controller in
+  check Alcotest.int "probe sent" 3 st.C.queries_sent;
+  check Alcotest.int "probe failure re-trips" 2 st.C.breaker_trips;
+  (* And the window is armed again: the next flow is immediate. *)
+  ignore (connect_and_run s ~proc ());
+  check Alcotest.int "open again after failed probe" 3
+    (C.stats s.controller).C.queries_sent
+
+let () =
+  Alcotest.run "fastpath"
+    [
+      ( "attr cache",
+        [
+          Alcotest.test_case "ttl and key normalization" `Quick test_attr_ttl;
+          Alcotest.test_case "response-carried expiry" `Quick
+            test_attr_self_expiry;
+          Alcotest.test_case "capacity and invalidation" `Quick
+            test_attr_capacity_and_invalidation;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "state transitions" `Quick test_breaker_transitions;
+        ] );
+      ( "decision cache",
+        [
+          Alcotest.test_case "epoch flush and purge" `Quick
+            test_decision_epoch_and_purge;
+          Alcotest.test_case "key canonicalization" `Quick
+            test_decision_key_wildcards_src_port;
+        ] );
+      ( "controller integration",
+        [
+          Alcotest.test_case "warm cache skips queries" `Quick
+            test_warm_cache_skips_queries;
+          Alcotest.test_case "spawn invalidates attributes" `Quick
+            test_spawn_invalidates_attr_cache;
+          Alcotest.test_case "epoch bump prevents stale decision" `Quick
+            test_epoch_bump_prevents_stale_decision;
+          Alcotest.test_case "revocation purges caches" `Quick
+            test_revoke_principal_purges;
+          Alcotest.test_case "breaker trips then re-probes" `Quick
+            test_breaker_trips_and_reprobes;
+          Alcotest.test_case "failed probe re-opens" `Quick
+            test_breaker_failed_probe_reopens;
+        ] );
+    ]

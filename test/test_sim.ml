@@ -220,6 +220,45 @@ let test_stats_add_after_percentile () =
   (* Nearest-rank median of [0.5; 1; 2; 3] is the 2nd element. *)
   check (Alcotest.float 1e-9) "median after resort" 1.0 (Sim.Stats.median s)
 
+let test_stats_interleaved_percentile () =
+  (* The sorted sample is cached between percentile calls; interleaving
+     adds and queries must always see every value added so far. Compare
+     against a naive re-sort at every step. *)
+  let s = Sim.Stats.create () in
+  let added = ref [] in
+  let naive_pct p =
+    let arr = Array.of_list !added in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    arr.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+  in
+  let prng = Sim.Prng.create 7 in
+  for round = 1 to 20 do
+    (* A batch of pseudo-random adds, then several queries. *)
+    for _ = 1 to 1 + (round mod 5) do
+      let x = Sim.Prng.float prng 1000.0 in
+      added := x :: !added;
+      Sim.Stats.add s x
+    done;
+    List.iter
+      (fun p ->
+        check (Alcotest.float 1e-9)
+          (Printf.sprintf "round %d p%g" round p)
+          (naive_pct p) (Sim.Stats.percentile s p))
+      [ 0.0; 25.0; 50.0; 99.0; 100.0 ]
+  done;
+  (* Duplicates and descending runs across the cached/fresh boundary. *)
+  ignore (Sim.Stats.median s);
+  List.iter (Sim.Stats.add s) [ 5.0; 5.0; 4.0; 3.0; 3.0 ];
+  added := [ 5.0; 5.0; 4.0; 3.0; 3.0 ] @ !added;
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "dup p%g" p)
+        (naive_pct p) (Sim.Stats.percentile s p))
+    [ 10.0; 50.0; 90.0 ]
+
 let test_stats_histogram () =
   let s = Sim.Stats.create () in
   List.iter (Sim.Stats.add s) [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0 ];
@@ -295,6 +334,8 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
           Alcotest.test_case "add after percentile" `Quick
             test_stats_add_after_percentile;
+          Alcotest.test_case "interleaved add/percentile" `Quick
+            test_stats_interleaved_percentile;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
         ] );
       ( "trace",
