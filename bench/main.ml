@@ -62,7 +62,7 @@ let bench_fig1 =
    connect/disconnect bookkeeping. The cold member of the group runs the
    identical harness with the fast path disabled, so the warm/cold ratio
    isolates what the caches save. *)
-let fastpath_network ~fastpath () =
+let fastpath_network ?(observe = false) ~fastpath () =
   let config =
     {
       C.default_config with
@@ -79,6 +79,12 @@ let fastpath_network ~fastpath () =
      program, inventory tags) — which the caches let warm flows skip
      re-shipping, re-verifying and re-decoding. *)
   Sim.Trace.set_enabled (Openflow.Network.trace s.Deploy.network) false;
+  (* Metrics recording is on by default in every controller. The
+     fastpath group measures with it off, so its numbers stay
+     comparable across commits regardless of what the observability
+     layer grows; the obs group re-enables it to price the recording
+     in (spans stay at their default: disabled). *)
+  if not observe then Obs.Registry.set_enabled (C.metrics s.Deploy.controller) false;
   let admin_config =
     String.concat "\n"
       ("os-patch : 8831"
@@ -498,6 +504,46 @@ let bench_daemon =
               ~src_port:fl.Five_tuple.src_port ~dst_port:fl.Five_tuple.dst_port
               ~keys:[])))
 
+(* --- observability ----------------------------------------------------- *)
+
+(* Prices the metrics layer. The micro pairs pin the registry's two
+   promises (O(1) enabled record, one-load-one-branch disabled record);
+   the flow-setup member runs the exact fastpath/flow-setup-warm-cache
+   harness with recording ON, so the delta against that bench is the
+   end-to-end cost of observability on the hottest controller path —
+   the acceptance bar is that the disabled path shows no measurable
+   regression. *)
+let bench_obs =
+  let reg = Obs.Registry.create () in
+  let c = Obs.Registry.counter reg "bench_counter_total" in
+  let h = Obs.Registry.histogram reg "bench_seconds" in
+  let reg_off = Obs.Registry.create ~enabled:false () in
+  let c_off = Obs.Registry.counter reg_off "bench_counter_total" in
+  let h_off = Obs.Registry.histogram reg_off "bench_seconds" in
+  let spans_off = Obs.Span.create ~enabled:false () in
+  [
+    Test.make ~name:"obs/counter-inc"
+      (Staged.stage (fun () -> Obs.Registry.Counter.inc c));
+    Test.make ~name:"obs/counter-inc-disabled"
+      (Staged.stage (fun () -> Obs.Registry.Counter.inc c_off));
+    Test.make ~name:"obs/histogram-observe"
+      (Staged.stage (fun () -> Obs.Registry.Histogram.observe h 3.2e-4));
+    Test.make ~name:"obs/histogram-observe-disabled"
+      (Staged.stage (fun () -> Obs.Registry.Histogram.observe h_off 3.2e-4));
+    Test.make ~name:"obs/span-start-finish-disabled"
+      (Staged.stage (fun () ->
+           let sp = Obs.Span.start spans_off ~at:0. "flow-setup" in
+           Obs.Span.finish spans_off ~at:0. sp));
+    Test.make ~name:"obs/snapshot-export-prometheus"
+      (Staged.stage (fun () -> ignore (Obs.Export.prometheus reg)));
+  ]
+
+let bench_obs_flow_setup =
+  let s = fastpath_network ~observe:true ~fastpath:fastpath_on () in
+  let iter = flow_setup_iter s in
+  iter ();
+  Test.make ~name:"obs/flow-setup-warm-metrics-on" (Staged.stage iter)
+
 (* --- harness ----------------------------------------------------------- *)
 
 let tests =
@@ -520,8 +566,10 @@ let tests =
        bench_collab;
        bench_dijkstra;
        bench_conn_state;
+       bench_obs_flow_setup;
      ]
-    @ bench_proto @ bench_crypto @ bench_packet @ bench_granularity)
+    @ bench_obs @ bench_proto @ bench_crypto @ bench_packet
+    @ bench_granularity)
 
 (* Run every benchmark body exactly once, untimed — `dune build
    @bench-smoke` uses this so bench code can't bit-rot outside the

@@ -489,6 +489,70 @@ let analyze_cmd =
           flow-space analysis of the whole ruleset)")
     Term.(const run $ files $ deep $ format)
 
+(* --- metrics: read back a JSON snapshot (netsim --metrics-json,
+   identxxd --metrics) and re-render it --- *)
+
+let metrics_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAPSHOT")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum [ ("prom", `Prom); ("json", `Json); ("summary", `Summary) ])
+          `Prom
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,prom) (default, Prometheus text exposition), \
+             $(b,json) (the snapshot, reparsed and pretty-printed), or \
+             $(b,summary) (one line per series).")
+  in
+  let labels_str labels =
+    match labels with
+    | [] -> ""
+    | labels ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+        ^ "}"
+  in
+  let run file format =
+    match Obs.Json.of_string (read_file file) with
+    | Error e ->
+        Printf.eprintf "error: %s: %s\n" file e;
+        1
+    | Ok v -> (
+        match Obs.Export.of_json v with
+        | Error e ->
+            Printf.eprintf "error: %s: %s\n" file e;
+            1
+        | Ok series ->
+            (match format with
+            | `Prom -> print_string (Obs.Export.prometheus_of_series series)
+            | `Json -> print_endline (Obs.Json.to_string ~pretty:true v)
+            | `Summary ->
+                List.iter
+                  (fun (s : Obs.Registry.series) ->
+                    let name = s.Obs.Registry.name ^ labels_str s.Obs.Registry.labels in
+                    match s.Obs.Registry.value with
+                    | Obs.Registry.Counter_v c ->
+                        Printf.printf "counter   %s = %d\n" name c
+                    | Obs.Registry.Gauge_v g ->
+                        Printf.printf "gauge     %s = %g\n" name g
+                    | Obs.Registry.Histogram_v { sum; count; _ } ->
+                        Printf.printf "histogram %s count=%d sum=%g\n" name
+                          count sum)
+                  series);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Validate a JSON metrics snapshot and re-render it (exit 1 on \
+          parse or schema errors)")
+    Term.(const run $ file $ format)
+
 (* --- signing workflow: keygen / sign / verify ---
    The delegation figures need requirements signed by a principal whose
    public handle appears in a controller dict. These commands drive the
@@ -578,5 +642,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; fmt_cmd; eval_cmd; daemon_check_cmd; analyze_cmd;
-            matrix_cmd; keygen_cmd; sign_cmd; verify_cmd;
+            matrix_cmd; metrics_cmd; keygen_cmd; sign_cmd; verify_cmd;
           ]))

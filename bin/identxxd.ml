@@ -66,7 +66,7 @@ let load_table processes content =
                  ~port:(int_of_string port)
            | _ -> failwith (Printf.sprintf "table line %d: unparsable" (lineno + 1)))
 
-let run ip configs table_path peer cache_expires =
+let run ip configs table_path peer cache_expires metrics_path metrics_every =
   let host_ip = Netcore.Ipv4.of_string ip in
   let peer_ip = Netcore.Ipv4.of_string peer in
   let processes = Identxx.Process_table.create () in
@@ -101,14 +101,34 @@ let run ip configs table_path peer cache_expires =
       with
       | Ok () -> ()
       | Error e -> failwith e));
+  (* Metrics: record service time on the wall clock and dump a JSON
+     snapshot (identxx_ctl metrics reads it) every N queries and at
+     EOF. *)
+  let obs = Obs.Registry.create () in
+  (match metrics_path with
+  | Some _ ->
+      Identxx.Daemon.set_metrics daemon ~clock:Sys.time
+        ~labels:[ ("host", ip) ]
+        obs
+  | None -> ());
+  let dump_metrics () =
+    match metrics_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Export.json_string obs);
+        output_char oc '\n';
+        close_out oc
+  in
+  let seen = ref 0 in
   (* Read query payloads: header line + key lines, terminated by a blank
      line or EOF. *)
   let buf = Buffer.create 128 in
   let answer () =
     let payload = Buffer.contents buf in
     Buffer.clear buf;
-    if String.trim payload <> "" then
-      match Identxx.Query.decode payload with
+    if String.trim payload <> "" then begin
+      (match Identxx.Query.decode payload with
       | Error e -> Printf.printf "error: %s\n\n%!" e
       | Ok q -> (
           match
@@ -120,7 +140,10 @@ let run ip configs table_path peer cache_expires =
               print_string (Identxx.Response.encode response);
               print_newline ();
               flush stdout
-          | None -> print_string "\n")
+          | None -> print_string "\n"));
+      incr seen;
+      if metrics_every > 0 && !seen mod metrics_every = 0 then dump_metrics ()
+    end
   in
   (try
      while true do
@@ -132,6 +155,7 @@ let run ip configs table_path peer cache_expires =
        end
      done
    with End_of_file -> answer ());
+  dump_metrics ();
   0
 
 let () =
@@ -167,10 +191,29 @@ let () =
                 the controller's attribute cache may reuse it (0 disables \
                 caching of this host's answers).")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Record daemon metrics (queries by outcome, service-time \
+                histogram, signed responses) and write a JSON snapshot to \
+                FILE at exit; readable with identxx_ctl metrics.")
+  in
+  let metrics_every =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:"With --metrics, also rewrite the snapshot after every N \
+                queries (0 = only at exit) — the periodic dump for \
+                long-running filters.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "identxxd" ~version:"1.0.0"
          ~doc:"ident++ daemon: answer queries from stdin")
-      Term.(const run $ ip $ configs $ table $ peer $ cache_expires)
+      Term.(
+        const run $ ip $ configs $ table $ peer $ cache_expires $ metrics
+        $ metrics_every)
   in
   exit (Cmd.eval' cmd)

@@ -15,6 +15,13 @@ module C = Identxx_core.Controller
 module Deploy = Identxx_core.Deploy
 module PS = Identxx_core.Policy_store
 
+(* Daemon service time is measured on the simulated clock, so metric
+   output is deterministic and cram-testable. *)
+let sim_clock engine () = Sim.Time.to_float_s (Sim.Engine.now engine)
+
+let host_metrics obs engine hosts =
+  List.iter (fun h -> Identxx.Host.set_metrics h ~clock:(sim_clock engine) obs) hosts
+
 let print_summary ?(controllers = []) network =
   Format.printf "@.=== trace ===@.%a" Sim.Trace.pp (Net.trace network);
   Format.printf "@.=== summary ===@.";
@@ -81,9 +88,10 @@ let write_json ~scenario ~file ~controllers network =
   close_out oc;
   Format.printf "wrote %s@." file
 
-let fig1 ~arm ~config () =
-  let s = Deploy.simple_network ~config () in
+let fig1 ~arm ~config ~obs ~spans () =
+  let s = Deploy.simple_network ~config ~obs ~spans () in
   arm s.Deploy.network;
+  host_metrics obs s.Deploy.engine [ s.Deploy.client; s.Deploy.server ];
   PS.add_exn (C.policy s.controller) ~name:"00"
     "block all\npass all with eq(@src[name], firefox) keep state";
   let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
@@ -97,11 +105,12 @@ let fig1 ~arm ~config () =
   Format.printf "Figure 1: client -> switch -> controller -> ident++ -> install -> deliver@.";
   (s.network, [ ("controller", s.controller) ])
 
-let linear ~arm ~config () =
+let linear ~arm ~config ~obs ~spans () =
   let engine, network, controller, hosts =
-    Deploy.linear_network ~config ~switches:4 ~hosts_per_switch:1 ()
+    Deploy.linear_network ~config ~obs ~spans ~switches:4 ~hosts_per_switch:1 ()
   in
   arm network;
+  host_metrics obs engine (Array.to_list hosts);
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
   let h1 = hosts.(0) and h4 = hosts.(3) in
   let proc = Identxx.Host.run h1 ~user:"u" ~exe:"/bin/app" () in
@@ -114,11 +123,13 @@ let linear ~arm ~config () =
   Format.printf "linear: one flow across a 4-switch chain@.";
   (network, [ ("controller", controller) ])
 
-let tree ~arm ~config () =
+let tree ~arm ~config ~obs ~spans () =
   let engine, network, controller, hosts =
-    Deploy.tree_network ~config ~depth:3 ~fanout:2 ~hosts_per_edge:1 ()
+    Deploy.tree_network ~config ~obs ~spans ~depth:3 ~fanout:2 ~hosts_per_edge:1
+      ()
   in
   arm network;
+  host_metrics obs engine (Array.to_list hosts);
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
   let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
   let proc = Identxx.Host.run src ~user:"u" ~exe:"/bin/app" () in
@@ -131,7 +142,7 @@ let tree ~arm ~config () =
   Format.printf "tree: cross-pod flow over a depth-3 binary tree (7 switches)@.";
   (network, [ ("controller", controller) ])
 
-let branches ~arm ~config () =
+let branches ~arm ~config ~obs ~spans () =
   let engine = Sim.Engine.create () in
   let topology = Topo.create () in
   Topo.add_switch topology 1;
@@ -142,8 +153,8 @@ let branches ~arm ~config () =
   Topo.link topology ~latency:(Sim.Time.ms 2) (Topo.Sw 1, 9) (Topo.Sw 2, 9);
   let network = Net.create ~engine ~topology () in
   arm network;
-  let ca = C.create ~config ~network ~id:0 () in
-  let cb = C.create ~config ~network ~id:1 () in
+  let ca = C.create ~config ~obs ~spans ~network ~id:0 () in
+  let cb = C.create ~config ~obs ~spans ~network ~id:1 () in
   Net.assign_switch network 1 0;
   Net.assign_switch network 2 1;
   PS.add_exn (C.policy ca) ~name:"00"
@@ -160,6 +171,7 @@ let branches ~arm ~config () =
       ~ip:(Ipv4.of_string "10.20.0.1") ()
   in
   List.iter (Deploy.attach_host network) [ a1; b1 ];
+  host_metrics obs engine [ a1; b1 ];
   let proc = Identxx.Host.run a1 ~user:"u" ~exe:"/usr/bin/firefox" () in
   let flow =
     Identxx.Host.connect a1 ~proc ~dst:(Identxx.Host.ip b1) ~dst_port:80 ()
@@ -212,6 +224,30 @@ let () =
           ~doc:"Write the end-of-run summary (delivery and controller \
                 counters) to FILE as JSON.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"After the run, print the metrics registry as Prometheus text \
+                exposition format and as a JSON snapshot (see \
+                doc/OBSERVABILITY.md for the catalog).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the JSON metrics snapshot to FILE (readable with \
+                identxx_ctl metrics).")
+  in
+  let spans_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans" ] ~docv:"FILE"
+          ~doc:"Enable flow-setup span collection and write the finished \
+                spans to FILE as JSON.")
+  in
   let fp = Fastpath.default_config in
   let fastpath =
     Arg.(
@@ -258,12 +294,15 @@ let () =
           ~doc:"How long a tripped breaker stays open before a re-probe, \
                 with --fastpath.")
   in
-  let run scenario pcap verbose json fastpath attr_capacity attr_ttl
-      decision_capacity breaker_threshold breaker_backoff =
+  let run scenario pcap verbose json metrics metrics_json spans_file fastpath
+      attr_capacity attr_ttl decision_capacity breaker_threshold
+      breaker_backoff =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
+    let obs = Obs.Registry.create () in
+    let spans = Obs.Span.create ~enabled:(Option.is_some spans_file) () in
     let config =
       {
         C.default_config with
@@ -288,8 +327,42 @@ let () =
           | `Branches -> ("branches", branches)
           | `Tree -> ("tree", tree)
         in
-        let network, controllers = build ~arm ~config () in
+        let network, controllers = build ~arm ~config ~obs ~spans () in
+        (* Network-level series are sampled from the simulator's own
+           counters at snapshot time. *)
+        Obs.Registry.counter_fn obs
+          ~help:"Packets delivered to end hosts."
+          "identxx_net_packets_delivered_total" (fun () ->
+            Net.delivered network);
+        Obs.Registry.counter_fn obs ~help:"Packets dropped by the fabric."
+          "identxx_net_packets_dropped_total" (fun () -> Net.dropped network);
+        Obs.Registry.counter_fn obs
+          ~help:"Table-miss packets sent to a controller."
+          "identxx_net_packet_ins_total" (fun () -> Net.packet_ins network);
         print_summary ~controllers network;
+        if metrics then begin
+          Format.printf "@.=== metrics (prometheus) ===@.%s"
+            (Obs.Export.prometheus obs);
+          Format.printf "@.=== metrics (json) ===@.%s@."
+            (Obs.Export.json_string obs)
+        end;
+        Option.iter
+          (fun file ->
+            let oc = open_out file in
+            output_string oc (Obs.Export.json_string obs);
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "wrote %s@." file)
+          metrics_json;
+        Option.iter
+          (fun file ->
+            let oc = open_out file in
+            output_string oc
+              (Obs.Json.to_string ~pretty:true (Obs.Span.export spans));
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "wrote %d spans to %s@." (Obs.Span.count spans) file)
+          spans_file;
         Option.iter
           (fun file -> write_json ~scenario:name ~file ~controllers network)
           json;
@@ -299,7 +372,8 @@ let () =
     Cmd.v
       (Cmd.info "netsim" ~doc:"Run a named ident++ simulation scenario")
       Term.(
-        const run $ scenario $ pcap $ verbose $ json $ fastpath $ attr_capacity
-        $ attr_ttl $ decision_capacity $ breaker_threshold $ breaker_backoff)
+        const run $ scenario $ pcap $ verbose $ json $ metrics $ metrics_json
+        $ spans_file $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
+        $ breaker_threshold $ breaker_backoff)
   in
   exit (Cmd.eval' cmd)

@@ -61,6 +61,12 @@ type pending = {
   mutable await_dst : bool;
   mutable retries_left : int;
   mutable p_timeout : Sim.Engine.cancel;
+  p_started : float; (* packet-in time, seconds *)
+  p_span : Obs.Span.span;
+  mutable src_qspan : Obs.Span.span;
+  mutable dst_qspan : Obs.Span.span;
+  mutable src_sent : float; (* first query send time; nan = never sent *)
+  mutable dst_sent : float;
 }
 
 type stats = {
@@ -94,6 +100,79 @@ module Flow_tbl = Hashtbl.Make (struct
   let hash = Five_tuple.hash
 end)
 
+(* The controller's own instruments. The old ad-hoc stat fields live in
+   the registry now; {!stats} reads the counters back, so its numbers
+   track the exported series exactly. *)
+type metrics = {
+  c_flows : Obs.Registry.Counter.t;
+  c_allowed : Obs.Registry.Counter.t;
+  c_blocked : Obs.Registry.Counter.t;
+  c_queries : Obs.Registry.Counter.t;
+  c_responses : Obs.Registry.Counter.t;
+  c_timeouts : Obs.Registry.Counter.t;
+  c_retries : Obs.Registry.Counter.t;
+  c_rejected : Obs.Registry.Counter.t;
+  c_augmented : Obs.Registry.Counter.t;
+  c_local : Obs.Registry.Counter.t;
+  c_eval_errors : Obs.Registry.Counter.t;
+  c_fastpath : Obs.Registry.Counter.t;
+  h_flow_setup : Obs.Registry.Histogram.t;
+  h_query_rtt : Obs.Registry.Histogram.t;
+}
+
+let make_metrics reg ~labels =
+  let counter help name = Obs.Registry.counter reg ~help ~labels name in
+  {
+    c_flows =
+      counter "Table-miss flows that reached the controller."
+        "identxx_controller_flows_total";
+    c_allowed =
+      Obs.Registry.counter reg ~help:"Flow verdicts, by decision."
+        ~labels:(labels @ [ ("verdict", "pass") ])
+        "identxx_controller_decisions_total";
+    c_blocked =
+      Obs.Registry.counter reg ~help:"Flow verdicts, by decision."
+        ~labels:(labels @ [ ("verdict", "block") ])
+        "identxx_controller_decisions_total";
+    c_queries =
+      counter "ident++ queries sent to daemons (including retries)."
+        "identxx_controller_queries_sent_total";
+    c_responses =
+      counter "ident++ responses accepted."
+        "identxx_controller_responses_received_total";
+    c_timeouts =
+      counter "Flows that decided with at least one end silent."
+        "identxx_controller_query_timeouts_total";
+    c_retries =
+      counter "Query retry rounds issued."
+        "identxx_controller_query_retries_total";
+    c_rejected =
+      counter "Responses dropped for a failed signature check."
+        "identxx_controller_responses_rejected_total";
+    c_augmented =
+      counter "Transit responses augmented with a policy section."
+        "identxx_controller_responses_augmented_total";
+    c_local =
+      counter "Queries answered on a host's behalf (interception)."
+        "identxx_controller_local_answers_total";
+    c_eval_errors =
+      counter "Policy evaluations that failed (verdict fell back to block)."
+        "identxx_controller_eval_errors_total";
+    c_fastpath =
+      counter
+        "Flows decided without any query exchange (every needed answer came \
+         from the attribute cache or an open breaker)."
+        "identxx_controller_fastpath_decisions_total";
+    h_flow_setup =
+      Obs.Registry.histogram reg
+        ~help:"Packet-in to verdict latency in seconds." ~labels
+        "identxx_controller_flow_setup_seconds";
+    h_query_rtt =
+      Obs.Registry.histogram reg
+        ~help:"First query send to accepted response, in seconds." ~labels
+        "identxx_controller_query_rtt_seconds";
+  }
+
 type t = {
   network : Net.t;
   id : Net.controller_id;
@@ -105,18 +184,9 @@ type t = {
   audit : Audit.t;
   mutable augment : Identxx.Response.t -> Identxx.Key_value.section;
   mutable local_answers : Ipv4.t -> Identxx.Key_value.section option;
-  mutable s_flows_seen : int;
-  mutable s_allowed : int;
-  mutable s_blocked : int;
-  mutable s_queries_sent : int;
-  mutable s_responses : int;
-  mutable s_timeouts : int;
-  mutable s_retries : int;
-  mutable s_rejected : int;
-  mutable s_augmented : int;
-  mutable s_local_answers : int;
-  mutable s_eval_errors : int;
-  mutable s_fastpath_decisions : int;
+  obs : Obs.Registry.t;
+  spans : Obs.Span.t;
+  m : metrics;
   fastpath : Fastpath.t;
   mutable src_port_matters : (int * bool) option;
       (* Per-epoch memo of Fastpath.env_matches_src_port. *)
@@ -127,6 +197,10 @@ type t = {
 
 let policy t = t.policy
 let fastpath t = t.fastpath
+let metrics t = t.obs
+let spans t = t.spans
+
+let time_now_s t = Sim.Time.to_float_s (Sim.Engine.now (Net.engine t.network))
 let decision t = t.decision
 let audit t = t.audit
 let keystore t = Decision.keystore t.decision
@@ -137,19 +211,20 @@ let set_local_answers t f = t.local_answers <- f
 
 let stats t =
   let c = Fastpath.counters t.fastpath in
+  let v = Obs.Registry.Counter.value in
   {
-    flows_seen = t.s_flows_seen;
-    allowed = t.s_allowed;
-    blocked = t.s_blocked;
-    queries_sent = t.s_queries_sent;
-    responses_received = t.s_responses;
-    query_timeouts = t.s_timeouts;
-    query_retries_sent = t.s_retries;
-    responses_rejected = t.s_rejected;
-    responses_augmented = t.s_augmented;
-    queries_answered_locally = t.s_local_answers;
-    eval_errors = t.s_eval_errors;
-    fastpath_decisions = t.s_fastpath_decisions;
+    flows_seen = v t.m.c_flows;
+    allowed = v t.m.c_allowed;
+    blocked = v t.m.c_blocked;
+    queries_sent = v t.m.c_queries;
+    responses_received = v t.m.c_responses;
+    query_timeouts = v t.m.c_timeouts;
+    query_retries_sent = v t.m.c_retries;
+    responses_rejected = v t.m.c_rejected;
+    responses_augmented = v t.m.c_augmented;
+    queries_answered_locally = v t.m.c_local;
+    eval_errors = v t.m.c_eval_errors;
+    fastpath_decisions = v t.m.c_fastpath;
     attr_cache_hits = c.Fastpath.attr_hits;
     attr_cache_misses = c.Fastpath.attr_misses;
     attr_cache_evictions = c.Fastpath.attr_evictions;
@@ -287,7 +362,7 @@ let compute_verdict t ~flow ~src ~dst =
   match Decision.decide t.decision input with
   | Ok v -> v
   | Error _ ->
-      t.s_eval_errors <- t.s_eval_errors + 1;
+      Obs.Registry.Counter.inc t.m.c_eval_errors;
       (* Fail closed on configuration errors. *)
       {
         Pf.Eval.decision = Pf.Ast.Block;
@@ -321,7 +396,8 @@ let eval_decision ?src_tag ?dst_tag t ~flow ~src ~dst =
         v
   end
 
-let apply_verdict t ~flow ~packets ~src ~dst verdict =
+let apply_verdict ?(span = Obs.Span.null) ?started t ~flow ~packets ~src ~dst
+    verdict =
   Audit.record t.audit
     ~at:(Sim.Engine.now (Net.engine t.network))
     ~flow ~verdict ~src ~dst;
@@ -333,9 +409,23 @@ let apply_verdict t ~flow ~packets ~src ~dst verdict =
         (match verdict.Pf.Eval.matched with
         | Some r -> Printf.sprintf " (rule@%d)" r.Pf.Ast.line
         | None -> " (default)"));
-  match verdict.Pf.Eval.decision with
+  let now_s = time_now_s t in
+  (match started with
+  | Some s -> Obs.Registry.Histogram.observe t.m.h_flow_setup (now_s -. s)
+  | None -> ());
+  if Obs.Span.is_live span then begin
+    Obs.Span.set_attr span "decision"
+      (match verdict.Pf.Eval.decision with
+      | Pf.Ast.Pass -> "pass"
+      | Pf.Ast.Block -> "block");
+    Obs.Span.set_attr span "rule"
+      (match verdict.Pf.Eval.matched with
+      | Some r -> string_of_int r.Pf.Ast.line
+      | None -> "default")
+  end;
+  (match verdict.Pf.Eval.decision with
   | Pf.Ast.Pass ->
-      t.s_allowed <- t.s_allowed + 1;
+      Obs.Registry.Counter.inc t.m.c_allowed;
       let installed = install_path t flow in
       if verdict.Pf.Eval.keep_state then begin
         Conn_state.note t.conn_state
@@ -343,20 +433,27 @@ let apply_verdict t ~flow ~packets ~src ~dst verdict =
           flow;
         ignore (install_path t (Five_tuple.reverse flow))
       end;
+      if Obs.Span.is_live span then
+        Obs.Span.event span ~at:now_s
+          (if installed then "install" else "no-path");
       if installed then release_packets t packets
   | Pf.Ast.Block -> (
-      t.s_blocked <- t.s_blocked + 1;
+      Obs.Registry.Counter.inc t.m.c_blocked;
       if t.cfg.cache_denials then
         match packets with
-        | (dpid, _, _) :: _ -> install_drop t ~dpid flow
-        | [] -> ())
+        | (dpid, _, _) :: _ ->
+            install_drop t ~dpid flow;
+            if Obs.Span.is_live span then
+              Obs.Span.event span ~at:now_s "install-drop"
+        | [] -> ()));
+  Obs.Span.finish t.spans ~at:now_s span
 
 let finalize t p =
   Sim.Engine.cancel p.p_timeout;
   Flow_tbl.remove t.pending p.p_flow;
   let verdict = eval_decision t ~flow:p.p_flow ~src:p.src_resp ~dst:p.dst_resp in
-  apply_verdict t ~flow:p.p_flow ~packets:p.p_packets ~src:p.src_resp
-    ~dst:p.dst_resp verdict
+  apply_verdict ~span:p.p_span ~started:p.p_started t ~flow:p.p_flow
+    ~packets:p.p_packets ~src:p.src_resp ~dst:p.dst_resp verdict
 
 let maybe_finalize t p =
   if (not p.await_src) && not p.await_dst then finalize t p
@@ -384,7 +481,7 @@ let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
   match resolve_local_answer t target_ip with
   | Some section ->
       (* Answer on the host's behalf without touching the network. *)
-      t.s_local_answers <- t.s_local_answers + 1;
+      Obs.Registry.Counter.inc t.m.c_local;
       let response = Identxx.Response.make ~flow [ section ] in
       `Local response
   | None -> (
@@ -399,7 +496,7 @@ let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
                 Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to
                   query
               in
-              t.s_queries_sent <- t.s_queries_sent + 1;
+              Obs.Registry.Counter.inc t.m.c_queries;
               (match attachment.Topo.node with
               | Topo.Sw dpid ->
                   Net.send_to_switch t.network dpid
@@ -409,17 +506,34 @@ let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
               `Sent))
 
 let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
-  t.s_flows_seen <- t.s_flows_seen + 1;
+  Obs.Registry.Counter.inc t.m.c_flows;
+  let now_s = time_now_s t in
+  (* One root span per table-miss flow. Attribute formatting is gated on
+     the collector flag (the Sim.Trace discipline); when disabled every
+     operation below runs against the shared dead span. *)
+  let sp =
+    if Obs.Span.enabled t.spans then
+      Obs.Span.start t.spans ~at:now_s
+        ~attrs:[ ("flow", Five_tuple.to_string flow) ]
+        "flow-setup"
+    else Obs.Span.null
+  in
   Log.debug (fun m -> m "new flow %s at s%d" (Five_tuple.to_string flow) dpid);
   (* PF semantics: state matching precedes the ruleset. A flow covered
      by live keep-state (e.g. a reply whose cached entry idled out) is
      re-admitted without a fresh ident++ exchange. *)
   if Conn_state.permits t.conn_state ~now:(Sim.Engine.now (Net.engine t.network)) flow
   then begin
-    t.s_allowed <- t.s_allowed + 1;
+    Obs.Registry.Counter.inc t.m.c_allowed;
+    Obs.Registry.Histogram.observe t.m.h_flow_setup 0.;
+    if Obs.Span.is_live sp then begin
+      Obs.Span.event sp ~at:now_s "conn-state-readmit";
+      Obs.Span.set_attr sp "decision" "pass"
+    end;
     if install_path t flow then
       Net.send_to_switch t.network dpid
-        (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table })
+        (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table });
+    Obs.Span.finish t.spans ~at:now_s sp
   end
   else begin
     let now = Sim.Engine.now (Net.engine t.network) in
@@ -445,11 +559,27 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
           Fastpath.find_attrs_tagged t.fastpath ~now ~host:ip
             ~keys:(hint_keys t)
         with
-        | Some (r, tag) -> Some (Some r, tag)
+        | Some (r, tag) ->
+            if Obs.Span.is_live sp then
+              Obs.Span.event sp ~at:now_s
+                ~attrs:[ ("host", Ipv4.to_string ip) ]
+                "attr-cache-hit";
+            Some (Some r, tag)
         | None -> (
             match Fastpath.consult_host t.fastpath ~now ip with
-            | `Absent -> Some (None, "-")
-            | `Ask | `Probe -> None)
+            | `Absent ->
+                if Obs.Span.is_live sp then
+                  Obs.Span.event sp ~at:now_s
+                    ~attrs:[ ("host", Ipv4.to_string ip) ]
+                    "breaker-absent";
+                Some (None, "-")
+            | `Probe ->
+                if Obs.Span.is_live sp then
+                  Obs.Span.event sp ~at:now_s
+                    ~attrs:[ ("host", Ipv4.to_string ip) ]
+                    "breaker-probe";
+                None
+            | `Ask -> None)
     in
     let pre_src = fp_resolve want_src flow.Five_tuple.src
     and pre_dst = fp_resolve want_dst flow.Five_tuple.dst in
@@ -458,9 +588,10 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
       ->
         (* Both ends resolved without touching the network: decide now,
            with no pending entry and no timer. *)
-        t.s_fastpath_decisions <- t.s_fastpath_decisions + 1;
+        Obs.Registry.Counter.inc t.m.c_fastpath;
+        if Obs.Span.is_live sp then Obs.Span.set_attr sp "path" "fastpath";
         let verdict = eval_decision t ~flow ~src ~dst ~src_tag ~dst_tag in
-        apply_verdict t ~flow
+        apply_verdict ~span:sp ~started:now_s t ~flow
           ~packets:[ (dpid, in_port, pkt) ]
           ~src ~dst verdict
     | _ ->
@@ -478,7 +609,36 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
           Sim.Engine.schedule_cancellable (Net.engine t.network)
             ~delay:t.cfg.query_timeout (fun () ->
               match !timeout_handle with Some f -> f () | None -> ());
+        p_started = now_s;
+        p_span = sp;
+        src_qspan = Obs.Span.null;
+        dst_qspan = Obs.Span.null;
+        src_sent = Float.nan;
+        dst_sent = Float.nan;
       }
+    in
+    let note_sent end_ =
+      (* First attempt only: a retried query keeps its original child
+         span and send time, so the RTT histogram sees the full wait. *)
+      let at = time_now_s t in
+      let qspan target =
+        if Obs.Span.is_live p.p_span then
+          Obs.Span.start t.spans ~at ~parent:p.p_span
+            ~attrs:[ ("host", Ipv4.to_string target) ]
+            "query"
+        else Obs.Span.null
+      in
+      match end_ with
+      | `Src ->
+          if Float.is_nan p.src_sent then begin
+            p.src_sent <- at;
+            p.src_qspan <- qspan flow.Five_tuple.src
+          end
+      | `Dst ->
+          if Float.is_nan p.dst_sent then begin
+            p.dst_sent <- at;
+            p.dst_qspan <- qspan flow.Five_tuple.dst
+          end
     in
     let issue_queries () =
       if p.await_src then begin
@@ -487,9 +647,13 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
             ~reply_to:flow.Five_tuple.dst
         with
         | `Local r ->
+            if Obs.Span.is_live sp then
+              Obs.Span.event sp ~at:(time_now_s t)
+                ~attrs:[ ("host", Ipv4.to_string flow.Five_tuple.src) ]
+                "local-answer";
             p.src_resp <- Some r;
             p.await_src <- false
-        | `Sent -> ()
+        | `Sent -> note_sent `Src
         | `Unreachable -> p.await_src <- false
       end;
       if p.await_dst then begin
@@ -498,9 +662,13 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
             ~reply_to:flow.Five_tuple.src
         with
         | `Local r ->
+            if Obs.Span.is_live sp then
+              Obs.Span.event sp ~at:(time_now_s t)
+                ~attrs:[ ("host", Ipv4.to_string flow.Five_tuple.dst) ]
+                "local-answer";
             p.dst_resp <- Some r;
             p.await_dst <- false
-        | `Sent -> ()
+        | `Sent -> note_sent `Dst
         | `Unreachable -> p.await_dst <- false
       end
     in
@@ -512,7 +680,9 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
               if (p.await_src || p.await_dst) && p.retries_left > 0 then begin
                 (* Re-issue the unanswered queries and re-arm the timer. *)
                 p.retries_left <- p.retries_left - 1;
-                t.s_retries <- t.s_retries + 1;
+                Obs.Registry.Counter.inc t.m.c_retries;
+                if Obs.Span.is_live sp then
+                  Obs.Span.event sp ~at:(time_now_s t) "retry";
                 issue_queries ();
                 p.p_timeout <-
                   Sim.Engine.schedule_cancellable (Net.engine t.network)
@@ -521,14 +691,21 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
               end
               else begin
                 if p.await_src || p.await_dst then begin
-                  t.s_timeouts <- t.s_timeouts + 1;
+                  Obs.Registry.Counter.inc t.m.c_timeouts;
                   (* Feed the breaker: each side that stayed silent
                      through every attempt is a consecutive timeout. *)
                   let now = Sim.Engine.now (Net.engine t.network) in
+                  let at = time_now_s t in
+                  let timed_out qspan ip =
+                    Fastpath.note_timeout t.fastpath ~now ip;
+                    if Obs.Span.is_live qspan then begin
+                      Obs.Span.set_attr qspan "outcome" "timeout";
+                      Obs.Span.finish t.spans ~at qspan
+                    end
+                  in
                   if p.await_src then
-                    Fastpath.note_timeout t.fastpath ~now flow.Five_tuple.src;
-                  if p.await_dst then
-                    Fastpath.note_timeout t.fastpath ~now flow.Five_tuple.dst
+                    timed_out p.src_qspan flow.Five_tuple.src;
+                  if p.await_dst then timed_out p.dst_qspan flow.Five_tuple.dst
                 end;
                 p.await_src <- false;
                 p.await_dst <- false;
@@ -570,12 +747,15 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
          at the timeout with whatever arrived (fail closed for
          information-dependent policy). *)
       ignore flow;
-      ignore p;
-      t.s_rejected <- t.s_rejected + 1;
+      Obs.Registry.Counter.inc t.m.c_rejected;
+      if Obs.Span.is_live p.p_span then
+        Obs.Span.event p.p_span ~at:(time_now_s t)
+          ~attrs:[ ("host", Ipv4.to_string from_ip) ]
+          "response-rejected";
       Log.debug (fun m ->
           m "rejecting unauthenticated response from %s" (Ipv4.to_string from_ip)))
   | Some (flow, p) ->
-      t.s_responses <- t.s_responses + 1;
+      Obs.Registry.Counter.inc t.m.c_responses;
       (* An (authenticated, if required) answer: close any breaker state
          and remember the attributes for subsequent flows. *)
       Fastpath.note_response t.fastpath from_ip;
@@ -584,11 +764,22 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
         ~host:from_ip ~keys:(hint_keys t)
         ?signer:(Identxx.Response.latest response Identxx.Signed.signer_key)
         response;
+      let at = time_now_s t in
+      let answered qspan sent =
+        if not (Float.is_nan sent) then
+          Obs.Registry.Histogram.observe t.m.h_query_rtt (at -. sent);
+        if Obs.Span.is_live qspan then begin
+          Obs.Span.set_attr qspan "outcome" "answered";
+          Obs.Span.finish t.spans ~at qspan
+        end
+      in
       if Ipv4.equal from_ip flow.Five_tuple.src then begin
+        answered p.src_qspan p.src_sent;
         p.src_resp <- Some response;
         p.await_src <- false
       end
       else begin
+        answered p.dst_qspan p.dst_sent;
         p.dst_resp <- Some response;
         p.await_dst <- false
       end;
@@ -600,7 +791,7 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
       let pkt =
         if section = [] then pkt
         else begin
-          t.s_augmented <- t.s_augmented + 1;
+          Obs.Registry.Counter.inc t.m.c_augmented;
           let augmented = Identxx.Response.append_section response section in
           let dst_port =
             match pkt.Packet.eth_payload with
@@ -616,7 +807,7 @@ let handle_foreign_query t ~dpid ~from_ip ~to_ip (q : Identxx.Query.t) pkt =
   (* "Intercepted queries are not allowed to cause new queries." *)
   match resolve_local_answer t to_ip with
   | Some section ->
-      t.s_local_answers <- t.s_local_answers + 1;
+      Obs.Registry.Counter.inc t.m.c_local;
       let flow =
         (* Spoof the queried host: respond as if we were it. *)
         Identxx.Query.flow_of q ~src:to_ip ~dst:from_ip
@@ -763,11 +954,20 @@ let revoke_file t ~name =
   Policy_store.remove t.policy ~name;
   flush_cache t
 
-let create ?(config = default_config) ?keystore ?functions ~network ~id () =
+let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
+    ~id () =
   let policy = Policy_store.create () in
   let decision =
     Decision.create ~default:config.default ?keystore ?functions ~policy ()
   in
+  (* A private registry when none is shared: stats counting must work
+     out of the box. Span collection is opt-in — it retains per-flow
+     records, which nothing reads unless a collector was passed. *)
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let spans =
+    match spans with Some s -> s | None -> Obs.Span.create ~enabled:false ()
+  in
+  let labels = [ ("controller", string_of_int id) ] in
   let t =
     {
       network;
@@ -780,24 +980,19 @@ let create ?(config = default_config) ?keystore ?functions ~network ~id () =
       audit = Audit.create ();
       augment = (fun _ -> []);
       local_answers = (fun _ -> None);
-      s_flows_seen = 0;
-      s_allowed = 0;
-      s_blocked = 0;
-      s_queries_sent = 0;
-      s_responses = 0;
-      s_timeouts = 0;
-      s_retries = 0;
-      s_rejected = 0;
-      s_augmented = 0;
-      s_local_answers = 0;
-      s_eval_errors = 0;
-      s_fastpath_decisions = 0;
+      obs;
+      spans;
+      m = make_metrics obs ~labels;
       fastpath = Fastpath.create config.fastpath;
       src_port_matters = None;
       last_stats = [];
       precompiled = [];
     }
   in
+  Obs.Registry.gauge_fn obs ~help:"Flows awaiting daemon responses." ~labels
+    "identxx_controller_pending_flows" (fun () ->
+      float_of_int (Flow_tbl.length t.pending));
+  Fastpath.register_metrics t.fastpath ~labels obs;
   Net.register_controller network ~id (handle_message t);
   Policy_store.on_change policy (fun () -> sync_precompiled t);
   t

@@ -64,15 +64,32 @@ val create :
   ?config:config ->
   ?keystore:Idcrypto.Sign.keystore ->
   ?functions:Pf.Fnreg.t ->
+  ?obs:Obs.Registry.t ->
+  ?spans:Obs.Span.t ->
   network:Openflow.Network.t ->
   id:Openflow.Network.controller_id ->
   unit ->
   t
 (** Creates the controller and registers it with the network under [id].
     Switches must separately be assigned to its domain
-    ({!Openflow.Network.assign_switch}; domain 0 is the default). *)
+    ({!Openflow.Network.assign_switch}; domain 0 is the default).
+
+    [obs] is the metrics registry the controller records into (every
+    series is labelled [controller="<id>"]; see doc/OBSERVABILITY.md
+    for the catalog) — by default a private, enabled registry, so
+    {!stats} works without any setup. [spans] is the flow-setup span
+    collector — by default a {e disabled} private collector, since
+    retained spans are only useful to a caller holding the collector. *)
 
 val policy : t -> Policy_store.t
+
+val metrics : t -> Obs.Registry.t
+(** The registry this controller records into (the [?obs] argument, or
+    the private default). Exportable with {!Obs.Export}. *)
+
+val spans : t -> Obs.Span.t
+(** The flow-setup span collector (disabled unless [?spans] was given
+    or a caller enables it). *)
 
 val fastpath : t -> Fastpath.t
 (** The controller's fast-path state (caches and breaker) — mostly for

@@ -36,15 +36,20 @@ type simple = {
 
 val simple_network :
   ?config:Controller.config ->
+  ?obs:Obs.Registry.t ->
+  ?spans:Obs.Span.t ->
   ?client_ip:Ipv4.t ->
   ?server_ip:Ipv4.t ->
   unit ->
   simple
 (** The Figure-1 setup: one client, one switch, one server, one
-    controller. Client defaults to 10.0.0.1, server to 10.0.0.2. *)
+    controller. Client defaults to 10.0.0.1, server to 10.0.0.2.
+    [obs]/[spans] are handed to {!Controller.create}. *)
 
 val tree_network :
   ?config:Controller.config ->
+  ?obs:Obs.Registry.t ->
+  ?spans:Obs.Span.t ->
   depth:int ->
   fanout:int ->
   hosts_per_edge:int ->
@@ -60,6 +65,8 @@ val tree_network :
 
 val linear_network :
   ?config:Controller.config ->
+  ?obs:Obs.Registry.t ->
+  ?spans:Obs.Span.t ->
   switches:int ->
   hosts_per_switch:int ->
   unit ->

@@ -119,6 +119,63 @@ let flush t =
   Decision_cache.clear t.decisions;
   Breaker.clear t.breaker
 
+(* The caches keep their own plain-int counters on the hot path; the
+   registry reads them through callbacks at snapshot time, so metrics
+   add zero per-operation cost here. *)
+let register_metrics t ?(labels = []) reg =
+  let cache_events name help instance events =
+    List.iter
+      (fun (event, read) ->
+        Obs.Registry.counter_fn reg ~help
+          ~labels:(labels @ [ ("cache", instance); ("event", event) ])
+          name read)
+      events
+  in
+  cache_events "identxx_fastpath_cache_events_total"
+    "Attribute/decision cache hits, misses, evictions and invalidations."
+    "attr"
+    [
+      ("hit", fun () -> Attr_cache.hits t.attrs);
+      ("miss", fun () -> Attr_cache.misses t.attrs);
+      ("eviction", fun () -> Attr_cache.evictions t.attrs);
+      ("invalidation", fun () -> Attr_cache.invalidations t.attrs);
+    ];
+  cache_events "identxx_fastpath_cache_events_total"
+    "Attribute/decision cache hits, misses, evictions and invalidations."
+    "decision"
+    [
+      ("hit", fun () -> Decision_cache.hits t.decisions);
+      ("miss", fun () -> Decision_cache.misses t.decisions);
+      ("eviction", fun () -> Decision_cache.evictions t.decisions);
+    ];
+  Obs.Registry.gauge_fn reg
+    ~help:"Entries currently held by the cache."
+    ~labels:(labels @ [ ("cache", "attr") ])
+    "identxx_fastpath_cache_size"
+    (fun () -> float_of_int (Attr_cache.size t.attrs));
+  Obs.Registry.gauge_fn reg
+    ~help:"Entries currently held by the cache."
+    ~labels:(labels @ [ ("cache", "decision") ])
+    "identxx_fastpath_cache_size"
+    (fun () -> float_of_int (Decision_cache.size t.decisions));
+  Obs.Registry.counter_fn reg
+    ~help:"Closed-to-open breaker transitions (including failed probes)."
+    ~labels "identxx_fastpath_breaker_trips_total"
+    (fun () -> Breaker.trips t.breaker);
+  Obs.Registry.counter_fn reg
+    ~help:"Flows decided immediately with an absent response because the \
+           host's breaker was open."
+    ~labels "identxx_fastpath_breaker_fastpaths_total"
+    (fun () -> Breaker.fastpaths t.breaker);
+  Obs.Registry.gauge_fn reg
+    ~help:"Hosts with live breaker state (tripped or under observation)."
+    ~labels "identxx_fastpath_breaker_tracked_hosts"
+    (fun () -> float_of_int (Breaker.tracked t.breaker));
+  Obs.Registry.gauge_fn reg
+    ~help:"1 when the flow-setup fast path is enabled, 0 otherwise."
+    ~labels "identxx_fastpath_enabled"
+    (fun () -> if t.cfg.enabled then 1. else 0.)
+
 type counters = {
   attr_hits : int;
   attr_misses : int;

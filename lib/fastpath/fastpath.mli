@@ -138,6 +138,17 @@ val flush_decisions : t -> unit
 val flush : t -> unit
 (** Drop everything (attribute cache, decision cache, breaker state). *)
 
+(** {2 Observability} *)
+
+val register_metrics :
+  t -> ?labels:(string * string) list -> Obs.Registry.t -> unit
+(** Register the fast path's series with a metrics registry as callback
+    series: the caches keep their own counters and the registry samples
+    them at snapshot time, so nothing is added to the per-flow path.
+    [labels] (e.g. [("controller", "0")]) are prepended to every
+    series. The full catalog is in doc/OBSERVABILITY.md under
+    [identxx_fastpath_*]. *)
+
 (** {2 Counters} *)
 
 type counters = {

@@ -6,6 +6,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type behaviour = Honest | Silent | Lying of Key_value.section
 
+type metrics = {
+  m_clock : unit -> float;
+  m_answered : Obs.Registry.Counter.t;
+  m_silent : Obs.Registry.Counter.t;
+  m_signed : Obs.Registry.Counter.t;
+  m_seconds : Obs.Registry.Histogram.t;
+}
+
 type t = {
   ip : Ipv4.t;
   processes : Process_table.t;
@@ -16,6 +24,7 @@ type t = {
   runtime : (Five_tuple.t * Key_value.section) list ref;
   mutable answered : int;
   mutable change_listeners : (unit -> unit) list;
+  mutable metrics : metrics option;
 }
 
 let notify_change t = List.iter (fun f -> f ()) (List.rev t.change_listeners)
@@ -32,6 +41,7 @@ let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
       runtime = ref [];
       answered = 0;
       change_listeners = [];
+      metrics = None;
     }
   in
   (* Identity churn in the process table (spawn/kill) changes what this
@@ -40,6 +50,31 @@ let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
   t
 
 let on_change t f = t.change_listeners <- f :: t.change_listeners
+
+let set_metrics t ?(clock = fun () -> 0.) ?(labels = []) reg =
+  t.metrics <-
+    Some
+      {
+        m_clock = clock;
+        m_answered =
+          Obs.Registry.counter reg
+            ~help:"Queries this daemon received, by outcome."
+            ~labels:(labels @ [ ("result", "answered") ])
+            "identxx_daemon_queries_total";
+        m_silent =
+          Obs.Registry.counter reg
+            ~help:"Queries this daemon received, by outcome."
+            ~labels:(labels @ [ ("result", "silent") ])
+            "identxx_daemon_queries_total";
+        m_signed =
+          Obs.Registry.counter reg
+            ~help:"Responses carrying a signature section."
+            ~labels "identxx_daemon_responses_signed_total";
+        m_seconds =
+          Obs.Registry.histogram reg
+            ~help:"Daemon-side query service time in seconds."
+            ~labels "identxx_daemon_answer_seconds";
+      }
 
 let set_behaviour t b =
   t.behaviour <- b;
@@ -150,9 +185,24 @@ let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
       let response = Response.make ~flow sections in
       let response =
         match t.signing_key with
-        | Some keypair -> Signed.sign ~keypair response
+        | Some keypair ->
+            (match t.metrics with
+            | Some m -> Obs.Registry.Counter.inc m.m_signed
+            | None -> ());
+            Signed.sign ~keypair response
         | None -> response
       in
       Some (response, role)
+
+let answer t ~peer ~proto ~src_port ~dst_port ~keys =
+  match t.metrics with
+  | None -> answer t ~peer ~proto ~src_port ~dst_port ~keys
+  | Some m ->
+      let t0 = m.m_clock () in
+      let r = answer t ~peer ~proto ~src_port ~dst_port ~keys in
+      Obs.Registry.Histogram.observe m.m_seconds (m.m_clock () -. t0);
+      Obs.Registry.Counter.inc
+        (match r with None -> m.m_silent | Some _ -> m.m_answered);
+      r
 
 let queries_answered t = t.answered

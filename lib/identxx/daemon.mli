@@ -69,6 +69,20 @@ val answer :
 
 val queries_answered : t -> int
 
+val set_metrics :
+  t ->
+  ?clock:(unit -> float) ->
+  ?labels:(string * string) list ->
+  Obs.Registry.t ->
+  unit
+(** Start recording into [registry]: [identxx_daemon_queries_total]
+    (label [result="answered"|"silent"]), a service-time histogram
+    [identxx_daemon_answer_seconds] timed with [clock] (seconds; the
+    simulator injects sim time, [identxxd] wall time — default is a
+    constant so the histogram only counts), and
+    [identxx_daemon_responses_signed_total]. [labels] — typically
+    [("host", name)] — are added to every series. *)
+
 val on_change : t -> (unit -> unit) -> unit
 (** Register a callback fired whenever what the daemon would answer may
     have changed: process spawn or exit on the host

@@ -35,6 +35,9 @@ let mac t = t.mac
 let ip t = t.ip
 let daemon t = t.daemon
 let set_signing_key t k = Daemon.set_signing_key t.daemon k
+
+let set_metrics t ?clock reg =
+  Daemon.set_metrics t.daemon ?clock ~labels:[ ("host", t.name) ] reg
 let processes t = t.processes
 
 let install_exe t ~path ~content =

@@ -17,6 +17,9 @@ val daemon : t -> Daemon.t
 val set_signing_key : t -> Idcrypto.Sign.keypair option -> unit
 (** Authenticate the daemon's responses (see {!Signed}). *)
 
+val set_metrics : t -> ?clock:(unit -> float) -> Obs.Registry.t -> unit
+(** {!Daemon.set_metrics} with this host's name as the [host] label. *)
+
 val processes : t -> Process_table.t
 
 (** {2 Executables} *)

@@ -1,0 +1,146 @@
+type span = {
+  live : bool;
+  root : bool;
+  sp_name : string;
+  sp_start : float;
+  mutable sp_end : float option;
+  mutable sp_attrs : (string * string) list;  (* newest first *)
+  mutable sp_events : (float * string * (string * string) list) list;
+  mutable sp_children : span list;  (* newest first *)
+}
+
+type t = {
+  capacity : int;
+  mutable on : bool;
+  mutable roots : span list;  (* finished, newest first *)
+  mutable retained : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 1024) ?(enabled = true) () =
+  if capacity <= 0 then invalid_arg "Obs.Span.create: capacity must be positive";
+  { capacity; on = enabled; roots = []; retained = 0; total = 0 }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+
+let null =
+  {
+    live = false;
+    root = false;
+    sp_name = "";
+    sp_start = 0.;
+    sp_end = None;
+    sp_attrs = [];
+    sp_events = [];
+    sp_children = [];
+  }
+
+let is_live sp = sp.live
+
+let start t ~at ?parent ?(attrs = []) name =
+  let parent_dead = match parent with Some p -> not p.live | None -> false in
+  if (not t.on) || parent_dead then null
+  else begin
+    let sp =
+      {
+        live = true;
+        root = parent = None;
+        sp_name = name;
+        sp_start = at;
+        sp_end = None;
+        sp_attrs = List.rev attrs;
+        sp_events = [];
+        sp_children = [];
+      }
+    in
+    (match parent with
+    | Some p -> p.sp_children <- sp :: p.sp_children
+    | None -> ());
+    sp
+  end
+
+let event sp ~at ?(attrs = []) name =
+  if sp.live then sp.sp_events <- (at, name, attrs) :: sp.sp_events
+
+let set_attr sp k v =
+  if sp.live then sp.sp_attrs <- (k, v) :: List.remove_assoc k sp.sp_attrs
+
+(* Roots are retained newest-first with the same lazy trim as
+   Audit.record, so finishing stays O(1) amortized. *)
+let retain t sp =
+  t.total <- t.total + 1;
+  t.roots <- sp :: t.roots;
+  t.retained <- t.retained + 1;
+  if t.retained > t.capacity + (t.capacity / 4) then begin
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.roots <- take t.capacity t.roots;
+    t.retained <- t.capacity
+  end
+
+let finish t ~at sp =
+  if sp.live && sp.sp_end = None then begin
+    sp.sp_end <- Some at;
+    if sp.root then retain t sp
+  end
+
+let duration sp =
+  match sp.sp_end with Some e -> Some (e -. sp.sp_start) | None -> None
+
+let finished t = List.rev t.roots
+let count t = t.total
+
+let clear t =
+  t.roots <- [];
+  t.retained <- 0;
+  t.total <- 0
+
+let name sp = sp.sp_name
+let attrs sp = List.rev sp.sp_attrs
+let events sp = List.rev sp.sp_events
+let children sp = List.rev sp.sp_children
+
+let json_attrs pairs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) pairs)
+
+let rec to_json sp =
+  let base =
+    [ ("name", Json.Str sp.sp_name); ("start", Json.Num sp.sp_start) ]
+  in
+  let end_ =
+    match sp.sp_end with Some e -> [ ("end", Json.Num e) ] | None -> []
+  in
+  let attrs_f =
+    match attrs sp with [] -> [] | a -> [ ("attrs", json_attrs a) ]
+  in
+  let events_f =
+    match events sp with
+    | [] -> []
+    | evs ->
+        [
+          ( "events",
+            Json.List
+              (List.map
+                 (fun (at, name, a) ->
+                   Json.Obj
+                     ([ ("at", Json.Num at); ("name", Json.Str name) ]
+                     @ match a with [] -> [] | a -> [ ("attrs", json_attrs a) ]))
+                 evs) );
+        ]
+  in
+  let children_f =
+    match children sp with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map to_json cs)) ]
+  in
+  Json.Obj (base @ end_ @ attrs_f @ events_f @ children_f)
+
+let export t =
+  Json.Obj
+    [
+      ("spans", Json.List (List.map to_json (finished t)));
+      ("dropped", Json.Num (float_of_int (t.total - t.retained)));
+    ]

@@ -1,0 +1,78 @@
+(** Flow-setup spans: one structured, timestamped record per table-miss
+    flow, covering packet-in → per-host queries (child spans) →
+    decision → flow install.
+
+    A span has a name, start/end timestamps (float seconds — the
+    controller feeds simulated time), key-value attributes, point-in-
+    time events (cache hits, breaker short-circuits, retries,
+    rejections), and child spans (one per ident++ query). Finished root
+    spans are retained in a capacity-capped buffer and exportable as a
+    JSON event stream (see doc/OBSERVABILITY.md for the schema).
+
+    Like {!Registry}, the collector is enabled-gated: when disabled,
+    {!start} hands back the shared {!null} span, every operation on
+    which is a no-op — callers should gate any attribute {e formatting}
+    on {!enabled}, the {!Sim.Trace} discipline. *)
+
+type t
+(** A span collector. *)
+
+type span
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** Retains the most recent [capacity] (default 1024) finished root
+    spans; enabled by default. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val null : span
+(** The dead span: returned by {!start} when the collector is disabled;
+    every operation on it is a no-op. *)
+
+val is_live : span -> bool
+(** [false] exactly for {!null}. *)
+
+val start :
+  t -> at:float -> ?parent:span -> ?attrs:(string * string) list ->
+  string -> span
+(** Opens a span. With [?parent] the new span is recorded as a child of
+    (and retained with) the parent instead of entering the root buffer.
+    A child of {!null} is {!null}. *)
+
+val event : span -> at:float -> ?attrs:(string * string) list -> string -> unit
+(** A point-in-time occurrence within the span. *)
+
+val set_attr : span -> string -> string -> unit
+(** Sets (or overwrites) an attribute. *)
+
+val finish : t -> at:float -> span -> unit
+(** Closes the span; root spans enter the retained buffer. Finishing a
+    span twice, or finishing {!null}, is a no-op. *)
+
+val duration : span -> float option
+(** [end - start], once finished. *)
+
+(** {2 Reading the collector} *)
+
+val finished : t -> span list
+(** Retained finished root spans, oldest first. *)
+
+val count : t -> int
+(** Total root spans finished over the collector's lifetime, including
+    any the capacity cap has since dropped. *)
+
+val clear : t -> unit
+
+val name : span -> string
+val attrs : span -> (string * string) list
+val events : span -> (float * string * (string * string) list) list
+val children : span -> span list
+
+val to_json : span -> Json.t
+(** One span as a JSON object: [{"name", "start", "end", "attrs",
+    "events", "children"}]. *)
+
+val export : t -> Json.t
+(** The whole collector: [{"spans": [...], "dropped": n}] where
+    [dropped] counts spans lost to the capacity cap. *)

@@ -1,0 +1,114 @@
+The observability surface: `netsim --metrics` renders the registry that
+the controller, fast path, daemons, and fabric record into — as
+Prometheus text and as a JSON snapshot — and `identxx_ctl metrics`
+reads the snapshot back. Everything runs on the simulated clock, so
+every number below (including histogram sums) is deterministic.
+
+  $ identxx-netsim fig1 --metrics --metrics-json snap.json --spans spans.json > out.txt
+
+The Figure-1 run, in controller series: one table-miss flow, one pass
+verdict, one query to each end, both answered:
+
+  $ grep -E '^identxx_controller_(flows|decisions|queries_sent|responses_received)' out.txt
+  identxx_controller_decisions_total{controller="0",verdict="block"} 0
+  identxx_controller_decisions_total{controller="0",verdict="pass"} 1
+  identxx_controller_flows_total{controller="0"} 1
+  identxx_controller_queries_sent_total{controller="0"} 2
+  identxx_controller_responses_received_total{controller="0"} 2
+
+Latency histograms: packet-in at 60us, verdict at 180us (one 120us
+flow setup), and two 120us query round trips:
+
+  $ grep -E '^identxx_controller_(flow_setup|query_rtt)_seconds_(sum|count)' out.txt
+  identxx_controller_flow_setup_seconds_sum{controller="0"} 0.00012000000000000002
+  identxx_controller_flow_setup_seconds_count{controller="0"} 1
+  identxx_controller_query_rtt_seconds_sum{controller="0"} 0.00024000000000000003
+  identxx_controller_query_rtt_seconds_count{controller="0"} 2
+
+Daemon-side and fabric series ride in the same registry:
+
+  $ grep -E '^identxx_daemon_queries_total|^identxx_net_' out.txt
+  identxx_daemon_queries_total{host="client",result="answered"} 1
+  identxx_daemon_queries_total{host="client",result="silent"} 0
+  identxx_daemon_queries_total{host="server",result="answered"} 1
+  identxx_daemon_queries_total{host="server",result="silent"} 0
+  identxx_net_packet_ins_total 3
+  identxx_net_packets_delivered_total 3
+  identxx_net_packets_dropped_total 0
+
+The round trip: the JSON snapshot, re-rendered as Prometheus text by
+identxx_ctl, is byte-identical to what netsim printed.
+
+  $ awk '/^=== metrics \(json\)/{f=0} f&&NF {print} /^=== metrics \(prometheus\)/{f=1}' out.txt > netsim.prom
+  $ identxx_ctl metrics snap.json --format prom > roundtrip.prom
+  $ cmp netsim.prom roundtrip.prom
+
+The one-line-per-series summary view:
+
+  $ identxx_ctl metrics snap.json --format summary | grep identxx_daemon
+  histogram identxx_daemon_answer_seconds{host=client} count=1 sum=0
+  histogram identxx_daemon_answer_seconds{host=server} count=1 sum=0
+  counter   identxx_daemon_queries_total{host=client,result=answered} = 1
+  counter   identxx_daemon_queries_total{host=client,result=silent} = 0
+  counter   identxx_daemon_queries_total{host=server,result=answered} = 1
+  counter   identxx_daemon_queries_total{host=server,result=silent} = 0
+  counter   identxx_daemon_responses_signed_total{host=client} = 0
+  counter   identxx_daemon_responses_signed_total{host=server} = 0
+
+The span stream: one root flow-setup span with the decision and the
+matched rule, one child span per ident++ query:
+
+  $ cat spans.json
+  {
+    "spans": [
+      {
+        "name": "flow-setup",
+        "start": 6e-05,
+        "end": 0.00018,
+        "attrs": {
+          "flow": "tcp 10.0.0.1:50000 -> 10.0.0.2:80",
+          "decision": "pass",
+          "rule": "2"
+        },
+        "events": [
+          {
+            "at": 0.00018,
+            "name": "install"
+          }
+        ],
+        "children": [
+          {
+            "name": "query",
+            "start": 6e-05,
+            "end": 0.00018,
+            "attrs": {
+              "host": "10.0.0.1",
+              "outcome": "answered"
+            }
+          },
+          {
+            "name": "query",
+            "start": 6e-05,
+            "end": 0.00018,
+            "attrs": {
+              "host": "10.0.0.2",
+              "outcome": "answered"
+            }
+          }
+        ]
+      }
+    ],
+    "dropped": 0
+  }
+
+Snapshots that are not JSON, or JSON that is not a snapshot, are
+refused with a useful error:
+
+  $ echo 'not json' > bad.json
+  $ identxx_ctl metrics bad.json
+  error: bad.json: byte 0: expected null
+  [1]
+  $ echo '{"metrics": 1}' > shape.json
+  $ identxx_ctl metrics shape.json
+  error: shape.json: "metrics" is not an array
+  [1]

@@ -1,0 +1,300 @@
+(* The observability layer (lib/obs): registry instrument semantics
+   (bucket boundaries, label-set identity, reset, the enabled gate),
+   deterministic snapshot ordering, the JSON emitter/parser round trip,
+   the exporter round trip (prometheus = prometheus_of_series ∘ of_json
+   ∘ json), and span collection (nesting, events, retention cap, the
+   null span when disabled). *)
+
+module R = Obs.Registry
+module Span = Obs.Span
+module Json = Obs.Json
+module Export = Obs.Export
+
+let check = Alcotest.check
+
+(* --- registry --- *)
+
+let test_counter_basics () =
+  let r = R.create () in
+  let c = R.counter r "requests_total" in
+  R.Counter.inc c;
+  R.Counter.add c 4;
+  check Alcotest.int "value" 5 (R.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Registry.Counter.add: negative increment")
+    (fun () -> R.Counter.add c (-1));
+  let g = R.gauge r "depth" in
+  R.Gauge.set g 2.5;
+  R.Gauge.add g (-1.);
+  check (Alcotest.float 1e-9) "gauge" 1.5 (R.Gauge.value g)
+
+let test_disabled_gate () =
+  let r = R.create ~enabled:false () in
+  let c = R.counter r "c_total" in
+  let h = R.histogram r "h_seconds" in
+  R.Counter.inc c;
+  R.Histogram.observe h 0.5;
+  check Alcotest.int "counter untouched" 0 (R.Counter.value c);
+  check Alcotest.int "histogram untouched" 0 (R.Histogram.count h);
+  R.set_enabled r true;
+  R.Counter.inc c;
+  R.Histogram.observe h 0.5;
+  check Alcotest.int "counter counts once enabled" 1 (R.Counter.value c);
+  check Alcotest.int "histogram counts once enabled" 1 (R.Histogram.count h)
+
+let test_label_identity () =
+  let r = R.create () in
+  (* Same name + same label set (any order) is the same instrument. *)
+  let a = R.counter r ~labels:[ ("x", "1"); ("y", "2") ] "c_total" in
+  let b = R.counter r ~labels:[ ("y", "2"); ("x", "1") ] "c_total" in
+  let other = R.counter r ~labels:[ ("x", "1"); ("y", "3") ] "c_total" in
+  R.Counter.inc a;
+  R.Counter.inc b;
+  R.Counter.inc other;
+  check Alcotest.int "shared series" 2 (R.Counter.value a);
+  check Alcotest.int "distinct series" 1 (R.Counter.value other);
+  (* Same name, different kind: refused. *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.Registry: c_total is a counter, not a gauge")
+    (fun () -> ignore (R.gauge r "c_total"))
+
+let test_histogram_buckets () =
+  let r = R.create () in
+  let h = R.histogram r ~buckets:[ 0.01; 0.1; 1. ] "lat_seconds" in
+  (* le semantics: a value equal to a bound lands in that bucket. *)
+  List.iter (R.Histogram.observe h) [ 0.005; 0.01; 0.05; 1.; 5. ];
+  check Alcotest.int "count" 5 (R.Histogram.count h);
+  check (Alcotest.float 1e-9) "sum" 6.065 (R.Histogram.sum h);
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+    "cumulative buckets"
+    [ (0.01, 2); (0.1, 3); (1., 4) ]
+    (R.Histogram.buckets h);
+  Alcotest.check_raises "non-increasing bounds rejected"
+    (Invalid_argument
+       "Obs.Registry: bad_seconds: buckets must be strictly increasing")
+    (fun () -> ignore (R.histogram r ~buckets:[ 1.; 1. ] "bad_seconds"))
+
+let test_reset () =
+  let r = R.create () in
+  let c = R.counter r "c_total" in
+  let g = R.gauge r "g" in
+  let h = R.histogram r "h_seconds" in
+  R.counter_fn r "live_total" (fun () -> 7);
+  R.Counter.inc c;
+  R.Gauge.set g 3.;
+  R.Histogram.observe h 0.2;
+  R.reset r;
+  check Alcotest.int "counter zeroed" 0 (R.Counter.value c);
+  check (Alcotest.float 1e-9) "gauge zeroed" 0. (R.Gauge.value g);
+  check Alcotest.int "histogram zeroed" 0 (R.Histogram.count h);
+  (* Callback series sample live state; reset does not touch them. *)
+  let live =
+    List.find (fun s -> s.R.name = "live_total") (R.snapshot r)
+  in
+  check Alcotest.bool "callback survives reset" true
+    (live.R.value = R.Counter_v 7)
+
+let test_snapshot_ordering () =
+  let r = R.create () in
+  ignore (R.counter r ~labels:[ ("host", "b") ] "z_total");
+  ignore (R.counter r ~labels:[ ("host", "a") ] "z_total");
+  ignore (R.gauge r "a_gauge");
+  R.gauge_fn r "m_fn" (fun () -> 1.);
+  let names =
+    List.map
+      (fun s ->
+        s.R.name
+        ^ String.concat "" (List.map (fun (k, v) -> "{" ^ k ^ "=" ^ v ^ "}")
+                              s.R.labels))
+      (R.snapshot r)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "sorted by name then labels"
+    [ "a_gauge"; "m_fn"; "z_total{host=a}"; "z_total{host=b}" ]
+    names
+
+(* --- JSON emitter/parser --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\n\t\xe2\x9c\x93");
+        ("n", Json.Num 0.00012000000000000002);
+        ("i", Json.Num 42.);
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Num (-1.5) ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> check Alcotest.bool "compact round trip" true (v = v')
+  | Error e -> Alcotest.failf "compact reparse: %s" e);
+  (match Json.of_string (Json.to_string ~pretty:true v) with
+  | Ok v' -> check Alcotest.bool "pretty round trip" true (v = v')
+  | Error e -> Alcotest.failf "pretty reparse: %s" e);
+  (match Json.of_string "{\"u\": \"\\u2713\", \"e\": 1.5e-3}" with
+  | Ok v ->
+      check (Alcotest.option Alcotest.string) "unicode escape"
+        (Some "\xe2\x9c\x93")
+        (Option.bind (Json.member "u" v) Json.to_str);
+      check
+        (Alcotest.option (Alcotest.float 1e-12))
+        "exponent" (Some 0.0015)
+        (Option.bind (Json.member "e" v) Json.to_float)
+  | Error e -> Alcotest.failf "standard JSON: %s" e);
+  match Json.of_string "{\"a\": }" with
+  | Ok _ -> Alcotest.fail "malformed JSON accepted"
+  | Error _ -> ()
+
+(* --- exporters --- *)
+
+let sample_registry () =
+  let r = R.create () in
+  let c = R.counter r ~help:"Flows seen." ~labels:[ ("controller", "0") ]
+      "flows_total"
+  in
+  R.Counter.add c 12;
+  let g = R.gauge r "pending" in
+  R.Gauge.set g 3.;
+  let h =
+    R.histogram r ~help:"Setup latency." ~buckets:[ 0.001; 0.01 ]
+      "setup_seconds"
+  in
+  R.Histogram.observe h 0.0005;
+  R.Histogram.observe h 0.02;
+  r
+
+let test_prometheus_format () =
+  let r = sample_registry () in
+  let text = Export.prometheus r in
+  let expect_lines =
+    [
+      "# HELP flows_total Flows seen.";
+      "# TYPE flows_total counter";
+      "flows_total{controller=\"0\"} 12";
+      "# TYPE pending gauge";
+      "pending 3";
+      "# HELP setup_seconds Setup latency.";
+      "# TYPE setup_seconds histogram";
+      "setup_seconds_bucket{le=\"0.001\"} 1";
+      "setup_seconds_bucket{le=\"0.01\"} 1";
+      "setup_seconds_bucket{le=\"+Inf\"} 2";
+      "setup_seconds_sum 0.0205";
+      "setup_seconds_count 2";
+    ]
+  in
+  List.iter
+    (fun line ->
+      check Alcotest.bool (Printf.sprintf "has %S" line) true
+        (List.mem line (String.split_on_char '\n' text)))
+    expect_lines
+
+let test_export_roundtrip () =
+  let r = sample_registry () in
+  let reparsed =
+    match Json.of_string (Export.json_string r) with
+    | Error e -> Alcotest.failf "snapshot reparse: %s" e
+    | Ok j -> (
+        match Export.of_json j with
+        | Error e -> Alcotest.failf "snapshot schema: %s" e
+        | Ok series -> series)
+  in
+  check Alcotest.string "prometheus byte-identical through JSON"
+    (Export.prometheus r)
+    (Export.prometheus_of_series reparsed);
+  match Export.of_json (Json.Obj [ ("metrics", Json.Num 1.) ]) with
+  | Ok _ -> Alcotest.fail "bad snapshot accepted"
+  | Error _ -> ()
+
+(* --- spans --- *)
+
+let test_span_tree () =
+  let t = Span.create () in
+  let root = Span.start t ~at:1.0 ~attrs:[ ("flow", "f") ] "flow-setup" in
+  check Alcotest.bool "live" true (Span.is_live root);
+  let q = Span.start t ~at:1.1 ~parent:root ~attrs:[ ("host", "h") ] "query" in
+  Span.event q ~at:1.2 "retry";
+  Span.set_attr q "outcome" "answered";
+  Span.finish t ~at:1.3 q;
+  Span.set_attr root "decision" "pass";
+  Span.finish t ~at:1.5 root;
+  (match Span.finished t with
+  | [ sp ] ->
+      check Alcotest.string "name" "flow-setup" (Span.name sp);
+      check (Alcotest.option (Alcotest.float 1e-9)) "duration" (Some 0.5)
+        (Span.duration sp);
+      check Alcotest.bool "attrs" true
+        (List.mem ("decision", "pass") (Span.attrs sp));
+      (match Span.children sp with
+      | [ child ] ->
+          check Alcotest.string "child" "query" (Span.name child);
+          check Alcotest.int "child events" 1
+            (List.length (Span.events child))
+      | l -> Alcotest.failf "expected 1 child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l));
+  (* Export shape: {"spans": [...], "dropped": n}. *)
+  let j = Span.export t in
+  check Alcotest.int "exported spans" 1
+    (List.length (Json.to_list (Option.get (Json.member "spans" j))));
+  check
+    (Alcotest.option Alcotest.int)
+    "dropped" (Some 0)
+    (Option.bind (Json.member "dropped" j) Json.to_int);
+  (* The JSON is parseable by our own parser. *)
+  match Json.of_string (Json.to_string ~pretty:true j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "span export reparse: %s" e
+
+let test_span_retention () =
+  let t = Span.create ~capacity:3 () in
+  for i = 1 to 5 do
+    let sp = Span.start t ~at:(float_of_int i) "s" in
+    Span.finish t ~at:(float_of_int i +. 0.5) sp
+  done;
+  check Alcotest.int "cap respected" 3 (List.length (Span.finished t));
+  check Alcotest.int "lifetime count" 5 (Span.count t);
+  check
+    (Alcotest.option Alcotest.int)
+    "dropped counted" (Some 2)
+    (Option.bind (Json.member "dropped" (Span.export t)) Json.to_int)
+
+let test_span_disabled () =
+  let t = Span.create ~enabled:false () in
+  let sp = Span.start t ~at:0. "flow-setup" in
+  check Alcotest.bool "null span" false (Span.is_live sp);
+  (* Every operation on the null span is a no-op. *)
+  Span.event sp ~at:0.1 "e";
+  Span.set_attr sp "k" "v";
+  let child = Span.start t ~at:0.2 ~parent:sp "q" in
+  check Alcotest.bool "child of null is null" false (Span.is_live child);
+  Span.finish t ~at:0.3 sp;
+  check Alcotest.int "nothing retained" 0 (List.length (Span.finished t))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter and gauge basics" `Quick
+            test_counter_basics;
+          Alcotest.test_case "disabled gate" `Quick test_disabled_gate;
+          Alcotest.test_case "label-set identity" `Quick test_label_identity;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "snapshot ordering" `Quick test_snapshot_ordering;
+        ] );
+      ("json", [ Alcotest.test_case "round trip" `Quick test_json_roundtrip ]);
+      ( "export",
+        [
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "json round trip" `Quick test_export_roundtrip;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "tree, attrs, events" `Quick test_span_tree;
+          Alcotest.test_case "retention cap" `Quick test_span_retention;
+          Alcotest.test_case "disabled collector" `Quick test_span_disabled;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* doclint: the documentation gate on the @lint path.
+
+   The container this repo builds in has no odoc, so `dune build @doc`
+   cannot run here; this tool performs the structural checks that @doc
+   would subsume and tells you when odoc is available to do the real
+   render. Checks:
+
+   1. every module under lib/ has an interface (.mli) — the odoc unit
+      of documentation — modulo a short allowlist of type-only modules;
+   2. every .mli opens with a documentation comment;
+   3. every repo-relative path mentioned in backticks in the operator
+      documentation (README.md, DESIGN.md, EXPERIMENTS.md, doc/*.md)
+      exists, so the docs cannot drift from the tree they describe.
+
+   Usage: doclint <repo-root>. Exit 1 on any finding. *)
+
+let mli_allowlist = [ "lib/pf/ast.ml" (* pure AST type definitions *) ]
+let errors = ref 0
+
+let err fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr errors;
+      Printf.printf "doclint: %s\n" s)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let list_dir path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Array.to_list (Sys.readdir path) |> List.sort String.compare
+  else []
+
+(* --- 1 + 2: interface coverage and leading doc comments --- *)
+
+let check_interfaces root =
+  List.iter
+    (fun lib ->
+      let dir = Filename.concat (Filename.concat root "lib") lib in
+      List.iter
+        (fun f ->
+          let rel = Printf.sprintf "lib/%s/%s" lib f in
+          if Filename.check_suffix f ".ml" then begin
+            if
+              (not (Sys.file_exists (Filename.concat dir (f ^ "i"))))
+              && not (List.mem rel mli_allowlist)
+            then err "%s has no interface (.mli)" rel
+          end
+          else if Filename.check_suffix f ".mli" then begin
+            let body = String.trim (read_file (Filename.concat dir f)) in
+            let starts p =
+              String.length body >= String.length p
+              && String.sub body 0 (String.length p) = p
+            in
+            if not (starts "(**") then
+              err "%s does not open with a (** documentation comment" rel
+          end)
+        (list_dir dir))
+    (list_dir (Filename.concat root "lib"))
+
+(* --- 3: backticked path references in the markdown docs --- *)
+
+(* A backticked token is treated as a repo path when its first segment
+   is a directory of the repo root (lib/..., doc/..., test/...), or
+   when it is a bare *.md name; everything else in backticks (flags,
+   code, metric names like obs/counter-inc) is left alone. Candidates
+   resolve against the referencing file's directory first, then the
+   repo root. *)
+let path_chars =
+  String.for_all (function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | '/' -> true
+    | _ -> false)
+
+let inline_code_spans line =
+  let out = ref [] and buf = Buffer.create 16 and inside = ref false in
+  String.iter
+    (fun c ->
+      if c = '`' then begin
+        if !inside && Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
+        Buffer.clear buf;
+        inside := not !inside
+      end
+      else if !inside then Buffer.add_char buf c)
+    line;
+  List.rev !out
+
+let check_doc_refs root =
+  let docs =
+    List.filter
+      (fun p -> Sys.file_exists (Filename.concat root p))
+      [ "README.md"; "DESIGN.md"; "EXPERIMENTS.md" ]
+    @ List.filter_map
+        (fun f ->
+          if Filename.check_suffix f ".md" then Some ("doc/" ^ f) else None)
+        (list_dir (Filename.concat root "doc"))
+  in
+  List.iter
+    (fun doc ->
+      let dir = Filename.dirname (Filename.concat root doc) in
+      String.split_on_char '\n' (read_file (Filename.concat root doc))
+      |> List.iteri (fun lineno line ->
+             List.iter
+               (fun tok ->
+                 let tok =
+                   (* `policies/` means the directory *)
+                   if String.length tok > 1 && tok.[String.length tok - 1] = '/'
+                   then String.sub tok 0 (String.length tok - 1)
+                   else tok
+                 in
+                 let is_path =
+                   path_chars tok && tok <> ""
+                   && tok.[0] <> '.'
+                   &&
+                   match String.index_opt tok '/' with
+                   | Some i ->
+                       i > 0
+                       && Sys.file_exists
+                            (Filename.concat root (String.sub tok 0 i))
+                       && Sys.is_directory
+                            (Filename.concat root (String.sub tok 0 i))
+                   | None -> Filename.check_suffix tok ".md"
+                 in
+                 if
+                   is_path
+                   && (not (Sys.file_exists (Filename.concat dir tok)))
+                   && not (Sys.file_exists (Filename.concat root tok))
+                 then err "%s:%d: `%s` does not exist" doc (lineno + 1) tok)
+               (inline_code_spans line)))
+    docs
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  check_interfaces root;
+  check_doc_refs root;
+  let have_odoc = Sys.command "command -v odoc >/dev/null 2>&1" = 0 in
+  if !errors > 0 then begin
+    Printf.printf "doclint: %d finding(s)\n" !errors;
+    exit 1
+  end;
+  Printf.printf
+    "doclint: interfaces documented, doc cross-references resolve%s\n"
+    (if have_odoc then " (odoc present: run `dune build @doc` for the render)"
+     else " (odoc not installed: rendered-doc build gated off)")
