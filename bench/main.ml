@@ -62,7 +62,7 @@ let bench_fig1 =
    connect/disconnect bookkeeping. The cold member of the group runs the
    identical harness with the fast path disabled, so the warm/cold ratio
    isolates what the caches save. *)
-let fastpath_network ?(observe = false) ~fastpath () =
+let fastpath_network ?(observe = false) ?spans ~fastpath () =
   let config =
     {
       C.default_config with
@@ -71,7 +71,7 @@ let fastpath_network ?(observe = false) ~fastpath () =
       C.fastpath = fastpath;
     }
   in
-  let s = Deploy.simple_network ~config () in
+  let s = Deploy.simple_network ?spans ~config () in
   (* Representative deployment config, so the cold exchange carries its
      genuine per-flow cost: both daemons sign their answers (§3.4) and
      carry an administrator configuration of realistic size — the
@@ -544,6 +544,31 @@ let bench_obs_flow_setup =
   iter ();
   Test.make ~name:"obs/flow-setup-warm-metrics-on" (Staged.stage iter)
 
+(* --- tracing ----------------------------------------------------------- *)
+
+(* Prices distributed tracing on the hottest path: the exact
+   fastpath/flow-setup-warm-cache harness with a span collector that is
+   disabled, head-sampling at 1%, and always-on. The off member must
+   measure at the warm-cache baseline (a disabled collector hands out
+   the shared null span — one load and one branch per call site); the
+   deltas price root-span bookkeeping, trace-context derivation, and —
+   on flows that miss the caches — propagating the context to the
+   daemons and stitching their spans back in. *)
+let bench_trace =
+  let mk name ~enabled ~rate =
+    let spans = Obs.Span.create ~enabled () in
+    Obs.Span.set_sample_rate spans rate;
+    let s = fastpath_network ~spans ~fastpath:fastpath_on () in
+    let iter = flow_setup_iter s in
+    iter ();
+    Test.make ~name (Staged.stage iter)
+  in
+  [
+    mk "trace/flow-setup-trace-off" ~enabled:false ~rate:1.0;
+    mk "trace/flow-setup-trace-sampled-1pct" ~enabled:true ~rate:0.01;
+    mk "trace/flow-setup-trace-always-on" ~enabled:true ~rate:1.0;
+  ]
+
 (* --- harness ----------------------------------------------------------- *)
 
 let tests =
@@ -568,7 +593,7 @@ let tests =
        bench_conn_state;
        bench_obs_flow_setup;
      ]
-    @ bench_obs @ bench_proto @ bench_crypto @ bench_packet
+    @ bench_obs @ bench_trace @ bench_proto @ bench_crypto @ bench_packet
     @ bench_granularity)
 
 (* Run every benchmark body exactly once, untimed — `dune build

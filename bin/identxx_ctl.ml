@@ -553,6 +553,119 @@ let metrics_cmd =
           parse or schema errors)")
     Term.(const run $ file $ format)
 
+(* --- trace: render exported spans (netsim --spans / --trace-out) as an
+   indented per-flow timing tree --- *)
+
+let trace_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"SPANS") in
+  (* Span times are float seconds; the interesting magnitudes are
+     microseconds, and %g keeps them short and byte-stable. *)
+  let us f = f *. 1e6 in
+  let j_str k v = Option.bind (Obs.Json.member k v) Obs.Json.to_str in
+  let j_num k v = Option.bind (Obs.Json.member k v) Obs.Json.to_float in
+  let j_list k v =
+    match Obs.Json.member k v with Some l -> Obs.Json.to_list l | None -> []
+  in
+  let j_attrs v =
+    match Obs.Json.member "attrs" v with
+    | Some (Obs.Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, av) -> Option.map (fun s -> (k, s)) (Obs.Json.to_str av))
+          kvs
+    | _ -> []
+  in
+  let pp_attrs b attrs =
+    List.iter (fun (k, v) -> Printf.bprintf b " %s=%s" k v) attrs
+  in
+  let rec pp_span b indent v =
+    let name = Option.value ~default:"?" (j_str "name" v) in
+    let start = Option.value ~default:0. (j_num "start" v) in
+    let children = j_list "children" v in
+    Printf.bprintf b "%s%s @%gus" indent name (us start);
+    (match j_num "end" v with
+    | Some e ->
+        let d = e -. start in
+        Printf.bprintf b " +%gus" (us d);
+        (* Self time: the span's duration not covered by its children —
+           where this hop itself spent the flow's setup budget. *)
+        if children <> [] then begin
+          let child_time =
+            List.fold_left
+              (fun acc c ->
+                match (j_num "start" c, j_num "end" c) with
+                | Some s, Some e -> acc +. (e -. s)
+                | _ -> acc)
+              0. children
+          in
+          Printf.bprintf b " (self %gus)" (us (Float.max 0. (d -. child_time)))
+        end
+    | None -> Printf.bprintf b " (unfinished)");
+    pp_attrs b (j_attrs v);
+    Buffer.add_char b '\n';
+    List.iter
+      (fun ev ->
+        let ename = Option.value ~default:"?" (j_str "name" ev) in
+        let eat = Option.value ~default:0. (j_num "at" ev) in
+        Printf.bprintf b "%s  - %s @%gus" indent ename (us eat);
+        pp_attrs b (j_attrs ev);
+        Buffer.add_char b '\n')
+      (j_list "events" v);
+    List.iter (pp_span b (indent ^ "  ")) children
+  in
+  let run file =
+    let content = read_file file in
+    (* Two on-disk shapes: the {"spans": [...], ...} object written by
+       netsim --spans, or JSON Lines (one span object per line) written
+       by netsim --trace-out. *)
+    let parsed =
+      match Obs.Json.of_string content with
+      | Ok v -> (
+          match Obs.Json.member "spans" v with
+          | Some spans -> Ok (Obs.Json.to_list spans, Some v)
+          | None -> Ok ([ v ], None))
+      | Error _ -> (
+          let lines =
+            String.split_on_char '\n' content
+            |> List.filter (fun l -> String.trim l <> "")
+          in
+          let rec parse acc = function
+            | [] -> Ok (List.rev acc, None)
+            | l :: rest -> (
+                match Obs.Json.of_string l with
+                | Ok v -> parse (v :: acc) rest
+                | Error e -> Error e)
+          in
+          parse [] lines)
+    in
+    match parsed with
+    | Error e ->
+        Printf.eprintf "error: %s: %s\n" file e;
+        1
+    | Ok (spans, header) ->
+        let b = Buffer.create 1024 in
+        List.iter (pp_span b "") spans;
+        Printf.bprintf b "%d trace(s)" (List.length spans);
+        (match header with
+        | Some v ->
+            let n k =
+              match Option.bind (Obs.Json.member k v) Obs.Json.to_int with
+              | Some n -> n
+              | None -> 0
+            in
+            Printf.bprintf b ", %d dropped (capacity), %d sampled out"
+              (n "dropped") (n "sampled_out")
+        | None -> ());
+        Buffer.add_char b '\n';
+        print_string (Buffer.contents b);
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Render exported flow-setup spans (netsim --spans or --trace-out) \
+          as an indented timing tree with self-times")
+    Term.(const run $ file)
+
 (* --- signing workflow: keygen / sign / verify ---
    The delegation figures need requirements signed by a principal whose
    public handle appears in a controller dict. These commands drive the
@@ -642,5 +755,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; fmt_cmd; eval_cmd; daemon_check_cmd; analyze_cmd;
-            matrix_cmd; metrics_cmd; keygen_cmd; sign_cmd; verify_cmd;
+            matrix_cmd; metrics_cmd; trace_cmd; keygen_cmd; sign_cmd;
+            verify_cmd;
           ]))

@@ -128,11 +128,15 @@ let run ip configs table_path peer cache_expires metrics_path metrics_every =
     let payload = Buffer.contents buf in
     Buffer.clear buf;
     if String.trim payload <> "" then begin
+      let clock = Identxx.Daemon.clock daemon in
+      let d0 = clock () in
       (match Identxx.Query.decode payload with
       | Error e -> Printf.printf "error: %s\n\n%!" e
       | Ok q -> (
+          let d1 = clock () in
           match
-            Identxx.Daemon.answer daemon ~peer:peer_ip ~proto:q.Identxx.Query.proto
+            Identxx.Daemon.answer ?trace:q.Identxx.Query.trace ~decode:(d0, d1)
+              daemon ~peer:peer_ip ~proto:q.Identxx.Query.proto
               ~src_port:q.Identxx.Query.src_port
               ~dst_port:q.Identxx.Query.dst_port ~keys:q.Identxx.Query.keys
           with

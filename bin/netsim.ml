@@ -88,7 +88,7 @@ let write_json ~scenario ~file ~controllers network =
   close_out oc;
   Format.printf "wrote %s@." file
 
-let fig1 ~arm ~config ~obs ~spans () =
+let fig1 ?extra_flow ~arm ~config ~obs ~spans () =
   let s = Deploy.simple_network ~config ~obs ~spans () in
   arm s.Deploy.network;
   host_metrics obs s.Deploy.engine [ s.Deploy.client; s.Deploy.server ];
@@ -101,6 +101,19 @@ let fig1 ~arm ~config ~obs ~spans () =
   in
   Net.send_from_host s.network ~name:"client"
     (Identxx.Host.first_packet s.client ~flow);
+  (* A second client flow from EXE (not firefox ⇒ denied by the policy
+     above): the deterministic deny for exercising always-on sampling
+     of error traces. *)
+  (match extra_flow with
+  | None -> ()
+  | Some exe ->
+      let proc2 = Identxx.Host.run s.client ~user:"mallory" ~exe () in
+      let flow2 =
+        Identxx.Host.connect s.client ~proc:proc2
+          ~dst:(Identxx.Host.ip s.server) ~dst_port:81 ()
+      in
+      Net.send_from_host s.network ~name:"client"
+        (Identxx.Host.first_packet s.client ~flow:flow2));
   Sim.Engine.run s.engine;
   Format.printf "Figure 1: client -> switch -> controller -> ident++ -> install -> deliver@.";
   (s.network, [ ("controller", s.controller) ])
@@ -248,6 +261,31 @@ let () =
           ~doc:"Enable flow-setup span collection and write the finished \
                 spans to FILE as JSON.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Enable tracing and write finished spans to FILE as JSON \
+                Lines (one span object per line); readable with identxx_ctl \
+                trace.")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt float 1.0
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:"Head-sampling rate in [0,1] (default 1: keep every trace). \
+                Denied, timed-out and rejected flows are always kept.")
+  in
+  let extra_flow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "extra-flow" ] ~docv:"EXE"
+          ~doc:"fig1 only: start a second client flow from EXE (any \
+                non-firefox EXE is denied by the fig1 policy) — a \
+                deterministic error trace.")
+  in
   let fp = Fastpath.default_config in
   let fastpath =
     Arg.(
@@ -294,15 +332,24 @@ let () =
           ~doc:"How long a tripped breaker stays open before a re-probe, \
                 with --fastpath.")
   in
-  let run scenario pcap verbose json metrics metrics_json spans_file fastpath
-      attr_capacity attr_ttl decision_capacity breaker_threshold
-      breaker_backoff =
+  let run scenario pcap verbose json metrics metrics_json spans_file trace_out
+      trace_sample extra_flow fastpath attr_capacity attr_ttl decision_capacity
+      breaker_threshold breaker_backoff =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
+    if trace_sample < 0. || trace_sample > 1. then begin
+      prerr_endline "netsim: --trace-sample must be in [0, 1]";
+      exit 1
+    end;
     let obs = Obs.Registry.create () in
-    let spans = Obs.Span.create ~enabled:(Option.is_some spans_file) () in
+    let spans =
+      Obs.Span.create
+        ~enabled:(Option.is_some spans_file || Option.is_some trace_out)
+        ()
+    in
+    Obs.Span.set_sample_rate spans trace_sample;
     let config =
       {
         C.default_config with
@@ -322,7 +369,7 @@ let () =
     with_capture pcap (fun arm ->
         let name, build =
           match scenario with
-          | `Fig1 -> ("fig1", fig1)
+          | `Fig1 -> ("fig1", fig1 ?extra_flow)
           | `Linear -> ("linear", linear)
           | `Branches -> ("branches", branches)
           | `Tree -> ("tree", tree)
@@ -364,6 +411,20 @@ let () =
             Format.printf "wrote %d spans to %s@." (Obs.Span.count spans) file)
           spans_file;
         Option.iter
+          (fun file ->
+            let finished = Obs.Span.finished spans in
+            let oc = open_out file in
+            List.iter
+              (fun sp ->
+                output_string oc (Obs.Json.to_string (Obs.Span.to_json sp));
+                output_char oc '\n')
+              finished;
+            close_out oc;
+            Format.printf "wrote %d spans to %s (%d sampled out)@."
+              (List.length finished) file
+              (Obs.Span.sampled_out spans))
+          trace_out;
+        Option.iter
           (fun file -> write_json ~scenario:name ~file ~controllers network)
           json;
         0)
@@ -373,7 +434,8 @@ let () =
       (Cmd.info "netsim" ~doc:"Run a named ident++ simulation scenario")
       Term.(
         const run $ scenario $ pcap $ verbose $ json $ metrics $ metrics_json
-        $ spans_file $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
-        $ breaker_threshold $ breaker_backoff)
+        $ spans_file $ trace_out $ trace_sample $ extra_flow $ fastpath
+        $ attr_capacity $ attr_ttl $ decision_capacity $ breaker_threshold
+        $ breaker_backoff)
   in
   exit (Cmd.eval' cmd)

@@ -9,6 +9,7 @@ type entry = {
   flagged : bool;
   src_info : (string * string) list;
   dst_info : (string * string) list;
+  trace_id : string option;
 }
 
 type t = {
@@ -40,11 +41,12 @@ let summarize = function
           Option.map (fun v -> (key, v)) (Identxx.Response.latest response key))
         interesting_keys
 
-let record t ~at ~flow ~(verdict : Pf.Eval.verdict) ~src ~dst =
+let record ?trace_id t ~at ~flow ~(verdict : Pf.Eval.verdict) ~src ~dst =
   let entry =
     {
       at;
       flow;
+      trace_id;
       decision = verdict.Pf.Eval.decision;
       rule = Option.map Pf.Pretty.rule verdict.Pf.Eval.matched;
       rule_line =
@@ -87,7 +89,7 @@ let pp_info ppf info =
     ppf info
 
 let pp_entry ppf e =
-  Format.fprintf ppf "%a %s %a%s src{%a} dst{%a}%s" Sim.Time.pp e.at
+  Format.fprintf ppf "%a %s %a%s src{%a} dst{%a}%s%s" Sim.Time.pp e.at
     (match e.decision with Pf.Ast.Pass -> "PASS " | Pf.Ast.Block -> "BLOCK")
     Five_tuple.pp e.flow
     (match e.rule_line with
@@ -95,6 +97,7 @@ let pp_entry ppf e =
     | None -> " default")
     pp_info e.src_info pp_info e.dst_info
     (if e.flagged then " [LOG]" else "")
+    (match e.trace_id with Some id -> " trace=" ^ id | None -> "")
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (List.rev t.entries)

@@ -18,6 +18,10 @@ type entry = {
   flagged : bool;  (** The rule carried the [log] modifier. *)
   src_info : (string * string) list;  (** Interesting response pairs. *)
   dst_info : (string * string) list;
+  trace_id : string option;
+      (** The flow-setup trace this decision belongs to, when the
+          controller traced it — the join key between the audit log and
+          exported spans. *)
 }
 
 type t
@@ -26,6 +30,7 @@ val create : ?capacity:int -> unit -> t
 (** Keeps the most recent [capacity] entries (default 10000). *)
 
 val record :
+  ?trace_id:string ->
   t ->
   at:Sim.Time.t ->
   flow:Five_tuple.t ->

@@ -62,6 +62,7 @@ type pending = {
   mutable retries_left : int;
   mutable p_timeout : Sim.Engine.cancel;
   p_started : float; (* packet-in time, seconds *)
+  p_ctx : Obs.Trace_context.t option;
   p_span : Obs.Span.span;
   mutable src_qspan : Obs.Span.span;
   mutable dst_qspan : Obs.Span.span;
@@ -190,6 +191,8 @@ type t = {
   fastpath : Fastpath.t;
   mutable src_port_matters : (int * bool) option;
       (* Per-epoch memo of Fastpath.env_matches_src_port. *)
+  mutable trace_seq : int;
+      (* Disambiguates trace ids when the same 5-tuple misses twice. *)
   mutable last_stats : (Msg.switch_id * Msg.stats_reply) list;
   mutable precompiled : Openflow.Match_fields.t list;
       (* Drop matches currently pushed to the dataplane. *)
@@ -396,9 +399,9 @@ let eval_decision ?src_tag ?dst_tag t ~flow ~src ~dst =
         v
   end
 
-let apply_verdict ?(span = Obs.Span.null) ?started t ~flow ~packets ~src ~dst
-    verdict =
-  Audit.record t.audit
+let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t ~flow ~packets
+    ~src ~dst verdict =
+  Audit.record ?trace_id t.audit
     ~at:(Sim.Engine.now (Net.engine t.network))
     ~flow ~verdict ~src ~dst;
   Log.debug (fun m ->
@@ -423,6 +426,9 @@ let apply_verdict ?(span = Obs.Span.null) ?started t ~flow ~packets ~src ~dst
       | Some r -> string_of_int r.Pf.Ast.line
       | None -> "default")
   end;
+  (* A denied flow is exactly the trace an operator will want: override
+     the head-sampling coin before the root is finished. *)
+  if verdict.Pf.Eval.decision = Pf.Ast.Block then Obs.Span.force_sample span;
   (match verdict.Pf.Eval.decision with
   | Pf.Ast.Pass ->
       Obs.Registry.Counter.inc t.m.c_allowed;
@@ -448,12 +454,16 @@ let apply_verdict ?(span = Obs.Span.null) ?started t ~flow ~packets ~src ~dst
         | [] -> ()));
   Obs.Span.finish t.spans ~at:now_s span
 
+let trace_id_of ctx =
+  Option.map (fun (c : Obs.Trace_context.t) -> c.Obs.Trace_context.trace_id) ctx
+
 let finalize t p =
   Sim.Engine.cancel p.p_timeout;
   Flow_tbl.remove t.pending p.p_flow;
   let verdict = eval_decision t ~flow:p.p_flow ~src:p.src_resp ~dst:p.dst_resp in
-  apply_verdict ~span:p.p_span ~started:p.p_started t ~flow:p.p_flow
-    ~packets:p.p_packets ~src:p.src_resp ~dst:p.dst_resp verdict
+  apply_verdict ~span:p.p_span ~started:p.p_started
+    ?trace_id:(trace_id_of p.p_ctx) t ~flow:p.p_flow ~packets:p.p_packets
+    ~src:p.src_resp ~dst:p.dst_resp verdict
 
 let maybe_finalize t p =
   if (not p.await_src) && not p.await_dst then finalize t p
@@ -477,7 +487,7 @@ let hint_keys t =
       | keys -> keys)
   | Error _ -> t.cfg.query_keys
 
-let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
+let send_query ?trace t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
   match resolve_local_answer t target_ip with
   | Some section ->
       (* Answer on the host's behalf without touching the network. *)
@@ -491,7 +501,11 @@ let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
           match Topo.host_attachment (Net.topology t.network) host with
           | None -> `Unreachable
           | Some attachment ->
-              let query = Identxx.Query.make ~flow ~keys:(hint_keys t) in
+              let query =
+                Identxx.Query.with_trace
+                  (Identxx.Query.make ~flow ~keys:(hint_keys t))
+                  trace
+              in
               let pkt =
                 Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to
                   query
@@ -508,15 +522,34 @@ let send_query t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
 let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
   Obs.Registry.Counter.inc t.m.c_flows;
   let now_s = time_now_s t in
-  (* One root span per table-miss flow. Attribute formatting is gated on
-     the collector flag (the Sim.Trace discipline); when disabled every
-     operation below runs against the shared dead span. *)
-  let sp =
-    if Obs.Span.enabled t.spans then
-      Obs.Span.start t.spans ~at:now_s
-        ~attrs:[ ("flow", Five_tuple.to_string flow) ]
-        "flow-setup"
-    else Obs.Span.null
+  (* One root span — and one trace context — per table-miss flow.
+     Attribute formatting is gated on the collector flag (the Sim.Trace
+     discipline); when disabled every operation below runs against the
+     shared dead span and no context rides the queries. *)
+  let sp, ctx =
+    if Obs.Span.enabled t.spans then begin
+      let seq = t.trace_seq in
+      t.trace_seq <- seq + 1;
+      let ctx =
+        Obs.Trace_context.make ~seed:(Five_tuple.to_string flow) ~seq
+          ~sampled:true
+      in
+      let sampled =
+        Obs.Span.should_sample t.spans ~id:ctx.Obs.Trace_context.trace_id
+      in
+      let ctx = { ctx with Obs.Trace_context.sampled } in
+      let sp =
+        Obs.Span.start t.spans ~at:now_s ~sampled
+          ~attrs:
+            [
+              ("flow", Five_tuple.to_string flow);
+              ("trace-id", ctx.Obs.Trace_context.trace_id);
+            ]
+          "flow-setup"
+      in
+      (sp, Some ctx)
+    end
+    else (Obs.Span.null, None)
   in
   Log.debug (fun m -> m "new flow %s at s%d" (Five_tuple.to_string flow) dpid);
   (* PF semantics: state matching precedes the ruleset. A flow covered
@@ -591,7 +624,8 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
         Obs.Registry.Counter.inc t.m.c_fastpath;
         if Obs.Span.is_live sp then Obs.Span.set_attr sp "path" "fastpath";
         let verdict = eval_decision t ~flow ~src ~dst ~src_tag ~dst_tag in
-        apply_verdict ~span:sp ~started:now_s t ~flow
+        apply_verdict ~span:sp ~started:now_s ?trace_id:(trace_id_of ctx) t
+          ~flow
           ~packets:[ (dpid, in_port, pkt) ]
           ~src ~dst verdict
     | _ ->
@@ -610,6 +644,7 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
             ~delay:t.cfg.query_timeout (fun () ->
               match !timeout_handle with Some f -> f () | None -> ());
         p_started = now_s;
+        p_ctx = ctx;
         p_span = sp;
         src_qspan = Obs.Span.null;
         dst_qspan = Obs.Span.null;
@@ -640,10 +675,15 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
             p.dst_qspan <- qspan flow.Five_tuple.dst
           end
     in
+    (* Each query carries a per-endpoint child context, derived
+       deterministically from the root — a retry resends the same span
+       id, so the daemon's timings land under the same child either
+       way. *)
+    let qtrace n = Option.map (fun c -> Obs.Trace_context.child c n) p.p_ctx in
     let issue_queries () =
       if p.await_src then begin
         match
-          send_query t ~flow ~target_ip:flow.Five_tuple.src
+          send_query ?trace:(qtrace 1) t ~flow ~target_ip:flow.Five_tuple.src
             ~reply_to:flow.Five_tuple.dst
         with
         | `Local r ->
@@ -658,7 +698,7 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
       end;
       if p.await_dst then begin
         match
-          send_query t ~flow ~target_ip:flow.Five_tuple.dst
+          send_query ?trace:(qtrace 2) t ~flow ~target_ip:flow.Five_tuple.dst
             ~reply_to:flow.Five_tuple.src
         with
         | `Local r ->
@@ -692,12 +732,19 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
               else begin
                 if p.await_src || p.await_dst then begin
                   Obs.Registry.Counter.inc t.m.c_timeouts;
+                  (* A flow decided with an end silent is an error
+                     trace: keep it whatever the sampling coin said. *)
+                  Obs.Span.force_sample sp;
                   (* Feed the breaker: each side that stayed silent
                      through every attempt is a consecutive timeout. *)
                   let now = Sim.Engine.now (Net.engine t.network) in
                   let at = time_now_s t in
                   let timed_out qspan ip =
-                    Fastpath.note_timeout t.fastpath ~now ip;
+                    if Fastpath.note_timeout_report t.fastpath ~now ip then
+                      if Obs.Span.is_live sp then
+                        Obs.Span.event sp ~at
+                          ~attrs:[ ("host", Ipv4.to_string ip) ]
+                          "breaker-trip";
                     if Obs.Span.is_live qspan then begin
                       Obs.Span.set_attr qspan "outcome" "timeout";
                       Obs.Span.finish t.spans ~at qspan
@@ -736,18 +783,29 @@ let find_pending_for_response t ~from_ip (r : Identxx.Response.t) =
       else acc)
     t.pending None
 
+(* Where a well-formed signature section must sit for the response to
+   count as authenticated: last — except that a daemon answering a
+   traced query appends its (unauthenticated, purely diagnostic) trace
+   section after signing, so exactly one trailing trace section is
+   tolerated. An untraced response is checked exactly as before. *)
+let expected_signature_index (response : Identxx.Response.t) =
+  let n = List.length response.Identxx.Response.sections in
+  match List.rev response.Identxx.Response.sections with
+  | last :: _ when Identxx.Response.is_trace_section last -> n - 2
+  | _ -> n - 1
+
 let handle_response t ~dpid ~from_ip ~to_ip response pkt =
   match find_pending_for_response t ~from_ip response with
   | Some (flow, p)
     when t.cfg.require_signed_responses
          && Identxx.Signed.verify (Decision.keystore t.decision) response
-            <> Identxx.Signed.Valid
-                 (List.length response.Identxx.Response.sections - 1) -> (
+            <> Identxx.Signed.Valid (expected_signature_index response) -> (
       (* A response we cannot authenticate is ignored: the flow decides
          at the timeout with whatever arrived (fail closed for
          information-dependent policy). *)
       ignore flow;
       Obs.Registry.Counter.inc t.m.c_rejected;
+      Obs.Span.force_sample p.p_span;
       if Obs.Span.is_live p.p_span then
         Obs.Span.event p.p_span ~at:(time_now_s t)
           ~attrs:[ ("host", Ipv4.to_string from_ip) ]
@@ -756,6 +814,13 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
           m "rejecting unauthenticated response from %s" (Ipv4.to_string from_ip)))
   | Some (flow, p) ->
       Obs.Registry.Counter.inc t.m.c_responses;
+      (* Pull the daemon's piggybacked timings out, then strip them:
+         per-flow trace ids must not reach policy evaluation or the
+         attribute cache (a cached trace section would both leak into
+         later flows' decisions and defeat decision-cache key
+         matching). *)
+      let dtrace = Identxx.Response.trace_info response in
+      let response = Identxx.Response.strip_trace response in
       (* An (authenticated, if required) answer: close any breaker state
          and remember the attributes for subsequent flows. *)
       Fastpath.note_response t.fastpath from_ip;
@@ -769,6 +834,17 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
         if not (Float.is_nan sent) then
           Obs.Registry.Histogram.observe t.m.h_query_rtt (at -. sent);
         if Obs.Span.is_live qspan then begin
+          (* Stitch the daemon's piggybacked timings (decode, lookup,
+             assemble, sign — on the daemon's clock) under this query's
+             child span, completing the cross-host tree. *)
+          (match dtrace with
+          | Some (_trace_id, _parent, dspans) ->
+              List.iter
+                (fun (dname, t0, t1) ->
+                  let dsp = Obs.Span.start t.spans ~at:t0 ~parent:qspan dname in
+                  Obs.Span.finish t.spans ~at:t1 dsp)
+                dspans
+          | None -> ());
           Obs.Span.set_attr qspan "outcome" "answered";
           Obs.Span.finish t.spans ~at qspan
         end
@@ -985,6 +1061,7 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
       m = make_metrics obs ~labels;
       fastpath = Fastpath.create config.fastpath;
       src_port_matters = None;
+      trace_seq = 0;
       last_stats = [];
       precompiled = [];
     }
@@ -992,6 +1069,18 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
   Obs.Registry.gauge_fn obs ~help:"Flows awaiting daemon responses." ~labels
     "identxx_controller_pending_flows" (fun () ->
       float_of_int (Flow_tbl.length t.pending));
+  (* Per-collector, not per-controller: collectors may be shared, so no
+     controller label — re-registration just replaces the callback. *)
+  Obs.Registry.counter_fn obs
+    ~help:"Trace spans discarded before export, by cause."
+    ~labels:[ ("cause", "sampling") ]
+    "identxx_trace_spans_dropped_total" (fun () ->
+      Obs.Span.sampled_out spans);
+  Obs.Registry.counter_fn obs
+    ~help:"Trace spans discarded before export, by cause."
+    ~labels:[ ("cause", "capacity") ]
+    "identxx_trace_spans_dropped_total" (fun () ->
+      Obs.Span.capacity_dropped spans);
   Fastpath.register_metrics t.fastpath ~labels obs;
   Net.register_controller network ~id (handle_message t);
   Policy_store.on_change policy (fun () -> sync_precompiled t);

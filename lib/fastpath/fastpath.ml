@@ -62,8 +62,15 @@ let store_attrs t ~now ~host ~keys ?signer response =
 let consult_host t ~now ip =
   if not t.cfg.enabled then `Ask else Breaker.consult t.breaker ~now ip
 
-let note_timeout t ~now ip =
-  if t.cfg.enabled then Breaker.note_timeout t.breaker ~now ip
+let note_timeout_report t ~now ip =
+  if not t.cfg.enabled then false
+  else begin
+    let before = Breaker.trips t.breaker in
+    Breaker.note_timeout t.breaker ~now ip;
+    Breaker.trips t.breaker > before
+  end
+
+let note_timeout t ~now ip = ignore (note_timeout_report t ~now ip)
 
 let note_response t ip =
   if t.cfg.enabled then Breaker.note_response t.breaker ip

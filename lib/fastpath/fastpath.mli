@@ -79,6 +79,12 @@ val consult_host :
 (** [`Ask] always when the fast path is off. *)
 
 val note_timeout : t -> now:Sim.Time.t -> Ipv4.t -> unit
+
+val note_timeout_report : t -> now:Sim.Time.t -> Ipv4.t -> bool
+(** Like {!note_timeout}, but reports whether this timeout tripped the
+    host's breaker (so the controller can mark the flow's trace).
+    Always [false] when the fast path is off. *)
+
 val note_response : t -> Ipv4.t -> unit
 
 (** {2 Decision cache} *)

@@ -7,7 +7,6 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type behaviour = Honest | Silent | Lying of Key_value.section
 
 type metrics = {
-  m_clock : unit -> float;
   m_answered : Obs.Registry.Counter.t;
   m_silent : Obs.Registry.Counter.t;
   m_signed : Obs.Registry.Counter.t;
@@ -25,6 +24,9 @@ type t = {
   mutable answered : int;
   mutable change_listeners : (unit -> unit) list;
   mutable metrics : metrics option;
+  mutable d_clock : unit -> float;
+      (* Times both the service histogram and trace spans. The default
+         is a constant, so untimed deployments stay deterministic. *)
 }
 
 let notify_change t = List.iter (fun f -> f ()) (List.rev t.change_listeners)
@@ -42,6 +44,7 @@ let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
       answered = 0;
       change_listeners = [];
       metrics = None;
+      d_clock = (fun () -> 0.);
     }
   in
   (* Identity churn in the process table (spawn/kill) changes what this
@@ -51,11 +54,14 @@ let create ?(behaviour = Honest) ~ip ~processes ~exe_hash () =
 
 let on_change t f = t.change_listeners <- f :: t.change_listeners
 
-let set_metrics t ?(clock = fun () -> 0.) ?(labels = []) reg =
+let clock t = t.d_clock
+let set_clock t clock = t.d_clock <- clock
+
+let set_metrics t ?clock ?(labels = []) reg =
+  (match clock with Some c -> t.d_clock <- c | None -> ());
   t.metrics <-
     Some
       {
-        m_clock = clock;
         m_answered =
           Obs.Registry.counter reg
             ~help:"Queries this daemon received, by outcome."
@@ -136,10 +142,11 @@ let runtime_section t flow =
     (fun (f, s) -> if Five_tuple.equal f flow then s else [])
     (List.rev !(t.runtime))
 
-let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
+let answer ?trace ?decode t ~peer ~proto ~src_port ~dst_port ~keys:_ =
   match t.behaviour with
   | Silent -> None
   | Lying fabricated ->
+      (* A compromised daemon does not cooperate with tracing either. *)
       t.answered <- t.answered + 1;
       let flow =
         Five_tuple.make ~src:t.ip ~dst:peer ~proto ~src_port ~dst_port
@@ -150,6 +157,10 @@ let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
       Log.debug (fun m ->
           m "answering query about %s %d->%d (peer %s)" (Proto.to_string proto)
             src_port dst_port (Ipv4.to_string peer));
+      (* Span timing is read only for traced queries; untraced answers
+         never touch the clock. *)
+      let now () = match trace with Some _ -> t.d_clock () | None -> 0. in
+      let t_lookup = now () in
       let as_src =
         Five_tuple.make ~src:t.ip ~dst:peer ~proto ~src_port ~dst_port
       in
@@ -166,6 +177,7 @@ let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
             | Some p -> (As_destination, as_dst, Some p)
             | None -> (As_source, as_src, None))
       in
+      let t_assemble = now () in
       let cfg = merged_config t in
       let sections =
         match proc with
@@ -183,6 +195,7 @@ let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
             ]
       in
       let response = Response.make ~flow sections in
+      let t_sign = now () in
       let response =
         match t.signing_key with
         | Some keypair ->
@@ -192,15 +205,40 @@ let answer t ~peer ~proto ~src_port ~dst_port ~keys:_ =
             Signed.sign ~keypair response
         | None -> response
       in
+      let t_done = now () in
+      (* Piggyback this daemon's spans on the answer. Appended after
+         the signature section: diagnostics, not an authenticated claim
+         (PROTOCOL.md §6's rule for post-signature sections), so the
+         signed prefix stays byte-identical to an untraced answer. *)
+      let response =
+        match trace with
+        | None -> response
+        | Some (ctx : Obs.Trace_context.t) ->
+            let spans =
+              (match decode with
+              | Some (d0, d1) -> [ ("decode", d0, d1) ]
+              | None -> [])
+              @ [
+                  ("lookup", t_lookup, t_assemble);
+                  ("assemble", t_assemble, t_sign);
+                ]
+              @
+              match t.signing_key with
+              | Some _ -> [ ("sign", t_sign, t_done) ]
+              | None -> []
+            in
+            Response.attach_trace response ~trace_id:ctx.Obs.Trace_context.trace_id
+              ~parent:ctx.Obs.Trace_context.span_id ~spans
+      in
       Some (response, role)
 
-let answer t ~peer ~proto ~src_port ~dst_port ~keys =
+let answer ?trace ?decode t ~peer ~proto ~src_port ~dst_port ~keys =
   match t.metrics with
-  | None -> answer t ~peer ~proto ~src_port ~dst_port ~keys
+  | None -> answer ?trace ?decode t ~peer ~proto ~src_port ~dst_port ~keys
   | Some m ->
-      let t0 = m.m_clock () in
-      let r = answer t ~peer ~proto ~src_port ~dst_port ~keys in
-      Obs.Registry.Histogram.observe m.m_seconds (m.m_clock () -. t0);
+      let t0 = t.d_clock () in
+      let r = answer ?trace ?decode t ~peer ~proto ~src_port ~dst_port ~keys in
+      Obs.Registry.Histogram.observe m.m_seconds (t.d_clock () -. t0);
       Obs.Registry.Counter.inc
         (match r with None -> m.m_silent | Some _ -> m.m_answered);
       r

@@ -56,7 +56,10 @@ val clear_runtime : t -> flow:Five_tuple.t -> unit
 type role = As_source | As_destination
 
 val answer :
-  t -> peer:Ipv4.t -> proto:Proto.t -> src_port:int -> dst_port:int ->
+  ?trace:Obs.Trace_context.t ->
+  ?decode:float * float ->
+  t ->
+  peer:Ipv4.t -> proto:Proto.t -> src_port:int -> dst_port:int ->
   keys:string list -> (Response.t * role) option
 (** Answer a query about the flow whose far end is [peer]. The daemon
     first tries to interpret itself as the flow's source (an owned
@@ -65,9 +68,26 @@ val answer :
 
     Even when no owning process exists, an honest daemon still responds
     with its host-wide pairs — the controller decides what an absent
-    [userID] means. *)
+    [userID] means.
+
+    [trace] is the querier's trace context (from {!Query.t}[.trace]):
+    an honest daemon then times its lookup / assemble / sign steps on
+    {!clock} and piggybacks them on the response with
+    {!Response.attach_trace}, after any signature section. [decode],
+    when the caller timed {!Query.decode} itself, is reported as one
+    more span. Dishonest daemons ignore both. *)
 
 val queries_answered : t -> int
+
+val clock : t -> unit -> float
+(** The daemon's clock (seconds). Defaults to [fun () -> 0.] so
+    untimed deployments stay deterministic; {!set_clock} or
+    {!set_metrics}'s [?clock] replace it. Callers timing work on the
+    daemon's behalf (e.g. {!Host.handle_packet} timing
+    {!Query.decode}) must read this clock so span times are
+    comparable. *)
+
+val set_clock : t -> (unit -> float) -> unit
 
 val set_metrics :
   t ->
@@ -77,11 +97,11 @@ val set_metrics :
   unit
 (** Start recording into [registry]: [identxx_daemon_queries_total]
     (label [result="answered"|"silent"]), a service-time histogram
-    [identxx_daemon_answer_seconds] timed with [clock] (seconds; the
-    simulator injects sim time, [identxxd] wall time — default is a
-    constant so the histogram only counts), and
+    [identxx_daemon_answer_seconds], and
     [identxx_daemon_responses_signed_total]. [labels] — typically
-    [("host", name)] — are added to every series. *)
+    [("host", name)] — are added to every series. [clock], when given,
+    replaces the daemon {!clock} (the simulator injects sim time,
+    [identxxd] wall time). *)
 
 val on_change : t -> (unit -> unit) -> unit
 (** Register a callback fired whenever what the daemon would answer may

@@ -68,22 +68,29 @@ let listen t ~(proc : Process_table.process) ~port ?(proto = Proto.Tcp) () =
   Process_table.listen t.processes ~pid:proc.pid ~proto ~port
 
 let handle_packet t pkt =
-  match Wire.classify pkt with
-  | Wire.Query { from_ip; to_ip; query } when Ipv4.equal to_ip t.ip -> (
-      match
-        Daemon.answer t.daemon ~peer:from_ip ~proto:query.Query.proto
-          ~src_port:query.Query.src_port ~dst_port:query.Query.dst_port
-          ~keys:query.Query.keys
-      with
-      | None -> None
-      | Some (response, _role) ->
-          let dst_port =
-            match pkt.Packet.eth_payload with
-            | Packet.Ip { payload = Packet.Tcp tcp; _ } -> tcp.Packet.tcp_src
-            | _ -> Wire.port
-          in
-          Some (Wire.response_packet ~to_ip:from_ip ~from_ip:t.ip ~dst_port response))
-  | Wire.Query _ | Wire.Response _ | Wire.Not_identxx -> None
+  (* Decoded by hand rather than through {!Wire.classify} so the decode
+     step itself can be timed as the first daemon-side trace span. *)
+  match pkt.Packet.eth_payload with
+  | Packet.Ip { ip_src = from_ip; ip_dst = to_ip; payload = Packet.Tcp tcp; _ }
+    when tcp.Packet.tcp_dst = Wire.port && Ipv4.equal to_ip t.ip -> (
+      let clock = Daemon.clock t.daemon in
+      let d0 = clock () in
+      match Query.decode tcp.Packet.tcp_payload with
+      | Error _ -> None
+      | Ok query -> (
+          let d1 = clock () in
+          match
+            Daemon.answer ?trace:query.Query.trace ~decode:(d0, d1) t.daemon
+              ~peer:from_ip ~proto:query.Query.proto
+              ~src_port:query.Query.src_port ~dst_port:query.Query.dst_port
+              ~keys:query.Query.keys
+          with
+          | None -> None
+          | Some (response, _role) ->
+              Some
+                (Wire.response_packet ~to_ip:from_ip ~from_ip:t.ip
+                   ~dst_port:tcp.Packet.tcp_src response)))
+  | _ -> None
 
 let first_packet t ~flow =
   let pkt = Packet.of_five_tuple flow in

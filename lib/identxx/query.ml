@@ -1,6 +1,19 @@
 open Netcore
 
-type t = { proto : Proto.t; src_port : int; dst_port : int; keys : string list }
+type t = {
+  proto : Proto.t;
+  src_port : int;
+  dst_port : int;
+  keys : string list;
+  trace : Obs.Trace_context.t option;
+}
+
+(* The trace context rides as one more key: a key may contain anything
+   but ':', CR and LF (§3.2), so "@trace/<ids>" is a perfectly legal
+   hint that a pre-tracing daemon simply does not recognize — keys are
+   hints it is free to ignore. That is the whole version-tolerance
+   story: no framing change, no flag day. *)
+let trace_key_prefix = "@trace/"
 
 let make ~(flow : Five_tuple.t) ~keys =
   List.iter
@@ -8,7 +21,15 @@ let make ~(flow : Five_tuple.t) ~keys =
       if not (Key_value.valid_key k) then
         invalid_arg ("Query.make: bad key " ^ k))
     keys;
-  { proto = flow.proto; src_port = flow.src_port; dst_port = flow.dst_port; keys }
+  {
+    proto = flow.proto;
+    src_port = flow.src_port;
+    dst_port = flow.dst_port;
+    keys;
+    trace = None;
+  }
+
+let with_trace t trace = { t with trace }
 
 let flow_of t ~src ~dst =
   Five_tuple.make ~src ~dst ~proto:t.proto ~src_port:t.src_port
@@ -25,6 +46,12 @@ let encode t =
       Buffer.add_string buf k;
       Buffer.add_char buf '\n')
     t.keys;
+  (match t.trace with
+  | None -> ()
+  | Some ctx ->
+      Buffer.add_string buf trace_key_prefix;
+      Buffer.add_string buf (Obs.Trace_context.to_string ctx);
+      Buffer.add_char buf '\n');
   Buffer.contents buf
 
 let parse_header line =
@@ -48,13 +75,34 @@ let decode s =
       | Error _ as e -> e
       | Ok (proto, src_port, dst_port) ->
           let keys = List.filter (fun l -> String.trim l <> "") rest in
-          if List.for_all Key_value.valid_key keys then
-            Ok { proto; src_port; dst_port; keys }
+          if List.for_all Key_value.valid_key keys then begin
+            (* Recognize the first parsable trace-context hint; every
+               other key — including an unparsable "@trace/..." — stays
+               an ordinary hint, exactly as an old decoder saw it. *)
+            let parse_trace k =
+              if String.starts_with ~prefix:trace_key_prefix k then
+                Obs.Trace_context.of_string
+                  (String.sub k
+                     (String.length trace_key_prefix)
+                     (String.length k - String.length trace_key_prefix))
+              else None
+            in
+            let trace = List.find_map parse_trace keys in
+            let keys =
+              match trace with
+              | None -> keys
+              | Some _ -> List.filter (fun k -> parse_trace k = None) keys
+            in
+            Ok { proto; src_port; dst_port; keys; trace }
+          end
           else Error "query: malformed key")
 
 let equal a b = a = b
 
 let pp ppf t =
-  Format.fprintf ppf "query %s %d->%d keys=[%s]" (Proto.to_string t.proto)
+  Format.fprintf ppf "query %s %d->%d keys=[%s]%s" (Proto.to_string t.proto)
     t.src_port t.dst_port
     (String.concat ";" t.keys)
+    (match t.trace with
+    | None -> ""
+    | Some ctx -> " trace=" ^ Obs.Trace_context.to_string ctx)

@@ -8,10 +8,27 @@
 
 open Netcore
 
-type t = { proto : Proto.t; src_port : int; dst_port : int; keys : string list }
+type t = {
+  proto : Proto.t;
+  src_port : int;
+  dst_port : int;
+  keys : string list;
+  trace : Obs.Trace_context.t option;
+      (** Distributed-tracing context, when the querier traces
+          flow setups. Rides the wire as one extra hint key
+          (["@trace/<ids>"]) that pre-tracing daemons ignore — see
+          doc/PROTOCOL.md. *)
+}
 
 val make : flow:Five_tuple.t -> keys:string list -> t
-(** @raise Invalid_argument when a key is malformed. *)
+(** Builds an untraced query ([trace = None]).
+    @raise Invalid_argument when a key is malformed. *)
+
+val with_trace : t -> Obs.Trace_context.t option -> t
+(** The same query carrying (or stripped of) a trace context. *)
+
+val trace_key_prefix : string
+(** ["@trace/"] — the hint-key spelling of the trace context. *)
 
 val flow_of : t -> src:Ipv4.t -> dst:Ipv4.t -> Five_tuple.t
 (** Reassemble the queried flow from the payload fields plus the
@@ -24,9 +41,15 @@ val encode : t -> string
 <key 0>
 <key 1>
 ...
-    v} *)
+    v}
+    A query carrying a trace context appends one more key line,
+    ["@trace/<trace_id>-<span_id>-<s|n>"]. *)
 
 val decode : string -> (t, string) result
+(** A key line matching the {!trace_key_prefix} form becomes [trace];
+    everything else — including a malformed ["@trace/"] token — stays
+    in [keys], so frames without (or with unintelligible) context
+    decode exactly as they always did. *)
 
 val parse_header : string -> (Proto.t * int * int, string) result
 (** Parse the shared ["<PROTO> <SRC PORT> <DST PORT>"] first line (also

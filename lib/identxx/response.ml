@@ -102,6 +102,85 @@ let decode s =
           | Error _ as e -> e
           | Ok sections -> Ok { proto; src_port; dst_port; sections }))
 
+(* --- daemon-side trace piggyback ---
+
+   A daemon answering a traced query returns its own span timings as
+   one ordinary key-value section; old controllers see three unknown
+   pairs and ignore them. The section is appended after signing — the
+   "sign" span's own duration cannot ride inside the bytes being
+   signed — so it is diagnostics, not an authenticated claim, per the
+   post-signature-section rule of doc/PROTOCOL.md §6. *)
+
+let trace_id_key = "trace-id"
+let trace_parent_key = "trace-parent"
+let trace_spans_key = "trace-spans"
+
+(* Floats must survive the wire byte-exactly for traces to be
+   deterministic: shortest decimal form that round-trips. *)
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let encode_trace_spans spans =
+  String.concat ";"
+    (List.map
+       (fun (name, t0, t1) ->
+         Printf.sprintf "%s@%s+%s" name (float_str t0) (float_str (t1 -. t0)))
+       spans)
+
+let decode_trace_spans s =
+  let parse_one tok =
+    match String.index_opt tok '@' with
+    | None -> None
+    | Some i -> (
+        let name = String.sub tok 0 i in
+        let rest = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match String.index_opt rest '+' with
+        | None -> None
+        | Some j -> (
+            let start = String.sub rest 0 j in
+            let dur = String.sub rest (j + 1) (String.length rest - j - 1) in
+            match (float_of_string_opt start, float_of_string_opt dur) with
+            | Some t0, Some d when name <> "" -> Some (name, t0, t0 +. d)
+            | _ -> None))
+  in
+  let toks = String.split_on_char ';' s |> List.filter (( <> ) "") in
+  let parsed = List.filter_map parse_one toks in
+  if List.length parsed = List.length toks then Some parsed else None
+
+let attach_trace t ~trace_id ~parent ~spans =
+  append_section t
+    [
+      Key_value.pair trace_id_key trace_id;
+      Key_value.pair trace_parent_key parent;
+      Key_value.pair trace_spans_key (encode_trace_spans spans);
+    ]
+
+let is_trace_section section =
+  Key_value.find section trace_id_key <> None
+  && Key_value.find section trace_spans_key <> None
+
+let strip_trace t =
+  { t with sections = List.filter (fun s -> not (is_trace_section s)) t.sections }
+
+let trace_info t =
+  let tagged =
+    List.filter_map
+      (fun section ->
+        match
+          ( Key_value.find section trace_id_key,
+            Key_value.find section trace_parent_key,
+            Key_value.find section trace_spans_key )
+        with
+        | Some id, Some parent, Some spans -> (
+            match decode_trace_spans spans with
+            | Some spans -> Some (id, parent, spans)
+            | None -> None)
+        | _ -> None)
+      t.sections
+  in
+  match tagged with [] -> None | info :: _ -> Some info
+
 let equal a b = a = b
 
 let pp ppf t =

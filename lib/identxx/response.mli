@@ -54,3 +54,37 @@ val encode : t -> string
 val decode : string -> (t, string) result
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Daemon-side trace piggyback}
+
+    A daemon answering a traced query (see {!Query.t}[.trace]) returns
+    its own span timings as one ordinary key-value section —
+    [trace-id], [trace-parent] (the querier's span the timings belong
+    under) and [trace-spans] (["name@start+duration"] tokens joined
+    with [";"], times in seconds on the daemon's clock). Controllers
+    that predate tracing see three unknown pairs and ignore them; see
+    doc/PROTOCOL.md. *)
+
+val attach_trace :
+  t -> trace_id:string -> parent:string ->
+  spans:(string * float * float) list -> t
+(** Append the trace section. Each span is [(name, start, end_)]. *)
+
+val trace_info : t -> (string * string * (string * float * float) list) option
+(** The first trace section, as [(trace_id, parent, spans)]; [None]
+    when absent or unintelligible (version tolerance: such a response
+    is simply an untraced response). *)
+
+val is_trace_section : Key_value.section -> bool
+(** Whether the section carries both {!trace_id_key} and
+    {!trace_spans_key} — the shape {!attach_trace} produces. *)
+
+val strip_trace : t -> t
+(** The response without its trace section(s). Controllers strip after
+    extracting {!trace_info}, so per-flow trace ids never reach policy
+    evaluation or the fast-path attribute cache (where they would
+    defeat decision-cache key matching). *)
+
+val trace_id_key : string
+val trace_parent_key : string
+val trace_spans_key : string

@@ -4,6 +4,7 @@ type span = {
   sp_name : string;
   sp_start : float;
   mutable sp_end : float option;
+  mutable sp_keep : bool;  (* head-sampling decision, revisable *)
   mutable sp_attrs : (string * string) list;  (* newest first *)
   mutable sp_events : (float * string * (string * string) list) list;
   mutable sp_children : span list;  (* newest first *)
@@ -12,17 +13,39 @@ type span = {
 type t = {
   capacity : int;
   mutable on : bool;
+  mutable rate : float;  (* head sample rate in [0, 1] *)
   mutable roots : span list;  (* finished, newest first *)
   mutable retained : int;
   mutable total : int;
+  mutable sampled_out : int;
 }
 
 let create ?(capacity = 1024) ?(enabled = true) () =
   if capacity <= 0 then invalid_arg "Obs.Span.create: capacity must be positive";
-  { capacity; on = enabled; roots = []; retained = 0; total = 0 }
+  {
+    capacity;
+    on = enabled;
+    rate = 1.;
+    roots = [];
+    retained = 0;
+    total = 0;
+    sampled_out = 0;
+  }
 
 let enabled t = t.on
 let set_enabled t v = t.on <- v
+let sample_rate t = t.rate
+
+let set_sample_rate t r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg "Obs.Span.set_sample_rate: rate must be in [0, 1]";
+  t.rate <- r
+
+(* The head-sampling coin: deterministic from the trace id, so a flow
+   samples identically on every run (and on every party holding the
+   same id). *)
+let should_sample t ~id =
+  t.rate >= 1. || (t.rate > 0. && Trace_context.unit_fraction id < t.rate)
 
 let null =
   {
@@ -31,6 +54,7 @@ let null =
     sp_name = "";
     sp_start = 0.;
     sp_end = None;
+    sp_keep = false;
     sp_attrs = [];
     sp_events = [];
     sp_children = [];
@@ -38,7 +62,7 @@ let null =
 
 let is_live sp = sp.live
 
-let start t ~at ?parent ?(attrs = []) name =
+let start t ~at ?parent ?(sampled = true) ?(attrs = []) name =
   let parent_dead = match parent with Some p -> not p.live | None -> false in
   if (not t.on) || parent_dead then null
   else begin
@@ -49,6 +73,7 @@ let start t ~at ?parent ?(attrs = []) name =
         sp_name = name;
         sp_start = at;
         sp_end = None;
+        sp_keep = sampled;
         sp_attrs = List.rev attrs;
         sp_events = [];
         sp_children = [];
@@ -66,6 +91,9 @@ let event sp ~at ?(attrs = []) name =
 let set_attr sp k v =
   if sp.live then sp.sp_attrs <- (k, v) :: List.remove_assoc k sp.sp_attrs
 
+let force_sample sp = if sp.live then sp.sp_keep <- true
+let is_sampled sp = sp.sp_keep
+
 (* Roots are retained newest-first with the same lazy trim as
    Audit.record, so finishing stays O(1) amortized. *)
 let retain t sp =
@@ -82,10 +110,16 @@ let retain t sp =
     t.retained <- t.capacity
   end
 
+(* The sampling decision is only enforced here, at the end of the root:
+   an unsampled root stays live while open, so a late error (deny,
+   timeout, breaker trip) can still {!force_sample} it and lose no
+   children. *)
 let finish t ~at sp =
   if sp.live && sp.sp_end = None then begin
     sp.sp_end <- Some at;
-    if sp.root then retain t sp
+    if sp.root then
+      if sp.sp_keep then retain t sp
+      else t.sampled_out <- t.sampled_out + 1
   end
 
 let duration sp =
@@ -93,11 +127,14 @@ let duration sp =
 
 let finished t = List.rev t.roots
 let count t = t.total
+let sampled_out t = t.sampled_out
+let capacity_dropped t = t.total - t.retained
 
 let clear t =
   t.roots <- [];
   t.retained <- 0;
-  t.total <- 0
+  t.total <- 0;
+  t.sampled_out <- 0
 
 let name sp = sp.sp_name
 let attrs sp = List.rev sp.sp_attrs
@@ -142,5 +179,9 @@ let export t =
   Json.Obj
     [
       ("spans", Json.List (List.map to_json (finished t)));
-      ("dropped", Json.Num (float_of_int (t.total - t.retained)));
+      (* Two loss causes, reported apart: the capacity cap losing spans
+         an operator wanted, vs. head sampling dropping them by
+         design. *)
+      ("dropped", Json.Num (float_of_int (capacity_dropped t)));
+      ("sampled_out", Json.Num (float_of_int t.sampled_out));
     ]

@@ -26,6 +26,28 @@ val create : ?capacity:int -> ?enabled:bool -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+(** {2 Head sampling}
+
+    The collector keeps a fraction of root spans, decided at the head
+    of the trace (so the decision can ride the wire with the trace
+    context) but {e enforced} only when the root finishes — an
+    unsampled root stays live and collects children and timings, and
+    {!force_sample} can revive it on the way (the controller does so on
+    deny, timeout, rejection and breaker trips, so error traces are
+    never lost). Spans dropped this way are counted apart from capacity
+    drops. *)
+
+val sample_rate : t -> float
+(** In [\[0, 1\]]; 1 (the default) keeps everything. *)
+
+val set_sample_rate : t -> float -> unit
+(** @raise Invalid_argument outside [\[0, 1\]]. *)
+
+val should_sample : t -> id:string -> bool
+(** The head coin for a new trace: deterministic from the trace id
+    ({!Trace_context.unit_fraction} against the rate), so identical
+    runs sample identically. *)
+
 val null : span
 (** The dead span: returned by {!start} when the collector is disabled;
     every operation on it is a no-op. *)
@@ -34,17 +56,29 @@ val is_live : span -> bool
 (** [false] exactly for {!null}. *)
 
 val start :
-  t -> at:float -> ?parent:span -> ?attrs:(string * string) list ->
-  string -> span
+  t -> at:float -> ?parent:span -> ?sampled:bool ->
+  ?attrs:(string * string) list -> string -> span
 (** Opens a span. With [?parent] the new span is recorded as a child of
     (and retained with) the parent instead of entering the root buffer.
-    A child of {!null} is {!null}. *)
+    A child of {!null} is {!null}. [?sampled] (default [true]) is the
+    head-sampling decision for a root span: an unsampled root behaves
+    normally while open but is discarded — and counted in
+    {!sampled_out} — when finished, unless {!force_sample} ran. *)
 
 val event : span -> at:float -> ?attrs:(string * string) list -> string -> unit
 (** A point-in-time occurrence within the span. *)
 
 val set_attr : span -> string -> string -> unit
 (** Sets (or overwrites) an attribute. *)
+
+val force_sample : span -> unit
+(** Revise the head decision: keep this root span regardless of the
+    sampling coin. The always-sample hook for error traces; a no-op on
+    {!null} and on non-root spans (children live or die with their
+    root). *)
+
+val is_sampled : span -> bool
+(** The current keep decision ([false] for {!null}). *)
 
 val finish : t -> at:float -> span -> unit
 (** Closes the span; root spans enter the retained buffer. Finishing a
@@ -59,8 +93,15 @@ val finished : t -> span list
 (** Retained finished root spans, oldest first. *)
 
 val count : t -> int
-(** Total root spans finished over the collector's lifetime, including
-    any the capacity cap has since dropped. *)
+(** Total {e kept} root spans finished over the collector's lifetime,
+    including any the capacity cap has since dropped (sampled-out spans
+    are counted separately, in {!sampled_out}). *)
+
+val sampled_out : t -> int
+(** Root spans discarded by head sampling. *)
+
+val capacity_dropped : t -> int
+(** Kept root spans since lost to the capacity cap. *)
 
 val clear : t -> unit
 
@@ -74,5 +115,7 @@ val to_json : span -> Json.t
     "events", "children"}]. *)
 
 val export : t -> Json.t
-(** The whole collector: [{"spans": [...], "dropped": n}] where
-    [dropped] counts spans lost to the capacity cap. *)
+(** The whole collector: [{"spans": [...], "dropped": n,
+    "sampled_out": m}] — [dropped] counts spans lost to the capacity
+    cap, [sampled_out] spans discarded by head sampling; the two causes
+    are never conflated. *)

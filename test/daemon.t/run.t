@@ -62,3 +62,38 @@ how long the querying controller's attribute cache may reuse it:
   
   expires: 2.5
   
+
+Mixed-version exchange. A tracing controller smuggles its trace context
+as an extra "@trace/" query key; a daemon that understands it answers
+with a trace section appended after everything else (span times are 0
+under the daemon's default deterministic clock):
+
+  $ printf 'TCP 50000 33000\nuserID\n@trace/00000000deadbeef-cafe0123-s\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --table procs.txt
+  TCP 50000 33000
+  userID: alice
+  groupID: staff
+  pid: 100
+  exe-path: /usr/bin/skype
+  name: skype
+  app-name: skype
+  
+  trace-id: 00000000deadbeef
+  trace-parent: cafe0123
+  trace-spans: decode@0+0;lookup@0+0;assemble@0+0
+  
+
+A token that merely starts with "@trace/" but does not parse as a trace
+context is treated like any other requested key — the answer carries no
+trace section, exactly what an old controller (or a typo) gets:
+
+  $ printf 'TCP 50000 33000\n@trace/not-a-context\n\n' | \
+  >   identxxd --ip 10.0.0.1 --peer 10.0.0.9 --table procs.txt
+  TCP 50000 33000
+  userID: alice
+  groupID: staff
+  pid: 100
+  exe-path: /usr/bin/skype
+  name: skype
+  app-name: skype
+  

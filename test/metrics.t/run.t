@@ -67,6 +67,7 @@ matched rule, one child span per ident++ query:
         "end": 0.00018,
         "attrs": {
           "flow": "tcp 10.0.0.1:50000 -> 10.0.0.2:80",
+          "trace-id": "2720c5e6d2d0f9d5",
           "decision": "pass",
           "rule": "2"
         },
@@ -84,7 +85,24 @@ matched rule, one child span per ident++ query:
             "attrs": {
               "host": "10.0.0.1",
               "outcome": "answered"
-            }
+            },
+            "children": [
+              {
+                "name": "decode",
+                "start": 0.00012,
+                "end": 0.00012
+              },
+              {
+                "name": "lookup",
+                "start": 0.00012,
+                "end": 0.00012
+              },
+              {
+                "name": "assemble",
+                "start": 0.00012,
+                "end": 0.00012
+              }
+            ]
           },
           {
             "name": "query",
@@ -93,12 +111,30 @@ matched rule, one child span per ident++ query:
             "attrs": {
               "host": "10.0.0.2",
               "outcome": "answered"
-            }
+            },
+            "children": [
+              {
+                "name": "decode",
+                "start": 0.00012,
+                "end": 0.00012
+              },
+              {
+                "name": "lookup",
+                "start": 0.00012,
+                "end": 0.00012
+              },
+              {
+                "name": "assemble",
+                "start": 0.00012,
+                "end": 0.00012
+              }
+            ]
           }
         ]
       }
     ],
-    "dropped": 0
+    "dropped": 0,
+    "sampled_out": 0
   }
 
 Snapshots that are not JSON, or JSON that is not a snapshot, are

@@ -67,6 +67,53 @@ let test_query_roundtrip () =
   | Ok q' -> check Alcotest.bool "roundtrip" true (Identxx.Query.equal q q')
   | Error e -> Alcotest.fail e
 
+let test_query_trace_wire () =
+  let ctx =
+    Obs.Trace_context.make ~seed:"tcp 1.1.1.1:5000 -> 2.2.2.2:80" ~seq:0
+      ~sampled:true
+  in
+  let q =
+    Identxx.Query.with_trace
+      (Identxx.Query.make
+         ~flow:(flow ~sp:5000 ~dp:80 "1.1.1.1" "2.2.2.2")
+         ~keys:[ "userID"; "name" ])
+      (Some ctx)
+  in
+  (* The context is one extra hint-key line after the real keys. *)
+  check Alcotest.string "exact bytes"
+    (Printf.sprintf "TCP 5000 80\nuserID\nname\n@trace/%s\n"
+       (Obs.Trace_context.to_string ctx))
+    (Identxx.Query.encode q);
+  (match Identxx.Query.decode (Identxx.Query.encode q) with
+  | Ok q' ->
+      check Alcotest.bool "trace round trips" true (Identxx.Query.equal q q');
+      check
+        Alcotest.(list string)
+        "trace token out of keys" [ "userID"; "name" ] q'.Identxx.Query.keys
+  | Error e -> Alcotest.fail e);
+  (* A frame without context decodes exactly as it always did. *)
+  match Identxx.Query.decode "TCP 5000 80\nuserID\nname\n" with
+  | Ok q' ->
+      check Alcotest.bool "no trace" true (q'.Identxx.Query.trace = None);
+      check
+        Alcotest.(list string)
+        "keys unchanged" [ "userID"; "name" ] q'.Identxx.Query.keys
+  | Error e -> Alcotest.fail e
+
+let test_query_trace_unparsable_stays_key () =
+  (* Version tolerance in the other direction: an unintelligible
+     "@trace/..." token is an ordinary hint key, like an old decoder
+     would treat it. *)
+  match Identxx.Query.decode "TCP 1 2\nuserID\n@trace/not-a-context\n" with
+  | Ok q ->
+      check Alcotest.bool "no trace parsed" true (q.Identxx.Query.trace = None);
+      check
+        Alcotest.(list string)
+        "token stays a key"
+        [ "userID"; "@trace/not-a-context" ]
+        q.Identxx.Query.keys
+  | Error e -> Alcotest.fail e
+
 (* --- Response --- *)
 
 let sample_response () =
@@ -119,6 +166,39 @@ let test_response_decode_rejects_bad_pair () =
   match Identxx.Response.decode "TCP 1 2\nno-colon-here\n" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted pair without colon"
+
+let test_response_trace_piggyback () =
+  let r = sample_response () in
+  let spans =
+    [ ("decode", 6e-05, 6e-05); ("lookup", 0.00012, 0.00018); ("sign", 0.5, 0.75) ]
+  in
+  let traced =
+    Identxx.Response.attach_trace r ~trace_id:"0123456789abcdef"
+      ~parent:"89abcdef" ~spans
+  in
+  check Alcotest.int "one extra section"
+    (List.length r.Identxx.Response.sections + 1)
+    (List.length traced.Identxx.Response.sections);
+  (* The timings survive the wire byte-exactly. *)
+  (match Identxx.Response.decode (Identxx.Response.encode traced) with
+  | Error e -> Alcotest.fail e
+  | Ok back -> (
+      match Identxx.Response.trace_info back with
+      | Some (id, parent, spans') ->
+          check Alcotest.string "trace id" "0123456789abcdef" id;
+          check Alcotest.string "parent" "89abcdef" parent;
+          check Alcotest.bool "spans round trip" true (spans' = spans);
+          (* Stripping recovers the pre-trace response, so trace data
+             never reaches policy evaluation or attribute caches. *)
+          check Alcotest.bool "strip recovers" true
+            (Identxx.Response.equal r (Identxx.Response.strip_trace back))
+      | None -> Alcotest.fail "trace_info lost the section"));
+  (* A response without a trace section: trace_info is None, strip is
+     the identity — old-peer frames are untouched. *)
+  check Alcotest.bool "untraced: no info" true
+    (Identxx.Response.trace_info r = None);
+  check Alcotest.bool "untraced: strip id" true
+    (Identxx.Response.equal r (Identxx.Response.strip_trace r))
 
 (* --- Config --- *)
 
@@ -547,6 +627,32 @@ let test_signed_post_signature_sections_uncovered () =
         (List.length augmented.Identxx.Response.sections)
   | _ -> Alcotest.fail "expected valid"
 
+let test_signed_trace_section_keeps_signature () =
+  let kp = Idcrypto.Sign.generate "host-key" in
+  let ks = Idcrypto.Sign.keystore () in
+  Idcrypto.Sign.register ks kp;
+  let r =
+    Identxx.Response.make ~flow:(flow "10.0.0.1" "10.0.0.2")
+      [ [ KV.pair "name" "pine" ] ]
+  in
+  let signed = Identxx.Signed.sign ~keypair:kp r in
+  (* The daemon attaches span timings after signing: the signature still
+     verifies over its prefix, and stripping the trace section recovers
+     the signed response byte-for-byte. *)
+  let traced =
+    Identxx.Response.attach_trace signed ~trace_id:"00000000deadbeef"
+      ~parent:"cafe0123"
+      ~spans:[ ("lookup", 1e-4, 2e-4); ("sign", 2e-4, 3e-4) ]
+  in
+  (match Identxx.Signed.verify ks traced with
+  | Identxx.Signed.Valid n ->
+      check Alcotest.int "signature still covers its prefix" 1 n
+  | _ -> Alcotest.fail "expected valid");
+  check Alcotest.int "trace section rides after the signature" 3
+    (List.length traced.Identxx.Response.sections);
+  check Alcotest.bool "strip recovers the signed response" true
+    (Identxx.Response.strip_trace traced = signed)
+
 (* --- RFC 1413 compatibility --- *)
 
 let test_rfc1413_userid () =
@@ -659,6 +765,9 @@ let () =
           Alcotest.test_case "decode" `Quick test_query_decode;
           Alcotest.test_case "rejects garbage" `Quick test_query_decode_rejects_garbage;
           Alcotest.test_case "roundtrip" `Quick test_query_roundtrip;
+          Alcotest.test_case "trace wire" `Quick test_query_trace_wire;
+          Alcotest.test_case "unparsable trace stays key" `Quick
+            test_query_trace_unparsable_stays_key;
         ] );
       ( "response",
         [
@@ -669,6 +778,8 @@ let () =
           Alcotest.test_case "blank runs" `Quick test_response_decode_skips_blank_runs;
           Alcotest.test_case "rejects bad pair" `Quick
             test_response_decode_rejects_bad_pair;
+          Alcotest.test_case "trace piggyback" `Quick
+            test_response_trace_piggyback;
         ] );
       ( "config",
         [
@@ -723,6 +834,8 @@ let () =
             test_signed_detects_tampering;
           Alcotest.test_case "post-signature sections" `Quick
             test_signed_post_signature_sections_uncovered;
+          Alcotest.test_case "trace section keeps signature" `Quick
+            test_signed_trace_section_keeps_signature;
         ] );
       ( "rfc1413",
         [

@@ -260,6 +260,105 @@ let test_span_retention () =
     "dropped counted" (Some 2)
     (Option.bind (Json.member "dropped" (Span.export t)) Json.to_int)
 
+let test_span_sampling () =
+  let t = Span.create () in
+  Span.set_sample_rate t 0.;
+  (* An unsampled root behaves normally while open but is discarded —
+     and counted apart from capacity drops — at finish. *)
+  let sp = Span.start t ~at:0. ~sampled:false "flow-setup" in
+  check Alcotest.bool "unsampled root stays live" true (Span.is_live sp);
+  check Alcotest.bool "not sampled" false (Span.is_sampled sp);
+  let q = Span.start t ~at:0.1 ~parent:sp "query" in
+  Span.finish t ~at:0.2 q;
+  Span.finish t ~at:0.3 sp;
+  check Alcotest.int "discarded" 0 (List.length (Span.finished t));
+  check Alcotest.int "sampled_out counted" 1 (Span.sampled_out t);
+  check Alcotest.int "kept count untouched" 0 (Span.count t);
+  (* force_sample revives the head decision before finish. *)
+  let sp2 = Span.start t ~at:1. ~sampled:false "flow-setup" in
+  Span.force_sample sp2;
+  check Alcotest.bool "revived" true (Span.is_sampled sp2);
+  Span.finish t ~at:1.5 sp2;
+  check Alcotest.int "kept" 1 (List.length (Span.finished t));
+  check Alcotest.int "sampled_out unchanged" 1 (Span.sampled_out t);
+  (* Export reports the two drop causes apart. *)
+  let j = Span.export t in
+  check (Alcotest.option Alcotest.int) "export sampled_out" (Some 1)
+    (Option.bind (Json.member "sampled_out" j) Json.to_int);
+  check (Alcotest.option Alcotest.int) "export dropped" (Some 0)
+    (Option.bind (Json.member "dropped" j) Json.to_int)
+
+let test_span_drop_accounting () =
+  (* Capacity drops and sampling drops land in separate fields. *)
+  let t = Span.create ~capacity:2 () in
+  for i = 1 to 4 do
+    let sp = Span.start t ~at:(float_of_int i) "s" in
+    Span.finish t ~at:(float_of_int i +. 0.5) sp
+  done;
+  let sp = Span.start t ~at:5. ~sampled:false "s" in
+  Span.finish t ~at:5.5 sp;
+  check Alcotest.int "capacity drops" 2 (Span.capacity_dropped t);
+  check Alcotest.int "sampling drops" 1 (Span.sampled_out t);
+  let j = Span.export t in
+  check (Alcotest.option Alcotest.int) "export dropped" (Some 2)
+    (Option.bind (Json.member "dropped" j) Json.to_int);
+  check (Alcotest.option Alcotest.int) "export sampled_out" (Some 1)
+    (Option.bind (Json.member "sampled_out" j) Json.to_int);
+  Span.clear t;
+  check Alcotest.int "clear resets sampled_out" 0 (Span.sampled_out t)
+
+let test_should_sample () =
+  let t = Span.create () in
+  check Alcotest.bool "rate 1 keeps all" true (Span.should_sample t ~id:"x");
+  Span.set_sample_rate t 0.;
+  check Alcotest.bool "rate 0 keeps none" false (Span.should_sample t ~id:"x");
+  Span.set_sample_rate t 0.5;
+  (* Deterministic: same id, same coin. *)
+  let a = Span.should_sample t ~id:"abcd1234deadbeef" in
+  check Alcotest.bool "deterministic" a
+    (Span.should_sample t ~id:"abcd1234deadbeef");
+  Alcotest.check_raises "rate outside [0,1] rejected"
+    (Invalid_argument "Obs.Span.set_sample_rate: rate must be in [0, 1]")
+    (fun () -> Span.set_sample_rate t 1.5)
+
+let test_trace_context () =
+  let module Tc = Obs.Trace_context in
+  let ctx = Tc.make ~seed:"tcp 10.0.0.1:50000 -> 10.0.0.2:80" ~seq:0 ~sampled:true in
+  check Alcotest.int "trace id is 16 hex" 16 (String.length ctx.Tc.trace_id);
+  check Alcotest.int "span id is 8 hex" 8 (String.length ctx.Tc.span_id);
+  (* Deterministic: same seed and seq reproduce the ids. *)
+  let ctx' = Tc.make ~seed:"tcp 10.0.0.1:50000 -> 10.0.0.2:80" ~seq:0 ~sampled:true in
+  check Alcotest.bool "deterministic ids" true (Tc.equal ctx ctx');
+  let other = Tc.make ~seed:"tcp 10.0.0.1:50000 -> 10.0.0.2:80" ~seq:1 ~sampled:true in
+  check Alcotest.bool "seq disambiguates" false
+    (String.equal ctx.Tc.trace_id other.Tc.trace_id);
+  (* Children share the trace id, get fresh span ids, deterministically. *)
+  let c1 = Tc.child ctx 1 and c2 = Tc.child ctx 2 in
+  check Alcotest.string "child keeps trace id" ctx.Tc.trace_id c1.Tc.trace_id;
+  check Alcotest.bool "children differ" false
+    (String.equal c1.Tc.span_id c2.Tc.span_id);
+  check Alcotest.bool "child deterministic" true (Tc.equal c1 (Tc.child ctx 1));
+  (* Wire round trip, both sampling flags. *)
+  List.iter
+    (fun sampled ->
+      let ctx = { ctx with Tc.sampled } in
+      match Tc.of_string (Tc.to_string ctx) with
+      | Some back -> check Alcotest.bool "round trip" true (Tc.equal ctx back)
+      | None -> Alcotest.failf "no parse: %s" (Tc.to_string ctx))
+    [ true; false ];
+  (* Malformed tokens are rejected, not mangled. *)
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("rejects " ^ s) true (Tc.of_string s = None))
+    [
+      ""; "nothex"; "0123456789abcdef-01234567-x";
+      "0123456789abcdef-0123456-s"; "0123456789abcde-01234567-s";
+      "0123456789ABCDEF-01234567-s"; "0123456789abcdef-01234567-s-extra";
+    ];
+  (* unit_fraction lands in [0, 1). *)
+  let f = Tc.unit_fraction ctx.Tc.trace_id in
+  check Alcotest.bool "unit fraction in range" true (f >= 0. && f < 1.)
+
 let test_span_disabled () =
   let t = Span.create ~enabled:false () in
   let sp = Span.start t ~at:0. "flow-setup" in
@@ -295,6 +394,11 @@ let () =
         [
           Alcotest.test_case "tree, attrs, events" `Quick test_span_tree;
           Alcotest.test_case "retention cap" `Quick test_span_retention;
+          Alcotest.test_case "head sampling" `Quick test_span_sampling;
+          Alcotest.test_case "drop accounting" `Quick test_span_drop_accounting;
+          Alcotest.test_case "should_sample" `Quick test_should_sample;
           Alcotest.test_case "disabled collector" `Quick test_span_disabled;
         ] );
+      ( "trace-context",
+        [ Alcotest.test_case "ids and wire form" `Quick test_trace_context ] );
     ]

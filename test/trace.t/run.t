@@ -1,0 +1,62 @@
+Distributed tracing, end to end: `netsim --trace-out` exports the
+controller's flow-setup spans as JSONL and `identxx_ctl trace` renders
+the tree. Everything runs on the simulated clock, so every timestamp
+below is deterministic.
+
+The Figure-1 run produces one trace: the controller's flow-setup root,
+a query child per end host, and under each query the daemon-side spans
+(decode/lookup/assemble) that rode back piggybacked on the response:
+
+  $ identxx-netsim fig1 --trace-out spans.jsonl > out.txt
+  $ grep wrote out.txt
+  wrote 1 spans to spans.jsonl (0 sampled out)
+  $ identxx_ctl trace spans.jsonl
+  flow-setup @60us +120us (self 0us) flow=tcp 10.0.0.1:50000 -> 10.0.0.2:80 trace-id=2720c5e6d2d0f9d5 decision=pass rule=2
+    - install @180us
+    query @60us +120us (self 120us) host=10.0.0.1 outcome=answered
+      decode @120us +0us
+      lookup @120us +0us
+      assemble @120us +0us
+    query @60us +120us (self 120us) host=10.0.0.2 outcome=answered
+      decode @120us +0us
+      lookup @120us +0us
+      assemble @120us +0us
+  1 trace(s)
+
+The trace id is deterministic (flow 5-tuple + per-run counter), so the
+same run always yields the same id:
+
+  $ identxx-netsim fig1 --trace-out again.jsonl > /dev/null
+  $ grep -c 2720c5e6d2d0f9d5 again.jsonl
+  1
+
+Head sampling: at --trace-sample 0 nothing is kept by the sampler, but
+traces that end in a drop verdict are force-sampled so the interesting
+flow always survives. --extra-flow adds a second flow from a user
+running an unapproved binary, which rule 1 denies:
+
+  $ identxx-netsim fig1 --trace-out deny.jsonl --trace-sample 0 \
+  >   --extra-flow /usr/bin/curl > out2.txt
+  $ grep wrote out2.txt
+  wrote 1 spans to deny.jsonl (1 sampled out)
+  $ identxx_ctl trace deny.jsonl
+  flow-setup @60us +120us (self 0us) flow=tcp 10.0.0.1:50001 -> 10.0.0.2:81 trace-id=77c8d3d74cefdd8c decision=block rule=1
+    - install-drop @180us
+    query @60us +120us (self 120us) host=10.0.0.1 outcome=answered
+      decode @120us +0us
+      lookup @120us +0us
+      assemble @120us +0us
+    query @60us +120us (self 120us) host=10.0.0.2 outcome=answered
+      decode @120us +0us
+      lookup @120us +0us
+      assemble @120us +0us
+  1 trace(s)
+
+Without --trace-out (or --spans) tracing stays off entirely — the run
+is byte-identical to an untraced one on the wire, as the daemon only
+adds its trace section when the query carries a context:
+
+  $ identxx-netsim fig1 --extra-flow /usr/bin/curl > plain.txt
+  $ grep -c trace-id plain.txt
+  0
+  [1]

@@ -10,7 +10,11 @@
    2. every .mli opens with a documentation comment;
    3. every repo-relative path mentioned in backticks in the operator
       documentation (README.md, DESIGN.md, EXPERIMENTS.md, doc/*.md)
-      exists, so the docs cannot drift from the tree they describe.
+      exists, so the docs cannot drift from the tree they describe;
+   4. the metric catalog in doc/OBSERVABILITY.md and the metric-name
+      literals in lib/ and bin/ agree, in both directions: a series
+      the code can emit must have a catalog row, and a catalog row
+      must name a series the code still emits.
 
    Usage: doclint <repo-root>. Exit 1 on any finding. *)
 
@@ -132,16 +136,100 @@ let check_doc_refs root =
                (inline_code_spans line)))
     docs
 
+(* --- 4: metric-catalog drift --- *)
+
+(* A metric name is an [identxx_]-prefixed snake_case literal with at
+   least two underscores — which excludes tool names like
+   [identxx_ctl] while matching every registry series. *)
+let is_metric_char = function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false
+
+let is_metric_name s =
+  String.length s > 8
+  && String.sub s 0 8 = "identxx_"
+  && String.for_all is_metric_char s
+  && String.fold_left (fun n c -> if c = '_' then n + 1 else n) 0 s >= 2
+
+(* Every ["identxx_..."] string literal in a source file. *)
+let scan_literals acc path =
+  let s = read_file path in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_metric_char s.[!j] do incr j done;
+      if !j < n && s.[!j] = '"' then begin
+        let lit = String.sub s (!i + 1) (!j - !i - 1) in
+        if is_metric_name lit then Hashtbl.replace acc lit path
+      end;
+      i := !j
+    end
+    else incr i
+  done
+
+let metric_names_in_code root =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun lib ->
+      let dir = Printf.sprintf "%s/lib/%s" root lib in
+      List.iter
+        (fun f ->
+          if Filename.check_suffix f ".ml" then
+            scan_literals acc (Filename.concat dir f))
+        (list_dir dir))
+    (list_dir (Filename.concat root "lib"));
+  List.iter
+    (fun f ->
+      if Filename.check_suffix f ".ml" then
+        scan_literals acc (Filename.concat root ("bin/" ^ f)))
+    (list_dir (Filename.concat root "bin"));
+  acc
+
+(* Catalog rows look like [| `identxx_..._total` | counter | ...]; a
+   backticked span with spaces (a command synopsis) is not a row. *)
+let metric_rows_in_doc root doc =
+  let acc = Hashtbl.create 32 in
+  (if Sys.file_exists (Filename.concat root doc) then
+     String.split_on_char '\n' (read_file (Filename.concat root doc))
+     |> List.iteri (fun lineno line ->
+            if String.length line > 3 && String.sub line 0 3 = "| `" then
+              match inline_code_spans line with
+              | first :: _ when is_metric_name first ->
+                  Hashtbl.replace acc first (lineno + 1)
+              | _ -> ()));
+  acc
+
+let check_metric_catalog root =
+  let doc = "doc/OBSERVABILITY.md" in
+  let code = metric_names_in_code root in
+  let rows = metric_rows_in_doc root doc in
+  Hashtbl.iter
+    (fun name path ->
+      if not (Hashtbl.mem rows name) then
+        err "%s emits `%s` but %s has no catalog row for it"
+          (String.sub path (String.length root + 1)
+             (String.length path - String.length root - 1))
+          name doc)
+    code;
+  Hashtbl.iter
+    (fun name lineno ->
+      if not (Hashtbl.mem code name) then
+        err "%s:%d: catalog row `%s` names a series no code emits" doc lineno
+          name)
+    rows
+
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
   check_interfaces root;
   check_doc_refs root;
+  check_metric_catalog root;
   let have_odoc = Sys.command "command -v odoc >/dev/null 2>&1" = 0 in
   if !errors > 0 then begin
     Printf.printf "doclint: %d finding(s)\n" !errors;
     exit 1
   end;
   Printf.printf
-    "doclint: interfaces documented, doc cross-references resolve%s\n"
+    "doclint: interfaces documented, doc cross-references resolve, metric \
+     catalog in sync%s\n"
     (if have_odoc then " (odoc present: run `dune build @doc` for the render)"
      else " (odoc not installed: rendered-doc build gated off)")
