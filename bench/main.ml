@@ -301,6 +301,69 @@ let bench_pf_parse =
   Test.make ~name:"pf/parse-100-rules"
     (Staged.stage (fun () -> ignore (Pf.Parser.parse text)))
 
+(* --- E11b: decision-diagram analysis (lib/analysis/fdd.mli) ----------- *)
+
+(* analysis/fdd-lookup is the headline: the diagram answers the same
+   question as pf/eval-last-match (what verdict does this flow get)
+   with a five-node walk instead of a rule scan, so its per-op cost
+   must stay flat as the ruleset grows. *)
+
+let bench_env_of text =
+  match Pf.Env.of_string text with Ok e -> e | Error e -> failwith e
+
+let bench_fdd_compile =
+  Test.make_indexed ~name:"analysis/fdd-compile" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let env = bench_env_of (ruleset n "pass all with eq(@src[name], firefox)") in
+      Staged.stage (fun () -> ignore (Analysis.Fdd.compile env)))
+
+let bench_fdd_lookup =
+  let fl = flow "10.0.0.1" "10.1.0.1" in
+  Test.make_indexed ~name:"analysis/fdd-lookup" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let fdd =
+        Analysis.Fdd.compile
+          (bench_env_of (ruleset n "pass all with eq(@src[name], firefox)"))
+      in
+      Staged.stage (fun () -> ignore (Analysis.Fdd.lookup fdd fl)))
+
+(* The Figure-2 deployment (admin header + vendor fragment), embedded
+   inline because the bench binary reads no files. The "new" revision
+   is a plausible operator edit: the update CDN moved and the vendor
+   widened the update port — equiv must find a counterexample, diff
+   must localize it. *)
+let figure2_policy =
+  {|table <server> { 192.168.1.1 }
+table <lan> { 192.168.0.0/24 }
+table <int_hosts> { <lan> <server> }
+table <skype_update> { 123.123.123.0/24 }
+block all
+pass from <int_hosts> to !<int_hosts> keep state
+pass all with eq(@src[name], skype) with eq(@dst[name], skype)
+pass from any to <skype_update> port 80 with eq(@src[name], skype) keep state|}
+
+let figure2_policy_edited =
+  {|table <server> { 192.168.1.1 }
+table <lan> { 192.168.0.0/24 }
+table <int_hosts> { <lan> <server> }
+table <skype_update> { 123.123.200.0/24 }
+block all
+pass from <int_hosts> to !<int_hosts> keep state
+pass all with eq(@src[name], skype) with eq(@dst[name], skype)
+pass from any to <skype_update> port 80:443 with eq(@src[name], skype) keep state|}
+
+let bench_fdd_equiv =
+  let a = Analysis.Fdd.compile (bench_env_of figure2_policy) in
+  let b = Analysis.Fdd.compile (bench_env_of figure2_policy_edited) in
+  Test.make ~name:"analysis/equiv-figure2"
+    (Staged.stage (fun () -> ignore (Analysis.Fdd.equiv a b)))
+
+let bench_fdd_diff =
+  let a = Analysis.Fdd.compile (bench_env_of figure2_policy) in
+  let b = Analysis.Fdd.compile (bench_env_of figure2_policy_edited) in
+  Test.make ~name:"analysis/diff-figure2"
+    (Staged.stage (fun () -> ignore (Analysis.Fdd.diff a b)))
+
 (* --- E12: protocol and crypto costs ----------------------------------- *)
 
 let bench_proto =
@@ -587,6 +650,10 @@ let tests =
        bench_pf_eval_quick;
        bench_pf_parse;
        bench_pf_allowed;
+       bench_fdd_compile;
+       bench_fdd_lookup;
+       bench_fdd_equiv;
+       bench_fdd_diff;
        bench_daemon;
        bench_collab;
        bench_dijkstra;

@@ -447,6 +447,350 @@ let analyze_shallow policy_files format =
       end
       else 2
 
+(* --- analyze equiv/diff/slice: decision-diagram semantics over whole
+   policy sets (lib/analysis/fdd.mli). Each side of a comparison is a
+   policy set in its own right: files are sorted by basename and
+   concatenated exactly like the controller's well-known directory. *)
+
+let load_policy_set files =
+  let named =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun path -> (Filename.basename path, read_file path)) files)
+  in
+  match Pf.Env.of_string (String.concat "\n" (List.map snd named)) with
+  | Ok env -> (named, Analysis.Fdd.compile env)
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Deciding lines rendered fragment-aware: the concatenated line is
+   mapped back to the contributing file, line 0 is the implicit
+   default. *)
+let line_ref named = function
+  | 0 -> "default"
+  | l ->
+      let file, local = Analysis.Report.locator named l in
+      Printf.sprintf "%s:%d" file local
+
+let action_name = function Pf.Ast.Pass -> "pass" | Pf.Ast.Block -> "block"
+
+let verdict_text named = function
+  | Analysis.Fdd.Static { action; lines } ->
+      Printf.sprintf "%s (%s)" (action_name action)
+        (String.concat ", " (List.map (line_ref named) lines))
+  | Analysis.Fdd.Reactive { lines; inputs; may_default } ->
+      Printf.sprintf "reactive (%s; needs %s%s)"
+        (String.concat ", " (List.map (line_ref named) lines))
+        (match inputs with
+        | [] -> "flow-time evaluation"
+        | _ ->
+            String.concat ", " (List.map Pf.Ast.cond_input_to_string inputs))
+        (if may_default then "; may fall through to default" else "")
+
+let verdict_json named = function
+  | Analysis.Fdd.Static { action; lines } ->
+      Printf.sprintf {|{"kind":"static","action":"%s","lines":[%s]}|}
+        (action_name action)
+        (String.concat ","
+           (List.map (fun l -> json_str (line_ref named l)) lines))
+  | Analysis.Fdd.Reactive { lines; inputs; may_default } ->
+      Printf.sprintf
+        {|{"kind":"reactive","lines":[%s],"inputs":[%s],"may_default":%b}|}
+        (String.concat ","
+           (List.map (fun l -> json_str (line_ref named l)) lines))
+        (String.concat ","
+           (List.map
+              (fun i -> json_str (Pf.Ast.cond_input_to_string i))
+              inputs))
+        may_default
+
+let region_fraction (rg : Analysis.Fdd.region) =
+  let w top (lo, hi) = float_of_int (hi - lo + 1) /. float_of_int (top + 1) in
+  w 255 rg.Analysis.Fdd.r_proto
+  *. w 0xFFFF_FFFF rg.Analysis.Fdd.r_src
+  *. w 0xFFFF_FFFF rg.Analysis.Fdd.r_dst
+  *. w 0xFFFF rg.Analysis.Fdd.r_sport
+  *. w 0xFFFF rg.Analysis.Fdd.r_dport
+
+let analyze_format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (default) or $(b,json).")
+
+let old_set = Arg.(non_empty & pos_all file [] & info [] ~docv:"OLD")
+
+let new_set =
+  Arg.(
+    non_empty & opt_all file []
+    & info [ "against"; "B" ] ~docv:"NEW"
+        ~doc:
+          "File(s) of the policy set to compare against (repeatable; the \
+           set is sorted and concatenated like the positional one).")
+
+let analyze_equiv_cmd =
+  let run old_files new_files format =
+    let named_l, fl = load_policy_set old_files in
+    let named_r, fr = load_policy_set new_files in
+    match Analysis.Fdd.equiv fl fr with
+    | Ok () ->
+        (match format with
+        | `Json ->
+            print_endline
+              (Printf.sprintf
+                 {|{"equivalent":true,"nodes":{"old":%d,"new":%d}}|}
+                 (Analysis.Fdd.node_count fl) (Analysis.Fdd.node_count fr))
+        | `Text ->
+            print_endline
+              "equivalent: both policy sets decide every flow identically");
+        0
+    | Error { Analysis.Fdd.flow; left; right } ->
+        (match format with
+        | `Json ->
+            print_endline
+              (Printf.sprintf
+                 {|{"equivalent":false,"counterexample":{"flow":%s,"old":%s,"new":%s}}|}
+                 (json_str (Netcore.Five_tuple.to_string flow))
+                 (verdict_json named_l left) (verdict_json named_r right))
+        | `Text ->
+            Printf.printf
+              "not equivalent: counterexample %s\n  old: %s\n  new: %s\n"
+              (Netcore.Five_tuple.to_string flow) (verdict_text named_l left)
+              (verdict_text named_r right));
+        2
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Check two policy sets for semantic equivalence (exit 0 = \
+          equivalent, 2 = a counterexample flow is reported, 1 = a set does \
+          not compile)")
+    Term.(const run $ old_set $ new_set $ analyze_format)
+
+let analyze_diff_cmd =
+  let limit =
+    Arg.(
+      value & opt int 16
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Maximum example regions to report (the fraction is exact).")
+  in
+  let run old_files new_files limit format =
+    let named_l, fl = load_policy_set old_files in
+    let named_r, fr = load_policy_set new_files in
+    let r = Analysis.Fdd.diff ~limit fl fr in
+    (match format with
+    | `Json ->
+        print_endline
+          (Printf.sprintf
+             {|{"changed_fraction":%.9g,"truncated":%b,"deltas":[%s]}|}
+             r.Analysis.Fdd.changed_fraction r.Analysis.Fdd.truncated
+             (String.concat ","
+                (List.map
+                   (fun (d : Analysis.Fdd.delta) ->
+                     Printf.sprintf
+                       {|{"region":%s,"old":%s,"new":%s}|}
+                       (json_str (Analysis.Fdd.region_to_string d.d_region))
+                       (verdict_json named_l d.d_left)
+                       (verdict_json named_r d.d_right))
+                   r.Analysis.Fdd.deltas)))
+    | `Text ->
+        Printf.printf "changed: %.9g of flow space\n"
+          r.Analysis.Fdd.changed_fraction;
+        List.iter
+          (fun (d : Analysis.Fdd.delta) ->
+            Printf.printf "%s\n  old: %s\n  new: %s\n"
+              (Analysis.Fdd.region_to_string d.Analysis.Fdd.d_region)
+              (verdict_text named_l d.Analysis.Fdd.d_left)
+              (verdict_text named_r d.Analysis.Fdd.d_right))
+          r.Analysis.Fdd.deltas;
+        if r.Analysis.Fdd.truncated then
+          Printf.printf "... (more changed regions, raise --limit)\n");
+    0
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Report the exact flow space whose verdict differs between two \
+          policy sets (exit 0; 1 = a set does not compile)")
+    Term.(const run $ old_set $ new_set $ limit $ analyze_format)
+
+let analyze_slice_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let limit =
+    Arg.(
+      value & opt int 4096
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum regions to enumerate.")
+  in
+  let min_coverage =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-coverage" ] ~docv:"FRACTION"
+          ~doc:
+            "Fail (exit 1) when the statically decided fraction of flow \
+             space falls below $(docv).")
+  in
+  let min_coverage_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "min-coverage-file" ] ~docv:"PATH"
+          ~doc:
+            "Read the $(b,--min-coverage) threshold from $(docv) (a single \
+             float; takes precedence over the flag). This is the committed \
+             regression gate the lint alias uses.")
+  in
+  let run files limit min_coverage min_coverage_file format =
+    let named, fdd = load_policy_set files in
+    let sl = Analysis.Fdd.static_slice ~limit fdd in
+    let nodes = Analysis.Fdd.node_count fdd in
+    (* Cross-fragment ownership: which fragment's rules decide each
+       statically decided region. A region whose possible deciders span
+       several files is "shared"; one decided only by the implicit
+       default is "default". *)
+    let buckets = Hashtbl.create 8 in
+    List.iter
+      (fun ((rg : Analysis.Fdd.region), _action, lines) ->
+        let owners =
+          List.sort_uniq String.compare
+            (List.map
+               (fun l ->
+                 if l = 0 then "default"
+                 else fst (Analysis.Report.locator named l))
+               lines)
+        in
+        let owner = match owners with [ o ] -> o | _ -> "shared" in
+        let prev = try Hashtbl.find buckets owner with Not_found -> 0.0 in
+        Hashtbl.replace buckets owner (prev +. region_fraction rg))
+      sl.Analysis.Fdd.s_static;
+    let ownership =
+      List.sort
+        (fun (na, fa) (nb, fb) ->
+          match compare (fb : float) fa with
+          | 0 -> String.compare na nb
+          | c -> c)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) buckets [])
+    in
+    (match format with
+    | `Json ->
+        print_endline
+          (Printf.sprintf
+             {|{"nodes":%d,"static_coverage":%.9g,"truncated":%b,"ownership":[%s],"static":[%s],"reactive":[%s]}|}
+             nodes sl.Analysis.Fdd.s_coverage sl.Analysis.Fdd.s_truncated
+             (String.concat ","
+                (List.map
+                   (fun (owner, f) ->
+                     Printf.sprintf {|{"owner":%s,"fraction":%.9g}|}
+                       (json_str owner) f)
+                   ownership))
+             (String.concat ","
+                (List.map
+                   (fun (rg, action, lines) ->
+                     Printf.sprintf
+                       {|{"region":%s,"action":"%s","lines":[%s]}|}
+                       (json_str (Analysis.Fdd.region_to_string rg))
+                       (action_name action)
+                       (String.concat ","
+                          (List.map
+                             (fun l -> json_str (line_ref named l))
+                             lines)))
+                   sl.Analysis.Fdd.s_static))
+             (String.concat ","
+                (List.map
+                   (fun (rg, (r : Analysis.Fdd.reason)) ->
+                     Printf.sprintf
+                       {|{"region":%s,"lines":[%s],"inputs":[%s],"may_default":%b}|}
+                       (json_str (Analysis.Fdd.region_to_string rg))
+                       (String.concat ","
+                          (List.map
+                             (fun l -> json_str (line_ref named l))
+                             r.Analysis.Fdd.lines))
+                       (String.concat ","
+                          (List.map
+                             (fun i ->
+                               json_str (Pf.Ast.cond_input_to_string i))
+                             r.Analysis.Fdd.inputs))
+                       r.Analysis.Fdd.may_default)
+                   sl.Analysis.Fdd.s_reactive)))
+    | `Text ->
+        Printf.printf "nodes: %d\nstatic coverage: %.9g%s\n" nodes
+          sl.Analysis.Fdd.s_coverage
+          (if sl.Analysis.Fdd.s_truncated then " (region list truncated)"
+           else "");
+        if ownership <> [] then begin
+          print_endline "ownership of statically decided flow space:";
+          List.iter
+            (fun (owner, f) -> Printf.printf "  %-28s %.9g\n" owner f)
+            ownership
+        end;
+        List.iter
+          (fun (rg, action, lines) ->
+            Printf.printf "static %s: %s (%s)\n" (action_name action)
+              (Analysis.Fdd.region_to_string rg)
+              (String.concat ", " (List.map (line_ref named) lines)))
+          sl.Analysis.Fdd.s_static;
+        List.iter
+          (fun (rg, (r : Analysis.Fdd.reason)) ->
+            Printf.printf "reactive: %s (%s; needs %s%s)\n"
+              (Analysis.Fdd.region_to_string rg)
+              (String.concat ", "
+                 (List.map (line_ref named) r.Analysis.Fdd.lines))
+              (match r.Analysis.Fdd.inputs with
+              | [] -> "flow-time evaluation"
+              | inputs ->
+                  String.concat ", "
+                    (List.map Pf.Ast.cond_input_to_string inputs))
+              (if r.Analysis.Fdd.may_default then
+                 "; may fall through to default"
+               else ""))
+          sl.Analysis.Fdd.s_reactive);
+    let threshold =
+      match min_coverage_file with
+      | Some path -> (
+          match float_of_string_opt (String.trim (read_file path)) with
+          | Some f -> Some f
+          | None ->
+              Printf.eprintf "error: %s does not contain a float\n" path;
+              exit 1)
+      | None -> min_coverage
+    in
+    match threshold with
+    | Some th when sl.Analysis.Fdd.s_coverage < th ->
+        Printf.eprintf
+          "error: static coverage %.9g regressed below threshold %.9g\n"
+          sl.Analysis.Fdd.s_coverage th;
+        1
+    | _ -> 0
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "Split a policy set into its statically decided flow space (the \
+          proactive flow-table slice) and the reactive residue, with \
+          per-fragment ownership (exit 1 = compile failure or coverage \
+          below the committed threshold)")
+    Term.(
+      const run $ files $ limit $ min_coverage $ min_coverage_file
+      $ analyze_format)
+
 let analyze_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let deep =
@@ -459,13 +803,6 @@ let analyze_cmd =
              fallthrough) over the alphabetical concatenation of the \
              $(i,.control) files, treating $(i,*.conf) arguments as ident++ \
              daemon configurations. Exit 1 iff error-severity findings.")
-  in
-  let format =
-    Arg.(
-      value
-      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-      & info [ "format" ] ~docv:"FORMAT"
-          ~doc:"Output format: $(b,text) (default) or $(b,json).")
   in
   let run files deep format =
     let config_files, policy_files = List.partition is_daemon_config files in
@@ -482,12 +819,21 @@ let analyze_cmd =
       analyze_shallow policy_files format
     end
   in
-  Cmd.v
+  let lint_cmd =
+    Cmd.v
+      (Cmd.info "lint"
+         ~doc:
+           "Lint policies (default: cheap per-file checks; --deep: symbolic \
+            flow-space analysis of the whole ruleset). This is the default \
+            subcommand: $(b,analyze FILE...) routes here.")
+      Term.(const run $ files $ deep $ analyze_format)
+  in
+  Cmd.group
     (Cmd.info "analyze"
        ~doc:
-         "Lint policies (default: cheap per-file checks; --deep: symbolic \
-          flow-space analysis of the whole ruleset)")
-    Term.(const run $ files $ deep $ format)
+         "Lint policies (lint, the default) or run decision-diagram \
+          semantics over whole policy sets (equiv/diff/slice)")
+    [ lint_cmd; analyze_equiv_cmd; analyze_diff_cmd; analyze_slice_cmd ]
 
 (* --- metrics: read back a JSON snapshot (netsim --metrics-json,
    identxxd --metrics) and re-render it --- *)
@@ -750,8 +1096,25 @@ let () =
     Cmd.info "identxx_ctl" ~version:"1.0.0"
       ~doc:"ident++ / PF+=2 policy toolkit"
   in
+  (* [analyze FILE...] predates the analyze subcommands; route anything
+     that is not one of them to [analyze lint] so existing invocations
+     keep working. *)
+  let argv =
+    let v = Sys.argv in
+    if
+      Array.length v > 1
+      && v.(1) = "analyze"
+      && (Array.length v = 2
+         || not
+              (List.mem v.(2)
+                 [ "equiv"; "diff"; "slice"; "lint"; "--help"; "--version" ]))
+    then
+      Array.concat
+        [ [| v.(0); "analyze"; "lint" |]; Array.sub v 2 (Array.length v - 2) ]
+    else v
+  in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~argv
        (Cmd.group info
           [
             check_cmd; fmt_cmd; eval_cmd; daemon_check_cmd; analyze_cmd;

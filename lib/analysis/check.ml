@@ -301,28 +301,33 @@ let conflicts ~where infos =
 
 (* The residual flow-space no unconditional rule decides: these flows
    fall through to the implicit default (PF's pass, or the deployment's
-   default-deny) — what [99-local-footer.control] actually decides. *)
-let default_fallthrough infos =
-  let covered =
-    List.fold_left
-      (fun acc i -> if i.definite then Flowspace.union acc i.space else acc)
-      Flowspace.empty infos
+   default-deny) — what [99-local-footer.control] actually decides.
+   Computed from the {!Fdd} residue (the leaves where line 0 is still a
+   possible decider), which is exact under quick/last-match semantics,
+   instead of the earlier pairwise flow-space subtraction. *)
+let default_fallthrough decls resolved =
+  let lookup name =
+    match List.assoc_opt name resolved with Some r -> r | None -> None
   in
-  let residual = Flowspace.sub Flowspace.all covered in
-  if Flowspace.is_empty residual then
-    [
-      finding Info "default-fallthrough"
-        "no flow reaches the implicit default: unconditional rules cover the \
-         whole flow-space";
-    ]
-  else
-    [
-      finding ?witness:(Flowspace.witness residual) Info "default-fallthrough"
-        (Printf.sprintf
-           "flows decided by no unconditional rule fall through to the \
-            implicit default: %s"
-           (Flowspace.to_string residual));
-    ]
+  let fdd = Fdd.compile_rules ~lookup (Pf.Ast.rules decls) in
+  match Fdd.fallthrough fdd with
+  | [] ->
+      [
+        finding Info "default-fallthrough"
+          "no flow reaches the implicit default: unconditional rules cover \
+           the whole flow-space";
+      ]
+  | first :: _ as regions ->
+      let residual =
+        Flowspace.of_atoms (List.concat_map Fdd.region_to_atoms regions)
+      in
+      [
+        finding ~witness:(Fdd.region_witness first) Info "default-fallthrough"
+          (Printf.sprintf
+             "flows decided by no unconditional rule fall through to the \
+              implicit default: %s"
+             (Flowspace.to_string residual));
+      ]
 
 (* --- cross-config key check --- *)
 
@@ -411,6 +416,6 @@ let run ?(configs = []) ?(where = fun l -> "line " ^ string_of_int l) decls =
   @ undefined_references decls resolved
   @ lint @ shadowing ~where infos @ conflicts ~where infos
   @ unanswerable_keys decls configs
-  @ default_fallthrough infos
+  @ default_fallthrough decls resolved
   |> List.sort_uniq compare
   |> List.sort compare_findings

@@ -1,0 +1,165 @@
+(** Forwarding decision diagrams for PF+=2 rulesets.
+
+    {!compile} turns a whole ruleset into a {e reduced, ordered decision
+    diagram} over the five header dimensions a rule can constrain, in
+    the fixed variable order
+
+    {v proto -> src address -> dst address -> src port -> dst port v}
+
+    Each internal node partitions one dimension into maximal integer
+    intervals (a CIDR prefix is an aligned interval, so prefix tests
+    need no special casing); leaves are {!verdict}s. Nodes are
+    hash-consed and adjacent equal children merged, so the diagram is
+    canonical for the fixed order: two rulesets denote the same
+    header-space function iff they compile to the same root — the
+    NetKAT/FDD idea (frenetic's compiler pipeline) adapted to PF's
+    quick/last-match semantics.
+
+    Rules whose outcome depends on [with] clauses, dictionary lookups,
+    or host attributes cannot be decided from headers alone. The
+    compiler tracks, per point of flow space, {e every} verdict any
+    assignment of [with]-clause truth values could produce: when they
+    all agree the leaf is {!Static} (with the possible deciding rule
+    lines), otherwise {!Reactive} with the lines and classified inputs
+    the outcome hinges on. [Static] is exact, not heuristic: a static
+    leaf's action equals {!Pf.Eval}'s verdict for every context.
+
+    The diagram is the semantic foundation for equivalence checking
+    ({!equiv}, with concrete counterexample flows), change-impact
+    analysis ({!diff}), and static-slice extraction ({!static_slice} —
+    the input to a proactive flow-table compiler: static regions can be
+    installed at switch connect, only the reactive residue needs the
+    controller).
+
+    Diagrams live in one global hash-consed store (grown monotonically,
+    deduplicated across compiles), so values from different {!compile}
+    calls can be compared and combined freely. *)
+
+type t
+(** A compiled diagram (an index into the shared node store). *)
+
+type interval = int * int
+(** Inclusive integer interval. *)
+
+(** Why a region of flow space cannot be decided from headers alone. *)
+type reason = {
+  lines : int list;
+      (** Source lines of the conditional rules the verdict may hinge
+          on, ascending. *)
+  inputs : Pf.Ast.cond_input list;
+      (** Classified [with]-clause inputs of those rules. *)
+  may_default : bool;
+      (** The implicit default is still reachable (every influencing
+          conditional rule can fail to match). *)
+}
+
+type verdict =
+  | Static of { action : Pf.Ast.action; lines : int list }
+      (** Every evaluation context yields [action]. [lines] are the
+          rules that may be the deciding match (ascending); line [0]
+          stands for the implicit default. *)
+  | Reactive of reason
+      (** The verdict depends on flow-time information. *)
+
+val compile : ?default:Pf.Ast.action -> Pf.Env.t -> t
+(** Compile a resolved environment ({!Pf.Env.rules} order = evaluation
+    order). [default] is the implicit verdict when no rule matches
+    (PF's pass, like {!Pf.Eval.eval}). *)
+
+val compile_rules :
+  ?default:Pf.Ast.action ->
+  lookup:(string -> Netcore.Prefix.t list option) ->
+  Pf.Ast.rule list ->
+  t
+(** As {!compile} but over a bare rule list with an explicit table
+    [lookup]. A rule naming a table [lookup] cannot resolve matches no
+    flow (the caller reports the broken table separately). *)
+
+val lookup : t -> Netcore.Five_tuple.t -> verdict
+(** The verdict for one flow: a walk of at most five nodes with a
+    binary search per node — sublinear in ruleset size, unlike
+    {!Pf.Eval}'s rule scan. *)
+
+val node_count : t -> int
+(** Reachable nodes, leaves included — the diagram-size statistic. *)
+
+val static_coverage : t -> float
+(** Fraction of the whole flow space (by volume) whose leaf is
+    {!Static} — what a proactive compiler could install. *)
+
+(** {2 Equivalence and differential analysis}
+
+    Verdicts are compared by {e outcome}: static-pass, static-block, or
+    reactive. Deciding lines and reactive reasons are reporting detail,
+    not semantics — two independently written but equivalent policies
+    compare equal. *)
+
+type counterexample = {
+  flow : Netcore.Five_tuple.t;  (** Lowest differing flow found. *)
+  left : verdict;
+  right : verdict;
+}
+
+val equiv : t -> t -> (unit, counterexample) result
+(** [Ok ()] iff the two diagrams give every point of flow space the
+    same outcome; otherwise a concrete counterexample flow. This is the
+    translation-validation oracle for the proactive flow-table
+    compiler. *)
+
+type region = {
+  r_proto : interval;
+  r_src : interval;
+  r_dst : interval;
+  r_sport : interval;
+  r_dport : interval;
+}
+(** A product region of flow space (one root-to-leaf path). *)
+
+type delta = { d_region : region; d_left : verdict; d_right : verdict }
+
+type diff_report = {
+  deltas : delta list;  (** Example changed regions, at most [limit]. *)
+  changed_fraction : float;
+      (** Volume fraction of flow space whose outcome changed. *)
+  truncated : bool;  (** More changed regions exist than [limit]. *)
+}
+
+val diff : ?limit:int -> t -> t -> diff_report
+(** Change-impact analysis between two policy versions: exactly the
+    flow space whose outcome differs. [limit] caps the example regions
+    (default 64); [changed_fraction] is always exact. *)
+
+(** {2 Static slice} *)
+
+type slice = {
+  s_static : (region * Pf.Ast.action * int list) list;
+      (** Disjoint statically-decided regions with their action and
+          possible deciding lines ([0] = default). *)
+  s_reactive : (region * reason) list;  (** The reactive residue. *)
+  s_coverage : float;  (** = {!static_coverage}. *)
+  s_truncated : bool;  (** Region enumeration hit [limit]. *)
+}
+
+val static_slice : ?limit:int -> t -> slice
+(** The proactive/reactive split. [limit] caps the total number of
+    enumerated regions (default 4096). *)
+
+val fallthrough : t -> region list
+(** The regions where the implicit default may still decide — the
+    residual flow space no unconditional rule covers ({!Check}'s
+    [default-fallthrough]). *)
+
+(** {2 Regions} *)
+
+val region_witness : region -> Netcore.Five_tuple.t
+(** The lowest flow inside a region. *)
+
+val region_to_atoms : region -> Flowspace.atom list
+(** Decompose a region into {!Flowspace} atoms (address intervals split
+    into aligned CIDR blocks). *)
+
+val region_to_string : region -> string
+
+val verdict_to_string : verdict -> string
+(** ["pass"], ["block"], or ["reactive"] with the deciding lines /
+    influencing inputs in parentheses. *)

@@ -108,3 +108,78 @@ let on_change t f = t.listeners <- f :: t.listeners
 
 let env_exn t =
   match env t with Ok e -> e | Error e -> invalid_arg ("Policy_store: " ^ e)
+
+(* --- automatic differential analysis on reload --- *)
+
+type change = {
+  old_epoch : int;
+  new_epoch : int;
+  report : Analysis.Fdd.diff_report;
+  nodes : int;
+  coverage : float;
+}
+
+let watch_changes ?registry ?(limit = 16) t k =
+  let current () =
+    match env t with
+    | Ok e -> Some (Analysis.Fdd.compile e)
+    | Error _ -> None
+  in
+  let set_stats, record_diff =
+    match registry with
+    | None -> ((fun _ _ -> ()), fun _ -> ())
+    | Some reg ->
+        let open Obs.Registry in
+        let diffs =
+          counter reg
+            ~help:"Differential policy-reload reports emitted by watchers"
+            "identxx_analysis_policy_diffs_total"
+        in
+        let nodes =
+          gauge reg ~help:"Nodes in the current policy decision diagram"
+            "identxx_analysis_fdd_nodes"
+        in
+        let cov =
+          gauge reg
+            ~help:
+              "Fraction of flow space the current policy decides statically"
+            "identxx_analysis_fdd_static_coverage"
+        in
+        let frac =
+          gauge reg
+            ~help:"Flow-space fraction whose verdict the last reload changed"
+            "identxx_analysis_policy_diff_changed_fraction"
+        in
+        ( (fun n c ->
+            Gauge.set nodes (float_of_int n);
+            Gauge.set cov c),
+          fun f ->
+            Counter.inc diffs;
+            Gauge.set frac f )
+  in
+  let initial = current () in
+  (match initial with
+  | Some fdd ->
+      set_stats (Analysis.Fdd.node_count fdd) (Analysis.Fdd.static_coverage fdd)
+  | None -> ());
+  let prev = ref initial and prev_epoch = ref t.epoch in
+  on_change t (fun () ->
+      let after = current () in
+      (match (!prev, after) with
+      | Some before, Some fdd ->
+          let report = Analysis.Fdd.diff ~limit before fdd in
+          let ch =
+            {
+              old_epoch = !prev_epoch;
+              new_epoch = t.epoch;
+              report;
+              nodes = Analysis.Fdd.node_count fdd;
+              coverage = Analysis.Fdd.static_coverage fdd;
+            }
+          in
+          record_diff report.Analysis.Fdd.changed_fraction;
+          set_stats ch.nodes ch.coverage;
+          k ch
+      | _ -> ());
+      prev := after;
+      prev_epoch := t.epoch)

@@ -98,6 +98,45 @@ let port_interval = function
   | Port_eq p -> (p, p)
   | Port_range (lo, hi) -> (lo, hi)
 
+(** What a [with] clause needs before it can be evaluated (§3.3): the
+    classification behind the static analyzer's reactive/static split.
+    A clause whose inputs are all resolvable at configuration time
+    (macros, literals) still counts as reactive for compilation — its
+    truth is decided by {!Eval}, not the flow-table compiler — but the
+    classification tells the operator {e which} runtime source the
+    verdict hinges on. *)
+type cond_input =
+  | Needs_src_response  (** Reads the flow source's ident++ response. *)
+  | Needs_dst_response  (** Reads the flow destination's response. *)
+  | Needs_dict of string  (** Reads a controller [dict] declaration. *)
+  | Needs_function of string
+      (** Calls a user-registered predicate ({!Fnreg}). *)
+
+(** Predicates {!Eval} implements itself; anything else resolves
+    through the function registry at flow time. *)
+let builtin_functions =
+  [ "eq"; "gt"; "lt"; "gte"; "lte"; "member"; "includes"; "verify"; "allowed" ]
+
+let arg_inputs = function
+  | Dict_access { dict = "src"; _ } -> [ Needs_src_response ]
+  | Dict_access { dict = "dst"; _ } -> [ Needs_dst_response ]
+  | Dict_access { dict; _ } -> [ Needs_dict dict ]
+  | Macro_ref _ | Lit _ -> []
+
+let funcall_inputs fc =
+  (if List.mem fc.fname builtin_functions then []
+   else [ Needs_function fc.fname ])
+  @ List.concat_map arg_inputs fc.args
+
+let rule_inputs rule =
+  List.sort_uniq compare (List.concat_map funcall_inputs rule.conds)
+
+let cond_input_to_string = function
+  | Needs_src_response -> "@src response"
+  | Needs_dst_response -> "@dst response"
+  | Needs_dict d -> Printf.sprintf "dict @%s" d
+  | Needs_function f -> Printf.sprintf "function %s()" f
+
 let tables_of_endpoint (e : endpoint_spec) =
   match e.addr with
   | Some { addr = Addr_table n; _ } -> [ n ]

@@ -1,0 +1,96 @@
+The semantic policy analyses: equiv, diff and slice compile policy
+sets to forwarding decision diagrams and compare/partition the
+flow space exactly.
+
+  $ cat > old.control <<'EOF'
+  > block all
+  > pass from 10.0.0.0/8 to any port 80
+  > EOF
+  $ cat > new.control <<'EOF'
+  > block all
+  > pass from 10.0.0.0/8 to any port 8080
+  > EOF
+
+Equivalence of a policy set with itself, exit 0:
+
+  $ identxx_ctl analyze equiv old.control --against old.control
+  equivalent: both policy sets decide every flow identically
+
+An inequivalent pair yields a concrete counterexample flow and
+exit 2:
+
+  $ identxx_ctl analyze equiv old.control --against new.control
+  not equivalent: counterexample 0 10.0.0.0:0 -> 0.0.0.0:80
+    old: pass (old.control:2)
+    new: block (new.control:1)
+  [2]
+
+  $ identxx_ctl analyze equiv old.control --against new.control --format json
+  {"equivalent":false,"counterexample":{"flow":"0 10.0.0.0:0 -> 0.0.0.0:80","old":{"kind":"static","action":"pass","lines":["old.control:2"]},"new":{"kind":"static","action":"block","lines":["new.control:1"]}}}
+  [2]
+
+diff reports the exact changed fraction of flow space with example
+regions:
+
+  $ identxx_ctl analyze diff old.control --against new.control
+  changed: 1.1920929e-07 of flow space
+  proto any from 10.0.0.0/8 port any to 0.0.0.0/0 port 80
+    old: pass (old.control:2)
+    new: block (new.control:1)
+  proto any from 10.0.0.0/8 port any to 0.0.0.0/0 port 8080
+    old: block (old.control:1)
+    new: pass (new.control:2)
+
+  $ identxx_ctl analyze diff old.control --against old.control --format json
+  {"changed_fraction":0,"truncated":false,"deltas":[]}
+
+slice partitions the flow space into statically decided regions and
+the reactive residue that needs identity responses at flow time:
+
+  $ cat > mixed.control <<'EOF'
+  > block all
+  > pass from 192.168.0.0/24 to any port 80
+  > pass from 10.0.0.0/8 to any with eq(@src[name], firefox)
+  > EOF
+  $ identxx_ctl analyze slice mixed.control
+  nodes: 5
+  static coverage: 0.99609375
+  ownership of statically decided flow space:
+    mixed.control                0.99609375
+  static block: proto any from 0.0.0.0/5 port any to 0.0.0.0/0 port any; proto any from 8.0.0.0/7 port any to 0.0.0.0/0 port any (mixed.control:1)
+  static block: proto any from 11.0.0.0/8 port any to 0.0.0.0/0 port any; proto any from 12.0.0.0/6 port any to 0.0.0.0/0 port any; proto any from 16.0.0.0/4 port any to 0.0.0.0/0 port any; proto any from 32.0.0.0/3 port any to 0.0.0.0/0 port any; ... (5 more) (mixed.control:1)
+  static block: proto any from 192.168.0.0/24 port any to 0.0.0.0/0 port 0:79 (mixed.control:1)
+  static pass: proto any from 192.168.0.0/24 port any to 0.0.0.0/0 port 80 (mixed.control:2)
+  static block: proto any from 192.168.0.0/24 port any to 0.0.0.0/0 port 81:65535 (mixed.control:1)
+  static block: proto any from 192.168.1.0/24 port any to 0.0.0.0/0 port any; proto any from 192.168.2.0/23 port any to 0.0.0.0/0 port any; proto any from 192.168.4.0/22 port any to 0.0.0.0/0 port any; proto any from 192.168.8.0/21 port any to 0.0.0.0/0 port any; ... (15 more) (mixed.control:1)
+  reactive: proto any from 10.0.0.0/8 port any to 0.0.0.0/0 port any (mixed.control:3; needs @src response)
+
+JSON output carries the same partition for tooling:
+
+  $ identxx_ctl analyze slice mixed.control --format json | head -c 120
+  {"nodes":5,"static_coverage":0.99609375,"truncated":false,"ownership":[{"owner":"mixed.control","fraction":0.99609375}],
+
+A coverage floor turns slice into a regression gate (threshold read
+from a committed file; exit 1 on regression):
+
+  $ echo 0.9999 > coverage.threshold
+  $ identxx_ctl analyze slice mixed.control --min-coverage-file coverage.threshold >/dev/null
+  error: static coverage 0.99609375 regressed below threshold 0.9999
+  [1]
+  $ echo 0.5 > coverage.threshold
+  $ identxx_ctl analyze slice mixed.control --min-coverage-file coverage.threshold >/dev/null
+
+Policies that fail to compile exit 1 with a diagnostic:
+
+  $ cat > bad.control <<'EOF'
+  > pass from 10.0.0.0/8 to any port 99999
+  > EOF
+  $ identxx_ctl analyze equiv bad.control --against old.control
+  error: line 1: port out of range: 99999
+  [1]
+
+The legacy lint entry point is untouched: a bare file list still
+runs the flow-space lint:
+
+  $ identxx_ctl analyze old.control
+  no findings in 1 file(s)

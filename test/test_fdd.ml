@@ -1,0 +1,448 @@
+(* The decision-diagram policy engine (lib/analysis/fdd.mli): unit
+   semantics, equivalence/differential/slice analyses, and the
+   randomized Eval-vs-FDD differential over every shipped policy.
+
+   The differential oracle re-implements §3.3 quick/last-match over a
+   forced truth assignment per conditional rule and enumerates every
+   assignment: the FDD leaf must be [Static a] exactly when all
+   assignments agree on [a], [Reactive] exactly when two assignments
+   disagree — i.e. when the verdict genuinely hinges on what a daemon
+   or dict would say. *)
+
+open Netcore
+module Fdd = Analysis.Fdd
+
+let env_of s =
+  match Pf.Env.of_string s with
+  | Ok env -> env
+  | Error e -> Alcotest.failf "env error: %s" e
+
+let flow ?(proto = Proto.Tcp) ?(sp = 40000) ?(dp = 80) src dst =
+  Five_tuple.make ~proto ~src:(Ipv4.of_string src) ~dst:(Ipv4.of_string dst)
+    ~src_port:sp ~dst_port:dp
+
+let response fl pairs =
+  Identxx.Response.make ~flow:fl
+    [ List.map (fun (k, v) -> Identxx.Key_value.pair k v) pairs ]
+
+let action =
+  Alcotest.testable
+    (fun fmt a ->
+      Format.pp_print_string fmt
+        (match a with Pf.Ast.Pass -> "pass" | Pf.Ast.Block -> "block"))
+    ( = )
+
+let decision v =
+  match v with
+  | Fdd.Static { action; _ } -> `Static action
+  | Fdd.Reactive _ -> `Reactive
+
+(* --- unit semantics: last match, quick, reactive classification --- *)
+
+let unit_policy =
+  {|block all
+pass from 10.0.0.0/8 to any port 80
+block quick from 10.9.0.0/16 to any
+pass from 172.16.0.0/12 to any with eq(@src[name], firefox)|}
+
+let test_verdicts () =
+  let fdd = Fdd.compile (env_of unit_policy) in
+  let check name fl expected =
+    Alcotest.(check bool) name true (decision (Fdd.lookup fdd fl) = expected)
+  in
+  check "last match wins" (flow "10.1.2.3" "1.2.3.4") (`Static Pf.Ast.Pass);
+  check "quick overrides later pass"
+    (flow "10.9.2.3" "1.2.3.4")
+    (`Static Pf.Ast.Block);
+  check "port mismatch falls back"
+    (flow ~dp:81 "10.1.2.3" "1.2.3.4")
+    (`Static Pf.Ast.Block);
+  check "conditional rule is reactive" (flow "172.16.5.5" "1.2.3.4") `Reactive;
+  match Fdd.lookup fdd (flow "172.16.5.5" "1.2.3.4") with
+  | Fdd.Reactive { lines; inputs; may_default } ->
+      Alcotest.(check (list int)) "deciding line" [ 4 ] lines;
+      Alcotest.(check bool)
+        "needs src response" true
+        (inputs = [ Pf.Ast.Needs_src_response ]);
+      Alcotest.(check bool) "default unreachable" false may_default
+  | Fdd.Static _ -> Alcotest.fail "expected reactive leaf"
+
+let test_node_sharing () =
+  (* The same ruleset compiles to the identical root: hash-consing
+     makes equality of semantics equality of ids, so equiv is O(1). *)
+  let a = Fdd.compile (env_of unit_policy) in
+  let b = Fdd.compile (env_of unit_policy) in
+  Alcotest.(check bool) "same root" true (Fdd.equiv a b = Ok ());
+  Alcotest.(check bool)
+    "node count stable" true
+    (Fdd.node_count a = Fdd.node_count b)
+
+let test_equiv_counterexample () =
+  let a = Fdd.compile (env_of "block all\npass from 10.0.0.0/8 to any port 80") in
+  let b =
+    Fdd.compile (env_of "block all\npass from 10.0.0.0/8 to any port 8080")
+  in
+  match Fdd.equiv a b with
+  | Ok () -> Alcotest.fail "expected a counterexample"
+  | Error { flow = fl; left; right } ->
+      (* The witness flow must actually separate the two policies. *)
+      Alcotest.(check bool)
+        "flow inside 10/8 or port difference" true
+        (Fdd.lookup a fl = left && Fdd.lookup b fl = right);
+      Alcotest.(check bool)
+        "verdicts differ" true
+        (decision left <> decision right)
+
+let test_diff_exact_fraction () =
+  let a = Fdd.compile (env_of "block all") in
+  let b = Fdd.compile (env_of "block all\npass from 10.0.0.0/8 to any port 80") in
+  let r = Fdd.diff a b in
+  (* exactly 1/256 of sources times 1/65536 of dst ports changed *)
+  Alcotest.(check (float 1e-15))
+    "changed fraction" (1.0 /. 256.0 /. 65536.0) r.Fdd.changed_fraction;
+  Alcotest.(check int) "one region" 1 (List.length r.Fdd.deltas);
+  Alcotest.(check bool) "not truncated" false r.Fdd.truncated;
+  let self = Fdd.diff a a in
+  Alcotest.(check (float 0.0)) "self diff empty" 0.0 self.Fdd.changed_fraction;
+  Alcotest.(check int) "no regions" 0 (List.length self.Fdd.deltas)
+
+let test_static_slice () =
+  let fdd = Fdd.compile (env_of unit_policy) in
+  let sl = Fdd.static_slice fdd in
+  (* reactive residue = 172.16/12 minus the quick-blocked and
+     pass-port-80 carve-outs; coverage is 1 - |residue| *)
+  Alcotest.(check bool) "coverage below 1" true (sl.Fdd.s_coverage < 1.0);
+  Alcotest.(check bool) "coverage near 1" true (sl.Fdd.s_coverage > 0.999);
+  Alcotest.(check bool)
+    "reactive residue present" true
+    (sl.Fdd.s_reactive <> []);
+  Alcotest.(check (float 1e-15))
+    "coverage consistent" sl.Fdd.s_coverage (Fdd.static_coverage fdd);
+  (* the enumerated regions partition the flow space: volumes sum to 1 *)
+  let region_vol rg =
+    let w top (lo, hi) = float_of_int (hi - lo + 1) /. (float_of_int top +. 1.0) in
+    w 255 rg.Fdd.r_proto
+    *. w 0xFFFF_FFFF rg.Fdd.r_src
+    *. w 0xFFFF_FFFF rg.Fdd.r_dst
+    *. w 0xFFFF rg.Fdd.r_sport
+    *. w 0xFFFF rg.Fdd.r_dport
+  in
+  let static_vol =
+    List.fold_left (fun acc (rg, _, _) -> acc +. region_vol rg) 0.0 sl.Fdd.s_static
+  in
+  let reactive_vol =
+    List.fold_left (fun acc (rg, _) -> acc +. region_vol rg) 0.0 sl.Fdd.s_reactive
+  in
+  Alcotest.(check (float 1e-9))
+    "partition of flow space" 1.0 (static_vol +. reactive_vol)
+
+let test_fallthrough () =
+  let covered = Fdd.compile (env_of "block all") in
+  Alcotest.(check int) "block all covers" 0 (List.length (Fdd.fallthrough covered));
+  let open_pol = Fdd.compile (env_of "pass from 10.0.0.0/8 to any") in
+  let regions = Fdd.fallthrough open_pol in
+  Alcotest.(check bool) "residue present" true (regions <> []);
+  List.iter
+    (fun rg ->
+      let w = Fdd.region_witness rg in
+      Alcotest.(check bool)
+        "witness outside 10/8" false
+        (Prefix.mem w.Five_tuple.src (Prefix.of_string "10.0.0.0/8")))
+    regions;
+  (* conditional rules leave the default reachable *)
+  let cond = Fdd.compile (env_of "pass all with eq(@src[name], skype)") in
+  Alcotest.(check bool)
+    "conditional-only policy may default" true
+    (Fdd.fallthrough cond <> [])
+
+(* --- the assignment-enumeration oracle --- *)
+
+let header_matches env (r : Pf.Ast.rule) (fl : Five_tuple.t) =
+  let addr_ok spec ip =
+    match spec with
+    | None -> true
+    | Some s -> Pf.Env.addr_spec_matches env s ip
+  in
+  let port_ok pm p =
+    match pm with
+    | None -> true
+    | Some pm ->
+        let lo, hi = Pf.Ast.port_interval pm in
+        lo <= p && p <= hi
+  in
+  (match r.Pf.Ast.proto with
+  | None -> true
+  | Some pr -> Proto.equal pr fl.Five_tuple.proto)
+  && addr_ok r.Pf.Ast.from_.addr fl.Five_tuple.src
+  && addr_ok r.Pf.Ast.to_.addr fl.Five_tuple.dst
+  && port_ok r.Pf.Ast.from_.port fl.Five_tuple.src_port
+  && port_ok r.Pf.Ast.to_.port fl.Five_tuple.dst_port
+
+(* All verdicts reachable under some truth assignment of the
+   header-matching conditional rules. *)
+let oracle_outcomes env fl =
+  let matching =
+    List.filter (fun r -> header_matches env r fl) (Pf.Env.rules env)
+  in
+  let cond_lines =
+    List.filter_map
+      (fun (r : Pf.Ast.rule) ->
+        if Pf.Ast.cond_free r then None else Some r.Pf.Ast.line)
+      matching
+  in
+  let k = List.length cond_lines in
+  if k > 14 then Alcotest.failf "too many conditional rules (%d)" k;
+  let outcomes = ref [] in
+  for mask = 0 to (1 lsl k) - 1 do
+    let fires (r : Pf.Ast.rule) =
+      Pf.Ast.cond_free r
+      ||
+      let rec idx i = function
+        | [] -> false
+        | l :: _ when l = r.Pf.Ast.line -> mask land (1 lsl i) <> 0
+        | _ :: rest -> idx (i + 1) rest
+      in
+      idx 0 cond_lines
+    in
+    let rec go current = function
+      | [] -> current
+      | (r : Pf.Ast.rule) :: rest ->
+          if fires r then
+            if r.Pf.Ast.quick then r.Pf.Ast.action else go r.Pf.Ast.action rest
+          else go current rest
+    in
+    outcomes := go Pf.Ast.Pass matching :: !outcomes
+  done;
+  List.sort_uniq compare !outcomes
+
+(* --- deterministic pseudo-random flows and contexts --- *)
+
+let interesting_addrs =
+  [|
+    "192.168.0.5"; "192.168.0.255"; "192.168.1.1"; "192.168.1.7";
+    "10.1.2.3"; "10.255.0.1"; "10.0.0.0"; "123.123.123.9"; "123.123.124.1";
+    "172.16.3.9"; "8.8.8.8"; "0.0.0.0"; "255.255.255.255";
+  |]
+
+let interesting_ports = [| 0; 79; 80; 81; 443; 1000; 1023; 8080; 65535 |]
+
+let random_addr prng =
+  if Sim.Prng.bool prng then Ipv4.of_string (Sim.Prng.pick prng interesting_addrs)
+  else Ipv4.of_int (Int64.to_int (Sim.Prng.next64 prng) land 0xFFFF_FFFF)
+
+let random_port prng =
+  if Sim.Prng.bool prng then Sim.Prng.pick prng interesting_ports
+  else Sim.Prng.int prng 65536
+
+let random_flow prng =
+  let proto =
+    match Sim.Prng.int prng 4 with
+    | 0 -> Proto.Tcp
+    | 1 -> Proto.Udp
+    | 2 -> Proto.Icmp
+    | _ -> Proto.Other 47
+  in
+  Five_tuple.make ~proto ~src:(random_addr prng) ~dst:(random_addr prng)
+    ~src_port:(random_port prng) ~dst_port:(random_port prng)
+
+let random_response prng fl =
+  response fl
+    [
+      ("name", Sim.Prng.pick prng [| "skype"; "firefox"; "Server"; "ssh" |]);
+      ("userID", Sim.Prng.pick prng [| "system"; "alice" |]);
+      ("version", Sim.Prng.pick prng [| "150"; "210" |]);
+      ("os-patch", Sim.Prng.pick prng [| "MS08-067"; "KB12345" |]);
+    ]
+
+let random_ctx prng fl =
+  let src =
+    if Sim.Prng.int prng 4 = 0 then None else Some (random_response prng fl)
+  in
+  let dst =
+    if Sim.Prng.int prng 4 = 0 then None else Some (random_response prng fl)
+  in
+  Pf.Eval.ctx ?src ?dst ()
+
+(* The differential proper: FDD leaf vs assignment oracle on every
+   flow, and vs the real evaluator wherever the leaf is static. *)
+let differential name env ~flows ~ctxs_per_flow =
+  let fdd = Fdd.compile env in
+  let prng = Sim.Prng.create 0x5eed in
+  for i = 1 to flows do
+    let fl = random_flow prng in
+    let leaf = Fdd.lookup fdd fl in
+    let outcomes = oracle_outcomes env fl in
+    (match (decision leaf, outcomes) with
+    | `Static a, [ o ] ->
+        Alcotest.(check action)
+          (Printf.sprintf "%s: flow %d static action" name i)
+          o a
+    | `Static _, os ->
+        Alcotest.failf "%s: %s static but oracle has %d outcomes" name
+          (Five_tuple.to_string fl) (List.length os)
+    | `Reactive, os ->
+        if List.length os < 2 then
+          Alcotest.failf "%s: %s reactive but oracle is decided" name
+            (Five_tuple.to_string fl));
+    (* the static leaf must equal the real evaluator under any ctx *)
+    match leaf with
+    | Fdd.Static { action = a; _ } ->
+        for _ = 1 to ctxs_per_flow do
+          let ctx = random_ctx prng fl in
+          match Pf.Eval.eval env ctx fl with
+          | Ok v ->
+              Alcotest.(check action)
+                (Printf.sprintf "%s: flow %d eval agrees" name i)
+                a v.Pf.Eval.decision
+          | Error e -> Alcotest.failf "%s: eval error: %s" name e
+        done
+    | Fdd.Reactive _ -> ()
+  done
+
+let synthetic_corpus =
+  [
+    ("unit", unit_policy);
+    ("negation", "block all\npass from !192.168.0.0/16 to any\nblock from any to !10.0.0.0/8 port 53");
+    ( "tables",
+      "table <lan> { 192.168.0.0/24 }\ntable <srv> { 192.168.1.1 10.0.0.0/8 \
+       }\nblock all\npass from <lan> to <srv> port 80:443\nblock quick from \
+       <srv> to <lan>" );
+    ( "cond-quick",
+      "pass all\nblock quick all with eq(@src[name], worm)\npass from \
+       10.0.0.0/8 to any with eq(@dst[userID], system)" );
+    ("proto", "block all\npass proto tcp from any to any port 22\npass proto \
+               icmp from 10.0.0.0/8 to any");
+    ("list", "block all\npass from { 10.0.0.1 10.0.0.2/31 } to any port 80:443");
+  ]
+
+let shipped_policies () =
+  (* cwd is _build/default/test under [dune runtest]; fall back to the
+     source tree when run by hand from the repo root *)
+  let dir =
+    if Sys.file_exists "../policies" then "../policies" else "policies"
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".control")
+  |> List.sort String.compare
+  |> List.map (fun f -> (f, In_channel.with_open_bin (Filename.concat dir f) In_channel.input_all))
+
+let test_differential_synthetic () =
+  List.iter
+    (fun (name, text) ->
+      differential name (env_of text) ~flows:300 ~ctxs_per_flow:2)
+    synthetic_corpus
+
+let test_differential_shipped () =
+  let files = shipped_policies () in
+  Alcotest.(check bool) "shipped policies present" true (List.length files >= 4);
+  (* each file alone when it compiles stand-alone ... *)
+  List.iter
+    (fun (name, text) ->
+      match Pf.Env.of_string text with
+      | Ok env -> differential name env ~flows:200 ~ctxs_per_flow:2
+      | Error _ -> () (* fragments may reference another file's tables *))
+    files;
+  (* ... and always the full concatenated deployment *)
+  let concat = String.concat "\n" (List.map snd files) in
+  differential "policies-concat" (env_of concat) ~flows:300 ~ctxs_per_flow:3
+
+(* --- Check.run fallthrough rides the FDD residue --- *)
+
+let test_check_fallthrough_witness () =
+  let decls =
+    match Pf.Parser.parse "pass from 10.0.0.0/8 to any" with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let findings = Analysis.Check.run decls in
+  match
+    List.find_opt
+      (fun (f : Analysis.Check.finding) -> f.code = "default-fallthrough")
+      findings
+  with
+  | None -> Alcotest.fail "no fallthrough finding"
+  | Some f -> (
+      match f.Analysis.Check.witness with
+      | None -> Alcotest.fail "expected a witness flow"
+      | Some w ->
+          Alcotest.(check bool)
+            "witness outside the covered space" false
+            (Prefix.mem w.Five_tuple.src (Prefix.of_string "10.0.0.0/8")))
+
+(* --- Policy_store.watch_changes --- *)
+
+let test_policy_store_watch () =
+  let module PS = Identxx_core.Policy_store in
+  let store = PS.create () in
+  PS.add_exn store ~name:"00" "block all";
+  let reg = Obs.Registry.create () in
+  let changes = ref [] in
+  PS.watch_changes ~registry:reg store (fun ch -> changes := ch :: !changes);
+  PS.add_exn store ~name:"10" "pass from 10.0.0.0/8 to any port 80";
+  (match !changes with
+  | [ ch ] ->
+      Alcotest.(check (float 1e-15))
+        "changed fraction" (1.0 /. 256.0 /. 65536.0)
+        ch.PS.report.Fdd.changed_fraction;
+      Alcotest.(check bool) "epochs advance" true (ch.PS.new_epoch > ch.PS.old_epoch);
+      Alcotest.(check bool) "coverage total" true (ch.PS.coverage = 1.0)
+  | l -> Alcotest.failf "expected one change report, got %d" (List.length l));
+  (* an equivalent reload reports a zero diff *)
+  PS.add_exn store ~name:"10" "pass from 10.0.0.0/8 to any port 80";
+  (match !changes with
+  | ch :: _ ->
+      Alcotest.(check (float 0.0)) "no-op reload" 0.0
+        ch.PS.report.Fdd.changed_fraction
+  | [] -> Alcotest.fail "no report for reload");
+  let series = Obs.Registry.snapshot reg in
+  let find n =
+    List.find_opt (fun (s : Obs.Registry.series) -> s.name = n) series
+  in
+  Alcotest.(check bool)
+    "diff counter exported" true
+    (match find "identxx_analysis_policy_diffs_total" with
+    | Some { value = Obs.Registry.Counter_v 2; _ } -> true
+    | _ -> false);
+  Alcotest.(check bool)
+    "nodes gauge exported" true
+    (match find "identxx_analysis_fdd_nodes" with
+    | Some { value = Obs.Registry.Gauge_v v; _ } -> v > 0.0
+    | _ -> false);
+  Alcotest.(check bool)
+    "coverage gauge exported" true
+    (match find "identxx_analysis_fdd_static_coverage" with
+    | Some { value = Obs.Registry.Gauge_v 1.0; _ } -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "fdd"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "verdicts" `Quick test_verdicts;
+          Alcotest.test_case "node sharing" `Quick test_node_sharing;
+          Alcotest.test_case "fallthrough" `Quick test_fallthrough;
+        ] );
+      ( "analyses",
+        [
+          Alcotest.test_case "equiv counterexample" `Quick
+            test_equiv_counterexample;
+          Alcotest.test_case "diff exact fraction" `Quick
+            test_diff_exact_fraction;
+          Alcotest.test_case "static slice" `Quick test_static_slice;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "synthetic corpus" `Quick
+            test_differential_synthetic;
+          Alcotest.test_case "shipped policies" `Quick
+            test_differential_shipped;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "check fallthrough witness" `Quick
+            test_check_fallthrough_witness;
+          Alcotest.test_case "policy store watch" `Quick
+            test_policy_store_watch;
+        ] );
+    ]
