@@ -221,7 +221,7 @@ let bench_flow_table =
           ignore (Openflow.Flow_table.lookup table ~in_port:1 probe)))
 
 let bench_switch_process_hit =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] () in
   let ft = flow "10.0.0.1" "10.0.0.2" in
   Openflow.Flow_table.add (Openflow.Switch.table sw)
     (Openflow.Flow_entry.make
@@ -233,7 +233,7 @@ let bench_switch_process_hit =
          ignore (Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:1 pkt)))
 
 let bench_switch_process_with_timeouts =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] () in
   let ft = flow "10.0.0.1" "10.0.0.2" in
   Openflow.Flow_table.add (Openflow.Switch.table sw)
     (Openflow.Flow_entry.make ~idle_timeout:(Sim.Time.s 3600)
@@ -363,6 +363,59 @@ let bench_fdd_diff =
   let b = Analysis.Fdd.compile (bench_env_of figure2_policy_edited) in
   Test.make ~name:"analysis/diff-figure2"
     (Staged.stage (fun () -> ignore (Analysis.Fdd.diff a b)))
+
+(* --- the proactive flow-table compiler (lib/compiler) ----------------- *)
+
+let bench_compile_table =
+  Test.make_indexed ~name:"compile/table-compile" ~args:[ 10; 100; 1000 ]
+    (fun n ->
+      let fdd =
+        Analysis.Fdd.compile
+          (bench_env_of (ruleset n "pass all with eq(@src[name], firefox)"))
+      in
+      Staged.stage (fun () -> ignore (Compiler.compile fdd)))
+
+(* The steady-state recompile: the hash-consed node cache makes an
+   edited policy cost only its changed regions, and delta emits the
+   minimal flow-mod step. *)
+let bench_compile_incremental =
+  let cache = Compiler.create_cache () in
+  let a = Analysis.Fdd.compile (bench_env_of figure2_policy) in
+  let b = Analysis.Fdd.compile (bench_env_of figure2_policy_edited) in
+  let old_ = Compiler.compile ~cache a in
+  Test.make ~name:"compile/incremental-delta"
+    (Staged.stage (fun () ->
+         ignore (Compiler.delta ~old_ (Compiler.compile ~cache b))))
+
+(* The counterpart of fig1/flow-setup-full-exchange with the static
+   slice pushed into the switches: the flow hits a compiled wildcard
+   entry and crosses the fabric with zero packet-ins (asserted in
+   test/test_compiler.ml), so the measured cost is pure dataplane. *)
+let bench_proactive_hit =
+  let config = { C.default_config with C.proactive = true } in
+  let s = Deploy.simple_network ~config () in
+  PS.add_exn (C.policy s.Deploy.controller) ~name:"00" "pass all";
+  (* let the compiled flow-mods land before traffic *)
+  Sim.Engine.run s.Deploy.engine;
+  let proc =
+    Identxx.Host.run s.Deploy.client ~user:"alice" ~exe:"/usr/bin/firefox" ()
+  in
+  let counter = ref 0 in
+  Test.make ~name:"fig1/flow-setup-proactive-hit"
+    (Staged.stage (fun () ->
+         incr counter;
+         let fl =
+           Identxx.Host.connect s.Deploy.client ~proc
+             ~dst:(Identxx.Host.ip s.Deploy.server)
+             ~src_port:(10000 + (!counter mod 50000))
+             ~dst_port:80 ()
+         in
+         Openflow.Network.send_from_host s.Deploy.network ~name:"client"
+           (Identxx.Host.first_packet s.Deploy.client ~flow:fl);
+         Sim.Engine.run s.Deploy.engine;
+         Identxx.Process_table.disconnect
+           (Identxx.Host.processes s.Deploy.client)
+           ~flow:fl))
 
 (* --- E12: protocol and crypto costs ----------------------------------- *)
 
@@ -654,6 +707,9 @@ let tests =
        bench_fdd_lookup;
        bench_fdd_equiv;
        bench_fdd_diff;
+       bench_compile_table;
+       bench_compile_incremental;
+       bench_proactive_hit;
        bench_daemon;
        bench_collab;
        bench_dijkstra;

@@ -835,6 +835,162 @@ let analyze_cmd =
           semantics over whole policy sets (equiv/diff/slice)")
     [ lint_cmd; analyze_equiv_cmd; analyze_diff_cmd; analyze_slice_cmd ]
 
+(* --- compile: lower a policy set's static slice into the
+   priority-ordered wildcard table the proactive controller installs
+   (lib/compiler/compiler.mli) --- *)
+
+let compile_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let max_entries =
+    Arg.(
+      value
+      & opt int Compiler.default_max_entries
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:
+            "Table-size budget: when the lowered table exceeds $(docv) \
+             entries, the lowest-priority tail is replaced by one \
+             punt-to-controller entry (sound, slower).")
+  in
+  let region_budget =
+    Arg.(
+      value
+      & opt int Compiler.default_region_budget
+      & info [ "region-budget" ] ~docv:"N"
+          ~doc:
+            "Per-branch expansion cap: a branch whose exact expansion \
+             (ports and protocols enumerate; OpenFlow 1.0 has no port \
+             masks) would need more than $(docv) entries spills back to \
+             the reactive path.")
+  in
+  let max_entries_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "max-entries-file" ] ~docv:"PATH"
+          ~doc:
+            "Read the $(b,--max-entries) gate from $(docv) (a single \
+             integer) and fail (exit 1) when the compiled entry count \
+             exceeds it. This is the committed table-size budget the lint \
+             alias enforces.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Translation validation: check the compiled table's decision \
+             against the decision diagram's verdict on a witness flow of \
+             every enumerated region (exit 1 on any disagreement).")
+  in
+  let run files max_entries region_budget max_entries_file verify format =
+    let named, fdd = load_policy_set files in
+    let tbl =
+      try Compiler.compile ~max_entries ~region_budget fdd
+      with Invalid_argument e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    in
+    let checked =
+      if not verify then None
+      else
+        match Compiler.verify tbl fdd with
+        | Ok n -> Some n
+        | Error e ->
+            Printf.eprintf "error: translation validation failed: %s\n" e;
+            exit 1
+    in
+    let entry_lines (e : Compiler.entry) =
+      List.map (line_ref named) e.Compiler.e_lines
+    in
+    let n_entries = List.length tbl.Compiler.entries in
+    (match format with
+    | `Json ->
+        print_endline
+          (Printf.sprintf
+             {|{"entries":[%s],"spills":[%s],"static_coverage":%.9g,"installed_coverage":%.9g,"truncated":%b%s}|}
+             (String.concat ","
+                (List.map
+                   (fun (e : Compiler.entry) ->
+                     Printf.sprintf
+                       {|{"priority":%d,"decision":"%s","match":%s,"lines":[%s]}|}
+                       e.Compiler.e_priority
+                       (Compiler.decision_to_string e.Compiler.e_decision)
+                       (json_str (Compiler.fields_to_string e.Compiler.e_fields))
+                       (String.concat "," (List.map json_str (entry_lines e))))
+                   tbl.Compiler.entries))
+             (String.concat ","
+                (List.map
+                   (fun (s : Compiler.spill) ->
+                     Printf.sprintf
+                       {|{"dim":"%s","interval":[%d,%d],"cost":%d}|}
+                       s.Compiler.sp_dim (fst s.Compiler.sp_interval)
+                       (snd s.Compiler.sp_interval) s.Compiler.sp_cost)
+                   tbl.Compiler.spills))
+             tbl.Compiler.static_coverage tbl.Compiler.installed_coverage
+             tbl.Compiler.truncated
+             (match checked with
+             | None -> ""
+             | Some n -> Printf.sprintf {|,"verified_regions":%d|} n))
+    | `Text ->
+        Printf.printf
+          "entries: %d\nstatic coverage: %.9g\ninstalled coverage: %.9g\n"
+          n_entries tbl.Compiler.static_coverage tbl.Compiler.installed_coverage;
+        if tbl.Compiler.truncated then
+          Printf.printf
+            "truncated: table exceeded %d entries; tail punts to the \
+             controller\n"
+            max_entries;
+        List.iter
+          (fun (s : Compiler.spill) ->
+            Printf.printf
+              "spill: %s interval [%d,%d] would need %d entries (budget \
+               %d); region stays reactive\n"
+              s.Compiler.sp_dim (fst s.Compiler.sp_interval)
+              (snd s.Compiler.sp_interval) s.Compiler.sp_cost region_budget)
+          tbl.Compiler.spills;
+        List.iter
+          (fun (e : Compiler.entry) ->
+            Printf.printf "%5d %-5s %s%s\n" e.Compiler.e_priority
+              (Compiler.decision_to_string e.Compiler.e_decision)
+              (Compiler.fields_to_string e.Compiler.e_fields)
+              (match entry_lines e with
+              | [] -> ""
+              | ls -> Printf.sprintf "  (%s)" (String.concat ", " ls)))
+          tbl.Compiler.entries;
+        match checked with
+        | None -> ()
+        | Some n -> Printf.printf "verified: %d regions agree\n" n);
+    let budget =
+      match max_entries_file with
+      | None -> None
+      | Some path -> (
+          match int_of_string_opt (String.trim (read_file path)) with
+          | Some n -> Some n
+          | None ->
+              Printf.eprintf "error: %s does not contain an integer\n" path;
+              exit 1)
+    in
+    match budget with
+    | Some b when n_entries > b ->
+        Printf.eprintf
+          "error: compiled table has %d entries, committed budget is %d\n"
+          n_entries b;
+        1
+    | _ -> 0
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Lower a policy set's static slice into the priority-ordered \
+          wildcard flow-table the proactive controller installs (netsim \
+          --proactive), with range-to-prefix expansion, spillover back to \
+          the reactive path, and optional translation validation (exit 1 = \
+          compile failure, validation failure, or entry count over the \
+          committed budget)")
+    Term.(
+      const run $ files $ max_entries $ region_budget $ max_entries_file
+      $ verify $ analyze_format)
+
 (* --- metrics: read back a JSON snapshot (netsim --metrics-json,
    identxxd --metrics) and re-render it --- *)
 
@@ -1118,6 +1274,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; fmt_cmd; eval_cmd; daemon_check_cmd; analyze_cmd;
-            matrix_cmd; metrics_cmd; trace_cmd; keygen_cmd; sign_cmd;
-            verify_cmd;
+            compile_cmd; matrix_cmd; metrics_cmd; trace_cmd; keygen_cmd;
+            sign_cmd; verify_cmd;
           ]))

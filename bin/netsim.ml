@@ -22,6 +22,15 @@ let sim_clock engine () = Sim.Time.to_float_s (Sim.Engine.now engine)
 let host_metrics obs engine hosts =
   List.iter (fun h -> Identxx.Host.set_metrics h ~clock:(sim_clock engine) obs) hosts
 
+(* With --proactive, give the compiled flow-mods (in flight on the
+   control channel since the policy was loaded) time to land before the
+   first packet: deployed switches get their table at connect time, long
+   before traffic. Reactive runs keep injecting at t=0, preserving the
+   pinned Figure-1 timeline. *)
+let inject ~config ~engine f =
+  if config.C.proactive then Sim.Engine.schedule engine ~delay:(Sim.Time.ms 1) f
+  else f ()
+
 let print_summary ?(controllers = []) network =
   Format.printf "@.=== trace ===@.%a" Sim.Trace.pp (Net.trace network);
   Format.printf "@.=== summary ===@.";
@@ -37,6 +46,15 @@ let print_summary ?(controllers = []) network =
         st.C.responses_received;
       Format.printf "%s: query timeouts=%d retries sent=%d@." name
         st.C.query_timeouts st.C.query_retries_sent;
+      if (C.config c).C.proactive then begin
+        let tbl = C.proactive_table c in
+        Format.printf
+          "%s: proactive entries=%d installed-coverage=%.3f spills=%d%s@." name
+          (List.length tbl.Compiler.entries)
+          tbl.Compiler.installed_coverage
+          (List.length tbl.Compiler.spills)
+          (if tbl.Compiler.truncated then " (truncated)" else "")
+      end;
       if Fastpath.enabled (C.fastpath c) then
         Format.printf
           "%s: fastpath decisions=%d attr-cache %d/%d (evict %d, inval %d) \
@@ -99,8 +117,9 @@ let fig1 ?extra_flow ~arm ~config ~obs ~spans () =
     Identxx.Host.connect s.client ~proc ~dst:(Identxx.Host.ip s.server)
       ~dst_port:80 ()
   in
-  Net.send_from_host s.network ~name:"client"
-    (Identxx.Host.first_packet s.client ~flow);
+  inject ~config ~engine:s.engine (fun () ->
+      Net.send_from_host s.network ~name:"client"
+        (Identxx.Host.first_packet s.client ~flow));
   (* A second client flow from EXE (not firefox ⇒ denied by the policy
      above): the deterministic deny for exercising always-on sampling
      of error traces. *)
@@ -130,8 +149,9 @@ let linear ~arm ~config ~obs ~spans () =
   let flow =
     Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h4) ~dst_port:80 ()
   in
-  Net.send_from_host network ~name:(Identxx.Host.name h1)
-    (Identxx.Host.first_packet h1 ~flow);
+  inject ~config ~engine (fun () ->
+      Net.send_from_host network ~name:(Identxx.Host.name h1)
+        (Identxx.Host.first_packet h1 ~flow));
   Sim.Engine.run engine;
   Format.printf "linear: one flow across a 4-switch chain@.";
   (network, [ ("controller", controller) ])
@@ -149,8 +169,9 @@ let tree ~arm ~config ~obs ~spans () =
   let flow =
     Identxx.Host.connect src ~proc ~dst:(Identxx.Host.ip dst) ~dst_port:80 ()
   in
-  Net.send_from_host network ~name:(Identxx.Host.name src)
-    (Identxx.Host.first_packet src ~flow);
+  inject ~config ~engine (fun () ->
+      Net.send_from_host network ~name:(Identxx.Host.name src)
+        (Identxx.Host.first_packet src ~flow));
   Sim.Engine.run engine;
   Format.printf "tree: cross-pod flow over a depth-3 binary tree (7 switches)@.";
   (network, [ ("controller", controller) ])
@@ -189,7 +210,8 @@ let branches ~arm ~config ~obs ~spans () =
   let flow =
     Identxx.Host.connect a1 ~proc ~dst:(Identxx.Host.ip b1) ~dst_port:80 ()
   in
-  Net.send_from_host network ~name:"a1" (Identxx.Host.first_packet a1 ~flow);
+  inject ~config ~engine (fun () ->
+      Net.send_from_host network ~name:"a1" (Identxx.Host.first_packet a1 ~flow));
   Sim.Engine.run engine;
   Format.printf "branches: two collaborating ident++ domains@.";
   (network, [ ("branch-a", ca); ("branch-b", cb) ])
@@ -286,6 +308,15 @@ let () =
                 non-firefox EXE is denied by the fig1 policy) — a \
                 deterministic error trace.")
   in
+  let proactive =
+    Arg.(
+      value & flag
+      & info [ "proactive" ]
+          ~doc:"Compile the policy's static slice into wildcard flow entries \
+                and keep them installed on every switch (see identxx_ctl \
+                compile): statically-decided flows never cost a packet-in. \
+                Off by default, matching the paper's reactive exchange.")
+  in
   let fp = Fastpath.default_config in
   let fastpath =
     Arg.(
@@ -333,8 +364,8 @@ let () =
                 with --fastpath.")
   in
   let run scenario pcap verbose json metrics metrics_json spans_file trace_out
-      trace_sample extra_flow fastpath attr_capacity attr_ttl decision_capacity
-      breaker_threshold breaker_backoff =
+      trace_sample extra_flow proactive fastpath attr_capacity attr_ttl
+      decision_capacity breaker_threshold breaker_backoff =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -353,6 +384,7 @@ let () =
     let config =
       {
         C.default_config with
+        C.proactive;
         C.fastpath =
           (if not fastpath then Fastpath.disabled
            else
@@ -434,8 +466,8 @@ let () =
       (Cmd.info "netsim" ~doc:"Run a named ident++ simulation scenario")
       Term.(
         const run $ scenario $ pcap $ verbose $ json $ metrics $ metrics_json
-        $ spans_file $ trace_out $ trace_sample $ extra_flow $ fastpath
-        $ attr_capacity $ attr_ttl $ decision_capacity $ breaker_threshold
-        $ breaker_backoff)
+        $ spans_file $ trace_out $ trace_sample $ extra_flow $ proactive
+        $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
+        $ breaker_threshold $ breaker_backoff)
   in
   exit (Cmd.eval' cmd)

@@ -665,3 +665,33 @@ let verdict_to_string = function
         | [] -> "flow-time evaluation"
         | _ -> String.concat ", " (List.map Pf.Ast.cond_input_to_string inputs))
         (if may_default then "; may fall through to default" else "")
+
+(* --- structural export for the flow-table compiler --- *)
+
+type tree =
+  | T_verdict of verdict
+  | T_split of { key : int; level : int; parts : (interval * tree) list }
+
+let tree root =
+  let memo = Hashtbl.create 64 in
+  let rec go level id =
+    if level = levels then T_verdict (leaf_verdict id)
+    else
+      match Hashtbl.find_opt memo (level, id) with
+      | Some t -> t
+      | None ->
+          let t =
+            T_split
+              {
+                key = id;
+                level;
+                parts =
+                  List.map
+                    (fun (lo, hi, c) -> ((lo, hi), go (level + 1) c))
+                    (segments level id);
+              }
+          in
+          Hashtbl.add memo (level, id) t;
+          t
+  in
+  go 0 root

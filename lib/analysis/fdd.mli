@@ -163,3 +163,26 @@ val region_to_string : region -> string
 val verdict_to_string : verdict -> string
 (** ["pass"], ["block"], or ["reactive"] with the deciding lines /
     influencing inputs in parentheses. *)
+
+(** {2 Structural export}
+
+    The diagram as a value tree, for downstream compilers that need the
+    node structure (not just the flat region enumeration): the
+    flow-table compiler factors a node's widest branch into a
+    lower-priority wildcard rule, which requires seeing branches, not
+    regions. *)
+
+type tree =
+  | T_verdict of verdict  (** A leaf. *)
+  | T_split of { key : int; level : int; parts : (interval * tree) list }
+      (** [parts] partition [[0, top]] of dimension [level] (0 = proto,
+          1 = src, 2 = dst, 3 = sport, 4 = dport) into maximal
+          intervals, ascending, adjacent children distinct. [key] is
+          the hash-consed node id: equal [(level, key)] means an
+          identical subdiagram (shared as one value here), so memo
+          tables keyed on it survive recompiles of unchanged policy
+          regions. *)
+
+val tree : t -> tree
+(** Unfold the diagram preserving sharing: subdiagrams reached along
+    several paths are one (physically shared) [tree] value. *)

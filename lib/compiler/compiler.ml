@@ -1,0 +1,484 @@
+(* FDD -> OpenFlow wildcard-rule lowering. See compiler.mli for the
+   factoring/spill/priority scheme. *)
+
+open Netcore
+module Fdd = Analysis.Fdd
+module MF = Openflow.Match_fields
+
+type decision = Decide of Pf.Ast.action | Punt
+
+type entry = {
+  e_fields : MF.t;
+  e_priority : int;
+  e_decision : decision;
+  e_lines : int list;
+}
+
+type spill = { sp_dim : string; sp_interval : int * int; sp_cost : int }
+
+type table = {
+  entries : entry list;
+  spills : spill list;
+  static_coverage : float;
+  installed_coverage : float;
+  truncated : bool;
+}
+
+let default_max_entries = 4096
+let default_region_budget = 512
+let priority_floor = 0x5000
+let proactive_cookie = 0xFDD
+
+let dim_top = [| 255; 0xFFFF_FFFF; 0xFFFF_FFFF; 0xFFFF; 0xFFFF |]
+let dim_name = [| "proto"; "src"; "dst"; "sport"; "dport" |]
+
+(* Greedy aligned decomposition of an address interval into CIDR
+   blocks, largest block aligned at the running lower bound first. *)
+let prefixes_of_interval (ilo, ihi) =
+  let acc = ref [] and lo = ref ilo in
+  while !lo <= ihi do
+    let len = ref 32 in
+    let block l = 1 lsl (32 - l) in
+    while
+      !len > 0
+      && !lo land (block (!len - 1) - 1) = 0
+      && !lo + block (!len - 1) - 1 <= ihi
+    do
+      decr len
+    done;
+    acc := Prefix.make (Ipv4.of_int !lo) !len :: !acc;
+    lo := !lo + block !len
+  done;
+  List.rev !acc
+
+(* Entries an exact expansion of one interval needs. Computed before
+   materializing anything: port widths can be 65536. *)
+let cost_of level (lo, hi) =
+  if lo = 0 && hi = dim_top.(level) then 1
+  else
+    match level with
+    | 1 | 2 -> List.length (prefixes_of_interval (lo, hi))
+    | _ -> hi - lo + 1
+
+let addr_space = 4294967296.0 (* 2^32 *)
+
+(* The expansion of one interval of one dimension: a list of
+   (field-setter, volume fraction) pairs. *)
+let atoms_of level (lo, hi) : ((MF.t -> MF.t) * float) list =
+  if lo = 0 && hi = dim_top.(level) then [ ((fun m -> m), 1.0) ]
+  else
+    match level with
+    | 0 ->
+        List.init (hi - lo + 1) (fun i ->
+            let p = Proto.of_int (lo + i) in
+            ((fun m -> { m with MF.nw_proto = Some p }), 1.0 /. 256.0))
+    | 1 ->
+        List.map
+          (fun p ->
+            ( (fun m -> { m with MF.nw_src = Some p }),
+              float_of_int (Prefix.size p) /. addr_space ))
+          (prefixes_of_interval (lo, hi))
+    | 2 ->
+        List.map
+          (fun p ->
+            ( (fun m -> { m with MF.nw_dst = Some p }),
+              float_of_int (Prefix.size p) /. addr_space ))
+          (prefixes_of_interval (lo, hi))
+    | 3 ->
+        List.init (hi - lo + 1) (fun i ->
+            let v = lo + i in
+            ((fun m -> { m with MF.tp_src = Some v }), 1.0 /. 65536.0))
+    | _ ->
+        List.init (hi - lo + 1) (fun i ->
+            let v = lo + i in
+            ((fun m -> { m with MF.tp_dst = Some v }), 1.0 /. 65536.0))
+
+let width_frac level (lo, hi) =
+  float_of_int (hi - lo + 1) /. (float_of_int dim_top.(level) +. 1.0)
+
+(* A rule during planning: match built bottom-up (only dimensions at or
+   below the emitting node are set), plus the static volume it claims,
+   as a fraction of the emitting subtree's space. *)
+type rule = {
+  r_fields : MF.t;
+  r_decision : decision;
+  r_lines : int list;
+  r_vol : float;
+}
+
+type plan = { p_rules : rule list; p_static : float; p_spills : spill list }
+
+(* Children are grouped by identity so several intervals sharing one
+   subdiagram can be factored into one wildcard rule block. *)
+type gkey = K_verdict of Fdd.verdict | K_split of int * int
+
+let gkey = function
+  | Fdd.T_verdict v -> K_verdict v
+  | Fdd.T_split { key; level; _ } -> K_split (level, key)
+
+type cache = (int * int, plan) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 64
+
+let plan_of_verdict = function
+  | Fdd.Static { action; lines } ->
+      {
+        p_rules =
+          [ { r_fields = MF.any; r_decision = Decide action; r_lines = lines; r_vol = 1.0 } ];
+        p_static = 1.0;
+        p_spills = [];
+      }
+  | Fdd.Reactive _ ->
+      {
+        p_rules = [ { r_fields = MF.any; r_decision = Punt; r_lines = []; r_vol = 0.0 } ];
+        p_static = 0.0;
+        p_spills = [];
+      }
+
+let rec plan_of cache budget tree =
+  match tree with
+  | Fdd.T_verdict v -> plan_of_verdict v
+  | Fdd.T_split { key; level; parts } -> (
+      match Hashtbl.find_opt cache (level, key) with
+      | Some p -> p
+      | None ->
+          let parts = List.map (fun (iv, c) -> (iv, c, plan_of cache budget c)) parts in
+          (* Pick the default group: the set of intervals sharing one
+             child whose exact expansion would cost the most. It gets
+             the dimension wildcarded for free; the totality of the
+             other branches' rules keeps that sound. *)
+          let groups = Hashtbl.create 8 in
+          List.iter
+            (fun (iv, c, pl) ->
+              let k = gkey c in
+              let saved = cost_of level iv * List.length pl.p_rules in
+              let prev = try Hashtbl.find groups k with Not_found -> 0 in
+              Hashtbl.replace groups k (prev + saved))
+            parts;
+          let default_key, _ =
+            Hashtbl.fold
+              (fun k saved (bk, bs) -> if saved > bs then (k, saved) else (bk, bs))
+              groups
+              (gkey (let _, c, _ = List.hd parts in c), -1)
+          in
+          let spilled = ref [] in
+          let expanded =
+            List.concat_map
+              (fun (iv, c, pl) ->
+                if gkey c = default_key then []
+                else
+                  let n = List.length pl.p_rules in
+                  let cost = cost_of level iv * n in
+                  if cost > budget then begin
+                    spilled :=
+                      { sp_dim = dim_name.(level); sp_interval = iv; sp_cost = cost }
+                      :: !spilled;
+                    []
+                  end
+                  else
+                    List.concat_map
+                      (fun (set, frac) ->
+                        List.map
+                          (fun r ->
+                            { r with r_fields = set r.r_fields; r_vol = r.r_vol *. frac })
+                          pl.p_rules)
+                      (atoms_of level iv))
+              parts
+          in
+          let default_frac =
+            List.fold_left
+              (fun acc (iv, c, _) ->
+                if gkey c = default_key then acc +. width_frac level iv else acc)
+              0.0 parts
+          in
+          let default_plan =
+            let _, _, pl =
+              List.find (fun (_, c, _) -> gkey c = default_key) parts
+            in
+            pl
+          in
+          let tail, tail_static =
+            if !spilled <> [] then
+              (* A spilled branch needs its space punted; one wildcard
+                 punt here also masks the default group, soundly
+                 returning the rest of this subtree to the controller. *)
+              ( [ { r_fields = MF.any; r_decision = Punt; r_lines = []; r_vol = 0.0 } ],
+                0.0 )
+            else
+              ( List.map
+                  (fun r -> { r with r_vol = r.r_vol *. default_frac })
+                  default_plan.p_rules,
+                default_plan.p_static *. default_frac )
+          in
+          let expanded_static =
+            List.fold_left
+              (fun acc r ->
+                match r.r_decision with Decide _ -> acc +. r.r_vol | Punt -> acc)
+              0.0 expanded
+          in
+          let child_spills =
+            let seen = Hashtbl.create 8 in
+            List.concat_map
+              (fun (_, c, pl) ->
+                let k = gkey c in
+                if Hashtbl.mem seen k then []
+                else begin
+                  Hashtbl.add seen k ();
+                  pl.p_spills
+                end)
+              parts
+          in
+          let p =
+            {
+              p_rules = expanded @ tail;
+              p_static = expanded_static +. tail_static;
+              p_spills = !spilled @ child_spills;
+            }
+          in
+          Hashtbl.add cache (level, key) p;
+          p)
+
+(* Provably no packet matches both (used to justify collapsing a rule
+   into a later identical-decision wildcard). *)
+let fields_disjoint (a : MF.t) (b : MF.t) =
+  let exact_ne x y = match (x, y) with Some u, Some v -> u <> v | _ -> false in
+  (match (a.MF.nw_proto, b.MF.nw_proto) with
+  | Some p, Some q -> not (Proto.equal p q)
+  | _ -> false)
+  || (match (a.MF.nw_src, b.MF.nw_src) with
+     | Some p, Some q -> not (Prefix.overlaps p q)
+     | _ -> false)
+  || (match (a.MF.nw_dst, b.MF.nw_dst) with
+     | Some p, Some q -> not (Prefix.overlaps p q)
+     | _ -> false)
+  || exact_ne a.MF.tp_src b.MF.tp_src
+  || exact_ne a.MF.tp_dst b.MF.tp_dst
+
+(* Drop a rule when the final match-all rule has the same decision and
+   every rule in between either shares that decision or is disjoint
+   from the dropped one — the packet lands on an equivalent rule.
+   Returns the kept rules and the static volume reclaimed by the
+   final rule. *)
+let collapse_into_tail rules =
+  let n = List.length rules in
+  if n < 2 || n > 2048 then (rules, 0.0)
+  else
+    let arr = Array.of_list rules in
+    let last = arr.(n - 1) in
+    if not (MF.equal last.r_fields MF.any) then (rules, 0.0)
+    else begin
+      let reclaimed = ref 0.0 in
+      let kept = ref [ last ] in
+      for i = n - 2 downto 0 do
+        let r = arr.(i) in
+        let removable =
+          r.r_decision = last.r_decision
+          && begin
+               let ok = ref true in
+               for k = i + 1 to n - 2 do
+                 let between = arr.(k) in
+                 if
+                   between.r_decision <> r.r_decision
+                   && not (fields_disjoint between.r_fields r.r_fields)
+                 then ok := false
+               done;
+               !ok
+             end
+        in
+        if removable then
+          match r.r_decision with
+          | Decide _ -> reclaimed := !reclaimed +. r.r_vol
+          | Punt -> ()
+        else kept := r :: !kept
+      done;
+      (!kept, !reclaimed)
+    end
+
+let drop_trailing_punts rules =
+  let rec skip = function
+    | { r_decision = Punt; _ } :: rest -> skip rest
+    | l -> l
+  in
+  List.rev (skip (List.rev rules))
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n = function
+  | rest when n <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+let compile ?cache ?(max_entries = default_max_entries)
+    ?(region_budget = default_region_budget) fdd =
+  if max_entries < 1 || max_entries > default_max_entries then
+    invalid_arg "Compiler.compile: max_entries outside [1, 4096]";
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let pl = plan_of cache region_budget (Fdd.tree fdd) in
+  let rules = drop_trailing_punts pl.p_rules in
+  let rules, reclaimed = collapse_into_tail rules in
+  let rules = drop_trailing_punts rules in
+  let truncated, lost, rules =
+    if List.length rules > max_entries then
+      let keep = take (max_entries - 1) rules in
+      let dropped = drop (max_entries - 1) rules in
+      let lost =
+        List.fold_left
+          (fun acc r ->
+            match r.r_decision with Decide _ -> acc +. r.r_vol | Punt -> acc)
+          0.0 dropped
+      in
+      ( true,
+        lost,
+        keep @ [ { r_fields = MF.any; r_decision = Punt; r_lines = []; r_vol = 0.0 } ] )
+    else (false, 0.0, rules)
+  in
+  let n = List.length rules in
+  let entries =
+    List.mapi
+      (fun i r ->
+        {
+          e_fields = r.r_fields;
+          e_priority = priority_floor + (2 * (n - 1 - i));
+          e_decision = r.r_decision;
+          e_lines = r.r_lines;
+        })
+      rules
+  in
+  let installed =
+    List.fold_left
+      (fun acc r ->
+        match r.r_decision with Decide _ -> acc +. r.r_vol | Punt -> acc)
+      0.0 rules
+    +. reclaimed -. lost
+  in
+  let installed = max 0.0 (min 1.0 installed) in
+  {
+    entries;
+    spills = pl.p_spills;
+    static_coverage = Fdd.static_coverage fdd;
+    installed_coverage = installed;
+    truncated;
+  }
+
+(* --- deltas --- *)
+
+type delta = { d_add : entry list; d_del : entry list }
+
+module EMap = Map.Make (struct
+  type t = MF.t * int
+
+  let compare (fa, pa) (fb, pb) =
+    let c = compare pa pb in
+    if c <> 0 then c else MF.compare fa fb
+end)
+
+module FMap = Map.Make (MF)
+
+let delta ~old_ cur =
+  let index t =
+    List.fold_left (fun m e -> EMap.add (e.e_fields, e.e_priority) e m) EMap.empty t.entries
+  in
+  let io = index old_ and ic = index cur in
+  let same a b = a.e_decision = b.e_decision in
+  let dels =
+    List.filter
+      (fun e ->
+        match EMap.find_opt (e.e_fields, e.e_priority) ic with
+        | Some e' -> not (same e e')
+        | None -> true)
+      old_.entries
+  in
+  let deleted_fields =
+    List.fold_left (fun m e -> FMap.add e.e_fields () m) FMap.empty dels
+  in
+  (* Strict delete removes by fields alone, so any surviving entry that
+     shares fields with a deleted one must be re-added. *)
+  let adds =
+    List.filter
+      (fun e ->
+        (match EMap.find_opt (e.e_fields, e.e_priority) io with
+        | Some e' -> not (same e e')
+        | None -> true)
+        || FMap.mem e.e_fields deleted_fields)
+      cur.entries
+  in
+  { d_add = adds; d_del = dels }
+
+(* --- reference semantics --- *)
+
+let matches_flow (m : MF.t) (fl : Five_tuple.t) =
+  (match m.MF.nw_proto with None -> true | Some p -> Proto.equal p fl.proto)
+  && (match m.MF.nw_src with None -> true | Some p -> Prefix.mem fl.src p)
+  && (match m.MF.nw_dst with None -> true | Some p -> Prefix.mem fl.dst p)
+  && (match m.MF.tp_src with None -> true | Some v -> v = fl.src_port)
+  && match m.MF.tp_dst with None -> true | Some v -> v = fl.dst_port
+
+let lookup t fl =
+  match List.find_opt (fun e -> matches_flow e.e_fields fl) t.entries with
+  | Some e -> e.e_decision
+  | None -> Punt
+
+let verify t fdd =
+  let sl = Fdd.static_slice fdd in
+  let lenient = t.spills <> [] || t.truncated || sl.Fdd.s_truncated in
+  let checked = ref 0 in
+  let fail rg expected got =
+    Error
+      (Printf.sprintf "region %s: table says %s, diagram says %s"
+         (Fdd.region_to_string rg) got expected)
+  in
+  let act_str = function Pf.Ast.Pass -> "pass" | Pf.Ast.Block -> "block" in
+  let rec check_static = function
+    | [] -> Ok ()
+    | (rg, action, _) :: rest -> (
+        incr checked;
+        match lookup t (Fdd.region_witness rg) with
+        | Decide a when a = action -> check_static rest
+        | Punt when lenient -> check_static rest
+        | Decide a -> fail rg (act_str action) (act_str a)
+        | Punt -> fail rg (act_str action) "punt")
+  in
+  let rec check_reactive = function
+    | [] -> Ok ()
+    | (rg, _) :: rest -> (
+        incr checked;
+        match lookup t (Fdd.region_witness rg) with
+        | Punt -> check_reactive rest
+        | Decide a -> fail rg "reactive (punt)" (act_str a))
+  in
+  match check_static sl.Fdd.s_static with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_reactive sl.Fdd.s_reactive with
+      | Error _ as e -> e
+      | Ok () -> Ok !checked)
+
+(* --- rendering --- *)
+
+let decision_to_string = function
+  | Decide Pf.Ast.Pass -> "pass"
+  | Decide Pf.Ast.Block -> "block"
+  | Punt -> "punt"
+
+let fields_to_string (m : MF.t) =
+  let proto = match m.MF.nw_proto with None -> "any" | Some p -> Proto.to_string p in
+  let pfx = function None -> "any" | Some p -> Prefix.to_string p in
+  let port = function None -> "any" | Some v -> string_of_int v in
+  Printf.sprintf "proto %s from %s port %s to %s port %s" proto
+    (pfx m.MF.nw_src) (port m.MF.tp_src) (pfx m.MF.nw_dst) (port m.MF.tp_dst)
+
+let entry_to_string e =
+  let lines =
+    match e.e_lines with
+    | [] -> ""
+    | ls ->
+        Printf.sprintf "  (line %s)"
+          (String.concat ","
+             (List.map (function 0 -> "default" | l -> string_of_int l) ls))
+  in
+  Printf.sprintf "%5d %-5s %s%s" e.e_priority
+    (decision_to_string e.e_decision)
+    (fields_to_string e.e_fields) lines

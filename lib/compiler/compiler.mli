@@ -1,0 +1,124 @@
+(** Proactive flow-table compiler: lower the static slice of a PF+=2
+    decision diagram ({!Analysis.Fdd}) into a priority-ordered list of
+    OpenFlow wildcard matches, so statically-decided traffic never costs
+    a controller round-trip.
+
+    The compiler walks the diagram's {!Analysis.Fdd.tree} structure. At
+    each node it factors the branch group with the largest expansion
+    cost into a {e lower-priority wildcard} rule list (the classic
+    NetKAT/NetCore linearization trick): because every branch compiles
+    to a total rule list, the other branches' higher-priority rules
+    claim their own intervals, and the widest group needs no interval
+    expansion at all. The remaining branches expand per dimension:
+    address intervals split into aligned CIDR blocks (at most 62 per
+    interval), protocol and port intervals enumerate exact values —
+    OpenFlow 1.0 has no port masks, which is exactly why a per-branch
+    {e region budget} exists. A branch whose expansion would exceed it
+    is {e spilled}: the compiler emits a single punt-to-controller rule
+    over the node's remaining space instead, soundly returning that
+    region to the reactive path (slower, never wrong).
+
+    Reactive leaves compile to punt rules where they mask lowered
+    wildcards, and are pruned where they coincide with the table-miss
+    default. The result is {e total}: every flow either hits a static
+    entry whose action equals {!Pf.Eval}'s verdict for every context,
+    or punts (hits a punt entry / misses) to the controller.
+
+    Priorities descend from the top of a band {e below} the controller's
+    reactive per-flow entries (default 0x8000) — a reactive flow's
+    cached exact-match decision must outrank the compiled punt rule that
+    sent its first packet to the controller. Priorities step by 2 so a
+    per-switch lowering can wedge host-specialized forwarding entries
+    between a pass rule and its successor (see
+    {!Core.Controller}). *)
+
+(** What the switch should do with a matching packet, before per-switch
+    lowering picks concrete ports. *)
+type decision =
+  | Decide of Pf.Ast.action
+      (** Statically decided: forward (pass) or drop (block). *)
+  | Punt  (** Send to the controller: reactive residue. *)
+
+type entry = {
+  e_fields : Openflow.Match_fields.t;
+  e_priority : int;  (** Descending by position; step 2. *)
+  e_decision : decision;
+  e_lines : int list;
+      (** Possible deciding policy lines (0 = implicit default); empty
+          for punts. *)
+}
+
+(** A branch left reactive because expanding it would blow the table. *)
+type spill = {
+  sp_dim : string;  (** ["proto"], ["src"], ["dst"], ["sport"], ["dport"]. *)
+  sp_interval : int * int;
+  sp_cost : int;  (** Entries an exact expansion would have needed. *)
+}
+
+type table = {
+  entries : entry list;  (** Highest priority first. *)
+  spills : spill list;
+  static_coverage : float;  (** The diagram's, see {!Analysis.Fdd}. *)
+  installed_coverage : float;
+      (** Volume fraction of flow space actually decided by installed
+          static entries — [static_coverage] minus spilled and
+          truncated volume. *)
+  truncated : bool;  (** The [max_entries] guard replaced a tail. *)
+}
+
+type cache
+(** Memoizes compiled rule lists per hash-consed diagram node, so
+    recompiling after a policy edit re-lowers only the changed regions
+    (unchanged subdiagrams keep their node ids). One cache must only
+    ever see one budget configuration. *)
+
+val create_cache : unit -> cache
+
+val default_max_entries : int
+(** 4096 — a small hardware TCAM. *)
+
+val default_region_budget : int
+(** 512 — per-branch expansion cap; a port range wider than this spills
+    to the reactive path. *)
+
+val priority_floor : int
+(** Lowest priority the compiler will ever assign (0x5000). The band
+    [floor .. 0x7fff] stays below reactive per-flow entries. *)
+
+val proactive_cookie : int
+(** Cookie tagging every proactively installed flow-mod, so eviction
+    telemetry can tell compiled entries from reactive ones. *)
+
+val compile :
+  ?cache:cache -> ?max_entries:int -> ?region_budget:int -> Analysis.Fdd.t -> table
+(** Lower a diagram. [max_entries] (≤ 4096) bounds the emitted table;
+    when exceeded, the lowest-priority tail is replaced by one punt-all
+    entry and [truncated] is set.
+    @raise Invalid_argument if [max_entries] is outside [1, 4096]. *)
+
+type delta = { d_add : entry list; d_del : entry list }
+
+val delta : old_:table -> table -> delta
+(** Minimal flow-mod step from [old_] to the new table: entries to
+    strict-delete and entries to add. Entries are compared by fields,
+    priority and decision; an entry re-added under a changed priority
+    appears in both lists (strict delete is by fields). *)
+
+val lookup : table -> Netcore.Five_tuple.t -> decision
+(** The abstract table's verdict for one flow: the decision of the
+    highest-priority matching entry, or {!Punt} on a miss. This is the
+    reference semantics the differential tests check real
+    {!Openflow.Flow_table} lowerings against. *)
+
+val verify : table -> Analysis.Fdd.t -> (int, string) result
+(** Translation validation: check the table's decision against the
+    diagram's verdict on the witness corner of every enumerated region
+    — static regions must agree (punting is allowed only when the table
+    spilled or truncated), reactive regions must punt. Returns the
+    number of regions checked. *)
+
+val decision_to_string : decision -> string
+val fields_to_string : Openflow.Match_fields.t -> string
+(** e.g. ["proto tcp from 10.0.0.0/8 port any to any port 80"]. *)
+
+val entry_to_string : entry -> string

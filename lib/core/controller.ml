@@ -22,6 +22,7 @@ type config = {
   query_targets : query_targets;
   default : Pf.Ast.action;
   fastpath : Fastpath.config;
+  proactive : bool;
 }
 
 let default_config =
@@ -49,6 +50,7 @@ let default_config =
     (* Off by default: the baseline controller runs the unmodified
        Figure-1 exchange for every table-miss flow. *)
     fastpath = Fastpath.disabled;
+    proactive = false;
   }
 
 type pending = {
@@ -174,6 +176,43 @@ let make_metrics reg ~labels =
         "identxx_controller_query_rtt_seconds";
   }
 
+(* Instruments of the proactive flow-table compiler; only registered
+   when [config.proactive] is set, so the default metric exposition is
+   unchanged. *)
+type pro_metrics = {
+  pc_recompiles : Obs.Registry.Counter.t;
+  pc_delta_add : Obs.Registry.Counter.t;
+  pc_delta_del : Obs.Registry.Counter.t;
+  pc_evicted : Obs.Registry.Counter.t;
+  ph_recompile : Obs.Registry.Histogram.t;
+}
+
+let make_pro_metrics reg ~labels =
+  {
+    pc_recompiles =
+      Obs.Registry.counter reg
+        ~help:"Proactive table recompilations (policy epochs compiled)."
+        ~labels "identxx_compiler_recompiles_total";
+    pc_delta_add =
+      Obs.Registry.counter reg
+        ~help:"Abstract entries in emitted flow-mod deltas, by operation."
+        ~labels:(labels @ [ ("op", "add") ])
+        "identxx_compiler_delta_entries_total";
+    pc_delta_del =
+      Obs.Registry.counter reg
+        ~help:"Abstract entries in emitted flow-mod deltas, by operation."
+        ~labels:(labels @ [ ("op", "del") ])
+        "identxx_compiler_delta_entries_total";
+    pc_evicted =
+      Obs.Registry.counter reg
+        ~help:"Proactively installed entries evicted by reactive churn."
+        ~labels "identxx_compiler_proactive_evictions_total";
+    ph_recompile =
+      Obs.Registry.histogram reg
+        ~help:"Wall time to recompile and diff the proactive table."
+        ~labels "identxx_compiler_recompile_seconds";
+  }
+
 type t = {
   network : Net.t;
   id : Net.controller_id;
@@ -196,6 +235,15 @@ type t = {
   mutable last_stats : (Msg.switch_id * Msg.stats_reply) list;
   mutable precompiled : Openflow.Match_fields.t list;
       (* Drop matches currently pushed to the dataplane. *)
+  mutable proactive_tbl : Compiler.table;
+      (* The abstract compiled table currently installed. *)
+  mutable proactive_state : Analysis.Flowspace.t * Analysis.Flowspace.t;
+      (* (forward, reverse) spaces of keep-state pass rules at last
+         sync: pass entries overlapping the forward space and block
+         entries overlapping the reverse space were installed as punts,
+         and a change in either forces a full reinstall. *)
+  proactive_cache : Compiler.cache;
+  pm : pro_metrics option; (* Some iff cfg.proactive. *)
 }
 
 let policy t = t.policy
@@ -973,6 +1021,284 @@ let sync_precompiled t =
     t.precompiled <- matches
   end
 
+(* --- the proactive flow-table compiler (static slice -> wildcards) --- *)
+
+let empty_table =
+  {
+    Compiler.entries = [];
+    spills = [];
+    static_coverage = 0.0;
+    installed_coverage = 0.0;
+    truncated = false;
+  }
+
+(* The compiled band sits below reactive entries; this guard sits at the
+   very top of it. ident++ queries and responses must stay
+   controller-mediated — a wildcard pass entry must never deliver an
+   exchange packet straight to a host, past the interception points. *)
+let proactive_guard_priority = 0x7fff
+
+let proactive_guards =
+  [
+    {
+      Openflow.Match_fields.any with
+      nw_proto = Some Proto.Tcp;
+      tp_dst = Some Identxx.Wire.port;
+    };
+    {
+      Openflow.Match_fields.any with
+      nw_proto = Some Proto.Tcp;
+      tp_src = Some Identxx.Wire.port;
+    };
+  ]
+
+(* The (forward, reverse) flow spaces of every keep-state pass rule.
+   Both demote compiled entries overlapping them to punts:
+
+   - A {e pass} entry overlapping the forward space must punt, because
+     statically forwarding the connection's first packet would skip the
+     controller and never record connection state ([start_flow]) — the
+     reply would then be blocked where the reactive baseline admits it.
+     Stateful regions are inherently reactive; only their first packet
+     pays the round-trip.
+   - A {e block} entry overlapping the reverse space must punt, because
+     a reply in that space may be readmitted by connection state even
+     though the ruleset statically blocks it (state matching precedes
+     the ruleset).
+
+   [of_rule_env] over-approximates conditional rules, which errs toward
+   punting — slower, never wrong. *)
+let state_spaces env =
+  List.fold_left
+    (fun (fwd, rev) (r : Pf.Ast.rule) ->
+      if r.Pf.Ast.keep_state && r.Pf.Ast.action = Pf.Ast.Pass then
+        let atoms =
+          Analysis.Flowspace.atoms (Analysis.Flowspace.of_rule_env env r)
+        in
+        let reversed =
+          List.map
+            (fun (a : Analysis.Flowspace.atom) ->
+              {
+                a with
+                Analysis.Flowspace.src = a.Analysis.Flowspace.dst;
+                dst = a.Analysis.Flowspace.src;
+                sport = a.Analysis.Flowspace.dport;
+                dport = a.Analysis.Flowspace.sport;
+              })
+            atoms
+        in
+        ( Analysis.Flowspace.union fwd (Analysis.Flowspace.of_atoms atoms),
+          Analysis.Flowspace.union rev (Analysis.Flowspace.of_atoms reversed) )
+      else (fwd, rev))
+    (Analysis.Flowspace.empty, Analysis.Flowspace.empty)
+    (Pf.Env.rules env)
+
+let atom_of_fields (m : Openflow.Match_fields.t) =
+  let any = Analysis.Flowspace.atom_any in
+  {
+    Analysis.Flowspace.proto =
+      (match m.Openflow.Match_fields.nw_proto with
+      | None -> Analysis.Flowspace.proto_any
+      | Some p -> Analysis.Flowspace.proto_only p);
+    src = (match m.Openflow.Match_fields.nw_src with
+          | None -> any.Analysis.Flowspace.src
+          | Some p -> p);
+    dst = (match m.Openflow.Match_fields.nw_dst with
+          | None -> any.Analysis.Flowspace.dst
+          | Some p -> p);
+    sport = (match m.Openflow.Match_fields.tp_src with
+            | None -> Analysis.Flowspace.port_any
+            | Some v -> (v, v));
+    dport = (match m.Openflow.Match_fields.tp_dst with
+            | None -> Analysis.Flowspace.port_any
+            | Some v -> (v, v));
+  }
+
+(* One abstract entry, lowered for one switch: concrete
+   (fields, priority, actions) triples.
+
+   A wildcard pass entry cannot name an output port, so it lowers to a
+   punt plus one host-specialized forwarding entry per reachable
+   destination the match admits (nw_dst narrowed to the host /32, at
+   priority + 1 — the gap the compiler's step-2 priorities leave).
+   Traffic toward unknown destinations still punts, which is the
+   reactive behaviour. Block entries drop in hardware unless their
+   space overlaps the keep-state reverse space, and pass entries punt
+   where they overlap the keep-state forward space (see
+   [state_spaces]). *)
+let lower_entry t ~dpid ~hosts ~state:(state_fwd, state_rev)
+    (e : Compiler.entry) =
+  let fields = e.Compiler.e_fields and prio = e.Compiler.e_priority in
+  let punt = (fields, prio, [ Openflow.Action.To_controller ]) in
+  match e.Compiler.e_decision with
+  | Compiler.Punt -> [ punt ]
+  | Compiler.Decide Pf.Ast.Block ->
+      if Analysis.Flowspace.overlaps [ atom_of_fields fields ] state_rev then
+        [ punt ]
+      else [ (fields, prio, Openflow.Action.drop) ]
+  | Compiler.Decide Pf.Ast.Pass
+    when Analysis.Flowspace.overlaps [ atom_of_fields fields ] state_fwd ->
+      [ punt ]
+  | Compiler.Decide Pf.Ast.Pass ->
+      let specials =
+        List.filter_map
+          (fun host ->
+            (* Skip topology hosts without an attached endpoint. *)
+            match
+              (try Some (Net.host_ip t.network host)
+               with Not_found | Invalid_argument _ -> None)
+            with
+            | None -> None
+            | Some ip ->
+                let admits =
+                  match fields.Openflow.Match_fields.nw_dst with
+                  | None -> true
+                  | Some p -> Prefix.mem ip p
+                in
+                if not admits then None
+                else
+                  Option.map
+                    (fun port ->
+                      ( {
+                          fields with
+                          Openflow.Match_fields.nw_dst = Some (Prefix.host ip);
+                        },
+                        prio + 1,
+                        [ Openflow.Action.Output port ] ))
+                    (Topo.next_hop (Net.topology t.network) ~from:dpid
+                       ~dst_host:host))
+          hosts
+      in
+      specials @ [ punt ]
+
+let sync_proactive ?(force = false) t =
+  if t.cfg.proactive then begin
+    let t0 = Sys.time () in
+    let fdd, state =
+      match Policy_store.env t.policy with
+      | Ok env ->
+          (Some (Analysis.Fdd.compile ~default:t.cfg.default env),
+           state_spaces env)
+      | Error _ -> (None, (Analysis.Flowspace.empty, Analysis.Flowspace.empty))
+    in
+    let cur =
+      match fdd with
+      | Some fdd -> Compiler.compile ~cache:t.proactive_cache fdd
+      (* Unresolvable policy: install nothing, every flow goes to the
+         controller, which fails closed per rule evaluation. *)
+      | None -> empty_table
+    in
+    let d =
+      if force then
+        (* The dataplane was (possibly partially) wiped out from under
+           us: re-add everything, nothing to delete. *)
+        { Compiler.d_add = cur.Compiler.entries; d_del = [] }
+      else if t.proactive_state <> state then
+        (* Same abstract entry, different lowering: start over. *)
+        {
+          Compiler.d_add = cur.Compiler.entries;
+          d_del = t.proactive_tbl.Compiler.entries;
+        }
+      else Compiler.delta ~old_:t.proactive_tbl cur
+    in
+    let switches = Net.switches_in_domain t.network t.id in
+    let hosts = Topo.hosts (Net.topology t.network) in
+    List.iter
+      (fun dpid ->
+        List.iter
+          (fun e ->
+            List.iter
+              (fun (fields, priority, _) ->
+                Net.send_to_switch t.network dpid
+                  (Msg.Flow_mod
+                     {
+                       Msg.command = Msg.Delete_strict;
+                       fields;
+                       priority;
+                       actions = [];
+                       idle_timeout = None;
+                       hard_timeout = None;
+                       cookie = 0;
+                     }))
+              (lower_entry t ~dpid ~hosts ~state e))
+          d.Compiler.d_del;
+        let adds =
+          List.concat_map
+            (fun e -> lower_entry t ~dpid ~hosts ~state e)
+            d.Compiler.d_add
+        in
+        let adds =
+          if cur.Compiler.entries = [] then adds
+          else
+            adds
+            @ List.map
+                (fun f ->
+                  (f, proactive_guard_priority, [ Openflow.Action.To_controller ]))
+                proactive_guards
+        in
+        List.iter
+          (fun (fields, priority, actions) ->
+            Net.send_to_switch t.network dpid
+              (Msg.add_flow ~priority ~cookie:Compiler.proactive_cookie ~fields
+                 actions))
+          adds)
+      switches;
+    (match t.pm with
+    | Some pm ->
+        Obs.Registry.Counter.inc pm.pc_recompiles;
+        Obs.Registry.Counter.add pm.pc_delta_add (List.length d.Compiler.d_add);
+        Obs.Registry.Counter.add pm.pc_delta_del (List.length d.Compiler.d_del);
+        Obs.Registry.Histogram.observe pm.ph_recompile (Sys.time () -. t0)
+    | None -> ());
+    Log.debug (fun m ->
+        m "proactive sync: %d entries (%+d/-%d), coverage %.3f"
+          (List.length cur.Compiler.entries)
+          (List.length d.Compiler.d_add)
+          (List.length d.Compiler.d_del)
+          cur.Compiler.installed_coverage);
+    t.proactive_tbl <- cur;
+    t.proactive_state <- state
+  end
+
+let proactive_table t = t.proactive_tbl
+
+(* Per-switch eviction telemetry: a counter series per flow table, and
+   a force-sampled span whenever reactive churn pushes out a compiled
+   entry (the signal that the table-size budget is too tight). *)
+let wire_eviction_telemetry t =
+  List.iter
+    (fun dpid ->
+      let table = Openflow.Switch.table (Net.switch t.network dpid) in
+      Obs.Registry.counter_fn t.obs
+        ~help:"Flow-table capacity evictions (LRU victims), by switch."
+        ~labels:[ ("dpid", string_of_int dpid) ]
+        "identxx_switch_evictions_total"
+        (fun () -> Openflow.Flow_table.evictions table);
+      Openflow.Flow_table.set_on_evict table (fun victim ->
+          if victim.Openflow.Flow_entry.cookie = Compiler.proactive_cookie
+          then begin
+            (match t.pm with
+            | Some pm -> Obs.Registry.Counter.inc pm.pc_evicted
+            | None -> ());
+            if Obs.Span.enabled t.spans then begin
+              let at = time_now_s t in
+              let sp =
+                Obs.Span.start t.spans ~at
+                  ~attrs:
+                    [
+                      ("dpid", string_of_int dpid);
+                      ( "entry",
+                        Compiler.fields_to_string
+                          victim.Openflow.Flow_entry.fields );
+                    ]
+                  "proactive-evicted"
+              in
+              Obs.Span.force_sample sp;
+              Obs.Span.finish t.spans ~at sp
+            end
+          end))
+    (Net.switches_in_domain t.network t.id)
+
 (* --- cache management: override and revoke (S1, S7) --- *)
 
 let flush_cache t =
@@ -987,9 +1313,11 @@ let flush_cache t =
   (* Memoized verdicts go too; cached host attributes survive, since
      policy operations do not change what the hosts would answer. *)
   Fastpath.flush_decisions t.fastpath;
-  (* The wildcard delete also removed the precompiled entries. *)
+  (* The wildcard delete also removed the precompiled and proactive
+     entries. *)
   t.precompiled <- [];
-  sync_precompiled t
+  sync_precompiled t;
+  sync_proactive ~force:true t
 
 (* A daemon-side change event (login/logout, process spawn/exit,
    configuration reload) reached us: what the host would answer may have
@@ -1014,8 +1342,11 @@ let revoke_principal t ~ip =
            ~fields:{ Openflow.Match_fields.any with nw_dst = Some host }))
     (Net.switches_in_domain t.network t.id);
   (* The per-host deletes cannot have clipped a precompiled wildcard
-     entry unless it was host-specific; re-sync to be sure. *)
+     entry unless it was host-specific; re-sync to be sure. The
+     proactive table's host-specialized pass entries were certainly
+     clipped, so it reinstalls in full. *)
   sync_precompiled t;
+  sync_proactive ~force:true t;
   dropped
 
 let update_file t ~name content =
@@ -1064,6 +1395,10 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
       trace_seq = 0;
       last_stats = [];
       precompiled = [];
+      proactive_tbl = empty_table;
+      proactive_state = (Analysis.Flowspace.empty, Analysis.Flowspace.empty);
+      proactive_cache = Compiler.create_cache ();
+      pm = (if config.proactive then Some (make_pro_metrics obs ~labels) else None);
     }
   in
   Obs.Registry.gauge_fn obs ~help:"Flows awaiting daemon responses." ~labels
@@ -1081,7 +1416,27 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
     ~labels:[ ("cause", "capacity") ]
     "identxx_trace_spans_dropped_total" (fun () ->
       Obs.Span.capacity_dropped spans);
+  if config.proactive then begin
+    Obs.Registry.gauge_fn obs
+      ~help:"Abstract entries in the installed proactive table." ~labels
+      "identxx_compiler_entries" (fun () ->
+        float_of_int (List.length t.proactive_tbl.Compiler.entries));
+    Obs.Registry.gauge_fn obs
+      ~help:"Branches spilled back to the reactive path." ~labels
+      "identxx_compiler_spilled_regions" (fun () ->
+        float_of_int (List.length t.proactive_tbl.Compiler.spills));
+    Obs.Registry.gauge_fn obs
+      ~help:"Flow-space volume decided by installed static entries." ~labels
+      "identxx_compiler_installed_coverage" (fun () ->
+        t.proactive_tbl.Compiler.installed_coverage)
+  end;
   Fastpath.register_metrics t.fastpath ~labels obs;
   Net.register_controller network ~id (handle_message t);
-  Policy_store.on_change policy (fun () -> sync_precompiled t);
+  wire_eviction_telemetry t;
+  (* No initial sync: hosts are typically attached after the controller
+     is created, and the first policy change (or an explicit
+     [sync_proactive]) installs the table with the full host set. *)
+  Policy_store.on_change policy (fun () ->
+      sync_precompiled t;
+      sync_proactive t);
   t

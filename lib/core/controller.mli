@@ -51,6 +51,14 @@ type config = {
           silent-host circuit breaker — see {!Fastpath} and DESIGN.md).
           {!Fastpath.disabled} by default: the baseline controller runs
           the full Figure-1 exchange for every table-miss flow. *)
+  proactive : bool;
+      (** Compile the policy's static slice ({!Analysis.Fdd}) into
+          wildcard flow entries with {!Compiler} and keep them installed
+          on every switch of the domain, so statically-decided flows
+          never generate a packet-in — only the reactive residue (and
+          ident++ exchange traffic, which a guard entry always punts)
+          reaches the controller. Off by default (the paper's purely
+          reactive Figure-1 exchange). See DESIGN.md §11. *)
 }
 
 val default_config : config
@@ -117,6 +125,19 @@ val flush_cache : t -> unit
 val sync_precompiled : t -> unit
 (** Resynchronize the proactive drop entries with current policy (runs
     automatically on every policy change). *)
+
+val sync_proactive : ?force:bool -> t -> unit
+(** Recompile the policy's static slice and push the delta of wildcard
+    entries to the domain's switches (no-op unless [config.proactive]).
+    Runs automatically on every policy change; the per-node compile
+    cache makes an unchanged policy region free to recompile. [force]
+    reinstalls every entry instead of diffing — used after the
+    dataplane was wiped (cache flush) or partially clipped
+    (revocation). *)
+
+val proactive_table : t -> Compiler.table
+(** The abstract compiled table currently installed (empty when
+    [config.proactive] is off or nothing compiled yet). *)
 
 val update_file : t -> name:string -> string -> (unit, string) result
 (** Replace a [.control] file and flush. *)

@@ -25,6 +25,8 @@ type t = {
          above it) skip the linear scan entirely. *)
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable eviction_count : int;
+  mutable on_evict : (Flow_entry.t -> unit) option;
   mutable next_expiry : int option;
       (* Lower bound (ns) on the earliest possible entry expiry; [None]
          when no entry carries a timeout. Hits only push deadlines
@@ -43,6 +45,8 @@ let create ?capacity () =
     max_wildcard_priority = min_int;
     hit_count = 0;
     miss_count = 0;
+    eviction_count = 0;
+    on_evict = None;
     next_expiry = None;
   }
 
@@ -120,7 +124,9 @@ let evict_lru t =
           first t.entries
       in
       t.entries <- List.filter (fun e -> e != victim) t.entries;
-      recompute_aux t
+      t.eviction_count <- t.eviction_count + 1;
+      recompute_aux t;
+      (match t.on_evict with Some f -> f victim | None -> ())
 
 let add t (entry : Flow_entry.t) =
   (* Replace an identical (fields, priority) entry. *)
@@ -222,6 +228,8 @@ let clear t =
 
 let misses t = t.miss_count
 let hits t = t.hit_count
+let evictions t = t.eviction_count
+let set_on_evict t f = t.on_evict <- Some f
 
 let pp ppf t =
   Format.fprintf ppf "flow-table (%d entries, %d hits, %d misses)@."

@@ -38,4 +38,14 @@ val misses : t -> int
 (** Cumulative lookup misses. *)
 
 val hits : t -> int
+
+val evictions : t -> int
+(** Cumulative capacity evictions (least-recently-hit entries dropped
+    to make room; timeout expiry is not counted here). *)
+
+val set_on_evict : t -> (Flow_entry.t -> unit) -> unit
+(** Observe capacity evictions, called with each victim after removal —
+    the controller uses this to flag proactively installed entries
+    (recognized by cookie) being pushed out by reactive churn. *)
+
 val pp : Format.formatter -> t -> unit

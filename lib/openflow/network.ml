@@ -37,7 +37,8 @@ let ports_of_switch topology dpid =
     (Topology.links topology)
   |> List.sort_uniq Int.compare
 
-let create ?(ctrl_latency = Sim.Time.us 50) ~engine ~topology () =
+let create ?(ctrl_latency = Sim.Time.us 50) ?table_capacity ~engine ~topology
+    () =
   let t =
     {
       engine;
@@ -60,7 +61,8 @@ let create ?(ctrl_latency = Sim.Time.us 50) ~engine ~topology () =
   List.iter
     (fun dpid ->
       Hashtbl.replace t.switches dpid
-        (Switch.create ~dpid ~ports:(ports_of_switch topology dpid)))
+        (Switch.create ?capacity:table_capacity ~dpid
+           ~ports:(ports_of_switch topology dpid) ()))
     (Topology.switches topology);
   t
 

@@ -11,13 +11,16 @@ type t
 
 val create :
   ?ctrl_latency:Sim.Time.t ->
+  ?table_capacity:int ->
   engine:Sim.Engine.t ->
   topology:Topology.t ->
   unit ->
   t
 (** Builds a switch instance for every switch in the topology. Ports are
     taken from the topology wiring. [ctrl_latency] is the one-way
-    switch-to-controller delay (default 50us). *)
+    switch-to-controller delay (default 50us). [table_capacity] bounds
+    every switch's flow table (default unbounded); a full table evicts
+    its least-recently-hit entry, modelling a small TCAM. *)
 
 val engine : t -> Sim.Engine.t
 val topology : t -> Topology.t

@@ -7,8 +7,8 @@ type t = {
   mutable packets_handled : int;
 }
 
-let create ~dpid ~ports =
-  { dpid; ports; table = Flow_table.create (); packets_handled = 0 }
+let create ?capacity ~dpid ~ports () =
+  { dpid; ports; table = Flow_table.create ?capacity (); packets_handled = 0 }
 
 let dpid t = t.dpid
 let ports t = t.ports

@@ -5,8 +5,10 @@ open Netcore
 
 type t
 
-val create : dpid:Message.switch_id -> ports:int list -> t
-(** [ports] are the switch's physical port numbers. *)
+val create : ?capacity:int -> dpid:Message.switch_id -> ports:int list -> unit -> t
+(** [ports] are the switch's physical port numbers. [capacity] bounds
+    the flow table (default unbounded): a full table evicts its
+    least-recently-hit entry on insert, modelling a small TCAM. *)
 
 val dpid : t -> Message.switch_id
 val ports : t -> int list

@@ -1,0 +1,89 @@
+The proactive flow-table compiler CLI: lower a policy set's static
+slice into the priority-ordered wildcard table the controller
+installs under --proactive, with translation validation and the
+committed table-size budget the lint alias enforces.
+
+  $ cat > web.control <<'EOF'
+  > block all
+  > pass from 10.0.0.0/8 to any port 80
+  > pass from 172.16.0.0/12 to any with eq(@src[name], firefox)
+  > EOF
+
+The static rules compile to wildcard entries (priorities descend in
+steps of 2 inside the compiled band); the conditional rule's region
+stays reactive behind a punt entry:
+
+  $ identxx_ctl compile web.control
+  entries: 3
+  static coverage: 0.999755859
+  installed coverage: 0.999755859
+  20484 pass  proto any from 10.0.0.0/8 port any to any port 80  (web.control:2)
+  20482 punt  proto any from 172.16.0.0/12 port any to any port any
+  20480 block proto any from any port any to any port any  (web.control:1)
+
+Translation validation checks the table against the diagram on a
+witness per enumerated region:
+
+  $ identxx_ctl compile web.control --verify | tail -n 1
+  verified: 7 regions agree
+
+  $ identxx_ctl compile web.control --format json
+  {"entries":[{"priority":20484,"decision":"pass","match":"proto any from 10.0.0.0/8 port any to any port 80","lines":["web.control:2"]},{"priority":20482,"decision":"punt","match":"proto any from 172.16.0.0/12 port any to any port any","lines":[]},{"priority":20480,"decision":"block","match":"proto any from any port any to any port any","lines":["web.control:1"]}],"spills":[],"static_coverage":0.999755859,"installed_coverage":0.999755859,"truncated":false}
+
+OpenFlow 1.0 has no port masks: a range wider than the per-branch
+region budget is not enumerated — the region spills back to the
+reactive path behind a punt (sound, slower), and installed coverage
+drops below the diagram's static coverage:
+
+  $ cat > range.control <<'EOF'
+  > block all
+  > pass proto tcp from any to any port 1024:60000
+  > EOF
+
+  $ identxx_ctl compile range.control
+  entries: 2
+  static coverage: 1
+  installed coverage: 0.99609375
+  spill: dport interval [60001,65535] would need 5535 entries (budget 512); region stays reactive
+  spill: dport interval [0,1023] would need 1024 entries (budget 512); region stays reactive
+  20482 punt  proto tcp from any port any to any port any
+  20480 block proto any from any port any to any port any  (range.control:1)
+
+  $ identxx_ctl compile range.control --verify | tail -n 1
+  verified: 5 regions agree
+
+A table-size cap replaces the lowest-priority tail with one punt-all
+entry — still total, still sound:
+
+  $ identxx_ctl compile web.control --max-entries 2
+  entries: 2
+  static coverage: 0.999755859
+  installed coverage: 0
+  truncated: table exceeded 2 entries; tail punts to the controller
+  20482 pass  proto any from 10.0.0.0/8 port any to any port 80  (web.control:2)
+  20480 punt  proto any from any port any to any port any
+
+The committed budget file gates the entry count (the @lint alias runs
+this against policies/table-size.budget); exceeding it is exit 1:
+
+  $ echo 2 > tight.budget
+  $ identxx_ctl compile web.control --max-entries-file tight.budget
+  entries: 3
+  static coverage: 0.999755859
+  installed coverage: 0.999755859
+  20484 pass  proto any from 10.0.0.0/8 port any to any port 80  (web.control:2)
+  20482 punt  proto any from 172.16.0.0/12 port any to any port any
+  20480 block proto any from any port any to any port any  (web.control:1)
+  error: compiled table has 3 entries, committed budget is 2
+  [1]
+
+  $ echo 8 > ok.budget
+  $ identxx_ctl compile web.control --max-entries-file ok.budget > /dev/null
+
+A missing file is a usage error:
+
+  $ identxx_ctl compile nosuch.control
+  identxx_ctl: FILE… arguments: no 'nosuch.control' file or directory
+  Usage: identxx_ctl compile [OPTION]… FILE…
+  Try 'identxx_ctl compile --help' or 'identxx_ctl --help' for more information.
+  [124]

@@ -1,0 +1,669 @@
+(* The proactive flow-table compiler (lib/compiler): lowering unit
+   semantics (prefix expansion, port enumeration, budget spillover,
+   truncation), incremental deltas, translation validation, the
+   randomized table-vs-FDD-vs-Eval differential over every shipped
+   policy, and the end-to-end proactive controller: a statically-passed
+   flow crosses the fabric with zero packet-ins, reactive residue still
+   punts, keep-state regions stay controller-mediated, and evictions of
+   compiled entries are counted and spanned. *)
+
+open Netcore
+module Fdd = Analysis.Fdd
+module C = Identxx_core.Controller
+module Deploy = Identxx_core.Deploy
+module PS = Identxx_core.Policy_store
+module Net = Openflow.Network
+module Topo = Openflow.Topology
+module MF = Openflow.Match_fields
+
+let ip = Ipv4.of_string
+
+let env_of s =
+  match Pf.Env.of_string s with
+  | Ok env -> env
+  | Error e -> Alcotest.failf "env error: %s" e
+
+let flow ?(proto = Proto.Tcp) ?(sp = 40000) ?(dp = 80) src dst =
+  Five_tuple.make ~proto ~src:(ip src) ~dst:(ip dst) ~src_port:sp ~dst_port:dp
+
+let decision =
+  Alcotest.testable
+    (fun fmt d -> Format.pp_print_string fmt (Compiler.decision_to_string d))
+    ( = )
+
+(* --- lowering unit semantics --- *)
+
+let test_simple_lowering () =
+  let tbl =
+    Compiler.compile
+      (Fdd.compile (env_of "block all\npass from 10.0.0.0/8 to any port 80"))
+  in
+  Alcotest.(check decision)
+    "inside passes" (Compiler.Decide Pf.Ast.Pass)
+    (Compiler.lookup tbl (flow "10.1.2.3" "1.2.3.4"));
+  Alcotest.(check decision)
+    "outside blocks" (Compiler.Decide Pf.Ast.Block)
+    (Compiler.lookup tbl (flow "11.1.2.3" "1.2.3.4"));
+  Alcotest.(check decision)
+    "port mismatch blocks" (Compiler.Decide Pf.Ast.Block)
+    (Compiler.lookup tbl (flow ~dp:81 "10.1.2.3" "1.2.3.4"));
+  Alcotest.(check bool) "no spills" true (tbl.Compiler.spills = []);
+  Alcotest.(check bool) "not truncated" false tbl.Compiler.truncated;
+  Alcotest.(check (float 1e-9))
+    "full static coverage installed" tbl.Compiler.static_coverage
+    tbl.Compiler.installed_coverage;
+  (* priorities descend in steps of 2 inside the compiled band *)
+  List.iter
+    (fun (e : Compiler.entry) ->
+      Alcotest.(check bool)
+        "priority inside band" true
+        (e.Compiler.e_priority >= Compiler.priority_floor
+        && e.Compiler.e_priority < 0x8000
+        && (e.Compiler.e_priority - Compiler.priority_floor) mod 2 = 0))
+    tbl.Compiler.entries
+
+let test_prefix_expansion () =
+  (* Carving 10.32/11 out of 10/8 leaves the non-aligned interval
+     [10.64.0.0, 10.255.255.255], which must expand into several
+     aligned CIDR blocks (10.64/10 + 10.128/9) — and the carve-out
+     still blocks. *)
+  let tbl =
+    Compiler.compile
+      (Fdd.compile
+         (env_of
+            "block all\npass proto tcp from 10.0.0.0/8 to any port 80\nblock \
+             quick proto tcp from 10.32.0.0/11 to any"))
+  in
+  Alcotest.(check decision)
+    "carve-out blocks" (Compiler.Decide Pf.Ast.Block)
+    (Compiler.lookup tbl (flow "10.33.0.1" "1.2.3.4"));
+  Alcotest.(check decision)
+    "below the carve-out passes" (Compiler.Decide Pf.Ast.Pass)
+    (Compiler.lookup tbl (flow "10.1.2.4" "1.2.3.4"));
+  Alcotest.(check decision)
+    "above the carve-out passes" (Compiler.Decide Pf.Ast.Pass)
+    (Compiler.lookup tbl (flow "10.65.0.1" "1.2.3.4"));
+  Alcotest.(check decision)
+    "outside 10/8 blocks" (Compiler.Decide Pf.Ast.Block)
+    (Compiler.lookup tbl (flow "192.0.2.9" "1.2.3.4"));
+  let pass_prefixes =
+    List.filter_map
+      (fun (e : Compiler.entry) ->
+        if e.Compiler.e_decision = Compiler.Decide Pf.Ast.Pass then
+          e.Compiler.e_fields.MF.nw_src
+        else None)
+      tbl.Compiler.entries
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool)
+    "pass region needed several source prefixes" true
+    (List.length pass_prefixes >= 3);
+  Alcotest.(check bool) "no spills" true (tbl.Compiler.spills = [])
+
+let test_port_enumeration () =
+  (* OpenFlow 1.0 has no port masks: a small range enumerates. *)
+  let tbl =
+    Compiler.compile
+      (Fdd.compile
+         (env_of "block all\npass proto tcp from any to any port 8080:8090"))
+  in
+  Alcotest.(check decision)
+    "in range passes" (Compiler.Decide Pf.Ast.Pass)
+    (Compiler.lookup tbl (flow ~dp:8085 "1.1.1.1" "2.2.2.2"));
+  Alcotest.(check decision)
+    "out of range blocks" (Compiler.Decide Pf.Ast.Block)
+    (Compiler.lookup tbl (flow ~dp:8091 "1.1.1.1" "2.2.2.2"));
+  Alcotest.(check bool) "no spills" true (tbl.Compiler.spills = []);
+  let exact_dports =
+    List.filter
+      (fun (e : Compiler.entry) ->
+        e.Compiler.e_fields.MF.tp_dst <> None
+        && e.Compiler.e_decision = Compiler.Decide Pf.Ast.Pass)
+      tbl.Compiler.entries
+  in
+  Alcotest.(check int) "eleven enumerated ports" 11 (List.length exact_dports)
+
+let test_budget_spill () =
+  (* A range wider than the region budget is not expanded: the region
+     stays reactive behind a punt, and installed coverage drops below
+     the diagram's static coverage. *)
+  let tbl =
+    Compiler.compile
+      (Fdd.compile
+         (env_of "block all\npass proto tcp from any to any port 1024:60000"))
+  in
+  Alcotest.(check bool) "spilled" true (tbl.Compiler.spills <> []);
+  List.iter
+    (fun (s : Compiler.spill) ->
+      Alcotest.(check bool)
+        "spill cost exceeds budget" true
+        (s.Compiler.sp_cost > Compiler.default_region_budget))
+    tbl.Compiler.spills;
+  Alcotest.(check decision)
+    "spilled region punts" Compiler.Punt
+    (Compiler.lookup tbl (flow ~dp:2000 "1.1.1.1" "2.2.2.2"));
+  Alcotest.(check decision)
+    "unspilled region still decides" (Compiler.Decide Pf.Ast.Block)
+    (Compiler.lookup tbl (flow ~proto:Proto.Udp ~dp:53 "1.1.1.1" "2.2.2.2"));
+  Alcotest.(check bool)
+    "installed coverage below static" true
+    (tbl.Compiler.installed_coverage < tbl.Compiler.static_coverage)
+
+let test_truncation () =
+  let fdd =
+    Fdd.compile
+      (env_of "block all\npass proto tcp from !10.1.2.3 to any port 80")
+  in
+  let full = Compiler.compile fdd in
+  let n = List.length full.Compiler.entries in
+  Alcotest.(check bool) "policy needs several entries" true (n > 2);
+  let tbl = Compiler.compile ~max_entries:2 fdd in
+  Alcotest.(check bool) "truncated" true tbl.Compiler.truncated;
+  Alcotest.(check bool)
+    "within bound" true
+    (List.length tbl.Compiler.entries <= 2);
+  (* still total and still sound: validation allows punts, never a
+     wrong decision *)
+  (match Compiler.verify tbl fdd with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "truncated table fails validation: %s" e);
+  Alcotest.(check bool)
+    "installed coverage dropped" true
+    (tbl.Compiler.installed_coverage < full.Compiler.installed_coverage)
+
+let entry_key (e : Compiler.entry) =
+  (e.Compiler.e_fields, e.Compiler.e_priority, e.Compiler.e_decision)
+
+let test_incremental_delta () =
+  let cache = Compiler.create_cache () in
+  let a =
+    Compiler.compile ~cache
+      (Fdd.compile (env_of "block all\npass proto tcp from any to any port 80"))
+  in
+  let self = Compiler.delta ~old_:a a in
+  Alcotest.(check int) "self delta adds nothing" 0
+    (List.length self.Compiler.d_add);
+  Alcotest.(check int) "self delta deletes nothing" 0
+    (List.length self.Compiler.d_del);
+  let b =
+    Compiler.compile ~cache
+      (Fdd.compile
+         (env_of
+            "block all\npass proto tcp from any to any port 80\npass proto \
+             udp from any to any port 53"))
+  in
+  let d = Compiler.delta ~old_:a b in
+  Alcotest.(check bool) "delta adds something" true (d.Compiler.d_add <> []);
+  (* applying the delta to the old entry set yields exactly the new one *)
+  let module S = Set.Make (struct
+    type t = MF.t * int * Compiler.decision
+
+    let compare = compare
+  end) in
+  let set l = S.of_list (List.map entry_key l) in
+  let applied =
+    S.union
+      (S.diff (set a.Compiler.entries) (set d.Compiler.d_del))
+      (set d.Compiler.d_add)
+  in
+  Alcotest.(check bool)
+    "old - del + add = new" true
+    (S.equal applied (set b.Compiler.entries))
+
+(* --- the randomized differential: table vs diagram vs evaluator --- *)
+
+let interesting_addrs =
+  [|
+    "192.168.0.5"; "192.168.0.255"; "192.168.1.1"; "192.168.1.7";
+    "10.1.2.3"; "10.255.0.1"; "10.0.0.0"; "123.123.123.9"; "123.123.124.1";
+    "172.16.3.9"; "8.8.8.8"; "0.0.0.0"; "255.255.255.255";
+  |]
+
+let interesting_ports = [| 0; 79; 80; 81; 443; 1000; 1023; 8080; 65535 |]
+
+let random_addr prng =
+  if Sim.Prng.bool prng then
+    Ipv4.of_string (Sim.Prng.pick prng interesting_addrs)
+  else Ipv4.of_int (Int64.to_int (Sim.Prng.next64 prng) land 0xFFFF_FFFF)
+
+let random_port prng =
+  if Sim.Prng.bool prng then Sim.Prng.pick prng interesting_ports
+  else Sim.Prng.int prng 65536
+
+let random_flow prng =
+  let proto =
+    match Sim.Prng.int prng 4 with
+    | 0 -> Proto.Tcp
+    | 1 -> Proto.Udp
+    | 2 -> Proto.Icmp
+    | _ -> Proto.Other 47
+  in
+  Five_tuple.make ~proto ~src:(random_addr prng) ~dst:(random_addr prng)
+    ~src_port:(random_port prng) ~dst_port:(random_port prng)
+
+let random_ctx prng fl =
+  let response () =
+    Identxx.Response.make ~flow:fl
+      [
+        List.map
+          (fun (k, v) -> Identxx.Key_value.pair k v)
+          [
+            ( "name",
+              Sim.Prng.pick prng [| "skype"; "firefox"; "Server"; "ssh" |] );
+            ("userID", Sim.Prng.pick prng [| "system"; "alice" |]);
+            ("version", Sim.Prng.pick prng [| "150"; "210" |]);
+            ("os-patch", Sim.Prng.pick prng [| "MS08-067"; "KB12345" |]);
+          ];
+      ]
+  in
+  let src = if Sim.Prng.int prng 4 = 0 then None else Some (response ()) in
+  let dst = if Sim.Prng.int prng 4 = 0 then None else Some (response ()) in
+  Pf.Eval.ctx ?src ?dst ()
+
+(* For every flow: a [Decide] must agree with the diagram {e and} with
+   the real evaluator under arbitrary contexts; a [Punt] is correct on
+   reactive regions and acceptable on static ones only when the table
+   spilled or truncated (soundness may cost completeness, never the
+   reverse). *)
+let differential name env ~flows =
+  let fdd = Fdd.compile env in
+  let tbl = Compiler.compile fdd in
+  (match Compiler.verify tbl fdd with
+  | Ok n -> Alcotest.(check bool) (name ^ ": regions checked") true (n > 0)
+  | Error e -> Alcotest.failf "%s: translation validation failed: %s" name e);
+  let prng = Sim.Prng.create 0xc0de in
+  for i = 1 to flows do
+    let fl = random_flow prng in
+    match (Compiler.lookup tbl fl, Fdd.lookup fdd fl) with
+    | Compiler.Decide a, Fdd.Static { action; _ } when action = a ->
+        for _ = 1 to 2 do
+          let ctx = random_ctx prng fl in
+          match Pf.Eval.eval env ctx fl with
+          | Ok v ->
+              if v.Pf.Eval.decision <> a then
+                Alcotest.failf "%s: flow %d (%s): table decides against Eval"
+                  name i (Five_tuple.to_string fl)
+          | Error e -> Alcotest.failf "%s: eval error: %s" name e
+        done
+    | Compiler.Decide _, _ ->
+        Alcotest.failf
+          "%s: flow %d (%s): table decides where the diagram disagrees or is \
+           reactive"
+          name i (Five_tuple.to_string fl)
+    | Compiler.Punt, Fdd.Reactive _ -> ()
+    | Compiler.Punt, Fdd.Static _ ->
+        if tbl.Compiler.spills = [] && not tbl.Compiler.truncated then
+          Alcotest.failf
+            "%s: flow %d (%s): punt on a static region without spillover" name
+            i (Five_tuple.to_string fl)
+  done
+
+let synthetic_corpus =
+  [
+    ( "mixed",
+      "block all\npass from 10.0.0.0/8 to any port 80\nblock quick from \
+       10.9.0.0/16 to any\npass from 172.16.0.0/12 to any with \
+       eq(@src[name], firefox)" );
+    ( "negation",
+      "block all\npass from !192.168.0.0/16 to any\nblock from any to \
+       !10.0.0.0/8 port 53" );
+    ( "tables",
+      "table <lan> { 192.168.0.0/24 }\ntable <srv> { 192.168.1.1 10.0.0.0/8 \
+       }\nblock all\npass from <lan> to <srv> port 80:443\nblock quick from \
+       <srv> to <lan>" );
+    ( "proto",
+      "block all\npass proto tcp from any to any port 22\npass proto icmp \
+       from 10.0.0.0/8 to any" );
+    ("range-spill", "block all\npass proto tcp from any to any port 1024:60000");
+    ("list", "block all\npass from { 10.0.0.1 10.0.0.2/31 } to any port 80:443");
+  ]
+
+let shipped_policies () =
+  let dir =
+    if Sys.file_exists "../policies" then "../policies" else "policies"
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".control")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         ( f,
+           In_channel.with_open_bin (Filename.concat dir f)
+             In_channel.input_all ))
+
+let test_differential_synthetic () =
+  List.iter
+    (fun (name, text) -> differential name (env_of text) ~flows:300)
+    synthetic_corpus
+
+let test_differential_shipped () =
+  let files = shipped_policies () in
+  Alcotest.(check bool) "shipped policies present" true (List.length files >= 4);
+  List.iter
+    (fun (name, text) ->
+      match Pf.Env.of_string text with
+      | Ok env -> differential name env ~flows:200
+      | Error _ -> () (* fragments may reference another file's tables *))
+    files;
+  let concat = String.concat "\n" (List.map snd files) in
+  differential "policies-concat" (env_of concat) ~flows:300
+
+(* --- flow-table eviction mechanics (capacity LRU + hook) --- *)
+
+let test_flow_table_eviction_hook () =
+  let t = Openflow.Flow_table.create ~capacity:2 () in
+  let entry ?(cookie = 0) p host =
+    Openflow.Flow_entry.make ~priority:p ~cookie
+      ~fields:{ MF.any with MF.nw_src = Some (Prefix.of_string host) }
+      [ Openflow.Action.To_controller ]
+  in
+  let victims = ref [] in
+  Openflow.Flow_table.set_on_evict t (fun v -> victims := v :: !victims);
+  Openflow.Flow_table.add t
+    (entry ~cookie:Compiler.proactive_cookie 10 "10.0.0.1/32");
+  Openflow.Flow_table.add t (entry 11 "10.0.0.2/32");
+  Alcotest.(check int) "no evictions yet" 0 (Openflow.Flow_table.evictions t);
+  Openflow.Flow_table.add t (entry 12 "10.0.0.3/32");
+  Alcotest.(check int) "one eviction" 1 (Openflow.Flow_table.evictions t);
+  Alcotest.(check int) "size capped" 2 (Openflow.Flow_table.size t);
+  match !victims with
+  | [ v ] ->
+      (* the newcomer must not evict itself; the victim is one of the
+         resident (never-hit) entries *)
+      Alcotest.(check bool)
+        "a resident entry was the victim" true
+        (List.mem v.Openflow.Flow_entry.priority [ 10; 11 ])
+  | l -> Alcotest.failf "expected one victim, saw %d" (List.length l)
+
+(* --- end-to-end: the proactive controller over the simulated fabric --- *)
+
+let proactive_config = { C.default_config with C.proactive = true }
+
+let counter_sum obs name =
+  Obs.Registry.snapshot obs
+  |> List.fold_left
+       (fun acc (s : Obs.Registry.series) ->
+         match s.Obs.Registry.value with
+         | Obs.Registry.Counter_v n when s.Obs.Registry.name = name -> acc + n
+         | _ -> acc)
+       0
+
+let series_exists obs name =
+  List.exists
+    (fun (s : Obs.Registry.series) -> s.Obs.Registry.name = name)
+    (Obs.Registry.snapshot obs)
+
+(* First packets leave 1 ms after the policy is installed, so the
+   compiled flow-mods (50 us of control latency away) are in the tables
+   before traffic — the deployed-switch boot order. *)
+let send_later engine network host ~flow ~at_ms =
+  Sim.Engine.schedule engine ~delay:(Sim.Time.ms at_ms) (fun () ->
+      Net.send_from_host network ~name:(Identxx.Host.name host)
+        (Identxx.Host.first_packet host ~flow))
+
+let test_e2e_zero_packet_in () =
+  let obs = Obs.Registry.create () in
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~config:proactive_config ~obs ~switches:4
+      ~hosts_per_switch:1 ()
+  in
+  PS.add_exn (C.policy controller) ~name:"00" "pass all";
+  let h1 = hosts.(0) and h4 = hosts.(3) in
+  let proc = Identxx.Host.run h1 ~user:"u" ~exe:"/bin/app" () in
+  let fl =
+    Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h4) ~dst_port:80 ()
+  in
+  send_later engine network h1 ~flow:fl ~at_ms:1;
+  Sim.Engine.run engine;
+  (* The whole point of the compiler: the flow crossed four switches
+     without a single controller round-trip. *)
+  Alcotest.(check int) "zero packet-ins" 0 (Net.packet_ins network);
+  Alcotest.(check int) "data packet delivered" 1 (Net.delivered network);
+  Alcotest.(check int) "controller saw no flow" 0
+    (C.stats controller).C.flows_seen;
+  let tbl = C.proactive_table controller in
+  Alcotest.(check bool) "table installed" true (tbl.Compiler.entries <> []);
+  Alcotest.(check (float 1e-9))
+    "full installed coverage" 1.0 tbl.Compiler.installed_coverage;
+  (* the ident++ guard outranks the wildcard pass on every switch: the
+     exchange stays controller-mediated even under a pass-all policy *)
+  List.iter
+    (fun dpid ->
+      let table = Openflow.Switch.table (Net.switch network dpid) in
+      let exchange =
+        Packet.of_five_tuple
+          (Five_tuple.make ~proto:Proto.Tcp ~src:(ip "10.0.1.1")
+             ~dst:(ip "10.0.4.1") ~src_port:9999 ~dst_port:Identxx.Wire.port)
+      in
+      match Openflow.Flow_table.lookup table ~in_port:1 exchange with
+      | Some e ->
+          Alcotest.(check bool)
+            "guard punts ident++ traffic" true
+            (List.mem Openflow.Action.To_controller
+               e.Openflow.Flow_entry.actions)
+      | None -> Alcotest.fail "no guard entry matched ident++ traffic")
+    (Net.switches_in_domain network 0);
+  Alcotest.(check bool)
+    "recompile counted" true
+    (counter_sum obs "identxx_compiler_recompiles_total" >= 1);
+  Alcotest.(check bool)
+    "delta adds counted" true
+    (counter_sum obs "identxx_compiler_delta_entries_total" >= 1);
+  Alcotest.(check bool)
+    "eviction series exported per switch" true
+    (series_exists obs "identxx_switch_evictions_total");
+  Alcotest.(check int)
+    "no evictions on an unbounded table" 0
+    (counter_sum obs "identxx_switch_evictions_total")
+
+let test_e2e_reactive_residue_still_punts () =
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~config:proactive_config ~switches:4
+      ~hosts_per_switch:1 ()
+  in
+  PS.add_exn (C.policy controller) ~name:"00"
+    "block all\npass proto tcp from any to any port 80\npass all with \
+     eq(@src[name], firefox)";
+  let h1 = hosts.(0) and h4 = hosts.(3) in
+  let proc = Identxx.Host.run h1 ~user:"alice" ~exe:"/usr/bin/firefox" () in
+  let static_fl =
+    Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h4) ~dst_port:80 ()
+  in
+  let reactive_fl =
+    Identxx.Host.connect h1 ~proc ~dst:(Identxx.Host.ip h4) ~dst_port:8080 ()
+  in
+  send_later engine network h1 ~flow:static_fl ~at_ms:1;
+  send_later engine network h1 ~flow:reactive_fl ~at_ms:2;
+  Sim.Engine.run engine;
+  let st = C.stats controller in
+  (* only the port-8080 flow needed the controller; port 80 rode the
+     compiled table *)
+  Alcotest.(check int) "one reactive flow decided" 1 st.C.flows_seen;
+  Alcotest.(check int) "reactive flow allowed" 1 st.C.allowed;
+  Alcotest.(check bool) "it cost a packet-in" true (Net.packet_ins network >= 1);
+  Alcotest.(check bool) "queries went out" true (st.C.queries_sent >= 1)
+
+let test_e2e_keep_state_stays_reactive () =
+  (* Keep-state regions are inherently stateful: statically forwarding
+     the opening packet would skip conn-state recording and strand the
+     reply. The lowering punts both directions — the opening packet pays
+     one round-trip, the reply is readmitted by connection state. *)
+  let s = Deploy.simple_network ~config:proactive_config () in
+  PS.add_exn
+    (C.policy s.Deploy.controller)
+    ~name:"00" "block all\npass proto tcp from any to any port 80 keep state";
+  let proc = Identxx.Host.run s.Deploy.client ~user:"u" ~exe:"/bin/app" () in
+  let fl =
+    Identxx.Host.connect s.Deploy.client ~proc
+      ~dst:(Identxx.Host.ip s.Deploy.server)
+      ~dst_port:80 ()
+  in
+  send_later s.Deploy.engine s.Deploy.network s.Deploy.client ~flow:fl ~at_ms:1;
+  Sim.Engine.run s.Deploy.engine;
+  (* abstractly static pass... *)
+  Alcotest.(check decision)
+    "abstract table decides pass" (Compiler.Decide Pf.Ast.Pass)
+    (Compiler.lookup (C.proactive_table s.Deploy.controller) fl);
+  (* ...but the lowering punted, so the controller saw it and recorded
+     connection state *)
+  let st = C.stats s.Deploy.controller in
+  Alcotest.(check int) "opening packet reached the controller" 1
+    st.C.flows_seen;
+  Alcotest.(check int) "and was allowed" 1 st.C.allowed;
+  let delivered_before = Net.delivered s.Deploy.network in
+  (* the reply space is statically blocked ("block all"), but the
+     compiled block entry overlapping the keep-state reverse space was
+     demoted to a punt: state readmits the reply instead of hardware
+     dropping it (here the reply rides the reverse-path entry the
+     allow installed, exactly the reactive baseline) *)
+  let reply = Packet.of_five_tuple (Five_tuple.reverse fl) in
+  Net.send_from_host s.Deploy.network ~name:"server" reply;
+  Sim.Engine.run s.Deploy.engine;
+  Alcotest.(check bool)
+    "reply delivered" true
+    (Net.delivered s.Deploy.network > delivered_before);
+  Alcotest.(check int)
+    "reply readmitted by state, not re-decided" 1
+    (C.stats s.Deploy.controller).C.flows_seen;
+  (* reverse-space traffic with no installed reverse entry (a later
+     connection's reply arriving after a cache flush, say) must find a
+     punt or a table miss in the compiled band — never a hardware drop *)
+  let stray_reply =
+    Packet.of_five_tuple
+      (Five_tuple.make ~proto:Proto.Tcp
+         ~src:(Identxx.Host.ip s.Deploy.server)
+         ~dst:(Identxx.Host.ip s.Deploy.client)
+         ~src_port:80 ~dst_port:55555)
+  in
+  let table = Openflow.Switch.table (Net.switch s.Deploy.network 1) in
+  (match Openflow.Flow_table.lookup table ~in_port:2 stray_reply with
+  | None -> () (* table miss punts too *)
+  | Some e ->
+      Alcotest.(check bool)
+        "demoted block punts instead of dropping" true
+        (List.mem Openflow.Action.To_controller e.Openflow.Flow_entry.actions))
+
+let test_e2e_eviction_telemetry () =
+  (* A TCAM-sized table under reactive churn: exact-match entries push
+     out compiled wildcards (LRU victims), which must surface as the
+     eviction counter and a force-sampled span. *)
+  let obs = Obs.Registry.create () in
+  let spans = Obs.Span.create () in
+  let engine = Sim.Engine.create () in
+  let topology = Topo.create () in
+  Topo.add_switch topology 1;
+  Topo.add_host topology "client";
+  Topo.add_host topology "server";
+  Topo.link topology (Topo.Host "client", 0) (Topo.Sw 1, 1);
+  Topo.link topology (Topo.Host "server", 0) (Topo.Sw 1, 2);
+  let network = Net.create ~table_capacity:6 ~engine ~topology () in
+  let controller =
+    C.create ~config:proactive_config ~obs ~spans ~network ~id:0 ()
+  in
+  let client =
+    Identxx.Host.create ~name:"client" ~mac:(Mac.of_int 0x0a0001)
+      ~ip:(ip "10.0.0.1") ()
+  in
+  let server =
+    Identxx.Host.create ~name:"server" ~mac:(Mac.of_int 0x0a0002)
+      ~ip:(ip "10.0.0.2") ()
+  in
+  Deploy.attach_host network client;
+  Deploy.attach_host network server;
+  PS.add_exn (C.policy controller) ~name:"00"
+    "block all\npass proto tcp from any to any port 80\npass all with \
+     eq(@src[name], firefox)";
+  let proc = Identxx.Host.run client ~user:"u" ~exe:"/bin/app" () in
+  for i = 1 to 5 do
+    let fl =
+      Identxx.Host.connect client ~proc ~dst:(Identxx.Host.ip server)
+        ~dst_port:(8080 + i) ()
+    in
+    send_later engine network client ~flow:fl ~at_ms:i
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check bool)
+    "switch evictions counted" true
+    (counter_sum obs "identxx_switch_evictions_total" >= 1);
+  Alcotest.(check bool)
+    "compiled-entry evictions counted" true
+    (counter_sum obs "identxx_compiler_proactive_evictions_total" >= 1);
+  Alcotest.(check bool)
+    "eviction span emitted" true
+    (List.exists
+       (fun sp -> Obs.Span.name sp = "proactive-evicted")
+       (Obs.Span.finished spans))
+
+let test_e2e_policy_change_rediffs () =
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~config:proactive_config ~switches:2
+      ~hosts_per_switch:1 ()
+  in
+  ignore hosts;
+  PS.add_exn (C.policy controller) ~name:"00"
+    "block all\npass proto tcp from any to any port 80";
+  Sim.Engine.run engine;
+  let before = C.proactive_table controller in
+  Alcotest.(check bool) "entries installed" true (before.Compiler.entries <> []);
+  PS.add_exn (C.policy controller) ~name:"10"
+    "pass proto udp from any to any port 53";
+  Sim.Engine.run engine;
+  let after = C.proactive_table controller in
+  Alcotest.(check bool)
+    "table grew with the new rule" true
+    (after.Compiler.entries <> [] && after <> before);
+  (* the dataplane of every switch converged to the new abstract table:
+     a DNS flow now decides in hardware *)
+  let dns =
+    Packet.of_five_tuple
+      (Five_tuple.make ~proto:Proto.Udp ~src:(ip "10.0.1.1")
+         ~dst:(ip "10.0.2.1") ~src_port:5353 ~dst_port:53)
+  in
+  List.iter
+    (fun dpid ->
+      let table = Openflow.Switch.table (Net.switch network dpid) in
+      match Openflow.Flow_table.lookup table ~in_port:1 dns with
+      | Some e ->
+          Alcotest.(check int)
+            "compiled cookie" Compiler.proactive_cookie
+            e.Openflow.Flow_entry.cookie
+      | None -> Alcotest.fail "no compiled entry for the new rule")
+    (Net.switches_in_domain network 0)
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "simple policy" `Quick test_simple_lowering;
+          Alcotest.test_case "prefix expansion" `Quick test_prefix_expansion;
+          Alcotest.test_case "port enumeration" `Quick test_port_enumeration;
+          Alcotest.test_case "budget spillover" `Quick test_budget_spill;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "incremental delta" `Quick test_incremental_delta;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "synthetic corpus" `Quick
+            test_differential_synthetic;
+          Alcotest.test_case "shipped policies" `Quick
+            test_differential_shipped;
+        ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "flow-table LRU hook" `Quick
+            test_flow_table_eviction_hook;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "zero packet-ins on a static flow" `Quick
+            test_e2e_zero_packet_in;
+          Alcotest.test_case "reactive residue punts" `Quick
+            test_e2e_reactive_residue_still_punts;
+          Alcotest.test_case "keep-state stays reactive" `Quick
+            test_e2e_keep_state_stays_reactive;
+          Alcotest.test_case "eviction telemetry" `Quick
+            test_e2e_eviction_telemetry;
+          Alcotest.test_case "policy change re-diffs" `Quick
+            test_e2e_policy_change_rediffs;
+        ] );
+    ]

@@ -221,20 +221,20 @@ let prop_table_matches_reference =
 (* --- Switch --- *)
 
 let test_switch_miss_goes_to_controller () =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] () in
   match Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:1 (pkt ()) with
   | Openflow.Switch.Send_to_controller -> ()
   | _ -> Alcotest.fail "miss must go to controller"
 
 let test_switch_forwards_on_hit () =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] () in
   FT.add (Openflow.Switch.table sw) (entry MF.any [ Openflow.Action.Output 2 ]);
   match Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:1 (pkt ()) with
   | Openflow.Switch.Forward [ 2 ] -> ()
   | _ -> Alcotest.fail "expected forward to port 2"
 
 let test_switch_flood_excludes_ingress () =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2; 3 ] () in
   FT.add (Openflow.Switch.table sw) (entry MF.any [ Openflow.Action.Flood ]);
   match Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:2 (pkt ()) with
   | Openflow.Switch.Forward ports ->
@@ -242,14 +242,14 @@ let test_switch_flood_excludes_ingress () =
   | _ -> Alcotest.fail "expected flood"
 
 let test_switch_drop () =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] () in
   FT.add (Openflow.Switch.table sw) (entry MF.any Openflow.Action.drop);
   match Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:1 (pkt ()) with
   | Openflow.Switch.Dropped -> ()
   | _ -> Alcotest.fail "expected drop"
 
 let test_switch_flow_mod_and_counters () =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] () in
   ignore
     (Openflow.Switch.apply sw ~now:Sim.Time.zero
        (Openflow.Message.add_flow ~fields:MF.any [ Openflow.Action.Output 2 ]));
@@ -261,7 +261,7 @@ let test_switch_flow_mod_and_counters () =
   | _ -> Alcotest.fail "expected one entry"
 
 let test_switch_packet_out_table () =
-  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] in
+  let sw = Openflow.Switch.create ~dpid:1 ~ports:[ 1; 2 ] () in
   FT.add (Openflow.Switch.table sw) (entry MF.any [ Openflow.Action.Output 2 ]);
   match
     Openflow.Switch.apply sw ~now:Sim.Time.zero
@@ -271,7 +271,7 @@ let test_switch_packet_out_table () =
   | _ -> Alcotest.fail "expected table-directed packet-out to port 2"
 
 let test_switch_stats_snapshot () =
-  let sw = Openflow.Switch.create ~dpid:7 ~ports:[ 1; 2 ] in
+  let sw = Openflow.Switch.create ~dpid:7 ~ports:[ 1; 2 ] () in
   FT.add (Openflow.Switch.table sw) (entry MF.any [ Openflow.Action.Output 2 ]);
   (* Two packets hit the entry, one lookup total count check. *)
   ignore (Openflow.Switch.process sw ~now:Sim.Time.zero ~in_port:1 (pkt ()));
