@@ -620,6 +620,64 @@ let bench_daemon =
               ~src_port:fl.Five_tuple.src_port ~dst_port:fl.Five_tuple.dst_port
               ~keys:[])))
 
+(* --- sharded flow-setup: concurrent burst ------------------------------ *)
+
+(* The sharded engine's target workload: a burst of concurrent
+   table-miss flows converging on one hot host. [shards = None] is the
+   sequential baseline; [Some n] partitions flow setup across [n] run
+   queues with query coalescing and batched installs. [service] > 0
+   charges each shard a simulated per-message cost, so the run's
+   makespan (Controller.shard_makespan) models n controller cores —
+   the throughput series in BENCH_shard.json divides flows by it. *)
+let shard_burst ?(coalesce = true) ?(service = Sim.Time.zero) ~shards ~flows
+    () =
+  let config =
+    {
+      C.default_config with
+      (* Keep queue delay (flows x service on one shard) well under the
+         timeout so the series measures throughput, not timeouts. *)
+      C.query_timeout = Sim.Time.s 1;
+      C.shards =
+        Option.map
+          (fun n ->
+            { C.shard_count = n; shard_service = service; coalesce })
+          shards;
+    }
+  in
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~config ~switches:4 ~hosts_per_switch:4 ()
+  in
+  PS.add_exn (C.policy controller) ~name:"00" "pass all";
+  let n_hosts = Array.length hosts in
+  let target = hosts.(0) in
+  let procs =
+    Array.map (fun h -> Identxx.Host.run h ~user:"u" ~exe:"/bin/app" ()) hosts
+  in
+  for i = 0 to flows - 1 do
+    let hi = 1 + (i mod (n_hosts - 1)) in
+    let h = hosts.(hi) in
+    let fl =
+      Identxx.Host.connect h ~proc:procs.(hi) ~dst:(Identxx.Host.ip target)
+        ~src_port:(10000 + (i / (n_hosts - 1)))
+        ~dst_port:80 ()
+    in
+    Openflow.Network.send_from_host network ~name:(Identxx.Host.name h)
+      (Identxx.Host.first_packet h ~flow:fl)
+  done;
+  Sim.Engine.run engine;
+  controller
+
+let bench_concurrent_burst =
+  let mk name shards =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (shard_burst ~shards ~flows:256 ())))
+  in
+  [
+    mk "setup/concurrent-burst-sequential" None;
+    mk "setup/concurrent-burst-1shard" (Some 1);
+    mk "setup/concurrent-burst-4shard" (Some 4);
+  ]
+
 (* --- observability ----------------------------------------------------- *)
 
 (* Prices the metrics layer. The micro pairs pin the registry's two
@@ -716,8 +774,8 @@ let tests =
        bench_conn_state;
        bench_obs_flow_setup;
      ]
-    @ bench_obs @ bench_trace @ bench_proto @ bench_crypto @ bench_packet
-    @ bench_granularity)
+    @ bench_concurrent_burst @ bench_obs @ bench_trace @ bench_proto
+    @ bench_crypto @ bench_packet @ bench_granularity)
 
 (* Run every benchmark body exactly once, untimed — `dune build
    @bench-smoke` uses this so bench code can't bit-rot outside the
@@ -771,6 +829,72 @@ let write_json file rows =
   close_out oc;
   Printf.printf "wrote %s\n" file
 
+(* The sharded-engine series (BENCH_shard.json): a 10k-flow concurrent
+   burst with a 1 us simulated per-message cost, across shard counts —
+   throughput is flows divided by the parallel makespan, all on the
+   simulated clock, so the numbers are deterministic — plus the
+   coalescing series (the same hot-host burst with the connection table
+   off vs on). *)
+let run_shards_json file =
+  let flows = 10_000 in
+  let service = Sim.Time.us 1 in
+  let series =
+    List.map
+      (fun n ->
+        let c = shard_burst ~shards:(Some n) ~service ~flows () in
+        let st = C.stats c in
+        let makespan = Sim.Time.to_float_s (C.shard_makespan c) in
+        Printf.printf
+          "shards=%d makespan=%.6fs throughput=%.0f flows/s timeouts=%d\n%!" n
+          makespan
+          (float_of_int flows /. makespan)
+          st.C.query_timeouts;
+        (n, makespan, st))
+      [ 1; 2; 4; 8 ]
+  in
+  let co_flows = 1_000 in
+  let co_off = shard_burst ~shards:(Some 4) ~coalesce:false ~flows:co_flows () in
+  let co_on = shard_burst ~shards:(Some 4) ~coalesce:true ~flows:co_flows () in
+  let q_off = (C.stats co_off).C.queries_sent in
+  let q_on = (C.stats co_on).C.queries_sent in
+  Printf.printf "coalescing: %d wire queries without, %d with (%d absorbed)\n%!"
+    q_off q_on
+    (C.coalesced_queries co_on);
+  let speedup n =
+    match series with
+    | (1, base, _) :: _ -> (
+        match List.find_opt (fun (m, _, _) -> m = n) series with
+        | Some (_, mk, _) -> base /. mk
+        | None -> nan)
+    | _ -> nan
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"workload\": \"concurrent-burst\",\n  \"flows\": %d,\n\
+    \  \"service_us\": 1,\n  \"shards\": [\n"
+    flows;
+  List.iteri
+    (fun i (n, makespan, (st : C.stats)) ->
+      Printf.fprintf oc
+        "    { \"shards\": %d, \"makespan_s\": %.6f, \
+         \"throughput_flows_per_s\": %.0f,\n\
+        \      \"flows_seen\": %d, \"query_timeouts\": %d }%s\n"
+        n makespan
+        (float_of_int flows /. makespan)
+        st.C.flows_seen st.C.query_timeouts
+        (if i = List.length series - 1 then "" else ","))
+    series;
+  Printf.fprintf oc
+    "  ],\n  \"speedup_4_shards\": %.2f,\n  \"speedup_8_shards\": %.2f,\n\
+    \  \"coalescing\": {\n    \"flows\": %d,\n\
+    \    \"wire_queries_without\": %d,\n    \"wire_queries_with\": %d,\n\
+    \    \"duplicates_absorbed\": %d,\n    \"wire_exchanges\": %d\n  }\n}\n"
+    (speedup 4) (speedup 8) co_flows q_off q_on
+    (C.coalesced_queries co_on)
+    (C.wire_exchanges co_on);
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
 let run_timed json_file =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -805,7 +929,7 @@ let run_timed json_file =
   Option.iter (fun file -> write_json file rows) json_file
 
 let () =
-  let smoke = ref false and json_file = ref None in
+  let smoke = ref false and json_file = ref None and shards_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -814,10 +938,18 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse rest
+    | "--shards-json" :: file :: rest ->
+        shards_file := Some file;
+        parse rest
     | arg :: _ ->
-        Printf.eprintf "usage: main.exe [--smoke] [--json FILE]\n";
+        Printf.eprintf
+          "usage: main.exe [--smoke] [--json FILE] [--shards-json FILE]\n";
         Printf.eprintf "unknown argument: %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then run_smoke () else run_timed !json_file
+  if !smoke then run_smoke ()
+  else
+    match !shards_file with
+    | Some file -> run_shards_json file
+    | None -> run_timed !json_file

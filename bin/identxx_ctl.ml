@@ -1034,6 +1034,20 @@ let metrics_cmd =
             | `Prom -> print_string (Obs.Export.prometheus_of_series series)
             | `Json -> print_endline (Obs.Json.to_string ~pretty:true v)
             | `Summary ->
+                (* Group by label vector, not by name: with per-entity
+                   labels (shard=, host=, dpid=) this renders one block
+                   per entity instead of interleaving entities inside
+                   every metric name. *)
+                let series =
+                  List.stable_sort
+                    (fun (a : Obs.Registry.series) (b : Obs.Registry.series) ->
+                      match
+                        compare a.Obs.Registry.labels b.Obs.Registry.labels
+                      with
+                      | 0 -> compare a.Obs.Registry.name b.Obs.Registry.name
+                      | c -> c)
+                    series
+                in
                 List.iter
                   (fun (s : Obs.Registry.series) ->
                     let name = s.Obs.Registry.name ^ labels_str s.Obs.Registry.labels in

@@ -63,7 +63,15 @@ let print_summary ?(controllers = []) network =
           st.C.attr_cache_misses st.C.attr_cache_evictions
           st.C.attr_cache_invalidations st.C.decision_cache_hits
           st.C.decision_cache_misses st.C.decision_cache_evictions
-          st.C.breaker_trips st.C.breaker_fastpaths)
+          st.C.breaker_trips st.C.breaker_fastpaths;
+      if (C.config c).C.shards <> None then
+        (* Wire exchanges, coalesced joins and flushes are functions of
+           the (deterministic) event order, not the shard count — only
+           the shard count itself varies here. *)
+        Format.printf
+          "%s: shards=%d wire-exchanges=%d coalesced=%d batch-flushes=%d@."
+          name (C.shard_count c) (C.wire_exchanges c) (C.coalesced_queries c)
+          (C.batch_flushes c))
     controllers
 
 (* Machine-readable end-of-run report (same numbers as the summary), so
@@ -216,6 +224,37 @@ let branches ~arm ~config ~obs ~spans () =
   Format.printf "branches: two collaborating ident++ domains@.";
   (network, [ ("branch-a", ca); ("branch-b", cb) ])
 
+(* A deterministic concurrent flow burst: 16 hosts on a 4-switch
+   chain, every other host opening a flow to host 0 at t=0. All the
+   dst-end queries target host 0, so with --shards (coalescing on) the
+   15 concurrent misses share one wire exchange — the scenario the
+   sharded flow-setup engine exists for. *)
+let burst ~arm ~config ~obs ~spans () =
+  let engine, network, controller, hosts =
+    Deploy.linear_network ~config ~obs ~spans ~switches:4 ~hosts_per_switch:4 ()
+  in
+  arm network;
+  host_metrics obs engine (Array.to_list hosts);
+  PS.add_exn (C.policy controller) ~name:"00"
+    "block all\npass all with eq(@src[name], app) keep state";
+  let target = hosts.(0) in
+  inject ~config ~engine (fun () ->
+      Array.iteri
+        (fun i h ->
+          if i > 0 then begin
+            let proc = Identxx.Host.run h ~user:"u" ~exe:"/bin/app" () in
+            let flow =
+              Identxx.Host.connect h ~proc ~dst:(Identxx.Host.ip target)
+                ~dst_port:80 ()
+            in
+            Net.send_from_host network ~name:(Identxx.Host.name h)
+              (Identxx.Host.first_packet h ~flow)
+          end)
+        hosts);
+  Sim.Engine.run engine;
+  Format.printf "burst: 15 concurrent flows converging on one host@.";
+  (network, [ ("controller", controller) ])
+
 (* Optionally capture every frame the scenario emits to a pcap file. *)
 let with_capture pcap_path f =
   match pcap_path with
@@ -238,9 +277,9 @@ let () =
           (some
              (enum
                 [ ("fig1", `Fig1); ("linear", `Linear); ("branches", `Branches);
-                  ("tree", `Tree) ]))
+                  ("tree", `Tree); ("burst", `Burst) ]))
           None
-      & info [] ~docv:"SCENARIO" ~doc:"fig1, linear, branches or tree")
+      & info [] ~docv:"SCENARIO" ~doc:"fig1, linear, branches, tree or burst")
   in
   let pcap =
     Arg.(
@@ -363,15 +402,29 @@ let () =
           ~doc:"How long a tripped breaker stays open before a re-probe, \
                 with --fastpath.")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Partition flow setup across N shards with query coalescing \
+                and batched installs (see DESIGN.md \xc2\xa712). 0 (the \
+                default) keeps the original sequential path. Counters and \
+                the --json report aggregate across shards, so the numbers \
+                are shard-count invariant.")
+  in
   let run scenario pcap verbose json metrics metrics_json spans_file trace_out
       trace_sample extra_flow proactive fastpath attr_capacity attr_ttl
-      decision_capacity breaker_threshold breaker_backoff =
+      decision_capacity breaker_threshold breaker_backoff shards =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
     if trace_sample < 0. || trace_sample > 1. then begin
       prerr_endline "netsim: --trace-sample must be in [0, 1]";
+      exit 1
+    end;
+    if shards < 0 then begin
+      prerr_endline "netsim: --shards must be >= 0";
       exit 1
     end;
     let obs = Obs.Registry.create () in
@@ -396,6 +449,7 @@ let () =
                breaker_threshold;
                breaker_backoff = Sim.Time.of_float_s breaker_backoff;
              });
+        C.shards = (if shards = 0 then None else Some (C.sharded shards));
       }
     in
     with_capture pcap (fun arm ->
@@ -405,6 +459,7 @@ let () =
           | `Linear -> ("linear", linear)
           | `Branches -> ("branches", branches)
           | `Tree -> ("tree", tree)
+          | `Burst -> ("burst", burst)
         in
         let network, controllers = build ~arm ~config ~obs ~spans () in
         (* Network-level series are sampled from the simulator's own
@@ -468,6 +523,6 @@ let () =
         const run $ scenario $ pcap $ verbose $ json $ metrics $ metrics_json
         $ spans_file $ trace_out $ trace_sample $ extra_flow $ proactive
         $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
-        $ breaker_threshold $ breaker_backoff)
+        $ breaker_threshold $ breaker_backoff $ shards)
   in
   exit (Cmd.eval' cmd)

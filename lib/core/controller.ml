@@ -9,6 +9,21 @@ module Msg = Openflow.Message
 
 type query_targets = Both | Src_only | Dst_only | Neither
 
+(* The sharded flow-setup engine (DESIGN.md §12). [shard_service] is the
+   simulated per-message cost each shard pays; zero keeps behaviour
+   byte-identical under any shard count, positive models N controller
+   cores (the concurrent-burst bench). [coalesce] turns on the per-host
+   connection table: concurrent misses needing the same host share one
+   in-flight ident++ exchange. *)
+type shard_config = {
+  shard_count : int;
+  shard_service : Sim.Time.t;
+  coalesce : bool;
+}
+
+let sharded ?(service = Sim.Time.zero) ?(coalesce = true) count =
+  { shard_count = count; shard_service = service; coalesce }
+
 type config = {
   query_keys : string list;
   query_timeout : Sim.Time.t;
@@ -23,6 +38,7 @@ type config = {
   default : Pf.Ast.action;
   fastpath : Fastpath.config;
   proactive : bool;
+  shards : shard_config option;
 }
 
 let default_config =
@@ -50,7 +66,10 @@ let default_config =
     (* Off by default: the baseline controller runs the unmodified
        Figure-1 exchange for every table-miss flow. *)
     fastpath = Fastpath.disabled;
+    (* None: the legacy single sequential loop, byte-identical to the
+       pre-shard controller. *)
     proactive = false;
+    shards = None;
   }
 
 type pending = {
@@ -70,6 +89,9 @@ type pending = {
   mutable dst_qspan : Obs.Span.span;
   mutable src_sent : float; (* first query send time; nan = never sent *)
   mutable dst_sent : float;
+  mutable p_exchanges : (Ipv4.t * string) list;
+      (* (host, query shape) wire exchanges this flow initiated in the
+         connection table; its timeout settles them for every waiter. *)
 }
 
 type stats = {
@@ -213,21 +235,49 @@ let make_pro_metrics reg ~labels =
         ~labels "identxx_compiler_recompile_seconds";
   }
 
+(* One flow parked on a coalesced exchange: enough to find its pending
+   entry (owning shard + flow key) and to know which end of the flow
+   the exchange resolves. *)
+type waiter = {
+  w_flow : Five_tuple.t;
+  w_sid : int;
+  w_end : [ `Src | `Dst ];
+}
+
+(* Everything per-flow state touches, split per shard: its own pending
+   table, its own fast-path view (attribute/decision caches + breaker),
+   and its own metrics record (labelled [shard=<i>] when sharding is
+   on, so per-shard series export while {!stats} sums them). *)
+type shard_ctx = {
+  sid : int;
+  s_pending : pending Flow_tbl.t;
+  s_fp : Fastpath.t;
+  s_m : metrics;
+}
+
 type t = {
   network : Net.t;
   id : Net.controller_id;
   cfg : config;
   policy : Policy_store.t;
   decision : Decision.t;
-  pending : pending Flow_tbl.t;
   conn_state : Conn_state.t;
   audit : Audit.t;
   mutable augment : Identxx.Response.t -> Identxx.Key_value.section;
   mutable local_answers : Ipv4.t -> Identxx.Key_value.section option;
   obs : Obs.Registry.t;
   spans : Obs.Span.t;
-  m : metrics;
-  fastpath : Fastpath.t;
+  shards_ : shard_ctx array;
+      (* Always at least one: the unsharded controller is shard 0. *)
+  driver : Shard.Engine.t option;
+      (* Some iff cfg.shards: the run-queue multiplexer. *)
+  conn : waiter Shard.Conn_table.t option;
+      (* Some iff cfg.shards with coalesce: the per-host connection
+         table all shards share (it sits below them, on the wire side). *)
+  batch : Shard.Batch.t option;
+  send_sw : Msg.switch_id -> Msg.to_switch -> unit;
+      (* Flow-handling path to the dataplane: direct when unsharded,
+         through the per-tick batcher when sharded. *)
   mutable src_port_matters : (int * bool) option;
       (* Per-epoch memo of Fastpath.env_matches_src_port. *)
   mutable trace_seq : int;
@@ -247,7 +297,8 @@ type t = {
 }
 
 let policy t = t.policy
-let fastpath t = t.fastpath
+let fastpath t = t.shards_.(0).s_fp
+let shard_count t = Array.length t.shards_
 let metrics t = t.obs
 let spans t = t.spans
 
@@ -260,34 +311,59 @@ let config t = t.cfg
 let set_response_augment t f = t.augment <- f
 let set_local_answers t f = t.local_answers <- f
 
+(* Aggregated across shards: each shard owns its counter registry, and
+   the summary sums them — so `netsim --json` reads the same whatever
+   the shard count. *)
 let stats t =
-  let c = Fastpath.counters t.fastpath in
   let v = Obs.Registry.Counter.value in
+  let sum f =
+    Array.fold_left (fun acc sx -> acc + v (f sx.s_m)) 0 t.shards_
+  in
+  let fc f =
+    Array.fold_left
+      (fun acc sx -> acc + f (Fastpath.counters sx.s_fp))
+      0 t.shards_
+  in
   {
-    flows_seen = v t.m.c_flows;
-    allowed = v t.m.c_allowed;
-    blocked = v t.m.c_blocked;
-    queries_sent = v t.m.c_queries;
-    responses_received = v t.m.c_responses;
-    query_timeouts = v t.m.c_timeouts;
-    query_retries_sent = v t.m.c_retries;
-    responses_rejected = v t.m.c_rejected;
-    responses_augmented = v t.m.c_augmented;
-    queries_answered_locally = v t.m.c_local;
-    eval_errors = v t.m.c_eval_errors;
-    fastpath_decisions = v t.m.c_fastpath;
-    attr_cache_hits = c.Fastpath.attr_hits;
-    attr_cache_misses = c.Fastpath.attr_misses;
-    attr_cache_evictions = c.Fastpath.attr_evictions;
-    attr_cache_invalidations = c.Fastpath.attr_invalidations;
-    decision_cache_hits = c.Fastpath.decision_hits;
-    decision_cache_misses = c.Fastpath.decision_misses;
-    decision_cache_evictions = c.Fastpath.decision_evictions;
-    breaker_trips = c.Fastpath.breaker_trips;
-    breaker_fastpaths = c.Fastpath.breaker_fastpaths;
+    flows_seen = sum (fun m -> m.c_flows);
+    allowed = sum (fun m -> m.c_allowed);
+    blocked = sum (fun m -> m.c_blocked);
+    queries_sent = sum (fun m -> m.c_queries);
+    responses_received = sum (fun m -> m.c_responses);
+    query_timeouts = sum (fun m -> m.c_timeouts);
+    query_retries_sent = sum (fun m -> m.c_retries);
+    responses_rejected = sum (fun m -> m.c_rejected);
+    responses_augmented = sum (fun m -> m.c_augmented);
+    queries_answered_locally = sum (fun m -> m.c_local);
+    eval_errors = sum (fun m -> m.c_eval_errors);
+    fastpath_decisions = sum (fun m -> m.c_fastpath);
+    attr_cache_hits = fc (fun c -> c.Fastpath.attr_hits);
+    attr_cache_misses = fc (fun c -> c.Fastpath.attr_misses);
+    attr_cache_evictions = fc (fun c -> c.Fastpath.attr_evictions);
+    attr_cache_invalidations = fc (fun c -> c.Fastpath.attr_invalidations);
+    decision_cache_hits = fc (fun c -> c.Fastpath.decision_hits);
+    decision_cache_misses = fc (fun c -> c.Fastpath.decision_misses);
+    decision_cache_evictions = fc (fun c -> c.Fastpath.decision_evictions);
+    breaker_trips = fc (fun c -> c.Fastpath.breaker_trips);
+    breaker_fastpaths = fc (fun c -> c.Fastpath.breaker_fastpaths);
   }
 
-let pending_count t = Flow_tbl.length t.pending
+let pending_count t =
+  Array.fold_left (fun acc sx -> acc + Flow_tbl.length sx.s_pending) 0 t.shards_
+
+let coalesced_queries t =
+  match t.conn with None -> 0 | Some ct -> Shard.Conn_table.coalesced ct
+
+let wire_exchanges t =
+  match t.conn with None -> 0 | Some ct -> Shard.Conn_table.started ct
+
+let batch_flushes t =
+  match t.batch with None -> 0 | Some b -> Shard.Batch.flushes b
+
+let shard_makespan t =
+  match t.driver with
+  | None -> Sim.Time.zero
+  | Some d -> Shard.Engine.makespan d
 
 (* --- policy-driven interception (S3.4's undisclosed PF+=2 extensions,
    made concrete: `intercept query ... answer { ... }` and
@@ -346,7 +422,7 @@ let forward_toward t ~dpid ~dst_ip pkt =
       match Topo.next_hop (Net.topology t.network) ~from:dpid ~dst_host:host with
       | None -> ()
       | Some port ->
-          Net.send_to_switch t.network dpid
+          t.send_sw dpid
             (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Port port }))
 
 (* --- installing the verdict (Figure 1, step 4) --- *)
@@ -366,7 +442,7 @@ let install_path t flow =
           let hops = if t.cfg.install_along_path then hops else [ List.hd hops ] in
           List.iter
             (fun (dpid, _in_port, out_port) ->
-              Net.send_to_switch net dpid
+              t.send_sw dpid
                 (Msg.add_flow ?idle_timeout:t.cfg.entry_idle_timeout
                    ?hard_timeout:t.cfg.entry_hard_timeout
                    ~fields:(Openflow.Match_fields.of_five_tuple flow)
@@ -376,7 +452,7 @@ let install_path t flow =
   | _ -> false
 
 let install_drop t ~dpid flow =
-  Net.send_to_switch t.network dpid
+  t.send_sw dpid
     (Msg.add_flow ?idle_timeout:t.cfg.entry_idle_timeout
        ?hard_timeout:t.cfg.entry_hard_timeout
        ~fields:(Openflow.Match_fields.of_five_tuple flow)
@@ -388,7 +464,7 @@ let release_packets t packets =
      FIFO, so the entries are in place when the packets run. *)
   List.iter
     (fun (dpid, _in_port, pkt) ->
-      Net.send_to_switch t.network dpid
+      t.send_sw dpid
         (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table }))
     (List.rev packets)
 
@@ -408,12 +484,12 @@ let src_port_matters t =
       t.src_port_matters <- Some (epoch, b);
       b
 
-let compute_verdict t ~flow ~src ~dst =
+let compute_verdict t sx ~flow ~src ~dst =
   let input = { Decision.flow; src_response = src; dst_response = dst } in
   match Decision.decide t.decision input with
   | Ok v -> v
   | Error _ ->
-      Obs.Registry.Counter.inc t.m.c_eval_errors;
+      Obs.Registry.Counter.inc sx.s_m.c_eval_errors;
       (* Fail closed on configuration errors. *)
       {
         Pf.Eval.decision = Pf.Ast.Block;
@@ -426,8 +502,8 @@ let compute_verdict t ~flow ~src ~dst =
    decision cache when the fast path is on. [src_tag]/[dst_tag] are
    pre-computed answer tags (from the attribute cache) that save
    re-encoding the responses on the hot path. *)
-let eval_decision ?src_tag ?dst_tag t ~flow ~src ~dst =
-  if not (Fastpath.enabled t.fastpath) then compute_verdict t ~flow ~src ~dst
+let eval_decision ?src_tag ?dst_tag t sx ~flow ~src ~dst =
+  if not (Fastpath.enabled sx.s_fp) then compute_verdict t sx ~flow ~src ~dst
   else begin
     let epoch = Policy_store.epoch t.policy in
     let tag precomputed resp =
@@ -439,16 +515,16 @@ let eval_decision ?src_tag ?dst_tag t ~flow ~src ~dst =
       Fastpath.decision_key_tagged ~match_src_port:(src_port_matters t) ~flow
         ~src_tag:(tag src_tag src) ~dst_tag:(tag dst_tag dst)
     in
-    match Fastpath.find_decision t.fastpath ~epoch ~key with
+    match Fastpath.find_decision sx.s_fp ~epoch ~key with
     | Some v -> v
     | None ->
-        let v = compute_verdict t ~flow ~src ~dst in
-        Fastpath.store_decision t.fastpath ~epoch ~key ~flow v;
+        let v = compute_verdict t sx ~flow ~src ~dst in
+        Fastpath.store_decision sx.s_fp ~epoch ~key ~flow v;
         v
   end
 
-let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t ~flow ~packets
-    ~src ~dst verdict =
+let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t sx ~flow
+    ~packets ~src ~dst verdict =
   Audit.record ?trace_id t.audit
     ~at:(Sim.Engine.now (Net.engine t.network))
     ~flow ~verdict ~src ~dst;
@@ -462,7 +538,7 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t ~flow ~packets
         | None -> " (default)"));
   let now_s = time_now_s t in
   (match started with
-  | Some s -> Obs.Registry.Histogram.observe t.m.h_flow_setup (now_s -. s)
+  | Some s -> Obs.Registry.Histogram.observe sx.s_m.h_flow_setup (now_s -. s)
   | None -> ());
   if Obs.Span.is_live span then begin
     Obs.Span.set_attr span "decision"
@@ -479,7 +555,7 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t ~flow ~packets
   if verdict.Pf.Eval.decision = Pf.Ast.Block then Obs.Span.force_sample span;
   (match verdict.Pf.Eval.decision with
   | Pf.Ast.Pass ->
-      Obs.Registry.Counter.inc t.m.c_allowed;
+      Obs.Registry.Counter.inc sx.s_m.c_allowed;
       let installed = install_path t flow in
       if verdict.Pf.Eval.keep_state then begin
         Conn_state.note t.conn_state
@@ -492,7 +568,7 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t ~flow ~packets
           (if installed then "install" else "no-path");
       if installed then release_packets t packets
   | Pf.Ast.Block -> (
-      Obs.Registry.Counter.inc t.m.c_blocked;
+      Obs.Registry.Counter.inc sx.s_m.c_blocked;
       if t.cfg.cache_denials then
         match packets with
         | (dpid, _, _) :: _ ->
@@ -505,16 +581,61 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t ~flow ~packets
 let trace_id_of ctx =
   Option.map (fun (c : Obs.Trace_context.t) -> c.Obs.Trace_context.trace_id) ctx
 
-let finalize t p =
+let finalize t sx p =
   Sim.Engine.cancel p.p_timeout;
-  Flow_tbl.remove t.pending p.p_flow;
-  let verdict = eval_decision t ~flow:p.p_flow ~src:p.src_resp ~dst:p.dst_resp in
+  Flow_tbl.remove sx.s_pending p.p_flow;
+  let verdict =
+    eval_decision t sx ~flow:p.p_flow ~src:p.src_resp ~dst:p.dst_resp
+  in
   apply_verdict ~span:p.p_span ~started:p.p_started
-    ?trace_id:(trace_id_of p.p_ctx) t ~flow:p.p_flow ~packets:p.p_packets
+    ?trace_id:(trace_id_of p.p_ctx) t sx ~flow:p.p_flow ~packets:p.p_packets
     ~src:p.src_resp ~dst:p.dst_resp verdict
 
-let maybe_finalize t p =
-  if (not p.await_src) && not p.await_dst then finalize t p
+let maybe_finalize t sx p =
+  if (not p.await_src) && not p.await_dst then finalize t sx p
+
+(* A coalesced exchange settled badly — timeout, breaker-open, or a
+   rejected (unauthenticatable) response. Every waiter fails, not just
+   the initiating flow: the awaited end resolves absent, the flow's
+   root span is force-sampled (an error trace per waiter), and the
+   flow decides with what it has. Runs on the waiter's own shard. *)
+let fail_waiter t ~cause ~host w =
+  let sx = t.shards_.(w.w_sid) in
+  match Flow_tbl.find_opt sx.s_pending w.w_flow with
+  | None -> () (* already decided; stale settlement is a no-op *)
+  | Some p ->
+      let awaiting =
+        match w.w_end with `Src -> p.await_src | `Dst -> p.await_dst
+      in
+      if awaiting then begin
+        Obs.Registry.Counter.inc sx.s_m.c_timeouts;
+        Obs.Span.force_sample p.p_span;
+        let at = time_now_s t in
+        if Obs.Span.is_live p.p_span then
+          Obs.Span.event p.p_span ~at
+            ~attrs:[ ("host", Ipv4.to_string host); ("cause", cause) ]
+            "exchange-failed";
+        let qspan =
+          match w.w_end with `Src -> p.src_qspan | `Dst -> p.dst_qspan
+        in
+        if Obs.Span.is_live qspan then begin
+          Obs.Span.set_attr qspan "outcome" cause;
+          Obs.Span.finish t.spans ~at qspan
+        end;
+        (match w.w_end with
+        | `Src -> p.await_src <- false
+        | `Dst -> p.await_dst <- false);
+        maybe_finalize t sx p
+      end
+
+(* Settle an exchange's waiters onto their shards, in join order. Every
+   delivery is posted — never run inline — so the global execution
+   order is the join order whatever the shard count. *)
+let post_to_waiters t ws fn =
+  match t.driver with
+  | None -> List.iter fn ws
+  | Some d ->
+      List.iter (fun w -> Shard.Engine.post d ~shard:w.w_sid (fun () -> fn w)) ws
 
 (* --- querying daemons (Figure 1, step 3) --- *)
 
@@ -535,11 +656,35 @@ let hint_keys t =
       | keys -> keys)
   | Error _ -> t.cfg.query_keys
 
-let send_query ?trace t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
+(* The coalescing key alongside the host: two queries share an exchange
+   only when they hint the same key list. *)
+let shape_of_keys keys = String.concat "," keys
+
+(* Actually put a query on the wire toward [target_ip]'s attachment
+   point. The caller has already checked reachability. *)
+let wire_send ?trace t sx ~(flow : Five_tuple.t) ~target_ip ~reply_to
+    attachment =
+  let query =
+    Identxx.Query.with_trace
+      (Identxx.Query.make ~flow ~keys:(hint_keys t))
+      trace
+  in
+  let pkt =
+    Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to query
+  in
+  Obs.Registry.Counter.inc sx.s_m.c_queries;
+  match attachment.Topo.node with
+  | Topo.Sw dpid ->
+      t.send_sw dpid
+        (Msg.Packet_out
+           { Msg.out_packet = pkt; out_port = `Port attachment.Topo.port })
+  | Topo.Host _ -> ()
+
+let send_query ?trace t sx ~(flow : Five_tuple.t) ~target_ip ~reply_to ~end_ =
   match resolve_local_answer t target_ip with
   | Some section ->
       (* Answer on the host's behalf without touching the network. *)
-      Obs.Registry.Counter.inc t.m.c_local;
+      Obs.Registry.Counter.inc sx.s_m.c_local;
       let response = Identxx.Response.make ~flow [ section ] in
       `Local response
   | None -> (
@@ -548,27 +693,26 @@ let send_query ?trace t ~(flow : Five_tuple.t) ~target_ip ~reply_to =
       | Some host -> (
           match Topo.host_attachment (Net.topology t.network) host with
           | None -> `Unreachable
-          | Some attachment ->
-              let query =
-                Identxx.Query.with_trace
-                  (Identxx.Query.make ~flow ~keys:(hint_keys t))
-                  trace
-              in
-              let pkt =
-                Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to
-                  query
-              in
-              Obs.Registry.Counter.inc t.m.c_queries;
-              (match attachment.Topo.node with
-              | Topo.Sw dpid ->
-                  Net.send_to_switch t.network dpid
-                    (Msg.Packet_out
-                       { Msg.out_packet = pkt; out_port = `Port attachment.Topo.port })
-              | Topo.Host _ -> ());
-              `Sent))
+          | Some attachment -> (
+              match t.conn with
+              | None ->
+                  wire_send ?trace t sx ~flow ~target_ip ~reply_to attachment;
+                  `Sent None
+              | Some ct -> (
+                  (* Multiplex through the per-host connection: only the
+                     first flow needing this (host, shape) actually
+                     sends; everyone else parks on the exchange. *)
+                  let shape = shape_of_keys (hint_keys t) in
+                  let w = { w_flow = flow; w_sid = sx.sid; w_end = end_ } in
+                  match Shard.Conn_table.join ct ~host:target_ip ~shape w with
+                  | `First ->
+                      wire_send ?trace t sx ~flow ~target_ip ~reply_to
+                        attachment;
+                      `Sent (Some shape)
+                  | `Coalesced _ -> `Joined))))
 
-let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
-  Obs.Registry.Counter.inc t.m.c_flows;
+let start_flow t sx ~dpid ~in_port pkt (flow : Five_tuple.t) =
+  Obs.Registry.Counter.inc sx.s_m.c_flows;
   let now_s = time_now_s t in
   (* One root span — and one trace context — per table-miss flow.
      Attribute formatting is gated on the collector flag (the Sim.Trace
@@ -586,15 +730,18 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
         Obs.Span.should_sample t.spans ~id:ctx.Obs.Trace_context.trace_id
       in
       let ctx = { ctx with Obs.Trace_context.sampled } in
-      let sp =
-        Obs.Span.start t.spans ~at:now_s ~sampled
-          ~attrs:
-            [
-              ("flow", Five_tuple.to_string flow);
-              ("trace-id", ctx.Obs.Trace_context.trace_id);
-            ]
-          "flow-setup"
+      let attrs =
+        [
+          ("flow", Five_tuple.to_string flow);
+          ("trace-id", ctx.Obs.Trace_context.trace_id);
+        ]
       in
+      let attrs =
+        (* The owning shard, when the sharded engine is driving. *)
+        if Option.is_none t.driver then attrs
+        else attrs @ [ ("shard", string_of_int sx.sid) ]
+      in
+      let sp = Obs.Span.start t.spans ~at:now_s ~sampled ~attrs "flow-setup" in
       (sp, Some ctx)
     end
     else (Obs.Span.null, None)
@@ -605,14 +752,14 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
      re-admitted without a fresh ident++ exchange. *)
   if Conn_state.permits t.conn_state ~now:(Sim.Engine.now (Net.engine t.network)) flow
   then begin
-    Obs.Registry.Counter.inc t.m.c_allowed;
-    Obs.Registry.Histogram.observe t.m.h_flow_setup 0.;
+    Obs.Registry.Counter.inc sx.s_m.c_allowed;
+    Obs.Registry.Histogram.observe sx.s_m.h_flow_setup 0.;
     if Obs.Span.is_live sp then begin
       Obs.Span.event sp ~at:now_s "conn-state-readmit";
       Obs.Span.set_attr sp "decision" "pass"
     end;
     if install_path t flow then
-      Net.send_to_switch t.network dpid
+      t.send_sw dpid
         (Msg.Packet_out { Msg.out_packet = pkt; out_port = `Table });
     Obs.Span.finish t.spans ~at:now_s sp
   end
@@ -637,7 +784,7 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
       if not want then Some (None, "-")
       else
         match
-          Fastpath.find_attrs_tagged t.fastpath ~now ~host:ip
+          Fastpath.find_attrs_tagged sx.s_fp ~now ~host:ip
             ~keys:(hint_keys t)
         with
         | Some (r, tag) ->
@@ -647,7 +794,7 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
                 "attr-cache-hit";
             Some (Some r, tag)
         | None -> (
-            match Fastpath.consult_host t.fastpath ~now ip with
+            match Fastpath.consult_host sx.s_fp ~now ip with
             | `Absent ->
                 if Obs.Span.is_live sp then
                   Obs.Span.event sp ~at:now_s
@@ -665,19 +812,32 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
     let pre_src = fp_resolve want_src flow.Five_tuple.src
     and pre_dst = fp_resolve want_dst flow.Five_tuple.dst in
     match (pre_src, pre_dst) with
-    | Some (src, src_tag), Some (dst, dst_tag) when Fastpath.enabled t.fastpath
+    | Some (src, src_tag), Some (dst, dst_tag) when Fastpath.enabled sx.s_fp
       ->
         (* Both ends resolved without touching the network: decide now,
            with no pending entry and no timer. *)
-        Obs.Registry.Counter.inc t.m.c_fastpath;
+        Obs.Registry.Counter.inc sx.s_m.c_fastpath;
         if Obs.Span.is_live sp then Obs.Span.set_attr sp "path" "fastpath";
-        let verdict = eval_decision t ~flow ~src ~dst ~src_tag ~dst_tag in
-        apply_verdict ~span:sp ~started:now_s ?trace_id:(trace_id_of ctx) t
+        let verdict = eval_decision t sx ~flow ~src ~dst ~src_tag ~dst_tag in
+        apply_verdict ~span:sp ~started:now_s ?trace_id:(trace_id_of ctx) t sx
           ~flow
           ~packets:[ (dpid, in_port, pkt) ]
           ~src ~dst verdict
     | _ ->
     let timeout_handle = ref None in
+    (* Sharded, the timer posts into the owning shard's mailbox, so
+       timeout handling serialises with the shard's other work (and
+       its installs ride the same batched pass). *)
+    let arm_timeout () =
+      let fire () = match !timeout_handle with Some f -> f () | None -> () in
+      match t.driver with
+      | None ->
+          Sim.Engine.schedule_cancellable (Net.engine t.network)
+            ~delay:t.cfg.query_timeout fire
+      | Some d ->
+          Shard.Engine.post_after d ~shard:sx.sid ~delay:t.cfg.query_timeout
+            fire
+    in
     let p =
       {
         p_flow = flow;
@@ -687,10 +847,7 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
         await_src = false;
         await_dst = false;
         retries_left = t.cfg.query_retries;
-        p_timeout =
-          Sim.Engine.schedule_cancellable (Net.engine t.network)
-            ~delay:t.cfg.query_timeout (fun () ->
-              match !timeout_handle with Some f -> f () | None -> ());
+        p_timeout = arm_timeout ();
         p_started = now_s;
         p_ctx = ctx;
         p_span = sp;
@@ -698,6 +855,7 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
         dst_qspan = Obs.Span.null;
         src_sent = Float.nan;
         dst_sent = Float.nan;
+        p_exchanges = [];
       }
     in
     let note_sent end_ =
@@ -728,58 +886,82 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
        id, so the daemon's timings land under the same child either
        way. *)
     let qtrace n = Option.map (fun c -> Obs.Trace_context.child c n) p.p_ctx in
-    let issue_queries () =
-      if p.await_src then begin
-        match
-          send_query ?trace:(qtrace 1) t ~flow ~target_ip:flow.Five_tuple.src
-            ~reply_to:flow.Five_tuple.dst
-        with
-        | `Local r ->
-            if Obs.Span.is_live sp then
-              Obs.Span.event sp ~at:(time_now_s t)
-                ~attrs:[ ("host", Ipv4.to_string flow.Five_tuple.src) ]
-                "local-answer";
-            p.src_resp <- Some r;
-            p.await_src <- false
-        | `Sent -> note_sent `Src
-        | `Unreachable -> p.await_src <- false
-      end;
-      if p.await_dst then begin
-        match
-          send_query ?trace:(qtrace 2) t ~flow ~target_ip:flow.Five_tuple.dst
-            ~reply_to:flow.Five_tuple.src
-        with
-        | `Local r ->
-            if Obs.Span.is_live sp then
-              Obs.Span.event sp ~at:(time_now_s t)
-                ~attrs:[ ("host", Ipv4.to_string flow.Five_tuple.dst) ]
-                "local-answer";
-            p.dst_resp <- Some r;
-            p.await_dst <- false
-        | `Sent -> note_sent `Dst
-        | `Unreachable -> p.await_dst <- false
+    let issue_end end_ ~target ~reply ~qn =
+      let awaiting =
+        match end_ with `Src -> p.await_src | `Dst -> p.await_dst
+      in
+      if awaiting then begin
+        if List.exists (fun (h, _) -> Ipv4.equal h target) p.p_exchanges then
+          (* A retry round, and this flow initiated the exchange: put
+             the query back on the wire without re-joining (coalesced
+             waiters ride this resend). *)
+          match Net.host_by_ip t.network target with
+          | None -> ()
+          | Some host -> (
+              match Topo.host_attachment (Net.topology t.network) host with
+              | None -> ()
+              | Some att ->
+                  wire_send ?trace:(qtrace qn) t sx ~flow ~target_ip:target
+                    ~reply_to:reply att)
+        else
+          match
+            send_query ?trace:(qtrace qn) t sx ~flow ~target_ip:target
+              ~reply_to:reply ~end_
+          with
+          | `Local r ->
+              if Obs.Span.is_live sp then
+                Obs.Span.event sp ~at:(time_now_s t)
+                  ~attrs:[ ("host", Ipv4.to_string target) ]
+                  "local-answer";
+              (match end_ with
+              | `Src -> p.src_resp <- Some r
+              | `Dst -> p.dst_resp <- Some r);
+              (match end_ with
+              | `Src -> p.await_src <- false
+              | `Dst -> p.await_dst <- false)
+          | `Sent shape ->
+              (match shape with
+              | Some s -> p.p_exchanges <- (target, s) :: p.p_exchanges
+              | None -> ());
+              note_sent end_
+          | `Joined ->
+              (* Another flow's exchange is already in flight to this
+                 host for the same query shape: no duplicate wire
+                 query; the settlement fans out to us too. *)
+              note_sent end_;
+              if Obs.Span.is_live sp then
+                Obs.Span.event sp ~at:(time_now_s t)
+                  ~attrs:[ ("host", Ipv4.to_string target) ]
+                  "query-coalesced"
+          | `Unreachable -> (
+              match end_ with
+              | `Src -> p.await_src <- false
+              | `Dst -> p.await_dst <- false)
       end
+    in
+    let issue_queries () =
+      issue_end `Src ~target:flow.Five_tuple.src ~reply:flow.Five_tuple.dst
+        ~qn:1;
+      issue_end `Dst ~target:flow.Five_tuple.dst ~reply:flow.Five_tuple.src
+        ~qn:2
     in
     timeout_handle :=
       Some
         (fun () ->
-          match Flow_tbl.find_opt t.pending flow with
+          match Flow_tbl.find_opt sx.s_pending flow with
           | Some p' when p' == p ->
               if (p.await_src || p.await_dst) && p.retries_left > 0 then begin
                 (* Re-issue the unanswered queries and re-arm the timer. *)
                 p.retries_left <- p.retries_left - 1;
-                Obs.Registry.Counter.inc t.m.c_retries;
+                Obs.Registry.Counter.inc sx.s_m.c_retries;
                 if Obs.Span.is_live sp then
                   Obs.Span.event sp ~at:(time_now_s t) "retry";
                 issue_queries ();
-                p.p_timeout <-
-                  Sim.Engine.schedule_cancellable (Net.engine t.network)
-                    ~delay:t.cfg.query_timeout (fun () ->
-                      match !timeout_handle with Some f -> f () | None -> ())
+                p.p_timeout <- arm_timeout ()
               end
               else begin
                 if p.await_src || p.await_dst then begin
-                  Obs.Registry.Counter.inc t.m.c_timeouts;
+                  Obs.Registry.Counter.inc sx.s_m.c_timeouts;
                   (* A flow decided with an end silent is an error
                      trace: keep it whatever the sampling coin said. *)
                   Obs.Span.force_sample sp;
@@ -788,15 +970,51 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
                   let now = Sim.Engine.now (Net.engine t.network) in
                   let at = time_now_s t in
                   let timed_out qspan ip =
-                    if Fastpath.note_timeout_report t.fastpath ~now ip then
+                    let tripped =
+                      Fastpath.note_timeout_report sx.s_fp ~now ip
+                    in
+                    if tripped then begin
                       if Obs.Span.is_live sp then
                         Obs.Span.event sp ~at
                           ~attrs:[ ("host", Ipv4.to_string ip) ]
                           "breaker-trip";
+                      (* Propagate the trip to every other shard's
+                         breaker — an explicit cross-shard message, so
+                         the whole controller fails fast on this host. *)
+                      match t.driver with
+                      | Some d ->
+                          Shard.Engine.broadcast d (fun osid ->
+                              if osid <> sx.sid then
+                                Fastpath.note_breaker_open
+                                  t.shards_.(osid).s_fp ~now ip)
+                      | None -> ()
+                    end;
                     if Obs.Span.is_live qspan then begin
                       Obs.Span.set_attr qspan "outcome" "timeout";
                       Obs.Span.finish t.spans ~at qspan
-                    end
+                    end;
+                    (* This flow initiated the exchange (a silent host
+                       answers nobody): settle it and fail every other
+                       waiter the same way. *)
+                    match t.conn with
+                    | None -> ()
+                    | Some ct ->
+                        let cause =
+                          if tripped then "breaker-open" else "timeout"
+                        in
+                        List.iter
+                          (fun (h, shape) ->
+                            if Ipv4.equal h ip then
+                              let ws =
+                                Shard.Conn_table.settle ct ~host:h ~shape
+                              in
+                              post_to_waiters t
+                                (List.filter
+                                   (fun w ->
+                                     not (Five_tuple.equal w.w_flow flow))
+                                   ws)
+                                (fail_waiter t ~cause ~host:ip))
+                          p.p_exchanges
                   in
                   if p.await_src then
                     timed_out p.src_qspan flow.Five_tuple.src;
@@ -804,20 +1022,20 @@ let start_flow t ~dpid ~in_port pkt (flow : Five_tuple.t) =
                 end;
                 p.await_src <- false;
                 p.await_dst <- false;
-                finalize t p
+                finalize t sx p
               end
           | Some _ | None -> ());
-    Flow_tbl.replace t.pending flow p;
+    Flow_tbl.replace sx.s_pending flow p;
     (* Query only the ends the fast path could not resolve. *)
     p.await_src <- want_src && Option.is_none pre_src;
     p.await_dst <- want_dst && Option.is_none pre_dst;
     issue_queries ();
-    maybe_finalize t p
+    maybe_finalize t sx p
   end
 
 (* --- intercepted / owned ident++ traffic --- *)
 
-let find_pending_for_response t ~from_ip (r : Identxx.Response.t) =
+let find_pending_for_response sx ~from_ip (r : Identxx.Response.t) =
   Flow_tbl.fold
     (fun flow p acc ->
       if acc <> None then acc
@@ -829,7 +1047,7 @@ let find_pending_for_response t ~from_ip (r : Identxx.Response.t) =
            || Ipv4.equal from_ip flow.Five_tuple.dst)
       then Some (flow, p)
       else acc)
-    t.pending None
+    sx.s_pending None
 
 (* Where a well-formed signature section must sit for the response to
    count as authenticated: last — except that a daemon answering a
@@ -842,8 +1060,125 @@ let expected_signature_index (response : Identxx.Response.t) =
   | last :: _ when Identxx.Response.is_trace_section last -> n - 2
   | _ -> n - 1
 
-let handle_response t ~dpid ~from_ip ~to_ip response pkt =
-  match find_pending_for_response t ~from_ip response with
+(* Transit: another controller's exchange crossing our domain.
+   Augment (§3.4) and forward toward its destination. *)
+let handle_transit t sx ~dpid ~from_ip ~to_ip response pkt =
+  let section = resolve_augment t ~dst_ip:to_ip response in
+  let pkt =
+    if section = [] then pkt
+    else begin
+      Obs.Registry.Counter.inc sx.s_m.c_augmented;
+      let augmented = Identxx.Response.append_section response section in
+      let dst_port =
+        match pkt.Packet.eth_payload with
+        | Packet.Ip { payload = Packet.Tcp tcp; _ } -> tcp.Packet.tcp_dst
+        | _ -> Identxx.Wire.port
+      in
+      Identxx.Wire.response_packet ~to_ip ~from_ip ~dst_port augmented
+    end
+  in
+  forward_toward t ~dpid ~dst_ip:to_ip pkt
+
+(* Stitch the daemon's piggybacked timings (decode, lookup, assemble,
+   sign — on the daemon's clock) under this query's child span,
+   completing the cross-host tree. *)
+let stitch_daemon_spans t qspan dtrace =
+  match dtrace with
+  | Some (_trace_id, _parent, dspans) ->
+      List.iter
+        (fun (dname, t0, t1) ->
+          let dsp = Obs.Span.start t.spans ~at:t0 ~parent:qspan dname in
+          Obs.Span.finish t.spans ~at:t1 dsp)
+        dspans
+  | None -> ()
+
+(* One settled answer landing on one parked flow, on the waiter's own
+   shard. [dtrace] is the daemon's timing piggyback — stitched under
+   the initiator's query span only (the timings are real once). *)
+let deliver_to_waiter t ~dtrace response w =
+  let sx = t.shards_.(w.w_sid) in
+  match Flow_tbl.find_opt sx.s_pending w.w_flow with
+  | None -> () (* the flow already decided (its own timeout won) *)
+  | Some p ->
+      let awaiting =
+        match w.w_end with `Src -> p.await_src | `Dst -> p.await_dst
+      in
+      if awaiting then begin
+        let at = time_now_s t in
+        let qspan, sent =
+          match w.w_end with
+          | `Src -> (p.src_qspan, p.src_sent)
+          | `Dst -> (p.dst_qspan, p.dst_sent)
+        in
+        if not (Float.is_nan sent) then
+          Obs.Registry.Histogram.observe sx.s_m.h_query_rtt (at -. sent);
+        if Obs.Span.is_live qspan then begin
+          stitch_daemon_spans t qspan dtrace;
+          Obs.Span.set_attr qspan "outcome" "answered";
+          Obs.Span.finish t.spans ~at qspan
+        end;
+        (match w.w_end with
+        | `Src ->
+            p.src_resp <- Some response;
+            p.await_src <- false
+        | `Dst ->
+            p.dst_resp <- Some response;
+            p.await_dst <- false);
+        maybe_finalize t sx p
+      end
+
+(* Coalescing path: a response from [from_ip] settles the oldest
+   in-flight exchange on its connection and fans out to every waiter,
+   in join order, each on its own shard. *)
+let handle_response_coalesced t sx ct ~dpid ~from_ip ~to_ip response pkt =
+  match Shard.Conn_table.settle_oldest ct ~host:from_ip with
+  | None -> handle_transit t sx ~dpid ~from_ip ~to_ip response pkt
+  | Some (_shape, ws) ->
+      if
+        t.cfg.require_signed_responses
+        && Identxx.Signed.verify (Decision.keystore t.decision) response
+           <> Identxx.Signed.Valid (expected_signature_index response)
+      then begin
+        (* One rejected wire response fails the whole exchange: every
+           waiter — not just the initiating flow — decides now with
+           this end absent, each with a force-sampled error trace. *)
+        Obs.Registry.Counter.inc sx.s_m.c_rejected;
+        Log.debug (fun m ->
+            m "rejecting unauthenticated response from %s"
+              (Ipv4.to_string from_ip));
+        post_to_waiters t ws
+          (fail_waiter t ~cause:"response-rejected" ~host:from_ip)
+      end
+      else begin
+        Obs.Registry.Counter.inc sx.s_m.c_responses;
+        let dtrace = Identxx.Response.trace_info response in
+        let response = Identxx.Response.strip_trace response in
+        (* Close breaker state and cache the attributes in every shard
+           view that was waiting on this answer. *)
+        let now = Sim.Engine.now (Net.engine t.network) in
+        let sids =
+          List.sort_uniq compare (sx.sid :: List.map (fun w -> w.w_sid) ws)
+        in
+        List.iter
+          (fun sid ->
+            let fp = t.shards_.(sid).s_fp in
+            Fastpath.note_response fp from_ip;
+            Fastpath.store_attrs fp ~now ~host:from_ip ~keys:(hint_keys t)
+              ?signer:
+                (Identxx.Response.latest response Identxx.Signed.signer_key)
+              response)
+          sids;
+        (* Deliveries are posted in join order, so the initiator (who
+           carries the daemon's timing piggyback) settles first. *)
+        let first = ref true in
+        post_to_waiters t ws (fun w ->
+            let dt = if !first then dtrace else None in
+            first := false;
+            deliver_to_waiter t ~dtrace:dt response w)
+      end
+
+let handle_response_direct t sx ~dpid ~from_ip ~to_ip response pkt =
+  match find_pending_for_response sx ~from_ip response with
   | Some (flow, p)
     when t.cfg.require_signed_responses
          && Identxx.Signed.verify (Decision.keystore t.decision) response
@@ -852,7 +1187,7 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
          at the timeout with whatever arrived (fail closed for
          information-dependent policy). *)
       ignore flow;
-      Obs.Registry.Counter.inc t.m.c_rejected;
+      Obs.Registry.Counter.inc sx.s_m.c_rejected;
       Obs.Span.force_sample p.p_span;
       if Obs.Span.is_live p.p_span then
         Obs.Span.event p.p_span ~at:(time_now_s t)
@@ -861,7 +1196,7 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
       Log.debug (fun m ->
           m "rejecting unauthenticated response from %s" (Ipv4.to_string from_ip)))
   | Some (flow, p) ->
-      Obs.Registry.Counter.inc t.m.c_responses;
+      Obs.Registry.Counter.inc sx.s_m.c_responses;
       (* Pull the daemon's piggybacked timings out, then strip them:
          per-flow trace ids must not reach policy evaluation or the
          attribute cache (a cached trace section would both leak into
@@ -871,8 +1206,8 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
       let response = Identxx.Response.strip_trace response in
       (* An (authenticated, if required) answer: close any breaker state
          and remember the attributes for subsequent flows. *)
-      Fastpath.note_response t.fastpath from_ip;
-      Fastpath.store_attrs t.fastpath
+      Fastpath.note_response sx.s_fp from_ip;
+      Fastpath.store_attrs sx.s_fp
         ~now:(Sim.Engine.now (Net.engine t.network))
         ~host:from_ip ~keys:(hint_keys t)
         ?signer:(Identxx.Response.latest response Identxx.Signed.signer_key)
@@ -880,19 +1215,9 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
       let at = time_now_s t in
       let answered qspan sent =
         if not (Float.is_nan sent) then
-          Obs.Registry.Histogram.observe t.m.h_query_rtt (at -. sent);
+          Obs.Registry.Histogram.observe sx.s_m.h_query_rtt (at -. sent);
         if Obs.Span.is_live qspan then begin
-          (* Stitch the daemon's piggybacked timings (decode, lookup,
-             assemble, sign — on the daemon's clock) under this query's
-             child span, completing the cross-host tree. *)
-          (match dtrace with
-          | Some (_trace_id, _parent, dspans) ->
-              List.iter
-                (fun (dname, t0, t1) ->
-                  let dsp = Obs.Span.start t.spans ~at:t0 ~parent:qspan dname in
-                  Obs.Span.finish t.spans ~at:t1 dsp)
-                dspans
-          | None -> ());
+          stitch_daemon_spans t qspan dtrace;
           Obs.Span.set_attr qspan "outcome" "answered";
           Obs.Span.finish t.spans ~at qspan
         end
@@ -907,31 +1232,20 @@ let handle_response t ~dpid ~from_ip ~to_ip response pkt =
         p.dst_resp <- Some response;
         p.await_dst <- false
       end;
-      maybe_finalize t p
-  | None ->
-      (* Transit: another controller's exchange crossing our domain.
-         Augment (§3.4) and forward toward its destination. *)
-      let section = resolve_augment t ~dst_ip:to_ip response in
-      let pkt =
-        if section = [] then pkt
-        else begin
-          Obs.Registry.Counter.inc t.m.c_augmented;
-          let augmented = Identxx.Response.append_section response section in
-          let dst_port =
-            match pkt.Packet.eth_payload with
-            | Packet.Ip { payload = Packet.Tcp tcp; _ } -> tcp.Packet.tcp_dst
-            | _ -> Identxx.Wire.port
-          in
-          Identxx.Wire.response_packet ~to_ip ~from_ip ~dst_port augmented
-        end
-      in
-      forward_toward t ~dpid ~dst_ip:to_ip pkt
+      maybe_finalize t sx p
+  | None -> handle_transit t sx ~dpid ~from_ip ~to_ip response pkt
 
-let handle_foreign_query t ~dpid ~from_ip ~to_ip (q : Identxx.Query.t) pkt =
+let handle_response t sx ~dpid ~from_ip ~to_ip response pkt =
+  match t.conn with
+  | Some ct ->
+      handle_response_coalesced t sx ct ~dpid ~from_ip ~to_ip response pkt
+  | None -> handle_response_direct t sx ~dpid ~from_ip ~to_ip response pkt
+
+let handle_foreign_query t sx ~dpid ~from_ip ~to_ip (q : Identxx.Query.t) pkt =
   (* "Intercepted queries are not allowed to cause new queries." *)
   match resolve_local_answer t to_ip with
   | Some section ->
-      Obs.Registry.Counter.inc t.m.c_local;
+      Obs.Registry.Counter.inc sx.s_m.c_local;
       let flow =
         (* Spoof the queried host: respond as if we were it. *)
         Identxx.Query.flow_of q ~src:to_ip ~dst:from_ip
@@ -948,23 +1262,75 @@ let handle_foreign_query t ~dpid ~from_ip ~to_ip (q : Identxx.Query.t) pkt =
       forward_toward t ~dpid ~dst_ip:from_ip reply
   | None -> forward_toward t ~dpid ~dst_ip:to_ip pkt
 
-let handle_packet_in t (pi : Msg.packet_in) =
+let handle_packet_in t sx (pi : Msg.packet_in) =
   let pkt = pi.Msg.packet in
   match Identxx.Wire.classify pkt with
   | Identxx.Wire.Response { from_ip; to_ip; response } ->
-      handle_response t ~dpid:pi.Msg.dpid ~from_ip ~to_ip response pkt
+      handle_response t sx ~dpid:pi.Msg.dpid ~from_ip ~to_ip response pkt
   | Identxx.Wire.Query { from_ip; to_ip; query } ->
-      handle_foreign_query t ~dpid:pi.Msg.dpid ~from_ip ~to_ip query pkt
+      handle_foreign_query t sx ~dpid:pi.Msg.dpid ~from_ip ~to_ip query pkt
   | Identxx.Wire.Not_identxx -> (
       match Packet.five_tuple pkt with
       | None -> () (* non-IP traffic is dropped by this firewall *)
       | Some flow -> (
-          match Flow_tbl.find_opt t.pending flow with
+          match Flow_tbl.find_opt sx.s_pending flow with
           | Some p -> p.p_packets <- (pi.Msg.dpid, pi.Msg.in_port, pkt) :: p.p_packets
-          | None -> start_flow t ~dpid:pi.Msg.dpid ~in_port:pi.Msg.in_port pkt flow))
+          | None -> start_flow t sx ~dpid:pi.Msg.dpid ~in_port:pi.Msg.in_port pkt flow))
+
+(* Which shard owns an arriving daemon response. The coalesced path
+   pairs it with the connection's oldest exchange (FIFO wire), so it
+   must run where that exchange's initiator parked; without the conn
+   table, find the shard whose pending table is awaiting this host. *)
+let response_owner t ~from_ip =
+  let via_conn =
+    match t.conn with
+    | Some ct ->
+        Option.map
+          (fun (w : waiter) -> w.w_sid)
+          (Shard.Conn_table.peek_oldest ct ~host:from_ip)
+    | None -> None
+  in
+  match via_conn with
+  | Some sid -> sid
+  | None ->
+      let n = Array.length t.shards_ in
+      let rec scan sid =
+        if sid >= n then 0
+        else if
+          Flow_tbl.fold
+            (fun flow p acc ->
+              acc
+              || (p.await_src && Ipv4.equal flow.Five_tuple.src from_ip)
+              || (p.await_dst && Ipv4.equal flow.Five_tuple.dst from_ip))
+            t.shards_.(sid).s_pending false
+        then sid
+        else scan (sid + 1)
+      in
+      scan 0
+
+(* The sharded front-end: classify the packet-in once (cheap, pure)
+   and post the real work to the owning shard's run queue. Data
+   packets partition by flow-key hash; responses go to the exchange
+   initiator's shard; foreign/transit traffic pins to shard 0. *)
+let dispatch_packet_in t d (pi : Msg.packet_in) =
+  let pkt = pi.Msg.packet in
+  let post sid =
+    Shard.Engine.post d ~shard:sid (fun () ->
+        handle_packet_in t t.shards_.(sid) pi)
+  in
+  match Identxx.Wire.classify pkt with
+  | Identxx.Wire.Response { from_ip; _ } -> post (response_owner t ~from_ip)
+  | Identxx.Wire.Query _ -> post 0
+  | Identxx.Wire.Not_identxx -> (
+      match Packet.five_tuple pkt with
+      | None -> ()
+      | Some flow -> post (Shard.Engine.shard_of_flow d flow))
 
 let handle_message t = function
-  | Msg.Packet_in pi -> handle_packet_in t pi
+  | Msg.Packet_in pi -> (
+      match t.driver with
+      | None -> handle_packet_in t t.shards_.(0) pi
+      | Some d -> dispatch_packet_in t d pi)
   | Msg.Stats_reply reply ->
       t.last_stats <- (reply.Msg.st_dpid, reply) :: List.remove_assq reply.Msg.st_dpid t.last_stats
 
@@ -1311,8 +1677,9 @@ let flush_cache t =
     (Net.switches_in_domain t.network t.id);
   Conn_state.clear t.conn_state;
   (* Memoized verdicts go too; cached host attributes survive, since
-     policy operations do not change what the hosts would answer. *)
-  Fastpath.flush_decisions t.fastpath;
+     policy operations do not change what the hosts would answer. Every
+     shard's view is flushed — control-plane operations are global. *)
+  Array.iter (fun sx -> Fastpath.flush_decisions sx.s_fp) t.shards_;
   (* The wildcard delete also removed the precompiled and proactive
      entries. *)
   t.precompiled <- [];
@@ -1323,12 +1690,13 @@ let flush_cache t =
    configuration reload) reached us: what the host would answer may have
    changed, so its cached attributes — and every decision derived from
    them — are no longer trustworthy. *)
-let note_host_changed t ip = Fastpath.note_host_changed t.fastpath ip
+let note_host_changed t ip =
+  Array.iter (fun sx -> Fastpath.note_host_changed sx.s_fp ip) t.shards_
 
 let revoke_principal t ~ip =
   Log.info (fun m -> m "revoking principal %s" (Ipv4.to_string ip));
   let dropped = Conn_state.revoke t.conn_state ~ip in
-  Fastpath.revoke_ip t.fastpath ip;
+  Array.iter (fun sx -> Fastpath.revoke_ip sx.s_fp ip) t.shards_;
   (* Dataplane: delete every installed entry the principal's address
      appears in, either end, on every switch of the domain. *)
   let host = Prefix.host ip in
@@ -1375,6 +1743,54 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
     match spans with Some s -> s | None -> Obs.Span.create ~enabled:false ()
   in
   let labels = [ ("controller", string_of_int id) ] in
+  (* One shard context (the legacy sequential path, byte-identical to
+     the unsharded controller) unless config.shards asks for more. *)
+  let nshards, sharded =
+    match config.shards with
+    | None -> (1, false)
+    | Some s ->
+        if s.shard_count < 1 then invalid_arg "Controller.create: shards < 1";
+        (s.shard_count, true)
+  in
+  let shard_labels sid =
+    if sharded then labels @ [ ("shard", string_of_int sid) ] else labels
+  in
+  let driver =
+    match config.shards with
+    | None -> None
+    | Some s ->
+        Some
+          (Shard.Engine.create ~service:s.shard_service ~shards:nshards
+             (Net.engine network))
+  in
+  let conn =
+    match config.shards with
+    | Some s when s.coalesce -> Some (Shard.Conn_table.create ())
+    | _ -> None
+  in
+  let batch =
+    match config.shards with
+    | None -> None
+    | Some _ ->
+        Some
+          (Shard.Batch.create
+             ~engine:(Net.engine network)
+             ~send:(Net.send_to_switch network) ())
+  in
+  let send_sw =
+    match batch with
+    | Some b -> Shard.Batch.add b
+    | None -> Net.send_to_switch network
+  in
+  let shards_ =
+    Array.init nshards (fun sid ->
+        {
+          sid;
+          s_pending = Flow_tbl.create 64;
+          s_fp = Fastpath.create config.fastpath;
+          s_m = make_metrics obs ~labels:(shard_labels sid);
+        })
+  in
   let t =
     {
       network;
@@ -1382,15 +1798,17 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
       cfg = config;
       policy;
       decision;
-      pending = Flow_tbl.create 64;
       conn_state = Conn_state.create ();
       audit = Audit.create ();
       augment = (fun _ -> []);
       local_answers = (fun _ -> None);
       obs;
       spans;
-      m = make_metrics obs ~labels;
-      fastpath = Fastpath.create config.fastpath;
+      shards_;
+      driver;
+      conn;
+      batch;
+      send_sw;
       src_port_matters = None;
       trace_seq = 0;
       last_stats = [];
@@ -1401,9 +1819,12 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
       pm = (if config.proactive then Some (make_pro_metrics obs ~labels) else None);
     }
   in
-  Obs.Registry.gauge_fn obs ~help:"Flows awaiting daemon responses." ~labels
-    "identxx_controller_pending_flows" (fun () ->
-      float_of_int (Flow_tbl.length t.pending));
+  Array.iter
+    (fun sx ->
+      Obs.Registry.gauge_fn obs ~help:"Flows awaiting daemon responses."
+        ~labels:(shard_labels sx.sid) "identxx_controller_pending_flows"
+        (fun () -> float_of_int (Flow_tbl.length sx.s_pending)))
+    t.shards_;
   (* Per-collector, not per-controller: collectors may be shared, so no
      controller label — re-registration just replaces the callback. *)
   Obs.Registry.counter_fn obs
@@ -1430,7 +1851,30 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
       "identxx_compiler_installed_coverage" (fun () ->
         t.proactive_tbl.Compiler.installed_coverage)
   end;
-  Fastpath.register_metrics t.fastpath ~labels obs;
+  Array.iter
+    (fun sx -> Fastpath.register_metrics sx.s_fp ~labels:(shard_labels sx.sid) obs)
+    t.shards_;
+  (match driver with
+  | Some d -> Shard.Engine.register_metrics d ~labels obs
+  | None -> ());
+  (match batch with
+  | Some b -> Shard.Batch.register_metrics b ~labels obs
+  | None -> ());
+  (match conn with
+  | Some ct ->
+      Obs.Registry.counter_fn obs
+        ~help:"Wire exchanges actually begun by the connection table."
+        ~labels "identxx_shard_exchanges_total" (fun () ->
+          Shard.Conn_table.started ct);
+      Obs.Registry.counter_fn obs
+        ~help:"Duplicate in-flight queries absorbed by coalescing."
+        ~labels "identxx_shard_coalesced_queries_total" (fun () ->
+          Shard.Conn_table.coalesced ct);
+      Obs.Registry.gauge_fn obs
+        ~help:"Exchanges currently in flight across all daemon connections."
+        ~labels "identxx_shard_inflight_exchanges" (fun () ->
+          float_of_int (Shard.Conn_table.in_flight ct))
+  | None -> ());
   Net.register_controller network ~id (handle_message t);
   wire_eviction_telemetry t;
   (* No initial sync: hosts are typically attached after the controller

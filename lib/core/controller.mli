@@ -22,6 +22,25 @@ open Netcore
 type query_targets = Both | Src_only | Dst_only | Neither
 (** Which ends to query — §4's incremental-deployment modes. *)
 
+type shard_config = {
+  shard_count : int;  (** Flow-setup shards (≥ 1). *)
+  shard_service : Sim.Time.t;
+      (** Simulated per-packet-in service time charged to the owning
+          shard's run queue. [Sim.Time.zero] (the default) keeps runs
+          byte-identical across shard counts — the determinism oracle's
+          regime; a positive value models N controller cores in
+          parallel, which is what the throughput benchmark measures. *)
+  coalesce : bool;
+      (** Multiplex per-host daemon connections through the shared
+          {!Shard.Conn_table}, so concurrent identical queries share
+          one wire exchange. *)
+}
+(** Configuration of the sharded flow-setup engine (DESIGN.md §12). *)
+
+val sharded : ?service:Sim.Time.t -> ?coalesce:bool -> int -> shard_config
+(** [sharded n] is [n] shards with zero service time and coalescing
+    on. *)
+
 type config = {
   query_keys : string list;  (** Hint list placed in queries. *)
   query_timeout : Sim.Time.t;  (** Wait this long for daemon responses. *)
@@ -59,6 +78,13 @@ type config = {
           ident++ exchange traffic, which a guard entry always punts)
           reaches the controller. Off by default (the paper's purely
           reactive Figure-1 exchange). See DESIGN.md §11. *)
+  shards : shard_config option;
+      (** [Some s] partitions flow setup across [s.shard_count] run
+          queues by flow-key hash, multiplexes daemon connections with
+          query coalescing, and batches flow-mod installs per tick.
+          [None] (the default) is the original sequential path,
+          byte-identical to the pre-shard controller. See DESIGN.md
+          §12. *)
 }
 
 val default_config : config
@@ -100,8 +126,12 @@ val spans : t -> Obs.Span.t
     or a caller enables it). *)
 
 val fastpath : t -> Fastpath.t
-(** The controller's fast-path state (caches and breaker) — mostly for
-    tests and tooling; counters also surface through {!stats}. *)
+(** Shard 0's fast-path state (caches and breaker) — the whole
+    controller's when unsharded; mostly for tests and tooling. Counters
+    also surface through {!stats}, which aggregates all shards. *)
+
+val shard_count : t -> int
+(** Number of flow-setup shards (1 when [config.shards] is [None]). *)
 
 val decision : t -> Decision.t
 val keystore : t -> Idcrypto.Sign.keystore
@@ -206,6 +236,25 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Aggregated across every shard, so the totals are shard-count
+    invariant (each shard owns its own counter series; the sum is the
+    controller's). *)
+
+val coalesced_queries : t -> int
+(** Duplicate in-flight queries absorbed by connection-table coalescing
+    (0 when unsharded or coalescing is off). *)
+
+val wire_exchanges : t -> int
+(** Wire query exchanges actually begun by the connection table (0 when
+    unsharded or coalescing is off). *)
+
+val batch_flushes : t -> int
+(** Batched install flushes performed (0 when unsharded). *)
+
+val shard_makespan : t -> Sim.Time.t
+(** Latest simulated completion time across all shard run queues — the
+    parallel-makespan figure the throughput benchmark divides flows by.
+    [Sim.Time.zero] when unsharded or with zero service time. *)
 
 (** {2 Flow monitoring} *)
 

@@ -72,6 +72,9 @@ let note_timeout_report t ~now ip =
 
 let note_timeout t ~now ip = ignore (note_timeout_report t ~now ip)
 
+let note_breaker_open t ~now ip =
+  if t.cfg.enabled then Breaker.force_open t.breaker ~now ip
+
 let note_response t ip =
   if t.cfg.enabled then Breaker.note_response t.breaker ip
 

@@ -85,6 +85,12 @@ val note_timeout_report : t -> now:Sim.Time.t -> Ipv4.t -> bool
     host's breaker (so the controller can mark the flow's trace).
     Always [false] when the fast path is off. *)
 
+val note_breaker_open : t -> now:Sim.Time.t -> Ipv4.t -> unit
+(** Adopt a breaker trip observed by another shard's view (see
+    {!Breaker.force_open}): the host goes straight to open here too, so
+    every shard fails its flows fast. A no-op when the fast path is
+    off. *)
+
 val note_response : t -> Ipv4.t -> unit
 
 (** {2 Decision cache} *)

@@ -1,0 +1,63 @@
+(** The per-host connection table: multiplexes every controller-to-
+    daemon conversation for one host over a single logical connection,
+    and {e coalesces} identical in-flight queries — concurrent
+    table-miss flows that need the same host answered for the same
+    query shape (the canonical key list) park on one waiter list and
+    share a single wire exchange instead of issuing duplicates.
+
+    The table is generic in the waiter type ['w]: the controller parks
+    a per-flow handle (flow key + owning shard + which end of the flow
+    the exchange resolves) and interprets it on settle. Determinism:
+    waiters are returned in join order, and {!settle_host} returns
+    exchanges in the order their first waiter joined, so settle-time
+    fan-out is reproducible. *)
+
+type 'w t
+
+val create : unit -> 'w t
+
+val join :
+  'w t -> host:Netcore.Ipv4.t -> shape:string -> 'w ->
+  [ `First | `Coalesced of int ]
+(** Park a waiter on the (host, shape) exchange. [`First] means no
+    exchange was in flight — the caller must actually send the wire
+    query and becomes the {e initiator}. [`Coalesced n] means the
+    waiter joined an existing exchange as its [n]th waiter and must
+    {e not} send anything: the outcome arrives via {!settle}. *)
+
+val settle : 'w t -> host:Netcore.Ipv4.t -> shape:string -> 'w list
+(** Remove the (host, shape) exchange and return its waiters in join
+    order (the initiator first); [[]] when none is in flight. Called on
+    any terminal outcome — response, rejection, timeout, breaker — so
+    every waiter sees exactly one settlement. *)
+
+val settle_oldest : 'w t -> host:Netcore.Ipv4.t -> (string * 'w list) option
+(** Remove and return the oldest in-flight exchange to [host] (the
+    multiplexed connection is FIFO, so an arriving response pairs with
+    the earliest outstanding wire query regardless of shape). *)
+
+val settle_host : 'w t -> host:Netcore.Ipv4.t -> (string * 'w list) list
+(** Remove {e every} exchange in flight to [host] and return
+    [(shape, waiters)] pairs ordered by exchange start. Used when the
+    whole host goes silent (timeout, breaker trip): one dead host fails
+    all shapes at once. *)
+
+val peek : 'w t -> host:Netcore.Ipv4.t -> shape:string -> 'w list
+(** The current waiter list in join order, without settling. *)
+
+val peek_oldest : 'w t -> host:Netcore.Ipv4.t -> 'w option
+(** The initiator (first waiter) of the oldest in-flight exchange to
+    [host], without settling — how a dispatcher routes an arriving
+    response to the shard that will pair it ({!settle_oldest}). *)
+
+val in_flight : 'w t -> int
+(** Exchanges currently in flight (gauge). *)
+
+val waiters : 'w t -> int
+(** Waiters parked across all in-flight exchanges. *)
+
+val started : 'w t -> int
+(** Wire exchanges begun (cumulative [`First] joins). *)
+
+val coalesced : 'w t -> int
+(** Duplicate queries avoided (cumulative [`Coalesced] joins). *)

@@ -43,17 +43,19 @@ identxx_ctl, is byte-identical to what netsim printed.
   $ identxx_ctl metrics snap.json --format prom > roundtrip.prom
   $ cmp netsim.prom roundtrip.prom
 
-The one-line-per-series summary view:
+The one-line-per-series summary view groups by label vector — one
+block per entity (host, shard, switch) instead of interleaving
+entities inside every metric name:
 
   $ identxx_ctl metrics snap.json --format summary | grep identxx_daemon
   histogram identxx_daemon_answer_seconds{host=client} count=1 sum=0
-  histogram identxx_daemon_answer_seconds{host=server} count=1 sum=0
+  counter   identxx_daemon_responses_signed_total{host=client} = 0
   counter   identxx_daemon_queries_total{host=client,result=answered} = 1
   counter   identxx_daemon_queries_total{host=client,result=silent} = 0
+  histogram identxx_daemon_answer_seconds{host=server} count=1 sum=0
+  counter   identxx_daemon_responses_signed_total{host=server} = 0
   counter   identxx_daemon_queries_total{host=server,result=answered} = 1
   counter   identxx_daemon_queries_total{host=server,result=silent} = 0
-  counter   identxx_daemon_responses_signed_total{host=client} = 0
-  counter   identxx_daemon_responses_signed_total{host=server} = 0
 
 The span stream: one root flow-setup span with the decision and the
 matched rule, one child span per ident++ query:

@@ -1,0 +1,55 @@
+The sharded flow-setup engine (DESIGN.md §12): `netsim burst` fires 15
+concurrent flows at one host; `--shards N` partitions flow setup
+across N run queues with query coalescing and batched installs.
+
+The summary with 4 shards: the 15 dst-end queries converging on host
+10.0.1.1 coalesce into one wire exchange (15 src + 1 dst = 16 instead
+of 30), so the hot host answers once and nothing times out.
+
+  $ identxx-netsim burst --shards 4 --json burst4.json | tail -8
+  === summary ===
+  packets delivered to hosts: 31
+  packets dropped:            0
+  packet-ins:                 31
+  controller: flows=15 allowed=15 blocked=0 queries=16 responses=16
+  controller: query timeouts=0 retries sent=0
+  controller: shards=4 wire-exchanges=16 coalesced=14 batch-flushes=2
+  wrote burst4.json
+
+Determinism: with zero service time, the whole run — event trace,
+summary, JSON report — is byte-identical under any shard count. Only
+the shards=N line itself may differ.
+
+  $ identxx-netsim burst --shards 1 --json burst1.json | grep -v 'shards=\|wrote ' > one.txt
+  $ identxx-netsim burst --shards 8 --json burst8.json | grep -v 'shards=\|wrote ' > eight.txt
+  $ identxx-netsim burst --shards 4 --json burst4b.json | grep -v 'shards=\|wrote ' > four.txt
+  $ diff one.txt eight.txt
+  $ diff one.txt four.txt
+
+The --json report aggregates counters across shards, so it is
+shard-count invariant outright:
+
+  $ cmp burst1.json burst4.json && cmp burst1.json burst8.json
+  $ cat burst4.json
+  {
+    "scenario": "burst",
+    "delivered": 31,
+    "dropped": 0,
+    "packet_ins": 31,
+    "controllers": [
+      { "name": "controller", "flows_seen": 15, "allowed": 15, "blocked": 0,
+        "queries_sent": 16, "responses_received": 16, "query_timeouts": 0, "query_retries_sent": 0,
+        "fastpath_enabled": false, "fastpath_decisions": 0,
+        "attr_cache_hits": 0, "attr_cache_misses": 0, "attr_cache_evictions": 0, "attr_cache_invalidations": 0,
+        "decision_cache_hits": 0, "decision_cache_misses": 0, "decision_cache_evictions": 0,
+        "breaker_trips": 0, "breaker_fastpaths": 0 }
+    ]
+  }
+
+The unsharded burst for contrast: without coalescing every flow
+queries both ends itself — 30 wire queries, and the hot host's serial
+daemon answers late enough that 11 queries burn their timeout.
+
+  $ identxx-netsim burst | grep '^controller:'
+  controller: flows=15 allowed=15 blocked=0 queries=30 responses=30
+  controller: query timeouts=11 retries sent=0

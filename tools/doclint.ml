@@ -12,7 +12,8 @@
       documentation (README.md, DESIGN.md, EXPERIMENTS.md, doc/*.md)
       exists, so the docs cannot drift from the tree they describe;
    4. the metric catalog in doc/OBSERVABILITY.md and the metric-name
-      literals in lib/ and bin/ agree, in both directions: a series
+      literals in lib/, bin/, bench/, and tools/ agree, in both
+      directions: a series
       the code can emit must have a catalog row, and a catalog row
       must name a series the code still emits.
 
@@ -179,10 +180,13 @@ let metric_names_in_code root =
         (list_dir dir))
     (list_dir (Filename.concat root "lib"));
   List.iter
-    (fun f ->
-      if Filename.check_suffix f ".ml" then
-        scan_literals acc (Filename.concat root ("bin/" ^ f)))
-    (list_dir (Filename.concat root "bin"));
+    (fun sub ->
+      List.iter
+        (fun f ->
+          if Filename.check_suffix f ".ml" then
+            scan_literals acc (Filename.concat root (sub ^ "/" ^ f)))
+        (list_dir (Filename.concat root sub)))
+    [ "bin"; "bench"; "tools" ];
   acc
 
 (* Catalog rows look like [| `identxx_..._total` | counter | ...]; a
