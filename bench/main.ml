@@ -586,6 +586,72 @@ let bench_dijkstra =
       Staged.stage (fun () ->
           ignore (Openflow.Topology.next_hop topology ~from:1 ~dst_host:"far")))
 
+(* Generated-fabric routing (BENCH_topo.json, doc/TOPOLOGY.md). The
+   next-hop series scales a leaf-spine fabric by an order of magnitude
+   in host count: a flat series is the tentpole claim — lookups hit the
+   precomputed per-destination tables, they do not search the graph.
+   The k=8 fat-tree members price topology churn: an incremental
+   link-flap repair vs the full one-Dijkstra-per-destination rebuild,
+   and the O(1) host attach/detach path. *)
+let topo_leaf_spine ~hosts =
+  Workload.Fabric.build
+    (Workload.Fabric.Leaf_spine
+       { spines = 4; leaves = max 1 (hosts / 8); hosts_per_leaf = 8 })
+
+let topo_fat_tree_k8 () =
+  (Workload.Fabric.build (Workload.Fabric.Fat_tree { k = 8 }))
+    .Workload.Fabric.topology
+
+(* Warm the routing tables (first lookup materializes them) so staged
+   bodies measure steady state. *)
+let warm_routes topology =
+  match Openflow.Topology.hosts topology with
+  | h :: _ -> ignore (Openflow.Topology.next_hop topology ~from:1 ~dst_host:h)
+  | [] -> ()
+
+let bench_next_hop =
+  Test.make_indexed ~name:"topology/next-hop"
+    ~args:[ 8; 32; 64; 256; 1024 ]
+    (fun n ->
+      let fab = topo_leaf_spine ~hosts:n in
+      let topology = fab.Workload.Fabric.topology in
+      let hosts = fab.Workload.Fabric.hosts in
+      let dst_host = hosts.(Array.length hosts - 1).Workload.Fabric.hs_name in
+      (* from the first leaf (dpid 5: spines are 1..4) to a host on the
+         last leaf — a spine crossing at every size. *)
+      ignore (Openflow.Topology.next_hop topology ~from:5 ~dst_host);
+      Staged.stage (fun () ->
+          ignore (Openflow.Topology.next_hop topology ~from:5 ~dst_host)))
+
+(* Fat-tree k=8 dpids (doc/TOPOLOGY.md): aggregation 0 of pod 0 is 17,
+   edge 0 of pod 0 is 49; their link is agg port 1 <-> edge port 5. *)
+let bench_link_flap =
+  let topology = topo_fat_tree_k8 () in
+  warm_routes topology;
+  Test.make ~name:"topology/link-flap-incremental-k8"
+    (Staged.stage (fun () ->
+         Openflow.Topology.unlink topology (Openflow.Topology.Sw 17, 1);
+         Openflow.Topology.link topology ~latency:(Sim.Time.us 10)
+           (Openflow.Topology.Sw 17, 1)
+           (Openflow.Topology.Sw 49, 5)))
+
+let bench_full_recompute =
+  let topology = topo_fat_tree_k8 () in
+  warm_routes topology;
+  Test.make ~name:"topology/full-recompute-k8"
+    (Staged.stage (fun () -> Openflow.Topology.recompute_routes topology))
+
+let bench_host_attach =
+  let topology = topo_fat_tree_k8 () in
+  warm_routes topology;
+  Test.make ~name:"topology/host-attach-detach-k8"
+    (Staged.stage (fun () ->
+         Openflow.Topology.add_host topology "bench-h";
+         Openflow.Topology.link topology
+           (Openflow.Topology.Host "bench-h", 0)
+           (Openflow.Topology.Sw 49, 9);
+         Openflow.Topology.remove_host topology "bench-h"))
+
 let bench_conn_state =
   let cs = Identxx_core.Conn_state.create () in
   let population = Workload.Population.create ~clients:250 ~servers:40 () in
@@ -771,6 +837,10 @@ let tests =
        bench_daemon;
        bench_collab;
        bench_dijkstra;
+       bench_next_hop;
+       bench_link_flap;
+       bench_full_recompute;
+       bench_host_attach;
        bench_conn_state;
        bench_obs_flow_setup;
      ]
@@ -895,6 +965,94 @@ let run_shards_json file =
   close_out oc;
   Printf.printf "wrote %s\n" file
 
+(* The generated-fabric routing series (BENCH_topo.json): steady-state
+   next-hop cost across an order of magnitude of hosts (flat = O(1)),
+   plus the cost of repairing the routing state after a k=8 fat-tree
+   link flap — incrementally vs from scratch — with the engine's own
+   counters showing how much of the fabric each repair touched. *)
+let run_topo_json file =
+  let time_ns f iters =
+    f ();
+    let t0 = Monotonic_clock.get () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let t1 = Monotonic_clock.get () in
+    (t1 -. t0) /. float_of_int iters
+  in
+  let sizes = [ 8; 32; 64; 256; 1024 ] in
+  let next_hop_series =
+    List.map
+      (fun hosts ->
+        let fab = topo_leaf_spine ~hosts in
+        let topology = fab.Workload.Fabric.topology in
+        let arr = fab.Workload.Fabric.hosts in
+        let dst_host = arr.(Array.length arr - 1).Workload.Fabric.hs_name in
+        let ns =
+          time_ns
+            (fun () ->
+              ignore (Openflow.Topology.next_hop topology ~from:5 ~dst_host))
+            200_000
+        in
+        Printf.printf "topology/next-hop hosts=%d %.1f ns/op\n%!" hosts ns;
+        (hosts, ns))
+      sizes
+  in
+  let topology = topo_fat_tree_k8 () in
+  warm_routes topology;
+  let flap () =
+    Openflow.Topology.unlink topology (Openflow.Topology.Sw 17, 1);
+    Openflow.Topology.link topology ~latency:(Sim.Time.us 10)
+      (Openflow.Topology.Sw 17, 1)
+      (Openflow.Topology.Sw 49, 5)
+  in
+  let incr_ns = time_ns flap 200 in
+  let full_ns =
+    time_ns (fun () -> Openflow.Topology.recompute_routes topology) 20
+  in
+  (* Deterministic repair-scope counters for one link-down + link-up. *)
+  let s0 = Openflow.Topology.routing_stats topology in
+  flap ();
+  let s1 = Openflow.Topology.routing_stats topology in
+  let recomputed =
+    s1.Openflow.Routing.dests_recomputed - s0.Openflow.Routing.dests_recomputed
+  in
+  let skipped =
+    s1.Openflow.Routing.dests_skipped - s0.Openflow.Routing.dests_skipped
+  in
+  let settled =
+    s1.Openflow.Routing.nodes_settled - s0.Openflow.Routing.nodes_settled
+  in
+  Printf.printf
+    "link-flap k=8: incremental %.1f us, full recompute %.1f us (%.1fx); per \
+     flap: %d trees repaired, %d skipped, %d nodes settled\n\
+     %!"
+    (incr_ns /. 1e3) (full_ns /. 1e3) (full_ns /. incr_ns) recomputed skipped
+    settled;
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"next_hop\": [\n";
+  List.iteri
+    (fun i (hosts, ns) ->
+      Printf.fprintf oc "    { \"hosts\": %d, \"ns_per_op\": %.1f }%s\n" hosts
+        ns
+        (if i = List.length next_hop_series - 1 then "" else ","))
+    next_hop_series;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"link_flap_k8\": {\n\
+    \    \"incremental_us\": %.1f,\n\
+    \    \"full_recompute_us\": %.1f,\n\
+    \    \"speedup\": %.1f,\n\
+    \    \"per_flap_dests_recomputed\": %d,\n\
+    \    \"per_flap_dests_skipped\": %d,\n\
+    \    \"per_flap_nodes_settled\": %d\n\
+    \  }\n\
+     }\n"
+    (incr_ns /. 1e3) (full_ns /. 1e3) (full_ns /. incr_ns) recomputed skipped
+    settled;
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
 let run_timed json_file =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -929,7 +1087,10 @@ let run_timed json_file =
   Option.iter (fun file -> write_json file rows) json_file
 
 let () =
-  let smoke = ref false and json_file = ref None and shards_file = ref None in
+  let smoke = ref false
+  and json_file = ref None
+  and shards_file = ref None
+  and topo_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -941,15 +1102,20 @@ let () =
     | "--shards-json" :: file :: rest ->
         shards_file := Some file;
         parse rest
+    | "--topo-json" :: file :: rest ->
+        topo_file := Some file;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: main.exe [--smoke] [--json FILE] [--shards-json FILE]\n";
+          "usage: main.exe [--smoke] [--json FILE] [--shards-json FILE] \
+           [--topo-json FILE]\n";
         Printf.eprintf "unknown argument: %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !smoke then run_smoke ()
   else
-    match !shards_file with
-    | Some file -> run_shards_json file
-    | None -> run_timed !json_file
+    match (!shards_file, !topo_file) with
+    | Some file, _ -> run_shards_json file
+    | None, Some file -> run_topo_json file
+    | None, None -> run_timed !json_file

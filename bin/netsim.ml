@@ -14,6 +14,7 @@ module Topo = Openflow.Topology
 module C = Identxx_core.Controller
 module Deploy = Identxx_core.Deploy
 module PS = Identxx_core.Policy_store
+module Fabric = Workload.Fabric
 
 (* Daemon service time is measured on the simulated clock, so metric
    output is deterministic and cram-testable. *)
@@ -224,14 +225,75 @@ let branches ~arm ~config ~obs ~spans () =
   Format.printf "branches: two collaborating ident++ domains@.";
   (network, [ ("branch-a", ca); ("branch-b", cb) ])
 
+(* Stand up a generated fabric (Workload.Fabric): one switch per
+   topology dpid, one ident++ host per placement slot, one controller
+   for the whole fabric. *)
+let fabric_network ~config ~obs ~spans (fab : Fabric.t) =
+  let engine = Sim.Engine.create () in
+  let network = Net.create ~engine ~topology:fab.Fabric.topology () in
+  let controller = C.create ~config ~obs ~spans ~network ~id:0 () in
+  let hosts =
+    Array.map
+      (fun hs ->
+        Identxx.Host.create ~name:hs.Fabric.hs_name ~mac:hs.Fabric.hs_mac
+          ~ip:hs.Fabric.hs_ip ())
+      fab.Fabric.hosts
+  in
+  Array.iter (fun h -> Deploy.attach_host network h) hosts;
+  Deploy.watch_hosts controller hosts;
+  (engine, network, controller, hosts)
+
+(* A generated datacenter fabric (--topo, default fat-tree:k=4): print
+   the deterministic shape and a sample precomputed route, then push
+   one flow across the whole fabric — first host to last host, the
+   longest generated path. *)
+let fabric ~topo ~arm ~config ~obs ~spans () =
+  let fab = Fabric.build topo in
+  let engine, network, controller, hosts =
+    fabric_network ~config ~obs ~spans fab
+  in
+  arm network;
+  let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
+  host_metrics obs engine [ src; dst ];
+  PS.add_exn (C.policy controller) ~name:"00" "pass all";
+  Format.printf "%s@." (Fabric.describe fab);
+  (match
+     Topo.switch_path (Net.topology network) ~src:(Identxx.Host.name src)
+       ~dst:(Identxx.Host.name dst)
+   with
+  | Some hops ->
+      Format.printf "route %s -> %s: %s@." (Identxx.Host.name src)
+        (Identxx.Host.name dst)
+        (String.concat " -> "
+           (List.map (fun (d, _, _) -> Printf.sprintf "s%d" d) hops))
+  | None ->
+      Format.printf "route %s -> %s: unreachable@." (Identxx.Host.name src)
+        (Identxx.Host.name dst));
+  let proc = Identxx.Host.run src ~user:"u" ~exe:"/bin/app" () in
+  let flow =
+    Identxx.Host.connect src ~proc ~dst:(Identxx.Host.ip dst) ~dst_port:80 ()
+  in
+  inject ~config ~engine (fun () ->
+      Net.send_from_host network ~name:(Identxx.Host.name src)
+        (Identxx.Host.first_packet src ~flow));
+  Sim.Engine.run engine;
+  Format.printf "fabric: one cross-fabric flow over %s@."
+    (Fabric.spec_to_string fab.Fabric.spec);
+  (network, [ ("controller", controller) ])
+
 (* A deterministic concurrent flow burst: 16 hosts on a 4-switch
    chain, every other host opening a flow to host 0 at t=0. All the
    dst-end queries target host 0, so with --shards (coalescing on) the
    15 concurrent misses share one wire exchange — the scenario the
-   sharded flow-setup engine exists for. *)
-let burst ~arm ~config ~obs ~spans () =
+   sharded flow-setup engine exists for. With --topo the same
+   convergent burst runs over a generated fabric instead. *)
+let burst ?fab ~arm ~config ~obs ~spans () =
   let engine, network, controller, hosts =
-    Deploy.linear_network ~config ~obs ~spans ~switches:4 ~hosts_per_switch:4 ()
+    match fab with
+    | None ->
+        Deploy.linear_network ~config ~obs ~spans ~switches:4
+          ~hosts_per_switch:4 ()
+    | Some fab -> fabric_network ~config ~obs ~spans (Fabric.build fab)
   in
   arm network;
   host_metrics obs engine (Array.to_list hosts);
@@ -252,7 +314,8 @@ let burst ~arm ~config ~obs ~spans () =
           end)
         hosts);
   Sim.Engine.run engine;
-  Format.printf "burst: 15 concurrent flows converging on one host@.";
+  Format.printf "burst: %d concurrent flows converging on one host@."
+    (Array.length hosts - 1);
   (network, [ ("controller", controller) ])
 
 (* Optionally capture every frame the scenario emits to a pcap file. *)
@@ -277,9 +340,20 @@ let () =
           (some
              (enum
                 [ ("fig1", `Fig1); ("linear", `Linear); ("branches", `Branches);
-                  ("tree", `Tree); ("burst", `Burst) ]))
+                  ("tree", `Tree); ("burst", `Burst); ("fabric", `Fabric) ]))
           None
-      & info [] ~docv:"SCENARIO" ~doc:"fig1, linear, branches, tree or burst")
+      & info [] ~docv:"SCENARIO"
+          ~doc:"fig1, linear, branches, tree, burst or fabric")
+  in
+  let topo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topo" ] ~docv:"SPEC"
+          ~doc:"Generated fabric for the fabric and burst scenarios: \
+                fat-tree:k=N (N even) or \
+                leaf-spine:spines=N,leaves=N,hosts=N (see doc/TOPOLOGY.md). \
+                The fabric scenario defaults to fat-tree:k=4.")
   in
   let pcap =
     Arg.(
@@ -412,9 +486,9 @@ let () =
                 the --json report aggregate across shards, so the numbers \
                 are shard-count invariant.")
   in
-  let run scenario pcap verbose json metrics metrics_json spans_file trace_out
-      trace_sample extra_flow proactive fastpath attr_capacity attr_ttl
-      decision_capacity breaker_threshold breaker_backoff shards =
+  let run scenario topo pcap verbose json metrics metrics_json spans_file
+      trace_out trace_sample extra_flow proactive fastpath attr_capacity
+      attr_ttl decision_capacity breaker_threshold breaker_backoff shards =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -427,6 +501,21 @@ let () =
       prerr_endline "netsim: --shards must be >= 0";
       exit 1
     end;
+    let topo_spec =
+      match topo with
+      | None -> None
+      | Some s -> (
+          match Fabric.spec_of_string s with
+          | Ok spec -> Some spec
+          | Error e ->
+              prerr_endline ("netsim: --topo: " ^ e);
+              exit 1)
+    in
+    (match (scenario, topo_spec) with
+    | (`Fig1 | `Linear | `Branches | `Tree), Some _ ->
+        prerr_endline "netsim: --topo applies to the fabric and burst scenarios";
+        exit 1
+    | _ -> ());
     let obs = Obs.Registry.create () in
     let spans =
       Obs.Span.create
@@ -459,7 +548,12 @@ let () =
           | `Linear -> ("linear", linear)
           | `Branches -> ("branches", branches)
           | `Tree -> ("tree", tree)
-          | `Burst -> ("burst", burst)
+          | `Burst -> ("burst", burst ?fab:topo_spec)
+          | `Fabric ->
+              let topo =
+                Option.value topo_spec ~default:(Fabric.Fat_tree { k = 4 })
+              in
+              ("fabric", fabric ~topo)
         in
         let network, controllers = build ~arm ~config ~obs ~spans () in
         (* Network-level series are sampled from the simulator's own
@@ -520,9 +614,9 @@ let () =
     Cmd.v
       (Cmd.info "netsim" ~doc:"Run a named ident++ simulation scenario")
       Term.(
-        const run $ scenario $ pcap $ verbose $ json $ metrics $ metrics_json
-        $ spans_file $ trace_out $ trace_sample $ extra_flow $ proactive
-        $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
+        const run $ scenario $ topo $ pcap $ verbose $ json $ metrics
+        $ metrics_json $ spans_file $ trace_out $ trace_sample $ extra_flow
+        $ proactive $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
         $ breaker_threshold $ breaker_backoff $ shards)
   in
   exit (Cmd.eval' cmd)

@@ -27,15 +27,7 @@ type t = {
   mutable loss_prng : Sim.Prng.t;
 }
 
-let ports_of_switch topology dpid =
-  List.concat_map
-    (fun (l : Topology.link) ->
-      let of_ep (ep : Topology.endpoint) =
-        if ep.node = Topology.Sw dpid then [ ep.port ] else []
-      in
-      of_ep l.a @ of_ep l.b)
-    (Topology.links topology)
-  |> List.sort_uniq Int.compare
+let ports_of_switch topology dpid = Topology.ports_of topology (Topology.Sw dpid)
 
 let create ?(ctrl_latency = Sim.Time.us 50) ?table_capacity ~engine ~topology
     () =
@@ -129,25 +121,13 @@ and emit_frame t ~from_node ~port pkt =
         ~ts_us:(Sim.Time.to_ns (Sim.Engine.now t.engine) / 1000)
         pkt
   | None -> ());
-  match Topology.peer t.topology from_node port with
+  match Topology.wire t.topology from_node port with
   | None ->
       t.dropped <- t.dropped + 1;
       record_actor t
         (Topology.node_to_string from_node)
         "drop: port %d unwired" port
-  | Some far ->
-      let latency =
-        (* Latency of the link we traverse. *)
-        match
-          List.find_opt
-            (fun (l : Topology.link) ->
-              (l.a.node = from_node && l.a.port = port)
-              || (l.b.node = from_node && l.b.port = port))
-            (Topology.links t.topology)
-        with
-        | Some l -> l.latency
-        | None -> Sim.Time.us 10
-      in
+  | Some (far, latency) ->
       Sim.Engine.schedule t.engine ~delay:latency (fun () ->
           arrive t ~at:far pkt)
 
@@ -237,14 +217,9 @@ let send_from_host t ~name pkt =
      topology builder; emit resolves the actual wiring. *)
   let host_node = Topology.Host name in
   let port =
-    match
-      List.find_opt
-        (fun (l : Topology.link) ->
-          l.a.node = host_node || l.b.node = host_node)
-        (Topology.links t.topology)
-    with
-    | Some l -> if l.a.node = host_node then l.a.port else l.b.port
-    | None -> 0
+    match Topology.ports_of t.topology host_node with
+    | port :: _ -> port
+    | [] -> 0
   in
   emit t ~from_node:host_node ~port pkt
 

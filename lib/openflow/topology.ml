@@ -13,21 +13,61 @@ type t = {
   mutable links : link list;
   (* (node, port) -> far endpoint + latency, both directions. *)
   wiring : (node * int, endpoint * Sim.Time.t) Hashtbl.t;
+  (* node -> its wired ports, sorted ascending — O(degree) [ports_of]
+     instead of a scan of the whole wiring table. *)
+  ports : (node, int list) Hashtbl.t;
+  mutable epoch : int;
+  (* All-pairs next-hop state over the switch graph, materialized on
+     the first route lookup and updated incrementally by every
+     subsequent mutation (see Routing). *)
+  mutable routing : Routing.t option;
 }
 
-let create () = { nodes = Node_map.empty; links = []; wiring = Hashtbl.create 64 }
+let create () =
+  {
+    nodes = Node_map.empty;
+    links = [];
+    wiring = Hashtbl.create 64;
+    ports = Hashtbl.create 64;
+    epoch = 0;
+    routing = None;
+  }
+
+let epoch t = t.epoch
 
 let add_node t n =
   if Node_map.mem n t.nodes then
     invalid_arg "Topology: duplicate node";
-  t.nodes <- Node_map.add n () t.nodes
+  t.nodes <- Node_map.add n () t.nodes;
+  t.epoch <- t.epoch + 1
 
-let add_switch t dpid = add_node t (Sw dpid)
+let add_switch t dpid =
+  add_node t (Sw dpid);
+  Option.iter (fun r -> Routing.add_switch r dpid) t.routing
+
 let add_host t name = add_node t (Host name)
 
 let node_to_string = function
   | Sw d -> Printf.sprintf "s%d" d
   | Host h -> h
+
+let ports_of t node = Option.value ~default:[] (Hashtbl.find_opt t.ports node)
+
+let add_port t node port =
+  let rec ins = function
+    | [] -> [ port ]
+    | p :: tl when p < port -> p :: ins tl
+    | rest -> port :: rest
+  in
+  Hashtbl.replace t.ports node (ins (ports_of t node))
+
+let drop_port t node port =
+  Hashtbl.replace t.ports node (List.filter (( <> ) port) (ports_of t node))
+
+(* Link latencies weight the shortest-path computation; clamp to at
+   least 1ns so parent chains strictly descend and stay loop-free even
+   under zero-latency links. *)
+let weight_of latency = max 1 (Sim.Time.to_ns latency)
 
 let link t ?(latency = Sim.Time.us 10) (na, pa) (nb, pb) =
   if not (Node_map.mem na t.nodes) then
@@ -45,7 +85,46 @@ let link t ?(latency = Sim.Time.us 10) (na, pa) (nb, pb) =
   let a = { node = na; port = pa } and b = { node = nb; port = pb } in
   t.links <- { a; b; latency } :: t.links;
   Hashtbl.replace t.wiring (na, pa) (b, latency);
-  Hashtbl.replace t.wiring (nb, pb) (a, latency)
+  Hashtbl.replace t.wiring (nb, pb) (a, latency);
+  add_port t na pa;
+  add_port t nb pb;
+  t.epoch <- t.epoch + 1;
+  match (t.routing, na, nb) with
+  | Some r, Sw u, Sw v ->
+      Routing.link_up r (u, pa) (v, pb) ~weight:(weight_of latency)
+  | _ -> ()
+
+let unlink t (n, p) =
+  match Hashtbl.find_opt t.wiring (n, p) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Topology.unlink: %s port %d is not wired"
+           (node_to_string n) p)
+  | Some (far, _) ->
+      Hashtbl.remove t.wiring (n, p);
+      Hashtbl.remove t.wiring (far.node, far.port);
+      drop_port t n p;
+      drop_port t far.node far.port;
+      t.links <-
+        List.filter
+          (fun l ->
+            not
+              ((l.a.node = n && l.a.port = p)
+              || (l.b.node = n && l.b.port = p)))
+          t.links;
+      t.epoch <- t.epoch + 1;
+      (match (t.routing, n, far.node) with
+      | Some r, Sw u, Sw v -> Routing.link_down r (u, p) (v, far.port)
+      | _ -> ())
+
+let remove_host t name =
+  let n = Host name in
+  if not (Node_map.mem n t.nodes) then
+    invalid_arg ("Topology.remove_host: unknown host " ^ name);
+  List.iter (fun p -> unlink t (n, p)) (ports_of t n);
+  Hashtbl.remove t.ports n;
+  t.nodes <- Node_map.remove n t.nodes;
+  t.epoch <- t.epoch + 1
 
 let switches t =
   Node_map.fold
@@ -64,12 +143,11 @@ let links t = List.rev t.links
 let peer t node port =
   Option.map fst (Hashtbl.find_opt t.wiring (node, port))
 
-let ports_of t node =
-  Hashtbl.fold
-    (fun (n, p) _ acc -> if n = node then p :: acc else acc)
-    t.wiring []
+let wire t node port = Hashtbl.find_opt t.wiring (node, port)
 
 let host_attachment t name =
+  (* The ports list is sorted, so a multihomed host's primary
+     attachment is its lowest-numbered port. *)
   match ports_of t (Host name) with
   | [] -> None
   | port :: _ -> (
@@ -77,85 +155,71 @@ let host_attachment t name =
       | Some (ep, _) -> ( match ep.node with Sw _ -> Some ep | Host _ -> None)
       | None -> None)
 
-(* Dijkstra over nodes, weights = link latency in ns. *)
-let shortest_path t ~(src : node) ~(dst : node) =
-  let dist = Hashtbl.create 32 in
-  let prev = Hashtbl.create 32 in
-  (* prev: node -> (previous node, in_port at node, out_port at prev) *)
-  let pq = Sim.Heap.create () in
-  Hashtbl.replace dist src 0;
-  Sim.Heap.push pq ~key:0 src;
-  let rec loop () =
-    match Sim.Heap.pop pq with
-    | None -> ()
-    | Some (d, n) ->
-        let known = try Hashtbl.find dist n with Not_found -> max_int in
-        if d > known then loop ()
-        else if n = dst then ()
-        else begin
-          List.iter
-            (fun port ->
-              match Hashtbl.find_opt t.wiring (n, port) with
-              | None -> ()
-              | Some (far, latency) ->
-                  (* Hosts do not forward transit traffic. *)
-                  let transit_ok =
-                    match far.node with
-                    | Sw _ -> true
-                    | Host _ -> far.node = dst
-                  in
-                  if transit_ok then begin
-                    let nd = d + Sim.Time.to_ns latency in
-                    let cur =
-                      try Hashtbl.find dist far.node with Not_found -> max_int
-                    in
-                    if nd < cur then begin
-                      Hashtbl.replace dist far.node nd;
-                      Hashtbl.replace prev far.node (n, far.port, port);
-                      Sim.Heap.push pq ~key:nd far.node
-                    end
-                  end)
-            (ports_of t n);
-          loop ()
-        end
-  in
-  loop ();
-  if not (Hashtbl.mem dist dst) then None
-  else begin
-    (* Walk back from dst collecting (node, in_port_at_node). *)
-    let rec walk n acc =
-      match Hashtbl.find_opt prev n with
-      | None -> acc
-      | Some (p, in_port_at_n, out_port_at_p) ->
-          walk p ((n, in_port_at_n, out_port_at_p) :: acc)
-    in
-    Some (walk dst [])
-  end
+let ensure_routing t =
+  match t.routing with
+  | Some r -> r
+  | None ->
+      let r = Routing.create () in
+      Node_map.iter
+        (fun n () -> match n with Sw d -> Routing.add_switch r d | Host _ -> ())
+        t.nodes;
+      List.iter
+        (fun l ->
+          match (l.a.node, l.b.node) with
+          | Sw u, Sw v ->
+              Routing.load_link r (u, l.a.port) (v, l.b.port)
+                ~weight:(weight_of l.latency)
+          | _ -> ())
+        t.links;
+      Routing.recompute r;
+      t.routing <- Some r;
+      r
 
-let switch_path t ~src ~dst =
-  match shortest_path t ~src:(Host src) ~dst:(Host dst) with
-  | None -> None
-  | Some hops ->
-      (* hops: [(node, in_port at node, out_port at previous node)].
-         For each switch hop we need (dpid, in_port, out_port): in_port is
-         carried on its own hop entry; out_port is the "out_port at
-         previous node" of the NEXT hop. *)
-      let rec build = function
-        | (Sw d, in_port, _) :: ((_, _, out_port_at_prev) :: _ as rest) ->
-            (d, in_port, out_port_at_prev) :: build rest
-        | [ (Host _, _, _) ] -> []
-        | (Host _, _, _) :: rest -> build rest
-        | [ (Sw _, _, _) ] ->
-            (* A path cannot end at a switch when dst is a host. *)
-            []
-        | [] -> []
-      in
-      Some (build hops)
+let recompute_routes t = Routing.recompute (ensure_routing t)
+let routing_stats t = Routing.stats (ensure_routing t)
 
 let next_hop t ~from ~dst_host =
-  match shortest_path t ~src:(Sw from) ~dst:(Host dst_host) with
-  | None | Some [] -> None
-  | Some ((_, _, out_port_at_src) :: _) -> Some out_port_at_src
+  match host_attachment t dst_host with
+  | None -> None
+  | Some ep -> (
+      match ep.node with
+      | Sw d when d = from -> Some ep.port
+      | Sw d -> Routing.next_hop_port (ensure_routing t) ~src:from ~dst:d
+      | Host _ -> None)
+
+let switch_path t ~src ~dst =
+  if src = dst then Some []
+  else
+    match (host_attachment t src, host_attachment t dst) with
+    | Some a, Some b -> (
+        let sw_of ep =
+          match ep.node with Sw d -> d | Host _ -> assert false
+        in
+        let a_sw = sw_of a and b_sw = sw_of b in
+        if a_sw = b_sw then Some [ (a_sw, a.port, b.port) ]
+        else
+          let r = ensure_routing t in
+          let limit = Routing.switch_count r in
+          let rec walk cur in_port steps acc =
+            if steps > limit then None
+            else if cur = b_sw then
+              Some (List.rev ((cur, in_port, b.port) :: acc))
+            else
+              match Routing.next_hop_port r ~src:cur ~dst:b_sw with
+              | None -> None
+              | Some out -> (
+                  match peer t (Sw cur) out with
+                  | Some far ->
+                      walk
+                        (match far.node with
+                        | Sw d -> d
+                        | Host _ -> assert false)
+                        far.port (steps + 1)
+                        ((cur, in_port, out) :: acc)
+                  | None -> None)
+          in
+          walk a_sw a.port 0 [])
+    | _ -> None
 
 let pp ppf t =
   Format.fprintf ppf "topology: %d switches, %d hosts, %d links@."

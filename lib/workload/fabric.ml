@@ -1,0 +1,270 @@
+open Netcore
+module Topo = Openflow.Topology
+
+type spec =
+  | Fat_tree of { k : int }
+  | Leaf_spine of { spines : int; leaves : int; hosts_per_leaf : int }
+
+type host_spec = {
+  hs_name : string;
+  hs_ip : Ipv4.t;
+  hs_mac : Mac.t;
+  hs_switch : int;
+  hs_port : int;
+}
+
+type tier = { tier_name : string; tier_dpids : int list }
+
+type t = {
+  spec : spec;
+  topology : Topo.t;
+  hosts : host_spec array;
+  tiers : tier list;
+}
+
+let validate = function
+  | Fat_tree { k } ->
+      if k < 2 || k > 32 || k mod 2 <> 0 then
+        Error (Printf.sprintf "fat-tree: k must be an even integer in [2, 32] (got %d)" k)
+      else Ok ()
+  | Leaf_spine { spines; leaves; hosts_per_leaf } ->
+      if spines < 1 || spines > 64 then
+        Error (Printf.sprintf "leaf-spine: spines must be in [1, 64] (got %d)" spines)
+      else if leaves < 1 || leaves > 250 then
+        Error (Printf.sprintf "leaf-spine: leaves must be in [1, 250] (got %d)" leaves)
+      else if hosts_per_leaf < 1 || hosts_per_leaf > 250 then
+        Error
+          (Printf.sprintf "leaf-spine: hosts must be in [1, 250] (got %d)"
+             hosts_per_leaf)
+      else Ok ()
+
+let spec_to_string = function
+  | Fat_tree { k } -> Printf.sprintf "fat-tree:k=%d" k
+  | Leaf_spine { spines; leaves; hosts_per_leaf } ->
+      Printf.sprintf "leaf-spine:spines=%d,leaves=%d,hosts=%d" spines leaves
+        hosts_per_leaf
+
+let spec_of_string s =
+  let ( let* ) = Result.bind in
+  let kind, params =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let* pairs =
+    if params = "" then Ok []
+    else
+      List.fold_left
+        (fun acc kv ->
+          let* acc = acc in
+          match String.index_opt kv '=' with
+          | None ->
+              Error
+                (Printf.sprintf "%s: malformed parameter %S (expected key=value)"
+                   kind kv)
+          | Some i ->
+              Ok
+                ((String.sub kv 0 i,
+                  String.sub kv (i + 1) (String.length kv - i - 1))
+                :: acc))
+        (Ok [])
+        (String.split_on_char ',' params)
+      |> Result.map List.rev
+  in
+  let int_param ~expected name default =
+    match List.assoc_opt name pairs with
+    | None -> Ok default
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None ->
+            Error
+              (Printf.sprintf "%s: %s must be an integer (got %S, expected %s)"
+                 kind name v expected))
+  in
+  let* spec =
+    match kind with
+    | "fat-tree" -> (
+        match
+          List.find_opt (fun (k, _) -> k <> "k") pairs
+        with
+        | Some (bad, _) ->
+            Error
+              (Printf.sprintf
+                 "fat-tree: unknown parameter %S (expected k=<even int>)" bad)
+        | None ->
+            let* k = int_param ~expected:"k=<even int>" "k" 4 in
+            Ok (Fat_tree { k }))
+    | "leaf-spine" -> (
+        match
+          List.find_opt
+            (fun (k, _) -> k <> "spines" && k <> "leaves" && k <> "hosts")
+            pairs
+        with
+        | Some (bad, _) ->
+            Error
+              (Printf.sprintf
+                 "leaf-spine: unknown parameter %S (expected spines=, leaves=, \
+                  hosts=)"
+                 bad)
+        | None ->
+            let* spines = int_param ~expected:"spines=<int>" "spines" 2 in
+            let* leaves = int_param ~expected:"leaves=<int>" "leaves" 4 in
+            let* hosts_per_leaf = int_param ~expected:"hosts=<int>" "hosts" 4 in
+            Ok (Leaf_spine { spines; leaves; hosts_per_leaf }))
+    | other ->
+        Error
+          (Printf.sprintf
+             "unknown topology %S (expected fat-tree:k=N or \
+              leaf-spine:spines=N,leaves=N,hosts=N)"
+             other)
+  in
+  let* () = validate spec in
+  Ok spec
+
+let host_mac ~switch ~index = Mac.of_int ((switch lsl 8) lor (index + 1))
+
+(* Fat-tree dpid plan (doc/TOPOLOGY.md): with h = k/2, cores get
+   1..h^2, then aggregation pod-major (pod p aggregation a is
+   h^2 + p*h + a + 1), then edge pod-major. Edge ports 1..h face
+   hosts, h+1..k face the pod's aggregations; aggregation ports 1..h
+   face the pod's edges, h+1..k face cores; core port p+1 faces pod p.
+   Aggregation a peers exactly with cores a*h .. a*h+h-1. *)
+let build_fat_tree ~latency ~k =
+  let topology = Topo.create () in
+  let h = k / 2 in
+  let core c = 1 + c in
+  let agg p a = 1 + (h * h) + (p * h) + a in
+  let edge p e = 1 + (h * h) + (k * h) + (p * h) + e in
+  for c = 0 to (h * h) - 1 do
+    Topo.add_switch topology (core c)
+  done;
+  for p = 0 to k - 1 do
+    for a = 0 to h - 1 do
+      Topo.add_switch topology (agg p a)
+    done;
+    for e = 0 to h - 1 do
+      Topo.add_switch topology (edge p e)
+    done
+  done;
+  for p = 0 to k - 1 do
+    for a = 0 to h - 1 do
+      (* Aggregation a of every pod uplinks to the same h cores. *)
+      for j = 0 to h - 1 do
+        Topo.link topology ~latency
+          (Topo.Sw (agg p a), h + 1 + j)
+          (Topo.Sw (core ((a * h) + j)), p + 1)
+      done;
+      for e = 0 to h - 1 do
+        Topo.link topology ~latency
+          (Topo.Sw (agg p a), 1 + e)
+          (Topo.Sw (edge p e), h + 1 + a)
+      done
+    done
+  done;
+  let hosts = ref [] in
+  for p = 0 to k - 1 do
+    for e = 0 to h - 1 do
+      for i = 0 to h - 1 do
+        let name = Printf.sprintf "h%d-%d-%d" p e i in
+        Topo.add_host topology name;
+        Topo.link topology ~latency (Topo.Host name, 0)
+          (Topo.Sw (edge p e), 1 + i);
+        hosts :=
+          {
+            hs_name = name;
+            hs_ip = Ipv4.of_octets 10 p e (2 + i);
+            hs_mac = host_mac ~switch:(edge p e) ~index:i;
+            hs_switch = edge p e;
+            hs_port = 1 + i;
+          }
+          :: !hosts
+      done
+    done
+  done;
+  let tier name dpids = { tier_name = name; tier_dpids = dpids } in
+  {
+    spec = Fat_tree { k };
+    topology;
+    hosts = Array.of_list (List.rev !hosts);
+    tiers =
+      [
+        tier "core" (List.init (h * h) core);
+        tier "aggregation"
+          (List.concat_map (fun p -> List.init h (agg p)) (List.init k Fun.id));
+        tier "edge"
+          (List.concat_map (fun p -> List.init h (edge p)) (List.init k Fun.id));
+      ];
+  }
+
+(* Leaf-spine dpid plan: spines 1..s, leaves s+1..s+l. Leaf ports
+   1..h face hosts, h+1..h+s face spines (port h+1+j to spine j);
+   spine port i+1 faces leaf i. *)
+let build_leaf_spine ~latency ~spines ~leaves ~hosts_per_leaf =
+  let topology = Topo.create () in
+  let spine j = 1 + j in
+  let leaf i = 1 + spines + i in
+  for j = 0 to spines - 1 do
+    Topo.add_switch topology (spine j)
+  done;
+  for i = 0 to leaves - 1 do
+    Topo.add_switch topology (leaf i)
+  done;
+  for i = 0 to leaves - 1 do
+    for j = 0 to spines - 1 do
+      Topo.link topology ~latency
+        (Topo.Sw (leaf i), hosts_per_leaf + 1 + j)
+        (Topo.Sw (spine j), i + 1)
+    done
+  done;
+  let hosts = ref [] in
+  for i = 0 to leaves - 1 do
+    for x = 0 to hosts_per_leaf - 1 do
+      let name = Printf.sprintf "h%d-%d" i x in
+      Topo.add_host topology name;
+      Topo.link topology ~latency (Topo.Host name, 0) (Topo.Sw (leaf i), 1 + x);
+      hosts :=
+        {
+          hs_name = name;
+          hs_ip = Ipv4.of_octets 10 1 i (1 + x);
+          hs_mac = host_mac ~switch:(leaf i) ~index:x;
+          hs_switch = leaf i;
+          hs_port = 1 + x;
+        }
+        :: !hosts
+    done
+  done;
+  {
+    spec = Leaf_spine { spines; leaves; hosts_per_leaf };
+    topology;
+    hosts = Array.of_list (List.rev !hosts);
+    tiers =
+      [
+        { tier_name = "spine"; tier_dpids = List.init spines spine };
+        { tier_name = "leaf"; tier_dpids = List.init leaves leaf };
+      ];
+  }
+
+let build ?(latency = Sim.Time.us 10) spec =
+  match validate spec with
+  | Error e -> invalid_arg ("Fabric.build: " ^ e)
+  | Ok () -> (
+      match spec with
+      | Fat_tree { k } -> build_fat_tree ~latency ~k
+      | Leaf_spine { spines; leaves; hosts_per_leaf } ->
+          build_leaf_spine ~latency ~spines ~leaves ~hosts_per_leaf)
+
+let describe t =
+  let tiers =
+    String.concat ", "
+      (List.map
+         (fun tier ->
+           Printf.sprintf "%d %s" (List.length tier.tier_dpids) tier.tier_name)
+         t.tiers)
+  in
+  Printf.sprintf "%s: %d switches (%s), %d hosts, %d links"
+    (spec_to_string t.spec)
+    (List.length (Topo.switches t.topology))
+    tiers (Array.length t.hosts)
+    (List.length (Topo.links t.topology))

@@ -1,0 +1,53 @@
+(** Generated datacenter fabrics: parameterized k-ary fat-tree and
+    leaf-spine topologies with deterministic dpid numbering, port
+    conventions and host placement, so fabric-scale scenarios and
+    benchmarks are reproducible byte-for-byte. The conventions
+    (who gets which dpid, which port faces what) are specified in
+    doc/TOPOLOGY.md; `netsim fabric --topo SPEC` is the CLI entry. *)
+
+open Netcore
+
+type spec =
+  | Fat_tree of { k : int }
+      (** [k] even, in [2, 32]: [k] pods of [k/2] edge + [k/2]
+          aggregation switches, [(k/2)^2] cores, [k^3/4] hosts. *)
+  | Leaf_spine of { spines : int; leaves : int; hosts_per_leaf : int }
+      (** Every leaf connects to every spine;
+          [spines] in [1, 64], [leaves] and [hosts_per_leaf] in
+          [1, 250]. *)
+
+type host_spec = {
+  hs_name : string;
+  hs_ip : Ipv4.t;
+  hs_mac : Mac.t;
+  hs_switch : int;  (** The edge/leaf dpid the host hangs off. *)
+  hs_port : int;  (** The switch port facing the host. *)
+}
+
+type tier = { tier_name : string; tier_dpids : int list }
+
+type t = {
+  spec : spec;
+  topology : Openflow.Topology.t;
+  hosts : host_spec array;  (** In placement order (deterministic). *)
+  tiers : tier list;  (** core/aggregation/edge or spine/leaf. *)
+}
+
+val validate : spec -> (unit, string) result
+(** Parameter range checks; the error string is operator-facing (it is
+    what [netsim --topo] prints). *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses ["fat-tree:k=8"] / ["leaf-spine:spines=4,leaves=8,hosts=16"].
+    Omitted parameters default to [fat-tree:k=4] and
+    [leaf-spine:spines=2,leaves=4,hosts=4]. Validates ranges. *)
+
+val spec_to_string : spec -> string
+(** Canonical spec syntax, [spec_of_string]-parsable. *)
+
+val build : ?latency:Sim.Time.t -> spec -> t
+(** Generate the fabric (default link latency 10us everywhere).
+    @raise Invalid_argument when {!validate} rejects the spec. *)
+
+val describe : t -> string
+(** One-line summary: switch count by tier, hosts, links. *)

@@ -1,0 +1,71 @@
+Generated fabrics (doc/TOPOLOGY.md): the fabric scenario builds the
+spec'd topology, prints its deterministic shape and a sample
+precomputed route, and pushes one flow across the whole fabric.
+
+  $ identxx-netsim fabric --topo fat-tree:k=4
+  fat-tree:k=4: 20 switches (4 core, 8 aggregation, 8 edge), 16 hosts, 48 links
+  route h0-0-0 -> h3-1-1: s13 -> s5 -> s1 -> s11 -> s20
+  fabric: one cross-fabric flow over fat-tree:k=4
+  
+  === trace ===
+        0s  h0-0-0       tx [00:00:00:00:0d:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:50000 -> 10.3.1.3:80]
+      10us  s13          packet-in -> controller [00:00:00:00:0d:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:50000 -> 10.3.1.3:80]
+      60us  controller   -> s13 packet-out port=1 [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.3.1.3:49152 -> 10.0.0.2:783]
+      60us  controller   -> s20 packet-out port=2 [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:49152 -> 10.3.1.3:783]
+     120us  h0-0-0       rx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.3.1.3:49152 -> 10.0.0.2:783]
+     120us  h0-0-0       tx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:783 -> 10.3.1.3:49152]
+     120us  h3-1-1       rx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:49152 -> 10.3.1.3:783]
+     120us  h3-1-1       tx [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.3.1.3:783 -> 10.0.0.2:49152]
+     130us  s13          packet-in -> controller [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:783 -> 10.3.1.3:49152]
+     130us  s20          packet-in -> controller [00:00:00:00:00:00 -> 00:00:00:00:00:00 vlan:untagged tcp 10.3.1.3:783 -> 10.0.0.2:49152]
+     180us  controller   -> s13 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.2/32 nw_dst=10.3.1.3/32 nw_proto=tcp tp_src=50000 tp_dst=80} -> output:3
+     180us  controller   -> s5 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.2/32 nw_dst=10.3.1.3/32 nw_proto=tcp tp_src=50000 tp_dst=80} -> output:3
+     180us  controller   -> s1 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.2/32 nw_dst=10.3.1.3/32 nw_proto=tcp tp_src=50000 tp_dst=80} -> output:4
+     180us  controller   -> s11 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.2/32 nw_dst=10.3.1.3/32 nw_proto=tcp tp_src=50000 tp_dst=80} -> output:2
+     180us  controller   -> s20 flow-mod add prio=32768 {dl_type=ipv4 nw_src=10.0.0.2/32 nw_dst=10.3.1.3/32 nw_proto=tcp tp_src=50000 tp_dst=80} -> output:2
+     180us  controller   -> s13 packet-out port=table [00:00:00:00:0d:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:50000 -> 10.3.1.3:80]
+     280us  h3-1-1       rx [00:00:00:00:0d:01 -> 00:00:00:00:00:00 vlan:untagged tcp 10.0.0.2:50000 -> 10.3.1.3:80]
+  
+  === summary ===
+  packets delivered to hosts: 3
+  packets dropped:            0
+  packet-ins:                 3
+  controller: flows=1 allowed=1 blocked=0 queries=2 responses=2
+  controller: query timeouts=0 retries sent=0
+
+The default spec is fat-tree:k=4, so the shape line matches:
+
+  $ identxx-netsim fabric | head -2
+  fat-tree:k=4: 20 switches (4 core, 8 aggregation, 8 edge), 16 hosts, 48 links
+  route h0-0-0 -> h3-1-1: s13 -> s5 -> s1 -> s11 -> s20
+
+A leaf-spine fabric routes leaf -> spine -> leaf:
+
+  $ identxx-netsim fabric --topo leaf-spine:spines=2,leaves=3,hosts=2 | head -3
+  leaf-spine:spines=2,leaves=3,hosts=2: 5 switches (2 spine, 3 leaf), 6 hosts, 12 links
+  route h0-0 -> h2-1: s3 -> s1 -> s5
+  fabric: one cross-fabric flow over leaf-spine:spines=2,leaves=3,hosts=2
+
+Invalid specs fail fast with the generator's message:
+
+  $ identxx-netsim fabric --topo fat-tree:k=5
+  netsim: --topo: fat-tree: k must be an even integer in [2, 32] (got 5)
+  [1]
+  $ identxx-netsim fabric --topo fat-tree:k=40
+  netsim: --topo: fat-tree: k must be an even integer in [2, 32] (got 40)
+  [1]
+  $ identxx-netsim fabric --topo fat-tree:pods=4
+  netsim: --topo: fat-tree: unknown parameter "pods" (expected k=<even int>)
+  [1]
+  $ identxx-netsim fabric --topo mesh:n=3
+  netsim: --topo: unknown topology "mesh" (expected fat-tree:k=N or leaf-spine:spines=N,leaves=N,hosts=N)
+  [1]
+  $ identxx-netsim fabric --topo leaf-spine:spines=0
+  netsim: --topo: leaf-spine: spines must be in [1, 64] (got 0)
+  [1]
+  $ identxx-netsim fabric --topo leaf-spine:spines=two
+  netsim: --topo: leaf-spine: spines must be an integer (got "two", expected spines=<int>)
+  [1]
+  $ identxx-netsim fig1 --topo fat-tree:k=4
+  netsim: --topo applies to the fabric and burst scenarios
+  [1]
