@@ -62,7 +62,7 @@ let bench_fig1 =
    connect/disconnect bookkeeping. The cold member of the group runs the
    identical harness with the fast path disabled, so the warm/cold ratio
    isolates what the caches save. *)
-let fastpath_network ?(observe = false) ?spans ~fastpath () =
+let fastpath_network ?(observe = false) ?spans ?recorder ~fastpath () =
   let config =
     {
       C.default_config with
@@ -71,7 +71,7 @@ let fastpath_network ?(observe = false) ?spans ~fastpath () =
       C.fastpath = fastpath;
     }
   in
-  let s = Deploy.simple_network ?spans ~config () in
+  let s = Deploy.simple_network ?spans ?recorder ~config () in
   (* Representative deployment config, so the cold exchange carries its
      genuine per-flow cost: both daemons sign their answers (§3.4) and
      carry an administrator configuration of realistic size — the
@@ -778,11 +778,61 @@ let bench_obs =
       (Staged.stage (fun () -> ignore (Obs.Export.prometheus reg)));
   ]
 
+(* A 1000-series registry — the cardinality a real per-source /
+   per-shard deployment reaches — prices the exporter and a window
+   close (a full snapshot diff) at scale. *)
+let bench_obs_scale =
+  let reg = Obs.Registry.create () in
+  for i = 0 to 499 do
+    let labels = [ ("src", Printf.sprintf "10.0.%d.%d" (i / 250) (i mod 250)) ] in
+    Obs.Registry.Counter.add
+      (Obs.Registry.counter reg ~labels "bench_pkt_total")
+      (i mod 7);
+    Obs.Registry.Gauge.set (Obs.Registry.gauge reg ~labels "bench_depth")
+      (float_of_int i)
+  done;
+  let window = Obs.Window.create ~interval:1e-9 ~now:0. reg in
+  let now = ref 0. in
+  let recorder = Obs.Recorder.create ~enabled:true () in
+  [
+    Test.make ~name:"obs/prometheus-export-1k-series"
+      (Staged.stage (fun () -> ignore (Obs.Export.prometheus reg)));
+    Test.make ~name:"obs/window-close-1k-series"
+      (Staged.stage (fun () ->
+           now := !now +. 1.;
+           ignore (Obs.Window.close window ~now:!now)));
+    Test.make ~name:"obs/recorder-record"
+      (Staged.stage (fun () ->
+           Obs.Recorder.record recorder ~at:0.
+             ~attrs:[ ("flow", "tcp 10.0.0.1:50000 -> 10.0.0.2:80") ]
+             "packet-in"));
+  ]
+
 let bench_obs_flow_setup =
   let s = fastpath_network ~observe:true ~fastpath:fastpath_on () in
   let iter = flow_setup_iter s in
   iter ();
   Test.make ~name:"obs/flow-setup-warm-metrics-on" (Staged.stage iter)
+
+(* The continuous-monitoring overhead bar: the exact warm flow-setup
+   harness with the flight recorder enabled and a health engine ticking
+   per flow (windows close on their interval, so a tick is a float
+   compare — the recorder events are the per-flow cost). Must land
+   within 10% of obs/flow-setup-warm-metrics-on. *)
+let bench_obs_flow_setup_health =
+  let recorder = Obs.Recorder.create ~enabled:true () in
+  let s = fastpath_network ~observe:true ~recorder ~fastpath:fastpath_on () in
+  let obs = C.metrics s.Deploy.controller in
+  let health =
+    Obs.Health.create ~recorder ~registry:obs
+      (Obs.Window.create ~interval:3600. ~now:0. obs)
+  in
+  let iter = flow_setup_iter s in
+  iter ();
+  Test.make ~name:"obs/flow-setup-warm-health-on"
+    (Staged.stage (fun () ->
+         iter ();
+         ignore (Obs.Health.step health ~now:0.)))
 
 (* --- tracing ----------------------------------------------------------- *)
 
@@ -843,8 +893,10 @@ let tests =
        bench_host_attach;
        bench_conn_state;
        bench_obs_flow_setup;
+       bench_obs_flow_setup_health;
      ]
-    @ bench_concurrent_burst @ bench_obs @ bench_trace @ bench_proto
+    @ bench_concurrent_burst @ bench_obs @ bench_obs_scale @ bench_trace
+    @ bench_proto
     @ bench_crypto @ bench_packet @ bench_granularity)
 
 (* Run every benchmark body exactly once, untimed — `dune build

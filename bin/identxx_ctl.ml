@@ -1056,9 +1056,24 @@ let metrics_cmd =
                         Printf.printf "counter   %s = %d\n" name c
                     | Obs.Registry.Gauge_v g ->
                         Printf.printf "gauge     %s = %g\n" name g
-                    | Obs.Registry.Histogram_v { sum; count; _ } ->
-                        Printf.printf "histogram %s count=%d sum=%g\n" name
-                          count sum)
+                    | Obs.Registry.Histogram_v { buckets; sum; count } ->
+                        (* Quantiles estimated from the bucket counts
+                           (Prometheus-style interpolation), so operators
+                           get p50/p95/p99 without the Prometheus path. *)
+                        if count = 0 then
+                          Printf.printf "histogram %s count=%d sum=%g\n" name
+                            count sum
+                        else
+                          let q p =
+                            match
+                              Obs.Registry.estimate_quantile ~buckets ~count p
+                            with
+                            | Some v -> Printf.sprintf "%g" v
+                            | None -> "-"
+                          in
+                          Printf.printf
+                            "histogram %s count=%d sum=%g p50=%s p95=%s p99=%s\n"
+                            name count sum (q 0.5) (q 0.95) (q 0.99))
                   series);
             0)
   in
@@ -1182,6 +1197,124 @@ let trace_cmd =
           as an indented timing tree with self-times")
     Term.(const run $ file)
 
+(* --- health: the rule registry and flight-recorder dump renderer --- *)
+
+let health_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"DUMP") in
+  let rules =
+    Arg.(
+      value & flag
+      & info [ "rules" ]
+          ~doc:
+            "List the health rule registry (name, detection kind, watched \
+             metric, grouping) instead of rendering a dump.")
+  in
+  let us f = f *. 1e6 in
+  let j_str k v = Option.bind (Obs.Json.member k v) Obs.Json.to_str in
+  let j_num k v = Option.bind (Obs.Json.member k v) Obs.Json.to_float in
+  let print_rules () =
+    List.iter
+      (fun (r : Obs.Health.rule) ->
+        Printf.printf "%s: %s on %s%s\n    %s\n" r.Obs.Health.r_name
+          (Obs.Health.kind_to_string r.Obs.Health.r_kind)
+          r.Obs.Health.r_metric
+          (match r.Obs.Health.r_group_by with
+          | [] -> ""
+          | by -> " by " ^ String.concat "," by)
+          r.Obs.Health.r_help)
+      Obs.Health.default_rules
+  in
+  let render_dump file =
+    let lines =
+      String.split_on_char '\n' (read_file file)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec parse acc = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest -> (
+          match Obs.Json.of_string l with
+          | Ok v -> parse (v :: acc) rest
+          | Error e -> Error e)
+    in
+    match parse [] lines with
+    | Error e ->
+        Printf.eprintf "error: %s: %s\n" file e;
+        1
+    | Ok [] ->
+        Printf.eprintf "error: %s: empty dump\n" file;
+        1
+    | Ok (header :: events) ->
+        (match j_str "kind" header with
+        | Some "flight-recorder" -> ()
+        | _ ->
+            Printf.eprintf "error: %s: not a flight-recorder dump\n" file;
+            exit 1);
+        let reason = Option.value ~default:"?" (j_str "reason" header) in
+        let at = Option.value ~default:0. (j_num "at" header) in
+        let dropped = Option.value ~default:0. (j_num "dropped" header) in
+        Printf.printf "flight recorder: %d events (%g dropped) dumped @%gus\n"
+          (List.length events) dropped (us at);
+        let is_rule =
+          List.exists
+            (fun (r : Obs.Health.rule) -> r.Obs.Health.r_name = reason)
+            Obs.Health.default_rules
+        in
+        Printf.printf "%s: %s\n"
+          (if is_rule then "trigger (health rule)" else "reason")
+          reason;
+        (* Per-kind totals, then the timeline itself (events arrive in
+           canonical (at, kind, attrs) order from the dumper). *)
+        let kinds = Hashtbl.create 8 in
+        List.iter
+          (fun ev ->
+            let k = Option.value ~default:"?" (j_str "kind" ev) in
+            Hashtbl.replace kinds k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k)))
+          events;
+        let counts =
+          Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds []
+          |> List.sort compare
+        in
+        Printf.printf "by kind:%s\n"
+          (String.concat ""
+             (List.map (fun (k, n) -> Printf.sprintf " %s=%d" k n) counts));
+        List.iter
+          (fun ev ->
+            let k = Option.value ~default:"?" (j_str "kind" ev) in
+            let eat = Option.value ~default:0. (j_num "at" ev) in
+            Printf.printf "  @%gus %s" (us eat) k;
+            (match Obs.Json.member "attrs" ev with
+            | Some (Obs.Json.Obj kvs) ->
+                List.iter
+                  (fun (ak, av) ->
+                    match Obs.Json.to_str av with
+                    | Some s -> Printf.printf " %s=%s" ak s
+                    | None -> ())
+                  kvs
+            | _ -> ());
+            print_newline ())
+          events;
+        0
+  in
+  let run file rules =
+    if rules then begin
+      print_rules ();
+      0
+    end
+    else
+      match file with
+      | Some f -> render_dump f
+      | None ->
+          Printf.eprintf "error: health needs a DUMP file (or --rules)\n";
+          1
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Render a flight-recorder dump (netsim --flight-out) as an event \
+          timeline, or list the health rule registry with --rules")
+    Term.(const run $ file $ rules)
+
 (* --- signing workflow: keygen / sign / verify ---
    The delegation figures need requirements signed by a principal whose
    public handle appears in a controller dict. These commands drive the
@@ -1288,6 +1421,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; fmt_cmd; eval_cmd; daemon_check_cmd; analyze_cmd;
-            compile_cmd; matrix_cmd; metrics_cmd; trace_cmd; keygen_cmd;
-            sign_cmd; verify_cmd;
+            compile_cmd; matrix_cmd; metrics_cmd; trace_cmd; health_cmd;
+            keygen_cmd; sign_cmd; verify_cmd;
           ]))

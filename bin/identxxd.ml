@@ -66,7 +66,8 @@ let load_table processes content =
                  ~port:(int_of_string port)
            | _ -> failwith (Printf.sprintf "table line %d: unparsable" (lineno + 1)))
 
-let run ip configs table_path peer cache_expires metrics_path metrics_every =
+let run ip configs table_path peer cache_expires metrics_path metrics_every
+    health_every =
   let host_ip = Netcore.Ipv4.of_string ip in
   let peer_ip = Netcore.Ipv4.of_string peer in
   let processes = Identxx.Process_table.create () in
@@ -105,12 +106,33 @@ let run ip configs table_path peer cache_expires metrics_path metrics_every =
      snapshot (identxx_ctl metrics reads it) every N queries and at
      EOF. *)
   let obs = Obs.Registry.create () in
-  (match metrics_path with
-  | Some _ ->
-      Identxx.Daemon.set_metrics daemon ~clock:Sys.time
-        ~labels:[ ("host", ip) ]
-        obs
-  | None -> ());
+  if metrics_path <> None || health_every > 0 then
+    Identxx.Daemon.set_metrics daemon ~clock:Sys.time
+      ~labels:[ ("host", ip) ]
+      obs;
+  (* The health engine closes a window every --health-every queries on
+     the wall clock (the netsim twin closes on the simulated clock);
+     fired events print to stderr as JSON lines, keeping stdout pure
+     response bytes. *)
+  let health =
+    if health_every > 0 then
+      Some
+        (Obs.Health.create ~registry:obs
+           (Obs.Window.create ~interval:1. ~now:(Sys.time ()) obs))
+    else None
+  in
+  let health_step () =
+    match health with
+    | None -> ()
+    | Some h ->
+        List.iter
+          (fun e ->
+            output_string stderr
+              (Obs.Json.to_string (Obs.Health.event_to_json e));
+            output_char stderr '\n';
+            flush stderr)
+          (Obs.Health.force_step h ~now:(Sys.time ()))
+  in
   let dump_metrics () =
     match metrics_path with
     | None -> ()
@@ -146,7 +168,8 @@ let run ip configs table_path peer cache_expires metrics_path metrics_every =
               flush stdout
           | None -> print_string "\n"));
       incr seen;
-      if metrics_every > 0 && !seen mod metrics_every = 0 then dump_metrics ()
+      if metrics_every > 0 && !seen mod metrics_every = 0 then dump_metrics ();
+      if health_every > 0 && !seen mod health_every = 0 then health_step ()
     end
   in
   (try
@@ -159,6 +182,7 @@ let run ip configs table_path peer cache_expires metrics_path metrics_every =
        end
      done
    with End_of_file -> answer ());
+  health_step ();
   dump_metrics ();
   0
 
@@ -212,12 +236,21 @@ let () =
                 queries (0 = only at exit) — the periodic dump for \
                 long-running filters.")
   in
+  let health_every =
+    Arg.(
+      value & opt int 0
+      & info [ "health-every" ] ~docv:"N"
+          ~doc:"Close a health window (windowed registry sampling plus the \
+                default anomaly rules, evaluated on the wall clock) after \
+                every N queries and at exit; fired health events print to \
+                stderr as JSON lines. 0 (the default) disables the engine.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "identxxd" ~version:"1.0.0"
          ~doc:"ident++ daemon: answer queries from stdin")
       Term.(
         const run $ ip $ configs $ table $ peer $ cache_expires $ metrics
-        $ metrics_every)
+        $ metrics_every $ health_every)
   in
   exit (Cmd.eval' cmd)

@@ -23,6 +23,47 @@ let sim_clock engine () = Sim.Time.to_float_s (Sim.Engine.now engine)
 let host_metrics obs engine hosts =
   List.iter (fun h -> Identxx.Host.set_metrics h ~clock:(sim_clock engine) obs) hosts
 
+(* Continuous-monitoring state threaded through every scenario builder:
+   the flight recorder (handed to each controller), the optional
+   windowed health engine, and any hosts to silence. Health windows
+   close on the simulated clock at a fixed schedule of [mon_ticks]
+   pre-scheduled closes (a self-rescheduling tick would keep the
+   event-driven sim alive forever), so runs with the same seed dump
+   byte-identical health timelines whatever the shard count. *)
+type mon = {
+  mon_recorder : Obs.Recorder.t;
+  mon_health : float option;
+  mon_silence : string list;
+  mon_ticks : int;
+  mutable mon_engine : Obs.Health.t option;
+}
+
+let mon_arm mon ~engine ~obs ~spans hosts =
+  List.iter
+    (fun name ->
+      match List.find_opt (fun h -> Identxx.Host.name h = name) hosts with
+      | Some h ->
+          Identxx.Daemon.set_behaviour (Identxx.Host.daemon h)
+            Identxx.Daemon.Silent
+      | None ->
+          prerr_endline ("netsim: --silence: no host named " ^ name);
+          exit 1)
+    mon.mon_silence;
+  match mon.mon_health with
+  | None -> ()
+  | Some interval ->
+      let window = Obs.Window.create ~interval ~now:0. obs in
+      let health =
+        Obs.Health.create ~recorder:mon.mon_recorder ~spans ~registry:obs
+          window
+      in
+      mon.mon_engine <- Some health;
+      for k = 1 to mon.mon_ticks do
+        let at = float_of_int k *. interval in
+        Sim.Engine.schedule engine ~delay:(Sim.Time.of_float_s at) (fun () ->
+            ignore (Obs.Health.force_step health ~now:at))
+      done
+
 (* With --proactive, give the compiled flow-mods (in flight on the
    control channel since the policy was loaded) time to land before the
    first packet: deployed switches get their table at connect time, long
@@ -115,10 +156,14 @@ let write_json ~scenario ~file ~controllers network =
   close_out oc;
   Format.printf "wrote %s@." file
 
-let fig1 ?extra_flow ~arm ~config ~obs ~spans () =
-  let s = Deploy.simple_network ~config ~obs ~spans () in
+let fig1 ?extra_flow ~arm ~config ~obs ~spans ~mon () =
+  let s =
+    Deploy.simple_network ~config ~obs ~spans ~recorder:mon.mon_recorder ()
+  in
   arm s.Deploy.network;
   host_metrics obs s.Deploy.engine [ s.Deploy.client; s.Deploy.server ];
+  mon_arm mon ~engine:s.Deploy.engine ~obs ~spans
+    [ s.Deploy.client; s.Deploy.server ];
   PS.add_exn (C.policy s.controller) ~name:"00"
     "block all\npass all with eq(@src[name], firefox) keep state";
   let proc = Identxx.Host.run s.client ~user:"alice" ~exe:"/usr/bin/firefox" () in
@@ -146,12 +191,14 @@ let fig1 ?extra_flow ~arm ~config ~obs ~spans () =
   Format.printf "Figure 1: client -> switch -> controller -> ident++ -> install -> deliver@.";
   (s.network, [ ("controller", s.controller) ])
 
-let linear ~arm ~config ~obs ~spans () =
+let linear ~arm ~config ~obs ~spans ~mon () =
   let engine, network, controller, hosts =
-    Deploy.linear_network ~config ~obs ~spans ~switches:4 ~hosts_per_switch:1 ()
+    Deploy.linear_network ~config ~obs ~spans ~recorder:mon.mon_recorder
+      ~switches:4 ~hosts_per_switch:1 ()
   in
   arm network;
   host_metrics obs engine (Array.to_list hosts);
+  mon_arm mon ~engine ~obs ~spans (Array.to_list hosts);
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
   let h1 = hosts.(0) and h4 = hosts.(3) in
   let proc = Identxx.Host.run h1 ~user:"u" ~exe:"/bin/app" () in
@@ -165,13 +212,14 @@ let linear ~arm ~config ~obs ~spans () =
   Format.printf "linear: one flow across a 4-switch chain@.";
   (network, [ ("controller", controller) ])
 
-let tree ~arm ~config ~obs ~spans () =
+let tree ~arm ~config ~obs ~spans ~mon () =
   let engine, network, controller, hosts =
-    Deploy.tree_network ~config ~obs ~spans ~depth:3 ~fanout:2 ~hosts_per_edge:1
-      ()
+    Deploy.tree_network ~config ~obs ~spans ~recorder:mon.mon_recorder ~depth:3
+      ~fanout:2 ~hosts_per_edge:1 ()
   in
   arm network;
   host_metrics obs engine (Array.to_list hosts);
+  mon_arm mon ~engine ~obs ~spans (Array.to_list hosts);
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
   let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
   let proc = Identxx.Host.run src ~user:"u" ~exe:"/bin/app" () in
@@ -185,7 +233,7 @@ let tree ~arm ~config ~obs ~spans () =
   Format.printf "tree: cross-pod flow over a depth-3 binary tree (7 switches)@.";
   (network, [ ("controller", controller) ])
 
-let branches ~arm ~config ~obs ~spans () =
+let branches ~arm ~config ~obs ~spans ~mon () =
   let engine = Sim.Engine.create () in
   let topology = Topo.create () in
   Topo.add_switch topology 1;
@@ -196,8 +244,12 @@ let branches ~arm ~config ~obs ~spans () =
   Topo.link topology ~latency:(Sim.Time.ms 2) (Topo.Sw 1, 9) (Topo.Sw 2, 9);
   let network = Net.create ~engine ~topology () in
   arm network;
-  let ca = C.create ~config ~obs ~spans ~network ~id:0 () in
-  let cb = C.create ~config ~obs ~spans ~network ~id:1 () in
+  let ca =
+    C.create ~config ~obs ~spans ~recorder:mon.mon_recorder ~network ~id:0 ()
+  in
+  let cb =
+    C.create ~config ~obs ~spans ~recorder:mon.mon_recorder ~network ~id:1 ()
+  in
   Net.assign_switch network 1 0;
   Net.assign_switch network 2 1;
   PS.add_exn (C.policy ca) ~name:"00"
@@ -215,6 +267,7 @@ let branches ~arm ~config ~obs ~spans () =
   in
   List.iter (Deploy.attach_host network) [ a1; b1 ];
   host_metrics obs engine [ a1; b1 ];
+  mon_arm mon ~engine ~obs ~spans [ a1; b1 ];
   let proc = Identxx.Host.run a1 ~user:"u" ~exe:"/usr/bin/firefox" () in
   let flow =
     Identxx.Host.connect a1 ~proc ~dst:(Identxx.Host.ip b1) ~dst_port:80 ()
@@ -228,10 +281,10 @@ let branches ~arm ~config ~obs ~spans () =
 (* Stand up a generated fabric (Workload.Fabric): one switch per
    topology dpid, one ident++ host per placement slot, one controller
    for the whole fabric. *)
-let fabric_network ~config ~obs ~spans (fab : Fabric.t) =
+let fabric_network ~config ~obs ~spans ~recorder (fab : Fabric.t) =
   let engine = Sim.Engine.create () in
   let network = Net.create ~engine ~topology:fab.Fabric.topology () in
-  let controller = C.create ~config ~obs ~spans ~network ~id:0 () in
+  let controller = C.create ~config ~obs ~spans ~recorder ~network ~id:0 () in
   let hosts =
     Array.map
       (fun hs ->
@@ -247,14 +300,15 @@ let fabric_network ~config ~obs ~spans (fab : Fabric.t) =
    the deterministic shape and a sample precomputed route, then push
    one flow across the whole fabric — first host to last host, the
    longest generated path. *)
-let fabric ~topo ~arm ~config ~obs ~spans () =
+let fabric ~topo ~arm ~config ~obs ~spans ~mon () =
   let fab = Fabric.build topo in
   let engine, network, controller, hosts =
-    fabric_network ~config ~obs ~spans fab
+    fabric_network ~config ~obs ~spans ~recorder:mon.mon_recorder fab
   in
   arm network;
   let src = hosts.(0) and dst = hosts.(Array.length hosts - 1) in
   host_metrics obs engine [ src; dst ];
+  mon_arm mon ~engine ~obs ~spans [ src; dst ];
   PS.add_exn (C.policy controller) ~name:"00" "pass all";
   Format.printf "%s@." (Fabric.describe fab);
   (match
@@ -287,16 +341,19 @@ let fabric ~topo ~arm ~config ~obs ~spans () =
    15 concurrent misses share one wire exchange — the scenario the
    sharded flow-setup engine exists for. With --topo the same
    convergent burst runs over a generated fabric instead. *)
-let burst ?fab ~arm ~config ~obs ~spans () =
+let burst ?fab ~arm ~config ~obs ~spans ~mon () =
   let engine, network, controller, hosts =
     match fab with
     | None ->
-        Deploy.linear_network ~config ~obs ~spans ~switches:4
-          ~hosts_per_switch:4 ()
-    | Some fab -> fabric_network ~config ~obs ~spans (Fabric.build fab)
+        Deploy.linear_network ~config ~obs ~spans
+          ~recorder:mon.mon_recorder ~switches:4 ~hosts_per_switch:4 ()
+    | Some fab ->
+        fabric_network ~config ~obs ~spans ~recorder:mon.mon_recorder
+          (Fabric.build fab)
   in
   arm network;
   host_metrics obs engine (Array.to_list hosts);
+  mon_arm mon ~engine ~obs ~spans (Array.to_list hosts);
   PS.add_exn (C.policy controller) ~name:"00"
     "block all\npass all with eq(@src[name], app) keep state";
   let target = hosts.(0) in
@@ -486,9 +543,39 @@ let () =
                 the --json report aggregate across shards, so the numbers \
                 are shard-count invariant.")
   in
+  let health =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "health" ] ~docv:"SECONDS"
+          ~doc:"Enable the windowed health engine with SECONDS-long windows \
+                on the simulated clock: 64 window closes are scheduled up \
+                front, each sampling the registry and evaluating the default \
+                health rules (see doc/OBSERVABILITY.md). Fired events print \
+                in a deterministic === health === section.")
+  in
+  let flight_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:"Enable the flight recorder and write its JSONL dump to FILE \
+                (- for stdout) at end of run; readable with identxx_ctl \
+                health. The dump reason is the last fired health rule, or \
+                end-of-run when none fired.")
+  in
+  let silence =
+    Arg.(
+      value & opt_all string []
+      & info [ "silence" ] ~docv:"HOST"
+          ~doc:"Make HOST's ident++ daemon silent (never answers) — the \
+                deterministic way to exercise query timeouts and breaker \
+                trips. Repeatable.")
+  in
   let run scenario topo pcap verbose json metrics metrics_json spans_file
       trace_out trace_sample extra_flow proactive fastpath attr_capacity
-      attr_ttl decision_capacity breaker_threshold breaker_backoff shards =
+      attr_ttl decision_capacity breaker_threshold breaker_backoff shards
+      health flight_out silence =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
@@ -501,6 +588,11 @@ let () =
       prerr_endline "netsim: --shards must be >= 0";
       exit 1
     end;
+    (match health with
+    | Some s when s <= 0. ->
+        prerr_endline "netsim: --health must be > 0";
+        exit 1
+    | _ -> ());
     let topo_spec =
       match topo with
       | None -> None
@@ -517,6 +609,18 @@ let () =
         exit 1
     | _ -> ());
     let obs = Obs.Registry.create () in
+    let recorder =
+      Obs.Recorder.create ~enabled:(Option.is_some flight_out) ()
+    in
+    let mon =
+      {
+        mon_recorder = recorder;
+        mon_health = health;
+        mon_silence = silence;
+        mon_ticks = 64;
+        mon_engine = None;
+      }
+    in
     let spans =
       Obs.Span.create
         ~enabled:(Option.is_some spans_file || Option.is_some trace_out)
@@ -555,7 +659,7 @@ let () =
               in
               ("fabric", fabric ~topo)
         in
-        let network, controllers = build ~arm ~config ~obs ~spans () in
+        let network, controllers = build ~arm ~config ~obs ~spans ~mon () in
         (* Network-level series are sampled from the simulator's own
            counters at snapshot time. *)
         Obs.Registry.counter_fn obs
@@ -568,6 +672,45 @@ let () =
           ~help:"Table-miss packets sent to a controller."
           "identxx_net_packet_ins_total" (fun () -> Net.packet_ins network);
         print_summary ~controllers network;
+        (match mon.mon_engine with
+        | None -> ()
+        | Some h ->
+            Format.printf "@.=== health ===@.";
+            Format.printf "windows closed: %d@." (Obs.Health.windows_closed h);
+            let evs = Obs.Health.events h in
+            Format.printf "events fired: %d@." (List.length evs);
+            List.iter
+              (fun e ->
+                Format.printf "  [w%d @%gs] %s%s value=%g threshold=%g@."
+                  e.Obs.Health.e_window e.Obs.Health.e_at e.Obs.Health.e_rule
+                  (match e.Obs.Health.e_labels with
+                  | [] -> ""
+                  | ls ->
+                      "{"
+                      ^ String.concat ","
+                          (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                      ^ "}")
+                  e.Obs.Health.e_value e.Obs.Health.e_threshold)
+              evs);
+        Option.iter
+          (fun file ->
+            let reason =
+              match mon.mon_engine with
+              | Some h -> (
+                  match List.rev (Obs.Health.events h) with
+                  | e :: _ -> e.Obs.Health.e_rule
+                  | [] -> "end-of-run")
+              | None -> "end-of-run"
+            in
+            let at =
+              Sim.Time.to_float_s (Sim.Engine.now (Net.engine network))
+            in
+            Obs.Recorder.dump_to ~reason ~at ~file recorder;
+            if file <> "-" then
+              Format.printf "wrote %d flight-recorder events to %s@."
+                (Obs.Recorder.count recorder)
+                file)
+          flight_out;
         if metrics then begin
           Format.printf "@.=== metrics (prometheus) ===@.%s"
             (Obs.Export.prometheus obs);
@@ -617,6 +760,7 @@ let () =
         const run $ scenario $ topo $ pcap $ verbose $ json $ metrics
         $ metrics_json $ spans_file $ trace_out $ trace_sample $ extra_flow
         $ proactive $ fastpath $ attr_capacity $ attr_ttl $ decision_capacity
-        $ breaker_threshold $ breaker_backoff $ shards)
+        $ breaker_threshold $ breaker_backoff $ shards $ health $ flight_out
+        $ silence)
   in
   exit (Cmd.eval' cmd)

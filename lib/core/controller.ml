@@ -253,6 +253,10 @@ type shard_ctx = {
   s_pending : pending Flow_tbl.t;
   s_fp : Fastpath.t;
   s_m : metrics;
+  s_labels : Obs.Registry.labels;
+  s_pin : (string, Obs.Registry.Counter.t) Hashtbl.t;
+      (* Per-source packet-in counters, cached by source address so the
+         hot path registers each (shard, src) series once. *)
 }
 
 type t = {
@@ -267,6 +271,7 @@ type t = {
   mutable local_answers : Ipv4.t -> Identxx.Key_value.section option;
   obs : Obs.Registry.t;
   spans : Obs.Span.t;
+  recorder : Obs.Recorder.t;
   shards_ : shard_ctx array;
       (* Always at least one: the unsharded controller is shard 0. *)
   driver : Shard.Engine.t option;
@@ -297,6 +302,7 @@ type t = {
 }
 
 let policy t = t.policy
+let recorder t = t.recorder
 let fastpath t = t.shards_.(0).s_fp
 let shard_count t = Array.length t.shards_
 let metrics t = t.obs
@@ -553,6 +559,22 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t sx ~flow
   (* A denied flow is exactly the trace an operator will want: override
      the head-sampling coin before the root is finished. *)
   if verdict.Pf.Eval.decision = Pf.Ast.Block then Obs.Span.force_sample span;
+  (* The flight recorder keeps no shard attribution: the same workload
+     must dump byte-identically whatever the shard count. *)
+  if Obs.Recorder.enabled t.recorder then
+    Obs.Recorder.record_lazy t.recorder ~at:now_s "decision"
+      (lazy
+        [
+          ("flow", Five_tuple.to_string flow);
+          ( "verdict",
+            match verdict.Pf.Eval.decision with
+            | Pf.Ast.Pass -> "pass"
+            | Pf.Ast.Block -> "block" );
+          ( "rule",
+            match verdict.Pf.Eval.matched with
+            | Some r -> string_of_int r.Pf.Ast.line
+            | None -> "default" );
+        ]);
   (match verdict.Pf.Eval.decision with
   | Pf.Ast.Pass ->
       Obs.Registry.Counter.inc sx.s_m.c_allowed;
@@ -566,7 +588,12 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t sx ~flow
       if Obs.Span.is_live span then
         Obs.Span.event span ~at:now_s
           (if installed then "install" else "no-path");
-      if installed then release_packets t packets
+      if installed then begin
+        if Obs.Recorder.enabled t.recorder then
+          Obs.Recorder.record_lazy t.recorder ~at:now_s "install"
+            (lazy [ ("flow", Five_tuple.to_string flow); ("kind", "path") ]);
+        release_packets t packets
+      end
   | Pf.Ast.Block -> (
       Obs.Registry.Counter.inc sx.s_m.c_blocked;
       if t.cfg.cache_denials then
@@ -574,7 +601,11 @@ let apply_verdict ?(span = Obs.Span.null) ?started ?trace_id t sx ~flow
         | (dpid, _, _) :: _ ->
             install_drop t ~dpid flow;
             if Obs.Span.is_live span then
-              Obs.Span.event span ~at:now_s "install-drop"
+              Obs.Span.event span ~at:now_s "install-drop";
+            if Obs.Recorder.enabled t.recorder then
+              Obs.Recorder.record_lazy t.recorder ~at:now_s "install"
+                (lazy
+                  [ ("flow", Five_tuple.to_string flow); ("kind", "drop") ])
         | [] -> ()));
   Obs.Span.finish t.spans ~at:now_s span
 
@@ -622,6 +653,14 @@ let fail_waiter t ~cause ~host w =
           Obs.Span.set_attr qspan "outcome" cause;
           Obs.Span.finish t.spans ~at qspan
         end;
+        if Obs.Recorder.enabled t.recorder then
+          Obs.Recorder.record_lazy t.recorder ~at "query-settled"
+            (lazy
+              [
+                ("flow", Five_tuple.to_string w.w_flow);
+                ("host", Ipv4.to_string host);
+                ("outcome", cause);
+              ]);
         (match w.w_end with
         | `Src -> p.await_src <- false
         | `Dst -> p.await_dst <- false);
@@ -673,6 +712,13 @@ let wire_send ?trace t sx ~(flow : Five_tuple.t) ~target_ip ~reply_to
     Identxx.Wire.query_packet ~to_ip:target_ip ~from_ip:reply_to query
   in
   Obs.Registry.Counter.inc sx.s_m.c_queries;
+  if Obs.Recorder.enabled t.recorder then
+    Obs.Recorder.record_lazy t.recorder ~at:(time_now_s t) "query-sent"
+      (lazy
+        [
+          ("flow", Five_tuple.to_string flow);
+          ("host", Ipv4.to_string target_ip);
+        ]);
   match attachment.Topo.node with
   | Topo.Sw dpid ->
       t.send_sw dpid
@@ -714,6 +760,29 @@ let send_query ?trace t sx ~(flow : Five_tuple.t) ~target_ip ~reply_to ~end_ =
 let start_flow t sx ~dpid ~in_port pkt (flow : Five_tuple.t) =
   Obs.Registry.Counter.inc sx.s_m.c_flows;
   let now_s = time_now_s t in
+  (* Per-source packet-in accounting: the series the packet_in_surge
+     health rule watches. Registration and the address formatting are
+     gated on the registry flag to keep the disabled path free. *)
+  if Obs.Registry.enabled t.obs then begin
+    let src_s = Ipv4.to_string flow.Five_tuple.src in
+    let pin =
+      match Hashtbl.find_opt sx.s_pin src_s with
+      | Some c -> c
+      | None ->
+          let c =
+            Obs.Registry.counter t.obs
+              ~help:"Packet-in table misses reaching the controller, by source."
+              ~labels:(sx.s_labels @ [ ("src", src_s) ])
+              "identxx_controller_packet_ins_total"
+          in
+          Hashtbl.replace sx.s_pin src_s c;
+          c
+    in
+    Obs.Registry.Counter.inc pin
+  end;
+  if Obs.Recorder.enabled t.recorder then
+    Obs.Recorder.record_lazy t.recorder ~at:now_s "packet-in"
+      (lazy [ ("flow", Five_tuple.to_string flow) ]);
   (* One root span — and one trace context — per table-miss flow.
      Attribute formatting is gated on the collector flag (the Sim.Trace
      discipline); when disabled every operation below runs against the
@@ -978,6 +1047,13 @@ let start_flow t sx ~dpid ~in_port pkt (flow : Five_tuple.t) =
                         Obs.Span.event sp ~at
                           ~attrs:[ ("host", Ipv4.to_string ip) ]
                           "breaker-trip";
+                      if Obs.Recorder.enabled t.recorder then
+                        Obs.Recorder.record_lazy t.recorder ~at "breaker"
+                          (lazy
+                            [
+                              ("host", Ipv4.to_string ip);
+                              ("state", "open");
+                            ]);
                       (* Propagate the trip to every other shard's
                          breaker — an explicit cross-shard message, so
                          the whole controller fails fast on this host. *)
@@ -993,6 +1069,14 @@ let start_flow t sx ~dpid ~in_port pkt (flow : Five_tuple.t) =
                       Obs.Span.set_attr qspan "outcome" "timeout";
                       Obs.Span.finish t.spans ~at qspan
                     end;
+                    if Obs.Recorder.enabled t.recorder then
+                      Obs.Recorder.record_lazy t.recorder ~at "query-settled"
+                        (lazy
+                          [
+                            ("flow", Five_tuple.to_string flow);
+                            ("host", Ipv4.to_string ip);
+                            ("outcome", "timeout");
+                          ]);
                     (* This flow initiated the exchange (a silent host
                        answers nobody): settle it and fail every other
                        waiter the same way. *)
@@ -1117,6 +1201,19 @@ let deliver_to_waiter t ~dtrace response w =
           Obs.Span.set_attr qspan "outcome" "answered";
           Obs.Span.finish t.spans ~at qspan
         end;
+        if Obs.Recorder.enabled t.recorder then
+          Obs.Recorder.record_lazy t.recorder ~at "query-settled"
+            (lazy
+              (let host =
+                 match w.w_end with
+                 | `Src -> w.w_flow.Five_tuple.src
+                 | `Dst -> w.w_flow.Five_tuple.dst
+               in
+               [
+                 ("flow", Five_tuple.to_string w.w_flow);
+                 ("host", Ipv4.to_string host);
+                 ("outcome", "answered");
+               ]));
         (match w.w_end with
         | `Src ->
             p.src_resp <- Some response;
@@ -1220,7 +1317,15 @@ let handle_response_direct t sx ~dpid ~from_ip ~to_ip response pkt =
           stitch_daemon_spans t qspan dtrace;
           Obs.Span.set_attr qspan "outcome" "answered";
           Obs.Span.finish t.spans ~at qspan
-        end
+        end;
+        if Obs.Recorder.enabled t.recorder then
+          Obs.Recorder.record_lazy t.recorder ~at "query-settled"
+            (lazy
+              [
+                ("flow", Five_tuple.to_string flow);
+                ("host", Ipv4.to_string from_ip);
+                ("outcome", "answered");
+              ])
       in
       if Ipv4.equal from_ip flow.Five_tuple.src then begin
         answered p.src_qspan p.src_sent;
@@ -1729,8 +1834,8 @@ let revoke_file t ~name =
   Policy_store.remove t.policy ~name;
   flush_cache t
 
-let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
-    ~id () =
+let create ?(config = default_config) ?keystore ?functions ?obs ?spans
+    ?(recorder = Obs.Recorder.null) ~network ~id () =
   let policy = Policy_store.create () in
   let decision =
     Decision.create ~default:config.default ?keystore ?functions ~policy ()
@@ -1789,6 +1894,8 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
           s_pending = Flow_tbl.create 64;
           s_fp = Fastpath.create config.fastpath;
           s_m = make_metrics obs ~labels:(shard_labels sid);
+          s_labels = shard_labels sid;
+          s_pin = Hashtbl.create 16;
         })
   in
   let t =
@@ -1804,6 +1911,7 @@ let create ?(config = default_config) ?keystore ?functions ?obs ?spans ~network
       local_answers = (fun _ -> None);
       obs;
       spans;
+      recorder;
       shards_;
       driver;
       conn;

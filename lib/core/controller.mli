@@ -100,6 +100,7 @@ val create :
   ?functions:Pf.Fnreg.t ->
   ?obs:Obs.Registry.t ->
   ?spans:Obs.Span.t ->
+  ?recorder:Obs.Recorder.t ->
   network:Openflow.Network.t ->
   id:Openflow.Network.controller_id ->
   unit ->
@@ -113,7 +114,13 @@ val create :
     for the catalog) — by default a private, enabled registry, so
     {!stats} works without any setup. [spans] is the flow-setup span
     collector — by default a {e disabled} private collector, since
-    retained spans are only useful to a caller holding the collector. *)
+    retained spans are only useful to a caller holding the collector.
+    [recorder] is the flight recorder fed with structured flow-setup
+    events (packet-in, query sent/settled, decision, install, breaker
+    transitions; see doc/OBSERVABILITY.md for the schema) — by default
+    {!Obs.Recorder.null}, so recording costs one branch per site.
+    Recorder events carry no controller or shard attribution: the same
+    workload dumps byte-identically whatever the shard count. *)
 
 val policy : t -> Policy_store.t
 
@@ -124,6 +131,10 @@ val metrics : t -> Obs.Registry.t
 val spans : t -> Obs.Span.t
 (** The flow-setup span collector (disabled unless [?spans] was given
     or a caller enables it). *)
+
+val recorder : t -> Obs.Recorder.t
+(** The flight recorder (the [?recorder] argument, or the shared
+    disabled {!Obs.Recorder.null}). *)
 
 val fastpath : t -> Fastpath.t
 (** Shard 0's fast-path state (caches and breaker) — the whole

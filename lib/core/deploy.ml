@@ -37,7 +37,7 @@ type simple = {
   server : Identxx.Host.t;
 }
 
-let simple_network ?config ?obs ?spans ?(client_ip = Ipv4.of_string "10.0.0.1")
+let simple_network ?config ?obs ?spans ?recorder ?(client_ip = Ipv4.of_string "10.0.0.1")
     ?(server_ip = Ipv4.of_string "10.0.0.2") () =
   let engine = Sim.Engine.create () in
   let topology = Topo.create () in
@@ -47,7 +47,7 @@ let simple_network ?config ?obs ?spans ?(client_ip = Ipv4.of_string "10.0.0.1")
   Topo.link topology (Topo.Host "client", 0) (Topo.Sw 1, 1);
   Topo.link topology (Topo.Host "server", 0) (Topo.Sw 1, 2);
   let network = Net.create ~engine ~topology () in
-  let controller = Controller.create ?config ?obs ?spans ~network ~id:0 () in
+  let controller = Controller.create ?config ?obs ?spans ?recorder ~network ~id:0 () in
   let client =
     Identxx.Host.create ~name:"client" ~mac:(Mac.of_int 0x0a0001) ~ip:client_ip ()
   in
@@ -60,7 +60,7 @@ let simple_network ?config ?obs ?spans ?(client_ip = Ipv4.of_string "10.0.0.1")
   watch_host controller server;
   { engine; topology; network; controller; client; server }
 
-let tree_network ?config ?obs ?spans ~depth ~fanout ~hosts_per_edge () =
+let tree_network ?config ?obs ?spans ?recorder ~depth ~fanout ~hosts_per_edge () =
   if depth < 1 || depth > 6 then invalid_arg "Deploy.tree_network: bad depth";
   if fanout < 1 || fanout > 16 then invalid_arg "Deploy.tree_network: bad fanout";
   if hosts_per_edge < 1 || hosts_per_edge > 100 then
@@ -102,13 +102,13 @@ let tree_network ?config ?obs ?spans ~depth ~fanout ~hosts_per_edge () =
       done)
     leaves;
   let network = Net.create ~engine ~topology () in
-  let controller = Controller.create ?config ?obs ?spans ~network ~id:0 () in
+  let controller = Controller.create ?config ?obs ?spans ?recorder ~network ~id:0 () in
   let hosts = Array.of_list (List.rev !hosts) in
   Array.iter (fun h -> attach_host network h) hosts;
   watch_hosts controller hosts;
   (engine, network, controller, hosts)
 
-let linear_network ?config ?obs ?spans ~switches ~hosts_per_switch () =
+let linear_network ?config ?obs ?spans ?recorder ~switches ~hosts_per_switch () =
   if switches < 1 || switches > 250 then
     invalid_arg "Deploy.linear_network: switches out of range";
   if hosts_per_switch < 0 || hosts_per_switch > 250 then
@@ -135,7 +135,7 @@ let linear_network ?config ?obs ?spans ~switches ~hosts_per_switch () =
     done
   done;
   let network = Net.create ~engine ~topology () in
-  let controller = Controller.create ?config ?obs ?spans ~network ~id:0 () in
+  let controller = Controller.create ?config ?obs ?spans ?recorder ~network ~id:0 () in
   let hosts = Array.of_list (List.rev !hosts) in
   Array.iter (fun h -> attach_host network h) hosts;
   watch_hosts controller hosts;

@@ -38,18 +38,20 @@ val simple_network :
   ?config:Controller.config ->
   ?obs:Obs.Registry.t ->
   ?spans:Obs.Span.t ->
+  ?recorder:Obs.Recorder.t ->
   ?client_ip:Ipv4.t ->
   ?server_ip:Ipv4.t ->
   unit ->
   simple
 (** The Figure-1 setup: one client, one switch, one server, one
     controller. Client defaults to 10.0.0.1, server to 10.0.0.2.
-    [obs]/[spans] are handed to {!Controller.create}. *)
+    [obs]/[spans]/[recorder] are handed to {!Controller.create}. *)
 
 val tree_network :
   ?config:Controller.config ->
   ?obs:Obs.Registry.t ->
   ?spans:Obs.Span.t ->
+  ?recorder:Obs.Recorder.t ->
   depth:int ->
   fanout:int ->
   hosts_per_edge:int ->
@@ -67,6 +69,7 @@ val linear_network :
   ?config:Controller.config ->
   ?obs:Obs.Registry.t ->
   ?spans:Obs.Span.t ->
+  ?recorder:Obs.Recorder.t ->
   switches:int ->
   hosts_per_switch:int ->
   unit ->

@@ -237,6 +237,27 @@ type value =
 
 type series = { name : string; help : string; labels : labels; value : value }
 
+let estimate_quantile ~buckets ~count q =
+  if count <= 0 || q < 0. || q > 1. then None
+  else
+    let rank = q *. float_of_int count in
+    (* Linear interpolation inside the first bucket whose cumulative
+       count reaches the rank (the Prometheus histogram_quantile
+       estimator). A rank past every finite bound lands in the +Inf
+       bucket, where the best point estimate the layout supports is the
+       highest finite bound. *)
+    let rec go lower prev_cum = function
+      | [] -> Some lower
+      | (bound, cum) :: rest ->
+          if float_of_int cum >= rank && cum > prev_cum then
+            let frac =
+              (rank -. float_of_int prev_cum) /. float_of_int (cum - prev_cum)
+            in
+            Some (lower +. ((bound -. lower) *. frac))
+          else go bound cum rest
+    in
+    go 0. 0 buckets
+
 let snapshot t =
   let rec compare_labels a b =
     match (a, b) with

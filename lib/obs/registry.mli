@@ -117,3 +117,14 @@ type series = {
 
 val snapshot : t -> series list
 (** Sorted by name, then labels. Callback series are sampled here. *)
+
+val estimate_quantile :
+  buckets:(float * int) list -> count:int -> float -> float option
+(** Prometheus-style quantile estimate from cumulative bucket counts
+    ([buckets] as in {!Histogram_v}: cumulative per finite upper bound,
+    in bound order; [count] the total including the implicit [+Inf]
+    bucket). Linear interpolation within the first bucket whose
+    cumulative count reaches [q * count], assuming observations spread
+    uniformly inside a bucket; a rank past every finite bound returns
+    the highest finite bound. [None] when [count = 0] or [q] is outside
+    [0, 1]. *)

@@ -1,0 +1,91 @@
+The windowed health engine and the flight recorder: `netsim --health S`
+closes a metrics window every S simulated seconds and evaluates the
+health rules on each close; `--flight-out` dumps the always-on bounded
+event recorder as JSONL, with the last-fired rule as the dump reason.
+Everything runs on the simulated clock, so the dumps are byte-stable.
+
+The rule registry, as `identxx_ctl health --rules` prints it (doclint
+checks this set against the doc/OBSERVABILITY.md table):
+
+  $ identxx_ctl health --rules
+  packet_in_surge: threshold(value > 500) on identxx_controller_packet_ins_total by src
+      packet-in rate from one source host exceeds 500/s
+  deny_latency_skew: quantile-skew(p95 > 4x p50, min 8 obs) on identxx_controller_flow_setup_seconds
+      flow-setup p95 exceeds 4x p50 (warm/cold gap a prober could measure)
+  breaker_flap: burn-rate(sum over 5 windows > 0.5) on identxx_fastpath_breaker_trips_total
+      circuit-breaker trips observed across the last 5 windows
+  shard_queue_imbalance: imbalance(max > 4x min, min 8) on identxx_shard_queue_depth by shard
+      hottest shard queue exceeds 4x the coolest (and at least 8 deep)
+  table_eviction_pressure: burn-rate(sum over 3 windows > 16) on identxx_switch_evictions_total by dpid
+      flow-table evictions on one switch exceed 16 over 3 windows
+  daemon_query_surge: threshold(value > 2000) on identxx_daemon_queries_total by host
+      ident++ queries to one host exceed 2000/s
+
+Shard-count invariance: health evaluation groups away the `shard` and
+`controller` labels and recorder events carry no shard attribution, so
+the same burst workload yields byte-identical health output and
+byte-identical flight dumps across --shards 1/2/8.
+
+  $ identxx-netsim burst --fastpath --shards 1 --health 0.0025 --flight-out dump.jsonl > out1.txt
+  $ cp dump.jsonl dump1.jsonl
+  $ identxx-netsim burst --fastpath --shards 2 --health 0.0025 --flight-out dump.jsonl > out2.txt
+  $ cp dump.jsonl dump2.jsonl
+  $ identxx-netsim burst --fastpath --shards 8 --health 0.0025 --flight-out dump.jsonl > out8.txt
+  $ cp dump.jsonl dump8.jsonl
+  $ cmp dump1.jsonl dump2.jsonl && cmp dump2.jsonl dump8.jsonl && echo dumps-identical
+  dumps-identical
+  $ sed -n '/=== health ===/,$p' out1.txt > h1.txt
+  $ sed -n '/=== health ===/,$p' out2.txt > h2.txt
+  $ sed -n '/=== health ===/,$p' out8.txt > h8.txt
+  $ cmp h1.txt h2.txt && cmp h2.txt h8.txt && cat h1.txt
+  === health ===
+  windows closed: 64
+  events fired: 0
+  wrote 91 flight-recorder events to dump.jsonl
+
+A second run of the same scenario reproduces the dump byte for byte:
+
+  $ identxx-netsim burst --fastpath --shards 2 --health 0.0025 --flight-out dump.jsonl > /dev/null
+  $ cmp dump.jsonl dump2.jsonl && echo rerun-identical
+  rerun-identical
+
+The healthy burst fires nothing; the dump header says so:
+
+  $ head -1 dump1.jsonl
+  {"kind":"flight-recorder","reason":"end-of-run","at":0.16,"events":91,"dropped":0}
+
+A post-mortem: silence the burst's target host, so every query to it
+times out and the circuit breaker trips. The daemon_query_surge and
+breaker_flap rules fire, and the dump's reason names the last one.
+
+  $ identxx-netsim burst --fastpath --silence h1-1 --health 0.0025 --flight-out breaker.jsonl > outb.txt
+  $ sed -n '/=== health ===/,$p' outb.txt
+  === health ===
+  windows closed: 64
+  events fired: 2
+    [w1 @0.0025s] daemon_query_surge{host=h1-1} value=6000 threshold=2000
+    [w3 @0.0075s] breaker_flap value=1 threshold=0.5
+  wrote 108 flight-recorder events to breaker.jsonl
+  $ head -1 breaker.jsonl
+  {"kind":"flight-recorder","reason":"breaker_flap","at":0.16,"events":108,"dropped":0}
+
+`identxx_ctl health` renders the dump as a timeline, naming the
+triggering rule:
+
+  $ identxx_ctl health breaker.jsonl > timeline.txt
+  $ head -3 timeline.txt
+  flight recorder: 108 events (0 dropped) dumped @160000us
+  trigger (health rule): breaker_flap
+  by kind: breaker=1 decision=15 health=2 install=15 packet-in=15 query-sent=30 query-settled=30
+  $ grep -E 'breaker|health' timeline.txt
+  trigger (health rule): breaker_flap
+  by kind: breaker=1 decision=15 health=2 install=15 packet-in=15 query-sent=30 query-settled=30
+    @2500us health rule=daemon_query_surge value=6000 host=h1-1
+    @5060us breaker host=10.0.1.1 state=open
+    @7500us health rule=breaker_flap value=1
+
+Silencing an unknown host is an error:
+
+  $ identxx-netsim burst --silence nosuch
+  netsim: --silence: no host named nosuch
+  [1]

@@ -48,11 +48,11 @@ block per entity (host, shard, switch) instead of interleaving
 entities inside every metric name:
 
   $ identxx_ctl metrics snap.json --format summary | grep identxx_daemon
-  histogram identxx_daemon_answer_seconds{host=client} count=1 sum=0
+  histogram identxx_daemon_answer_seconds{host=client} count=1 sum=0 p50=5e-06 p95=9.5e-06 p99=9.9e-06
   counter   identxx_daemon_responses_signed_total{host=client} = 0
   counter   identxx_daemon_queries_total{host=client,result=answered} = 1
   counter   identxx_daemon_queries_total{host=client,result=silent} = 0
-  histogram identxx_daemon_answer_seconds{host=server} count=1 sum=0
+  histogram identxx_daemon_answer_seconds{host=server} count=1 sum=0 p50=5e-06 p95=9.5e-06 p99=9.9e-06
   counter   identxx_daemon_responses_signed_total{host=server} = 0
   counter   identxx_daemon_queries_total{host=server,result=answered} = 1
   counter   identxx_daemon_queries_total{host=server,result=silent} = 0

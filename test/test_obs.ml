@@ -10,6 +10,10 @@ module Span = Obs.Span
 module Json = Obs.Json
 module Export = Obs.Export
 
+module Window = Obs.Window
+module Health = Obs.Health
+module Recorder = Obs.Recorder
+
 let check = Alcotest.check
 
 (* --- registry --- *)
@@ -371,6 +375,270 @@ let test_span_disabled () =
   Span.finish t ~at:0.3 sp;
   check Alcotest.int "nothing retained" 0 (List.length (Span.finished t))
 
+(* --- quantile estimation --- *)
+
+let test_estimate_quantile () =
+  (* 10 observations: 2 <= 0.01, 6 more <= 0.1 (8 cum), 2 more <= 1. *)
+  let buckets = [ (0.01, 2); (0.1, 8); (1., 10) ] in
+  let q p = R.estimate_quantile ~buckets ~count:10 p in
+  check (Alcotest.option (Alcotest.float 1e-9)) "p50 interpolates"
+    (Some (0.01 +. ((0.1 -. 0.01) *. (3. /. 6.))))
+    (q 0.5);
+  check (Alcotest.option (Alcotest.float 1e-9)) "p10 in first bucket"
+    (Some 0.005) (q 0.1);
+  check (Alcotest.option (Alcotest.float 1e-9)) "p100 is last bound" (Some 1.)
+    (q 1.0);
+  (* Rank past every finite bound clamps to the highest finite bound. *)
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "overflow clamps" (Some 0.1)
+    (R.estimate_quantile ~buckets:[ (0.01, 2); (0.1, 8) ] ~count:10 0.99);
+  check (Alcotest.option (Alcotest.float 1e-9)) "empty" None
+    (R.estimate_quantile ~buckets ~count:0 0.5);
+  check (Alcotest.option (Alcotest.float 1e-9)) "out of range" None (q 1.5)
+
+(* --- windows --- *)
+
+let test_window_deltas () =
+  let r = R.create () in
+  let c = R.counter r "c_total" in
+  let g = R.gauge r "g_depth" in
+  let h = R.histogram r ~buckets:[ 0.01; 0.1 ] "h_seconds" in
+  R.Counter.add c 3;
+  let w = Window.create ~interval:1. ~now:0. r in
+  (* Pre-existing counts are the baseline, not window content. *)
+  R.Counter.add c 4;
+  R.Gauge.set g 7.;
+  R.Histogram.observe h 0.005;
+  R.Histogram.observe h 0.05;
+  let w1 = Window.close w ~now:2. in
+  check Alcotest.int "seq" 1 w1.Window.w_seq;
+  (match Window.find w1 ~metric:"c_total" ~labels:[] with
+  | Some (Window.W_counter { delta; rate }) ->
+      check Alcotest.int "delta excludes baseline" 4 delta;
+      check (Alcotest.float 1e-9) "rate over 2s span" 2. rate
+  | _ -> Alcotest.fail "no counter wvalue");
+  (match Window.find w1 ~metric:"g_depth" ~labels:[] with
+  | Some (Window.W_gauge v) -> check (Alcotest.float 1e-9) "gauge" 7. v
+  | _ -> Alcotest.fail "no gauge wvalue");
+  (match Window.find w1 ~metric:"h_seconds" ~labels:[] with
+  | Some (Window.W_histogram { buckets; count; _ }) ->
+      check Alcotest.int "hist count" 2 count;
+      check
+        (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) Alcotest.int))
+        "windowed cumulative buckets"
+        [ (0.01, 1); (0.1, 2) ]
+        buckets
+  | _ -> Alcotest.fail "no histogram wvalue");
+  (* The next window starts from the new baseline: no change, zero
+     delta; the gauge is still its level. *)
+  let w2 = Window.close w ~now:3. in
+  (match Window.find w2 ~metric:"c_total" ~labels:[] with
+  | Some (Window.W_counter { delta; _ }) ->
+      check Alcotest.int "quiet window" 0 delta
+  | _ -> Alcotest.fail "no counter wvalue");
+  check Alcotest.int "two closed" 2 (Window.closed w)
+
+let test_window_tick_and_ring () =
+  let r = R.create () in
+  let w = Window.create ~depth:3 ~interval:1. ~now:0. r in
+  check Alcotest.bool "early tick is a no-op" true
+    (Window.tick w ~now:0.5 = None);
+  (* A stalled driver produces one long window, not a burst. *)
+  (match Window.tick w ~now:5.5 with
+  | Some win ->
+      check (Alcotest.float 1e-9) "long window" 5.5
+        (win.Window.w_until -. win.Window.w_from)
+  | None -> Alcotest.fail "tick should close");
+  for i = 0 to 4 do
+    ignore (Window.close w ~now:(6. +. float_of_int i))
+  done;
+  check Alcotest.int "lifetime count" 6 (Window.closed w);
+  check Alcotest.int "ring keeps depth" 3 (List.length (Window.windows w));
+  match Window.windows w with
+  | newest :: _ -> check Alcotest.int "newest first" 6 newest.Window.w_seq
+  | [] -> Alcotest.fail "empty ring"
+
+(* Callback series are sampled when the window closes, on the caller's
+   clock — not only at export time. *)
+let test_window_samples_callbacks () =
+  let r = R.create () in
+  let level = ref 1. and hits = ref 0 in
+  R.gauge_fn r "cb_depth" (fun () -> !level);
+  R.counter_fn r "cb_total" (fun () -> !hits);
+  let w = Window.create ~interval:1. ~now:0. r in
+  level := 42.;
+  hits := 5;
+  let w1 = Window.close w ~now:1. in
+  (match Window.find w1 ~metric:"cb_depth" ~labels:[] with
+  | Some (Window.W_gauge v) ->
+      check (Alcotest.float 1e-9) "gauge_fn sampled at close" 42. v
+  | _ -> Alcotest.fail "no callback gauge");
+  (match Window.find w1 ~metric:"cb_total" ~labels:[] with
+  | Some (Window.W_counter { delta; _ }) ->
+      check Alcotest.int "counter_fn delta vs baseline" 5 delta
+  | _ -> Alcotest.fail "no callback counter");
+  (* Between closes the window holds the close-time value even if the
+     callback has moved on. *)
+  level := 99.;
+  match Window.find w1 ~metric:"cb_depth" ~labels:[] with
+  | Some (Window.W_gauge v) ->
+      check (Alcotest.float 1e-9) "window value is frozen" 42. v
+  | _ -> Alcotest.fail "no callback gauge"
+
+let test_window_grouped () =
+  let r = R.create () in
+  let inc ~shard ~src n =
+    R.Counter.add
+      (R.counter r
+         ~labels:[ ("shard", shard); ("src", src) ]
+         "pkt_total")
+      n
+  in
+  let w = Window.create ~interval:1. ~now:0. r in
+  inc ~shard:"0" ~src:"a" 3;
+  inc ~shard:"1" ~src:"a" 4;
+  inc ~shard:"1" ~src:"b" 5;
+  let win = Window.close w ~now:1. in
+  (* Grouping by src sums the shards away. *)
+  (match Window.grouped win ~metric:"pkt_total" ~by:[ "src" ] with
+  | [
+      (la, Window.W_counter { delta = da; _ });
+      (lb, Window.W_counter { delta = db; _ });
+    ] ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "group a" [ ("src", "a") ] la;
+      check Alcotest.int "a merged" 7 da;
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "group b" [ ("src", "b") ] lb;
+      check Alcotest.int "b alone" 5 db
+  | gs -> Alcotest.failf "expected 2 groups, got %d" (List.length gs));
+  match Window.grouped win ~metric:"pkt_total" ~by:[] with
+  | [ ([], Window.W_counter { delta; _ }) ] ->
+      check Alcotest.int "everything merged" 12 delta
+  | _ -> Alcotest.fail "expected one catch-all group"
+
+(* --- health engine --- *)
+
+let surge_rule =
+  Health.rule ~name:"test_surge" ~help:"rate over 10/s" ~metric:"pkt_total"
+    ~group_by:[ "src" ] ~label_as:"host"
+    (Health.Threshold { over = 10. })
+
+let test_health_edge_trigger () =
+  let r = R.create () in
+  let c = R.counter r ~labels:[ ("src", "a") ] "pkt_total" in
+  let w = Window.create ~interval:1. ~now:0. r in
+  let h = Health.create ~rules:[ surge_rule ] ~registry:r w in
+  let fired = ref [] in
+  Health.set_on_fire h (fun e -> fired := e :: !fired);
+  (* Quiet window: nothing fires. *)
+  check Alcotest.int "quiet" 0 (List.length (Health.step h ~now:1.));
+  (* Surge: 100/s fires once, with the relabelled group. *)
+  R.Counter.add c 100;
+  (match Health.step h ~now:2. with
+  | [ e ] ->
+      check Alcotest.string "rule" "test_surge" e.Health.e_rule;
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "label_as rename"
+        [ ("host", "a") ]
+        e.Health.e_labels;
+      check (Alcotest.float 1e-9) "value" 100. e.Health.e_value;
+      check (Alcotest.float 1e-9) "threshold" 10. e.Health.e_threshold
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es));
+  check Alcotest.int "on_fire ran" 1 (List.length !fired);
+  (* Sustained: the same (rule, group) does not re-fire... *)
+  R.Counter.add c 100;
+  check Alcotest.int "sustained is silent" 0
+    (List.length (Health.step h ~now:3.));
+  check Alcotest.int "still active" 1 (List.length (Health.active h));
+  (* ...until a quiet window re-arms it. *)
+  check Alcotest.int "re-arm window" 0 (List.length (Health.step h ~now:4.));
+  check Alcotest.int "re-armed" 0 (List.length (Health.active h));
+  R.Counter.add c 100;
+  check Alcotest.int "fires again" 1 (List.length (Health.step h ~now:5.));
+  check Alcotest.int "lifetime events" 2 (List.length (Health.events h))
+
+let test_health_exports () =
+  let r = R.create () in
+  let c = R.counter r ~labels:[ ("src", "a") ] "pkt_total" in
+  let rec_ = Recorder.create () in
+  let w = Window.create ~interval:1. ~now:0. r in
+  let h = Health.create ~rules:[ surge_rule ] ~recorder:rec_ ~registry:r w in
+  R.Counter.add c 100;
+  ignore (Health.force_step h ~now:1.);
+  (* The health metrics move... *)
+  let v name labels =
+    match
+      List.find_opt
+        (fun (s : R.series) -> s.R.name = name && s.R.labels = labels)
+        (R.snapshot r)
+    with
+    | Some { R.value = R.Counter_v n; _ } -> float_of_int n
+    | Some { R.value = R.Gauge_v g; _ } -> g
+    | _ -> Alcotest.failf "series %s not found" name
+  in
+  check (Alcotest.float 1e-9) "windows_total" 1.
+    (v "identxx_health_windows_total" []);
+  check (Alcotest.float 1e-9) "events_total" 1.
+    (v "identxx_health_events_total" [ ("rule", "test_surge") ]);
+  check (Alcotest.float 1e-9) "active gauge" 1.
+    (v "identxx_health_active" [ ("rule", "test_surge") ]);
+  (* ...and the recorder holds the health event itself. *)
+  match Recorder.events rec_ with
+  | [ e ] ->
+      check Alcotest.string "recorder kind" "health" e.Recorder.ev_kind;
+      check
+        (Alcotest.option Alcotest.string)
+        "recorder rule attr" (Some "test_surge")
+        (List.assoc_opt "rule" e.Recorder.ev_attrs)
+  | es -> Alcotest.failf "expected 1 recorder event, got %d" (List.length es)
+
+(* --- flight recorder --- *)
+
+let test_recorder_ring () =
+  let t = Recorder.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 10 do
+    Recorder.record t ~at:(float_of_int i) "e"
+  done;
+  check Alcotest.int "count capped" 4 (Recorder.count t);
+  check Alcotest.int "dropped" 6 (Recorder.dropped t);
+  (match Recorder.events t with
+  | newest :: _ -> check (Alcotest.float 1e-9) "newest kept" 10. newest.Recorder.ev_at
+  | [] -> Alcotest.fail "empty ring");
+  (* The null recorder swallows everything, even set_enabled. *)
+  Recorder.set_enabled Recorder.null true;
+  check Alcotest.bool "null stays disabled" false (Recorder.enabled Recorder.null);
+  Recorder.record Recorder.null ~at:0. "e";
+  check Alcotest.int "null retains nothing" 0 (Recorder.count Recorder.null)
+
+let test_recorder_dump_canonical () =
+  (* Two recorders fed the same events in different arrival orders dump
+     byte-identically: the dump sorts by (at, kind, attrs). *)
+  let evs =
+    [
+      (0.2, "query-sent", [ ("flow", "f1"); ("host", "a") ]);
+      (0.1, "packet-in", [ ("flow", "f1") ]);
+      (0.2, "query-sent", [ ("flow", "f1"); ("host", "b") ]);
+      (0.3, "decision", [ ("flow", "f1"); ("verdict", "pass") ]);
+    ]
+  in
+  let feed order =
+    let t = Recorder.create ~enabled:true () in
+    List.iter (fun (at, kind, attrs) -> Recorder.record t ~at ~attrs kind) order;
+    Recorder.dump ~reason:"test" ~at:1. t
+  in
+  let a = feed evs and b = feed (List.rev evs) in
+  check Alcotest.string "canonical dump" a b;
+  let lines = String.split_on_char '\n' (String.trim a) in
+  check Alcotest.int "header + events" 5 (List.length lines);
+  check Alcotest.string "header"
+    "{\"kind\":\"flight-recorder\",\"reason\":\"test\",\"at\":1,\"events\":4,\"dropped\":0}"
+    (List.hd lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -401,4 +669,31 @@ let () =
         ] );
       ( "trace-context",
         [ Alcotest.test_case "ids and wire form" `Quick test_trace_context ] );
+      ( "quantile",
+        [ Alcotest.test_case "bucket estimation" `Quick test_estimate_quantile ]
+      );
+      ( "window",
+        [
+          Alcotest.test_case "counter/gauge/histogram deltas" `Quick
+            test_window_deltas;
+          Alcotest.test_case "tick and ring retention" `Quick
+            test_window_tick_and_ring;
+          Alcotest.test_case "callback series sampled at close" `Quick
+            test_window_samples_callbacks;
+          Alcotest.test_case "grouped label aggregation" `Quick
+            test_window_grouped;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "edge-triggered firing" `Quick
+            test_health_edge_trigger;
+          Alcotest.test_case "metrics, recorder, on_fire exports" `Quick
+            test_health_exports;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring and null" `Quick test_recorder_ring;
+          Alcotest.test_case "canonical dump" `Quick
+            test_recorder_dump_canonical;
+        ] );
     ]

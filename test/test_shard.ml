@@ -188,10 +188,11 @@ let test_batch_ordering () =
 
 (* The netsim burst scenario, inline: 16 hosts on a 4-switch chain,
    every host but the first opening a flow to host 0 at t = 0. *)
-let run_burst ~shards () =
+let run_burst ?obs ?spans ~shards () =
   let config = { C.default_config with C.shards } in
   let engine, network, controller, hosts =
-    Deploy.linear_network ~config ~switches:4 ~hosts_per_switch:4 ()
+    Deploy.linear_network ?obs ?spans ~config ~switches:4 ~hosts_per_switch:4
+      ()
   in
   Policy_store.add_exn (C.policy controller) ~name:"00"
     "block all\npass all with eq(@src[name], app) keep state";
@@ -249,6 +250,50 @@ let test_determinism_oracle () =
       check Alcotest.int "no stuck flows (2)" 0 p2;
       check Alcotest.int "no stuck flows (8)" 0 p8;
       check Alcotest.int "all 15 flows decided" 15 s1.C.flows_seen
+  | _ -> assert false
+
+(* Span-drop attribution must be shard-count invariant: the same burst
+   through a capacity-4 collector finishes the same 15 root spans and
+   evicts the same number whatever the shard count, and the registry
+   series identxx_trace_spans_dropped_total{cause=capacity} (a
+   per-collector callback, no shard label) reports exactly that. *)
+let test_span_drop_invariance () =
+  let series_value obs ~cause =
+    match
+      List.find_opt
+        (fun (s : Obs.Registry.series) ->
+          s.Obs.Registry.name = "identxx_trace_spans_dropped_total"
+          && s.Obs.Registry.labels = [ ("cause", cause) ])
+        (Obs.Registry.snapshot obs)
+    with
+    | Some { Obs.Registry.value = Obs.Registry.Counter_v n; _ } -> n
+    | _ -> Alcotest.fail "no capacity drop series"
+  in
+  let runs =
+    List.map
+      (fun n ->
+        let obs = Obs.Registry.create () in
+        let spans = Obs.Span.create ~capacity:4 ~enabled:true () in
+        let c, _net = run_burst ~obs ~spans ~shards:(Some (C.sharded n)) () in
+        ignore c;
+        ( series_value obs ~cause:"capacity",
+          series_value obs ~cause:"sampling",
+          List.length (Obs.Span.finished spans) ))
+      [ 1; 2; 8 ]
+  in
+  match runs with
+  | [ (c1, s1, k1); (c2, s2, k2); (c8, s8, k8) ] ->
+      check Alcotest.bool "burst overflows the cap" true (c1 > 0);
+      check Alcotest.int "capacity drops 1 vs 2 shards" c1 c2;
+      check Alcotest.int "capacity drops 1 vs 8 shards" c1 c8;
+      check Alcotest.int "nothing sampled out (1)" 0 s1;
+      check Alcotest.int "sampling drops invariant" s1 s2;
+      check Alcotest.int "sampling drops invariant (8)" s1 s8;
+      (* Lazy trim may briefly hold cap + cap/4; every finished root is
+         either retained or counted dropped. *)
+      check Alcotest.int "all 15 roots accounted for" 15 (c1 + k1);
+      check Alcotest.int "retained invariant 1 vs 2" k1 k2;
+      check Alcotest.int "retained invariant 1 vs 8" k1 k8
   | _ -> assert false
 
 (* K concurrent misses needing the same host: one wire exchange, K
@@ -392,6 +437,8 @@ let () =
         [
           Alcotest.test_case "determinism oracle (1/2/8 shards)" `Quick
             test_determinism_oracle;
+          Alcotest.test_case "span-drop attribution invariant (1/2/8 shards)"
+            `Quick test_span_drop_invariance;
           Alcotest.test_case "query coalescing" `Quick test_coalescing;
           Alcotest.test_case "failure fails all waiters" `Quick
             test_fail_all_waiters;

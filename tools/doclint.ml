@@ -15,7 +15,12 @@
       literals in lib/, bin/, bench/, and tools/ agree, in both
       directions: a series
       the code can emit must have a catalog row, and a catalog row
-      must name a series the code still emits.
+      must name a series the code still emits;
+   5. the health-rule catalog ("Health rules" table in
+      doc/OBSERVABILITY.md) and the [~name:"..."] rule literals in
+      lib/obs/health.ml agree, in both directions: every shipped rule
+      has a documented row and every documented row names a rule the
+      registry still ships.
 
    Usage: doclint <repo-root>. Exit 1 on any finding. *)
 
@@ -222,11 +227,89 @@ let check_metric_catalog root =
           name)
     rows
 
+(* --- 5: health-rule catalog drift --- *)
+
+(* The rule registry is the [rule ~name:"..."] literals in
+   lib/obs/health.ml; the doc side is the "Health rules" table of
+   doc/OBSERVABILITY.md (rows up to the next section heading whose
+   first code span is a snake_case rule name). *)
+let is_rule_name s =
+  s <> ""
+  && String.for_all (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false) s
+  && not (is_metric_name s)
+
+let rule_names_in_code root =
+  let acc = Hashtbl.create 8 in
+  let path = Filename.concat root "lib/obs/health.ml" in
+  if Sys.file_exists path then begin
+    let s = read_file path in
+    let marker = "~name:\"" in
+    let mlen = String.length marker in
+    let n = String.length s in
+    for i = 0 to n - mlen - 1 do
+      if String.sub s i mlen = marker then begin
+        let j = ref (i + mlen) in
+        while !j < n && s.[!j] <> '"' do incr j done;
+        if !j < n then begin
+          let name = String.sub s (i + mlen) (!j - i - mlen) in
+          if is_rule_name name then Hashtbl.replace acc name ()
+        end
+      end
+    done
+  end;
+  acc
+
+let rule_rows_in_doc root doc =
+  let acc = Hashtbl.create 8 in
+  (if Sys.file_exists (Filename.concat root doc) then
+     let in_section = ref false in
+     String.split_on_char '\n' (read_file (Filename.concat root doc))
+     |> List.iteri (fun lineno line ->
+            let starts p =
+              String.length line >= String.length p
+              && String.sub line 0 (String.length p) = p
+            in
+            let contains hay needle =
+              let hn = String.length hay and nn = String.length needle in
+              let rec go i =
+                i + nn <= hn && (String.sub hay i nn = needle || go (i + 1))
+              in
+              go 0
+            in
+            if starts "## " then in_section := contains line "Health rules"
+            else if !in_section && starts "| `" then
+              match inline_code_spans line with
+              | first :: _ when is_rule_name first ->
+                  Hashtbl.replace acc first (lineno + 1)
+              | _ -> ()));
+  acc
+
+let check_rule_catalog root =
+  let doc = "doc/OBSERVABILITY.md" in
+  let code = rule_names_in_code root in
+  let rows = rule_rows_in_doc root doc in
+  Hashtbl.iter
+    (fun name () ->
+      if not (Hashtbl.mem rows name) then
+        err
+          "lib/obs/health.ml ships rule `%s` but the %s health-rule table has \
+           no row for it"
+          name doc)
+    code;
+  Hashtbl.iter
+    (fun name lineno ->
+      if not (Hashtbl.mem code name) then
+        err "%s:%d: health-rule row `%s` names a rule the registry no longer \
+             ships"
+          doc lineno name)
+    rows
+
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
   check_interfaces root;
   check_doc_refs root;
   check_metric_catalog root;
+  check_rule_catalog root;
   let have_odoc = Sys.command "command -v odoc >/dev/null 2>&1" = 0 in
   if !errors > 0 then begin
     Printf.printf "doclint: %d finding(s)\n" !errors;
